@@ -1,0 +1,176 @@
+//! Offline exhaustive match statistics.
+
+use ocep_baselines::ExhaustiveMatcher;
+use ocep_pattern::Pattern;
+use ocep_poet::{Event, TraceStore};
+use ocep_vclock::TraceId;
+
+/// Participation count of one (pattern occurrence, trace) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafTraceCount {
+    /// Occurrence name (`B#2`, `$diff`, …).
+    pub leaf: String,
+    /// The trace.
+    pub trace: TraceId,
+    /// Number of matches whose `leaf` event lies on `trace`.
+    pub matches: usize,
+    /// Distinct events of `leaf` on `trace` participating in matches.
+    pub distinct_events: usize,
+}
+
+/// The offline view of a pattern over a complete recording.
+#[derive(Debug, Clone)]
+pub struct MatchReport {
+    /// Total matches in the recording.
+    pub total_matches: usize,
+    /// Per-cell participation, sorted by leaf then trace; cells with zero
+    /// participation are omitted.
+    pub cells: Vec<LeafTraceCount>,
+    /// Arrival position (0-based) at which the earliest match completes,
+    /// if any — "how soon could an online monitor have known".
+    pub first_completion: Option<usize>,
+    /// Arrival position at which the last match completes.
+    pub last_completion: Option<usize>,
+}
+
+impl MatchReport {
+    /// The traces participating in at least one match — the set the
+    /// paper suggests restricting offline analysis to.
+    #[must_use]
+    pub fn involved_traces(&self) -> Vec<TraceId> {
+        let mut out: Vec<TraceId> = self.cells.iter().map(|c| c.trace).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl std::fmt::Display for MatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "total matches: {}", self.total_matches)?;
+        if let (Some(first), Some(last)) = (self.first_completion, self.last_completion) {
+            writeln!(f, "completions: first at event {first}, last at event {last}")?;
+        }
+        for c in &self.cells {
+            writeln!(
+                f,
+                "  {:<12} {:<6} {:>8} matches via {:>5} events",
+                c.leaf,
+                c.trace.to_string(),
+                c.matches,
+                c.distinct_events
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively analyzes `pattern` over `store`.
+///
+/// This deliberately trades the online monitor's bounds for the full
+/// picture (it enumerates *all* matches), so run it on recordings or on
+/// [`crate::slice`]d sub-computations, not live streams.
+#[must_use]
+pub fn analyze(pattern: &Pattern, store: &TraceStore) -> MatchReport {
+    let all: Vec<Event> = store.iter_arrival().cloned().collect();
+    let arrival_pos: std::collections::HashMap<_, _> = all
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id(), i))
+        .collect();
+    let matches = ExhaustiveMatcher::new(pattern).matches(&all);
+
+    let k = pattern.n_leaves();
+    let n = store.n_traces();
+    let mut match_counts = vec![vec![0usize; n]; k];
+    let mut distinct: Vec<Vec<std::collections::BTreeSet<_>>> =
+        vec![vec![std::collections::BTreeSet::new(); n]; k];
+    let mut first = None;
+    let mut last = None;
+    for m in &matches {
+        let completion = m
+            .iter()
+            .map(|e| arrival_pos[&e.id()])
+            .max()
+            .expect("matches are non-empty");
+        first = Some(first.map_or(completion, |f: usize| f.min(completion)));
+        last = Some(last.map_or(completion, |l: usize| l.max(completion)));
+        for (li, e) in m.iter().enumerate() {
+            match_counts[li][e.trace().as_usize()] += 1;
+            distinct[li][e.trace().as_usize()].insert(e.id());
+        }
+    }
+
+    let mut cells = Vec::new();
+    for (li, leaf) in pattern.leaves().iter().enumerate() {
+        for t in 0..n {
+            if match_counts[li][t] > 0 {
+                cells.push(LeafTraceCount {
+                    leaf: leaf.display_name().to_owned(),
+                    trace: TraceId::new(t as u32),
+                    matches: match_counts[li][t],
+                    distinct_events: distinct[li][t].len(),
+                });
+            }
+        }
+    }
+
+    MatchReport {
+        total_matches: matches.len(),
+        cells,
+        first_completion: first,
+        last_completion: last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::{EventKind, PoetServer};
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    #[test]
+    fn counts_matches_and_cells() {
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let mut poet = PoetServer::new(2);
+        poet.record(t(0), EventKind::Unary, "a", "1");
+        poet.record(t(0), EventKind::Unary, "a", "2");
+        poet.record(t(0), EventKind::Unary, "b", "");
+        let report = analyze(&p, poet.store());
+        assert_eq!(report.total_matches, 2);
+        assert_eq!(report.first_completion, Some(2));
+        assert_eq!(report.last_completion, Some(2));
+        assert_eq!(report.involved_traces(), vec![t(0)]);
+        let a_cell = report.cells.iter().find(|c| c.leaf == "A").unwrap();
+        assert_eq!(a_cell.matches, 2);
+        assert_eq!(a_cell.distinct_events, 2);
+        let b_cell = report.cells.iter().find(|c| c.leaf == "B").unwrap();
+        assert_eq!(b_cell.matches, 2);
+        assert_eq!(b_cell.distinct_events, 1);
+    }
+
+    #[test]
+    fn empty_recording_yields_empty_report() {
+        let p = Pattern::parse("A := [*, a, *]; pattern := A;").unwrap();
+        let poet = PoetServer::new(2);
+        let report = analyze(&p, poet.store());
+        assert_eq!(report.total_matches, 0);
+        assert!(report.cells.is_empty());
+        assert_eq!(report.first_completion, None);
+        assert!(report.involved_traces().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Unary, "a", "");
+        poet.record(t(0), EventKind::Unary, "b", "");
+        let shown = analyze(&p, poet.store()).to_string();
+        assert!(shown.contains("total matches: 1"), "{shown}");
+        assert!(shown.contains("A"), "{shown}");
+    }
+}

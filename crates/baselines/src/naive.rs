@@ -1,0 +1,278 @@
+//! Chronological backtracking without causal pruning — the ablation
+//! baseline.
+
+use ocep_pattern::{Bindings, Constraint, PairRel, Pattern};
+use ocep_poet::Event;
+use ocep_vclock::Causality;
+
+/// An online matcher with the *same* history layout and terminating-event
+/// analysis as OCEP but none of its search intelligence:
+///
+/// * no Fig 4 domain restriction — every stored candidate of a leaf is
+///   tried, latest first (plain "chronological backtracking", which §IV-C
+///   notes "explores the entire search space until a solution is found or
+///   a conflict is reached");
+/// * no conflict-directed backjumping and no Fig 5 jump bounds;
+/// * no §VI history deduplication.
+///
+/// It stops at the first complete match per arrival (detection
+/// semantics), so timing it against [`ocep_core::Monitor`] isolates the
+/// cost of the missing pruning.
+#[derive(Debug)]
+pub struct NaiveMatcher {
+    pattern: Pattern,
+    /// `history[leaf]` — all shape-matching events, arrival order.
+    history: Vec<Vec<Event>>,
+    n_traces: usize,
+    nodes: u64,
+    found: u64,
+}
+
+impl NaiveMatcher {
+    /// Creates a matcher for `pattern` over `n_traces` traces.
+    #[must_use]
+    pub fn new(pattern: Pattern, n_traces: usize) -> Self {
+        let k = pattern.n_leaves();
+        NaiveMatcher {
+            pattern,
+            history: vec![Vec::new(); k],
+            n_traces,
+            nodes: 0,
+            found: 0,
+        }
+    }
+
+    /// Observes one event; returns `true` if a complete match containing
+    /// it exists (first match only).
+    pub fn observe(&mut self, event: &Event) -> bool {
+        for leaf in self.pattern.matching_leaves(event) {
+            self.history[leaf.as_usize()].push(event.clone());
+        }
+        let mut detected = false;
+        let terminating: Vec<_> = self.pattern.terminating_leaves().to_vec();
+        for tl in terminating {
+            if !self.pattern.leaves()[tl.as_usize()].matches_shape(event) {
+                continue;
+            }
+            let order = self.pattern.eval_order(tl).to_vec();
+            let mut assignment: Vec<Option<Event>> = vec![None; self.pattern.n_leaves()];
+            let mut bindings = Bindings::new(self.pattern.n_vars());
+            let Some(delta) = self.pattern.leaf_match(tl, event, &bindings) else {
+                continue;
+            };
+            bindings.apply(&delta);
+            assignment[tl.as_usize()] = Some(event.clone());
+            if self.descend(&order, 1, &mut assignment, &mut bindings) {
+                detected = true;
+                self.found += 1;
+            }
+        }
+        detected
+    }
+
+    fn descend(
+        &mut self,
+        order: &[ocep_pattern::LeafId],
+        pos: usize,
+        assignment: &mut Vec<Option<Event>>,
+        bindings: &mut Bindings,
+    ) -> bool {
+        if pos == order.len() {
+            return self.deferred_ok(assignment);
+        }
+        let leaf = order[pos];
+        let candidates = self.history[leaf.as_usize()].clone();
+        'cands: for cand in candidates.iter().rev() {
+            self.nodes += 1;
+            if assignment
+                .iter()
+                .flatten()
+                .any(|e| e.id() == cand.id())
+            {
+                continue;
+            }
+            // Check every constraint against already-assigned leaves —
+            // by direct causality comparison, not domain restriction.
+            for (q, &other_leaf) in order[..pos].iter().enumerate() {
+                let _ = q;
+                let Some(other) = &assignment[other_leaf.as_usize()] else {
+                    continue;
+                };
+                if let Some(rel) = self.pattern.rel(leaf, other_leaf) {
+                    let got = cand.stamp().causality(other.stamp());
+                    let ok = matches!(
+                        (rel, got),
+                        (PairRel::Before, Causality::Before)
+                            | (PairRel::After, Causality::After)
+                            | (PairRel::Concurrent, Causality::Concurrent)
+                    );
+                    if !ok {
+                        continue 'cands;
+                    }
+                }
+            }
+            for c in self.pattern.constraints() {
+                if let Constraint::Partner { send, recv } = c {
+                    if *recv == leaf {
+                        if let Some(s) = &assignment[send.as_usize()] {
+                            if cand.partner() != Some(s.id()) {
+                                continue 'cands;
+                            }
+                        }
+                    } else if *send == leaf {
+                        if let Some(r) = &assignment[recv.as_usize()] {
+                            if r.partner() != Some(cand.id()) {
+                                continue 'cands;
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(delta) = self.pattern.leaf_match(leaf, cand, bindings) else {
+                continue;
+            };
+            bindings.apply(&delta);
+            assignment[leaf.as_usize()] = Some(cand.clone());
+            if self.descend(order, pos + 1, assignment, bindings) {
+                // Leave the assignment in place for the caller to read.
+                bindings.retract(&delta);
+                assignment[leaf.as_usize()] = None;
+                return true;
+            }
+            assignment[leaf.as_usize()] = None;
+            bindings.retract(&delta);
+        }
+        false
+    }
+
+    fn deferred_ok(&self, assignment: &[Option<Event>]) -> bool {
+        for c in self.pattern.constraints() {
+            match c {
+                Constraint::Lim { from, to } => {
+                    let a = assignment[from.as_usize()].as_ref().expect("assigned");
+                    let b = assignment[to.as_usize()].as_ref().expect("assigned");
+                    let blocked = self.history[from.as_usize()].iter().any(|x| {
+                        x.id() != a.id()
+                            && x.id() != b.id()
+                            && a.stamp().happens_before(x.stamp())
+                            && x.stamp().happens_before(b.stamp())
+                    });
+                    if blocked {
+                        return false;
+                    }
+                }
+                Constraint::WeakPrecede { from, to } => {
+                    let fs: ocep_vclock::EventSet = from
+                        .iter()
+                        .map(|l| {
+                            assignment[l.as_usize()]
+                                .as_ref()
+                                .expect("assigned")
+                                .stamp()
+                                .clone()
+                        })
+                        .collect();
+                    let ts: ocep_vclock::EventSet = to
+                        .iter()
+                        .map(|l| {
+                            assignment[l.as_usize()]
+                                .as_ref()
+                                .expect("assigned")
+                                .stamp()
+                                .clone()
+                        })
+                        .collect();
+                    if !fs.weakly_precedes(&ts) {
+                        return false;
+                    }
+                }
+                Constraint::Entangled { left, right } => {
+                    let set = |ids: &[ocep_pattern::LeafId]| -> ocep_vclock::EventSet {
+                        ids.iter()
+                            .map(|l| {
+                                assignment[l.as_usize()]
+                                    .as_ref()
+                                    .expect("assigned")
+                                    .stamp()
+                                    .clone()
+                            })
+                            .collect()
+                    };
+                    if !set(left).entangled(&set(right)) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Total candidate events examined (the ablation metric).
+    #[must_use]
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Number of arrivals on which a match was found.
+    #[must_use]
+    pub fn detections(&self) -> u64 {
+        self.found
+    }
+
+    /// Total events stored (no dedup, so this grows without bound).
+    #[must_use]
+    pub fn history_size(&self) -> usize {
+        self.history.iter().map(Vec::len).sum()
+    }
+
+    /// Number of traces in the monitored computation.
+    #[must_use]
+    pub fn n_traces(&self) -> usize {
+        self.n_traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::{EventKind, PoetServer};
+    use ocep_vclock::TraceId;
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    #[test]
+    fn detects_the_same_simple_match_as_ocep() {
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let mut naive = NaiveMatcher::new(p, 1);
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Unary, "a", "");
+        poet.record(t(0), EventKind::Unary, "b", "");
+        let hits: Vec<bool> = poet.linearization().map(|e| naive.observe(&e)).collect();
+        assert_eq!(hits, vec![false, true]);
+        assert_eq!(naive.detections(), 1);
+    }
+
+    #[test]
+    fn explores_more_nodes_than_needed() {
+        // Many useless candidates: naive visits them all; this is the
+        // quantity the ablation bench compares against OCEP's domains.
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let mut naive = NaiveMatcher::new(p, 2);
+        let mut poet = PoetServer::new(2);
+        // 'a's on T1, concurrent with the final 'b' on T0 — all useless.
+        for _ in 0..50 {
+            poet.record(t(1), EventKind::Unary, "a", "");
+        }
+        poet.record(t(0), EventKind::Unary, "b", "");
+        let mut detected = false;
+        for e in poet.linearization() {
+            detected |= naive.observe(&e);
+        }
+        assert!(!detected);
+        assert!(naive.nodes() >= 1);
+        assert_eq!(naive.history_size(), 51);
+    }
+}

@@ -1,0 +1,167 @@
+//! The sliding-window baseline (§II, Fig 3).
+
+use crate::exhaustive::{Assignment, ExhaustiveMatcher};
+use ocep_pattern::Pattern;
+use ocep_poet::Event;
+use std::collections::VecDeque;
+
+/// An online matcher that retains only the most recent `window` events
+/// and reports the matches that lie entirely within the window.
+///
+/// This is the §II approach of "maintain a time-based sliding window and
+/// discard the partial matches that lie outside it". It is simple and
+/// bounded, but *omits* matches that span beyond the window — Fig 3's
+/// `a21 b25` — which is exactly what OCEP's representative subset fixes.
+/// The paper sizes the window at `n²` events for `n` processes, and so
+/// does [`SlidingWindowMatcher::paper_sized`].
+///
+/// # Example
+///
+/// ```
+/// use ocep_baselines::SlidingWindowMatcher;
+/// use ocep_pattern::Pattern;
+/// use ocep_poet::{EventKind, PoetServer};
+/// use ocep_vclock::TraceId;
+///
+/// let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+/// let mut w = SlidingWindowMatcher::new(p, 2);
+/// let mut poet = PoetServer::new(1);
+/// let t0 = TraceId::new(0);
+/// poet.record(t0, EventKind::Unary, "a", "");
+/// poet.record(t0, EventKind::Unary, "x", "");
+/// poet.record(t0, EventKind::Unary, "x", "");
+/// poet.record(t0, EventKind::Unary, "b", "");
+/// let matches: Vec<_> = poet.linearization().flat_map(|e| w.observe(&e)).collect();
+/// // The 'a' fell out of the 2-event window before 'b' arrived.
+/// assert!(matches.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SlidingWindowMatcher {
+    pattern: Pattern,
+    window: VecDeque<Event>,
+    capacity: usize,
+}
+
+impl SlidingWindowMatcher {
+    /// Creates a matcher with an explicit window capacity (in events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(pattern: Pattern, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindowMatcher {
+            pattern,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Creates a matcher with the paper's `n²` window for `n` traces.
+    #[must_use]
+    pub fn paper_sized(pattern: Pattern, n_traces: usize) -> Self {
+        SlidingWindowMatcher::new(pattern, n_traces.max(1).pow(2))
+    }
+
+    /// Observes one event and returns the new matches that contain it and
+    /// fit entirely in the window.
+    pub fn observe(&mut self, event: &Event) -> Vec<Assignment> {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(event.clone());
+        let snapshot: Vec<Event> = self.window.iter().cloned().collect();
+        ExhaustiveMatcher::new(&self.pattern)
+            .matches(&snapshot)
+            .into_iter()
+            .filter(|m| m.iter().any(|e| e.id() == event.id()))
+            .collect()
+    }
+
+    /// Current window contents (oldest first).
+    #[must_use]
+    pub fn window(&self) -> Vec<&Event> {
+        self.window.iter().collect()
+    }
+
+    /// The window capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::{EventKind, PoetServer};
+    use ocep_vclock::TraceId;
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    #[test]
+    fn matches_within_window_are_found() {
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let mut w = SlidingWindowMatcher::new(p, 10);
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Unary, "a", "");
+        poet.record(t(0), EventKind::Unary, "b", "");
+        let found: Vec<_> = poet.linearization().flat_map(|e| w.observe(&e)).collect();
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn fig3_omission_demonstrated() {
+        // Fig 3: an old 'a' on a second trace falls out of the window, so
+        // the window matcher misses the a21-style match while the event
+        // is still part of a genuine match.
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let n = 2;
+        let mut w = SlidingWindowMatcher::paper_sized(p, n);
+        assert_eq!(w.capacity(), 4);
+        let mut poet = PoetServer::new(3);
+        // Old 'a' on T1, linked toward T2 so a match genuinely exists.
+        poet.record(t(1), EventKind::Unary, "a", "");
+        let s = poet.record(t(1), EventKind::Send, "m", "");
+        poet.record_receive(t(2), s.id(), "m", "");
+        // Filler pushes the old 'a' out of the 4-event window.
+        for _ in 0..4 {
+            poet.record(t(0), EventKind::Unary, "filler", "");
+        }
+        poet.record(t(2), EventKind::Unary, "b", "");
+        let found: Vec<_> = poet.linearization().flat_map(|e| w.observe(&e)).collect();
+        let covers_t1 = found
+            .iter()
+            .any(|m| m.iter().any(|e| e.trace() == t(1) && e.ty() == "a"));
+        assert!(!covers_t1, "window matcher should have omitted the T1 match");
+    }
+
+    #[test]
+    fn reported_matches_contain_the_arriving_event() {
+        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+        let mut w = SlidingWindowMatcher::new(p, 16);
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Unary, "a", "");
+        poet.record(t(0), EventKind::Unary, "b", "");
+        poet.record(t(0), EventKind::Unary, "b", "");
+        let mut per_event = Vec::new();
+        for e in poet.linearization() {
+            per_event.push((e.clone(), w.observe(&e)));
+        }
+        for (e, ms) in per_event {
+            for m in ms {
+                assert!(m.iter().any(|x| x.id() == e.id()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let p = Pattern::parse("A := [*, a, *]; pattern := A;").unwrap();
+        let _ = SlidingWindowMatcher::new(p, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the primitive operations the §IV
+//! matcher composes: vector-clock comparison, GP/LS lookup, history
+//! insertion with §VI dedup, pattern parsing, monitor observation, and
+//! the dump/reload path.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ocep_core::{Monitor, MonitorConfig};
+use ocep_pattern::Pattern;
+use ocep_poet::{Event, EventKind, PoetServer};
+use ocep_vclock::TraceId;
+
+fn t(i: u32) -> TraceId {
+    TraceId::new(i)
+}
+
+/// A chain computation over `n` traces with `len` events per trace,
+/// cross-linked so clocks are non-trivial.
+fn build_store(n: usize, len: usize) -> PoetServer {
+    let mut poet = PoetServer::new(n);
+    let mut last_send: Option<Event> = None;
+    for round in 0..len {
+        for p in 0..n {
+            let tr = t(p as u32);
+            if round % 3 == 0 {
+                let s = poet.record(tr, EventKind::Send, "a", "");
+                if let Some(prev) = last_send.take() {
+                    poet.record_receive(tr, prev.id(), "r", "");
+                }
+                last_send = Some(s);
+            } else {
+                poet.record(tr, EventKind::Unary, "a", "");
+            }
+        }
+    }
+    poet
+}
+
+fn bench_clock_comparison(c: &mut Criterion) {
+    let poet = build_store(16, 64);
+    let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
+    let a = events[events.len() / 3].clone();
+    let b = events[2 * events.len() / 3].clone();
+    c.bench_function("vclock/happens_before", |bench| {
+        bench.iter(|| black_box(a.stamp().happens_before(black_box(b.stamp()))))
+    });
+    c.bench_function("vclock/causality_classify", |bench| {
+        bench.iter(|| black_box(a.stamp().causality(black_box(b.stamp()))))
+    });
+}
+
+fn bench_gp_ls(c: &mut Criterion) {
+    let poet = build_store(16, 256);
+    let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
+    let probe = events[events.len() / 2].clone();
+    c.bench_function("store/greatest_predecessor", |bench| {
+        bench.iter(|| {
+            black_box(
+                poet.store()
+                    .greatest_predecessor(probe.stamp(), black_box(t(3))),
+            )
+        })
+    });
+    c.bench_function("store/least_successor_binary_search", |bench| {
+        bench.iter(|| black_box(poet.store().least_successor(probe.stamp(), black_box(t(3)))))
+    });
+}
+
+fn bench_history_insert(c: &mut Criterion) {
+    let pattern_src = "A := [*, a, *]; B := [*, b, *]; pattern := A -> B;";
+    let poet = build_store(8, 128);
+    let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
+    c.bench_function("history/observe_with_dedup", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    Monitor::with_config(
+                        Pattern::parse(pattern_src).unwrap(),
+                        8,
+                        MonitorConfig::default(),
+                    ),
+                    events.clone(),
+                )
+            },
+            |(mut monitor, events)| {
+                for e in &events {
+                    black_box(monitor.observe(e));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pattern_parse(c: &mut Criterion) {
+    let src = ocep_simulator::workloads::replicated_service::ordering_pattern();
+    c.bench_function("pattern/parse_ordering_bug", |bench| {
+        bench.iter(|| black_box(Pattern::parse(black_box(&src)).unwrap()))
+    });
+    let cycle = ocep_simulator::workloads::random_walk::cycle_pattern(6);
+    c.bench_function("pattern/parse_deadlock_cycle6", |bench| {
+        bench.iter(|| black_box(Pattern::parse(black_box(&cycle)).unwrap()))
+    });
+}
+
+fn bench_observe_terminating(c: &mut Criterion) {
+    // Cost of the terminating-event searches on a warm monitor.
+    let g = ocep_simulator::workloads::replicated_service::generate(
+        &ocep_simulator::workloads::replicated_service::Params {
+            n_followers: 20,
+            synchs_per_follower: 20,
+            bug_prob: 0.05,
+            seed: 1,
+        },
+    );
+    let events: Vec<Event> = g.poet.store().iter_arrival().cloned().collect();
+    let (warm, tail) = events.split_at(events.len() - 50);
+    c.bench_function("monitor/observe_tail_50_events_ordering", |bench| {
+        bench.iter_batched(
+            || {
+                let mut m = Monitor::new(g.pattern(), g.n_traces);
+                for e in warm {
+                    let _ = m.observe(e);
+                }
+                m
+            },
+            |mut m| {
+                for e in tail {
+                    black_box(m.observe(e));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dump_reload(c: &mut Criterion) {
+    let poet = build_store(8, 128);
+    c.bench_function("poet/dump", |bench| {
+        bench.iter(|| black_box(ocep_poet::dump::dump(poet.store())))
+    });
+    let bytes = ocep_poet::dump::dump(poet.store());
+    c.bench_function("poet/reload", |bench| {
+        bench.iter(|| black_box(ocep_poet::dump::reload(black_box(&bytes)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clock_comparison,
+    bench_gp_ls,
+    bench_history_insert,
+    bench_pattern_parse,
+    bench_observe_terminating,
+    bench_dump_reload
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark harness reproducing every figure and table of the paper's
+//! evaluation (§V). See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! The binary drives everything:
+//!
+//! ```text
+//! cargo run -p ocep-bench --release -- all            # every experiment
+//! cargo run -p ocep-bench --release -- fig6           # one figure
+//! cargo run -p ocep-bench --release -- fig6 --full    # paper-scale (1M events)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod measure;
+pub mod stats;
+
+/// Global run options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Approximate number of events per generated workload.
+    pub events: usize,
+    /// Repetitions per configuration (pooled samples, distinct seeds).
+    pub reps: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            events: 40_000,
+            reps: 5,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Paper-scale options: one million events per test case, five
+    /// repetitions (§V-B).
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        RunOptions {
+            events: 1_000_000,
+            reps: 5,
+        }
+    }
+}

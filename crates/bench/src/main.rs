@@ -1,0 +1,123 @@
+//! The `ocep-bench` command-line harness: regenerates every figure and
+//! table of the paper's evaluation plus the DESIGN.md ablations.
+
+use ocep_bench::{figures, RunOptions};
+
+const USAGE: &str = "\
+ocep-bench — regenerate the OCEP paper's evaluation
+
+USAGE:
+    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full]
+
+EXPERIMENTS:
+    all                   run every experiment below
+    fig3                  sliding-window omission vs representative subset
+    fig6                  deadlock detection time vs #traces
+    fig7                  message-race detection time vs #traces
+    fig8                  atomicity-violation detection time vs #traces
+    fig9                  ordering-bug detection time vs #traces
+    fig10                 quartile table over all four test cases
+    completeness          SV-D: all violations found, zero false positives
+    depgraph              SV-C1: OCEP vs dependency-graph deadlock detector
+    ablation-pattern-len  runtime vs deadlock-cycle length
+    ablation-pruning      causal pruning vs naive backtracking
+    ablation-dedup        SVI history deduplication effect
+    ablation-parallel     SVI parallel trace traversal speedup
+
+OPTIONS:
+    --events N   approximate events per workload (default 40000)
+    --reps N     repetitions per configuration (default 5)
+    --full       paper scale: 1,000,000 events per test case
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    let mut opts = RunOptions::default();
+    let mut experiment = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts = RunOptions::paper_scale(),
+            "--events" => {
+                i += 1;
+                opts.events = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--events needs a number"));
+            }
+            "--reps" => {
+                i += 1;
+                opts.reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--reps needs a number"));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_owned());
+            }
+            other => bail(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(experiment) = experiment else {
+        bail("missing experiment name");
+    };
+
+    println!(
+        "# ocep-bench: {experiment} (events≈{}, reps={})",
+        opts.events, opts.reps
+    );
+    match experiment.as_str() {
+        "all" => figures::run_all(&opts),
+        "fig3" => {
+            let _ = figures::fig3();
+        }
+        "fig6" => {
+            let _ = figures::fig6(&opts);
+        }
+        "fig7" => {
+            let _ = figures::fig7(&opts);
+        }
+        "fig8" => {
+            let _ = figures::fig8(&opts);
+        }
+        "fig9" => {
+            let _ = figures::fig9(&opts);
+        }
+        "fig10" => {
+            let _ = figures::fig10(&opts);
+        }
+        "completeness" => {
+            let _ = figures::completeness(&opts);
+        }
+        "depgraph" => {
+            let _ = figures::depgraph(&opts);
+        }
+        "ablation-pattern-len" => {
+            let _ = figures::ablation_pattern_len(&opts);
+        }
+        "ablation-pruning" => {
+            let _ = figures::ablation_pruning(&opts);
+        }
+        "ablation-dedup" => {
+            let _ = figures::ablation_dedup(&opts);
+        }
+        "ablation-parallel" => {
+            let _ = figures::ablation_parallel(&opts);
+        }
+        other => bail(&format!("unknown experiment '{other}'")),
+    }
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}

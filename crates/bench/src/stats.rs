@@ -1,0 +1,138 @@
+//! Boxplot statistics in the paper's format (Fig 6–10).
+
+/// The five-number summary the paper reports: quartiles, the 1.5·IQR top
+/// whisker, and the maximum, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxPlot {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest sample at or below `q3 + 1.5·IQR` (the top whisker mark).
+    pub top_whisker: f64,
+    /// Smallest sample at or above `q1 − 1.5·IQR`.
+    pub bottom_whisker: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl BoxPlot {
+    /// Computes the summary from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "boxplot of zero samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let q1 = quantile(&sorted, 0.25);
+        let median = quantile(&sorted, 0.5);
+        let q3 = quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let top_fence = q3 + 1.5 * iqr;
+        let bottom_fence = q1 - 1.5 * iqr;
+        let top_whisker = sorted
+            .iter()
+            .rev()
+            .find(|&&x| x <= top_fence)
+            .copied()
+            .unwrap_or(q3);
+        let bottom_whisker = sorted
+            .iter()
+            .find(|&&x| x >= bottom_fence)
+            .copied()
+            .unwrap_or(q1);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        BoxPlot {
+            q1,
+            median,
+            q3,
+            top_whisker,
+            bottom_whisker,
+            max: *sorted.last().expect("non-empty"),
+            min: sorted[0],
+            mean,
+            n: sorted.len(),
+        }
+    }
+
+    /// One row in the Fig 10 layout:
+    /// `Q1  Med  Q3  TopWhisker  Max` (µs).
+    #[must_use]
+    pub fn fig10_row(&self) -> String {
+        format!(
+            "{:>8.0} {:>8.0} {:>8.0} {:>12.0} {:>8.0}",
+            self.q1, self.median, self.q3, self.top_whisker, self.max
+        )
+    }
+}
+
+/// Linear-interpolated quantile over a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_a_known_sequence() {
+        let samples: Vec<f64> = (1..=9).map(f64::from).collect();
+        let b = BoxPlot::from_samples(&samples);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.max, 9.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.n, 9);
+    }
+
+    #[test]
+    fn whiskers_exclude_outliers() {
+        let mut samples: Vec<f64> = (1..=20).map(f64::from).collect();
+        samples.push(1000.0); // outlier
+        let b = BoxPlot::from_samples(&samples);
+        assert!(b.top_whisker <= 20.0 + 1.0);
+        assert_eq!(b.max, 1000.0);
+    }
+
+    #[test]
+    fn single_sample_is_degenerate_but_defined() {
+        let b = BoxPlot::from_samples(&[7.0]);
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.q1, 7.0);
+        assert_eq!(b.top_whisker, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_samples_panic() {
+        let _ = BoxPlot::from_samples(&[]);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let b = BoxPlot::from_samples(&[5.0, 1.0, 3.0]);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 5.0);
+    }
+}

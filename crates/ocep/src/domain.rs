@@ -1,0 +1,199 @@
+//! Fig 4 domain restriction: contiguous candidate ranges per trace.
+//!
+//! For a partial match, the domain of the event being instantiated on a
+//! trace `l` is restricted by each already-instantiated event `e`:
+//!
+//! ```text
+//! e || ei   →  (GP(e,l), LS(e,l))        (open interval)
+//! e -> ei   →  [LS(e,l), ∞)
+//! ei -> e   →  (−∞, GP(e,l)]
+//! ```
+//!
+//! Histories are stored ascending by event index, and along one trace the
+//! vector-clock entry for any fixed column is non-decreasing, so each rule
+//! maps to a prefix/suffix/window of the history slice found by binary
+//! search — this is how the matcher gets its `GP`/`LS` lookups in O(log)
+//! without consulting the tracer.
+
+use ocep_pattern::PairRel;
+use ocep_poet::Event;
+
+/// A half-open range of positions `[lo, hi)` into one history slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Domain {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl Domain {
+    /// The unrestricted domain over a slice of `len` candidates.
+    pub fn full(len: usize) -> Self {
+        Domain { lo: 0, hi: len }
+    }
+
+    /// True if no candidates remain.
+    pub fn is_empty(self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Intersection with another range.
+    pub fn intersect(self, other: Domain) -> Domain {
+        Domain {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Number of candidates in the range.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(self) -> usize {
+        self.hi.saturating_sub(self.lo)
+    }
+}
+
+/// Positions in `events` (one leaf's history on one trace, ascending by
+/// index) whose event `x` satisfies `x <rel> e` — e.g. `rel = Before`
+/// selects the `x` with `x -> e`.
+pub(crate) fn restrict(events: &[Event], rel: PairRel, e: &Event) -> Domain {
+    if events.is_empty() {
+        return Domain { lo: 0, hi: 0 };
+    }
+    let l = events[0].trace();
+    let same_trace = l == e.trace();
+    match rel {
+        PairRel::Before => {
+            // x -> e  ⇔  x.index <= GP(e, l).
+            let gp = e.stamp().greatest_predecessor(l).get();
+            let hi = events.partition_point(|x| x.index().get() <= gp);
+            Domain { lo: 0, hi }
+        }
+        PairRel::After => {
+            // e -> x  ⇔  x's clock column for e's trace reaches e.index
+            // (strictly beyond it on e's own trace, to exclude e itself).
+            let needle = if same_trace {
+                e.index().get() + 1
+            } else {
+                e.index().get()
+            };
+            let col = e.trace();
+            let lo = events.partition_point(|x| x.clock().entry(col).get() < needle);
+            Domain {
+                lo,
+                hi: events.len(),
+            }
+        }
+        PairRel::Concurrent => {
+            if same_trace {
+                // Events on one trace are totally ordered: nothing here is
+                // concurrent with e.
+                return Domain { lo: 0, hi: 0 };
+            }
+            // (GP(e,l), LS(e,l)): after e's greatest predecessor on l and
+            // before e's least successor on l.
+            let gp = e.stamp().greatest_predecessor(l).get();
+            let lo = events.partition_point(|x| x.index().get() <= gp);
+            let col = e.trace();
+            let needle = e.index().get();
+            let hi = events.partition_point(|x| x.clock().entry(col).get() < needle);
+            Domain { lo, hi }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::{EventKind, PoetServer};
+    use ocep_vclock::TraceId;
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    /// trace 0: a1 a2 s(→r) a4 a5 ; trace 1: b1 r b3
+    /// Relative to r: a1,a2,s happen before; a4,a5 concurrent.
+    struct Fixture {
+        trace0: Vec<Event>,
+        r: Event,
+        b3: Event,
+    }
+
+    fn fixture() -> Fixture {
+        let mut poet = PoetServer::new(2);
+        let a1 = poet.record(t(0), EventKind::Unary, "a", "");
+        let a2 = poet.record(t(0), EventKind::Unary, "a", "");
+        let s = poet.record(t(0), EventKind::Send, "a", "");
+        poet.record(t(1), EventKind::Unary, "b", "");
+        let r = poet.record_receive(t(1), s.id(), "r", "");
+        let a4 = poet.record(t(0), EventKind::Unary, "a", "");
+        let a5 = poet.record(t(0), EventKind::Unary, "a", "");
+        let b3 = poet.record(t(1), EventKind::Unary, "b", "");
+        Fixture {
+            trace0: vec![a1, a2, s, a4, a5],
+            r,
+            b3,
+        }
+    }
+
+    #[test]
+    fn before_selects_prefix_up_to_gp() {
+        let f = fixture();
+        // x -> r on trace 0: a1, a2, s (positions 0..3).
+        let d = restrict(&f.trace0, PairRel::Before, &f.r);
+        assert_eq!((d.lo, d.hi), (0, 3));
+    }
+
+    #[test]
+    fn after_selects_suffix_from_ls() {
+        let f = fixture();
+        // r -> x on trace 0: none (no message back).
+        let d = restrict(&f.trace0, PairRel::After, &f.r);
+        assert!(d.is_empty());
+        // s -> x on trace 1 candidates {r, b3}: both follow s? r yes
+        // (partner), b3 yes (after r on same trace).
+        let trace1 = vec![f.r.clone(), f.b3.clone()];
+        let s = &f.trace0[2];
+        let d = restrict(&trace1, PairRel::After, s);
+        assert_eq!((d.lo, d.hi), (0, 2));
+    }
+
+    #[test]
+    fn concurrent_selects_open_window() {
+        let f = fixture();
+        // x || r on trace 0: a4, a5 (positions 3..5).
+        let d = restrict(&f.trace0, PairRel::Concurrent, &f.r);
+        assert_eq!((d.lo, d.hi), (3, 5));
+    }
+
+    #[test]
+    fn same_trace_rules() {
+        let f = fixture();
+        let a4 = &f.trace0[3];
+        // x -> a4 on trace 0: a1, a2, s.
+        let d = restrict(&f.trace0, PairRel::Before, a4);
+        assert_eq!((d.lo, d.hi), (0, 3));
+        // a4 -> x on trace 0: a5 only (a4 itself excluded).
+        let d = restrict(&f.trace0, PairRel::After, a4);
+        assert_eq!((d.lo, d.hi), (4, 5));
+        // Nothing on the same trace is concurrent with a4.
+        let d = restrict(&f.trace0, PairRel::Concurrent, a4);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_history_yields_empty_domain() {
+        let f = fixture();
+        let d = restrict(&[], PairRel::Before, &f.r);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn intersection_is_max_lo_min_hi() {
+        let a = Domain { lo: 1, hi: 6 };
+        let b = Domain { lo: 3, hi: 9 };
+        assert_eq!(a.intersect(b), Domain { lo: 3, hi: 6 });
+        assert_eq!(a.intersect(b).len(), 3);
+        let c = Domain { lo: 7, hi: 9 };
+        assert!(a.intersect(c).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! The public monitor facade.
+
+use crate::history::LeafHistory;
+use crate::matching::Match;
+use crate::search::Search;
+use crate::stats::MonitorStats;
+use ocep_pattern::Pattern;
+use ocep_poet::Event;
+use std::sync::Arc;
+
+/// Which matches a [`Monitor`] reports to its caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubsetPolicy {
+    /// §IV-B representative subset: a match is reported only when it
+    /// covers a `(leaf, trace)` cell no previously reported match
+    /// covered, bounding total reports by `k·n`. The maintained subset is
+    /// always refreshed to the most recent match per cell.
+    #[default]
+    Representative,
+    /// Every match found by a per-arrival search is reported (still at
+    /// most one per `(level, trace)` cell per arrival, and duplicates by
+    /// event set are suppressed). Storage stays bounded; only the report
+    /// volume grows. Useful when each violation occurrence must alert.
+    PerArrival,
+}
+
+/// Tuning knobs for a [`Monitor`].
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Enable the §VI O(1) history deduplication (default `true`;
+    /// disable only for the ablation study).
+    pub dedup: bool,
+    /// Reporting policy (default [`SubsetPolicy::Representative`]).
+    pub policy: SubsetPolicy,
+    /// Abort a single arrival's search after this many backtracking
+    /// nodes; `0` (default) means unlimited. A safety valve for
+    /// adversarial patterns — none of the paper's case studies need it.
+    pub node_limit: u64,
+    /// Worker threads for the §VI parallel trace traversal: the traces of
+    /// the first backtracking level are partitioned across this many
+    /// threads, each exploring its own subtrees. `1` (default) is the
+    /// paper's sequential algorithm. Parallel searches may report
+    /// slightly different (equally valid) representatives per cell.
+    pub parallelism: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            dedup: true,
+            policy: SubsetPolicy::default(),
+            node_limit: 0,
+            parallelism: 1,
+        }
+    }
+}
+
+/// The OCEP online monitor: feed it a pattern and the event stream of a
+/// computation (in linearization order); it reports a representative
+/// subset of pattern matches as they complete (§IV).
+///
+/// See the [crate documentation](crate) for the algorithm and an example.
+#[derive(Debug)]
+pub struct Monitor {
+    pattern: Arc<Pattern>,
+    history: LeafHistory,
+    n_traces: usize,
+    config: MonitorConfig,
+    /// `subset[leaf][trace]` — the most recent reported-or-found match
+    /// whose `leaf` event is on `trace` (the §IV-B representative subset,
+    /// at most `k·n` entries).
+    subset: Vec<Vec<Option<Match>>>,
+    stats: MonitorStats,
+}
+
+impl Monitor {
+    /// Creates a monitor for `pattern` over a computation with
+    /// `n_traces` traces, with the default configuration.
+    #[must_use]
+    pub fn new(pattern: Pattern, n_traces: usize) -> Self {
+        Monitor::with_config(pattern, n_traces, MonitorConfig::default())
+    }
+
+    /// Creates a monitor with an explicit [`MonitorConfig`].
+    #[must_use]
+    pub fn with_config(pattern: Pattern, n_traces: usize, config: MonitorConfig) -> Self {
+        let pattern = Arc::new(pattern);
+        let k = pattern.n_leaves();
+        Monitor {
+            history: LeafHistory::new_for(&pattern, n_traces, config.dedup),
+            subset: vec![vec![None; n_traces]; k],
+            pattern,
+            n_traces,
+            config,
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// Observes one event (the next element of the linearization) and
+    /// returns the newly reported matches.
+    ///
+    /// Non-matching events cost one routing pass; events suppressed by
+    /// the §VI dedup rule cost O(1); only terminating events (§V-B)
+    /// trigger the backtracking search.
+    pub fn observe(&mut self, event: &Event) -> Vec<Match> {
+        self.stats.events += 1;
+        let stored = self.history.observe(&self.pattern, event);
+        if !stored {
+            return Vec::new();
+        }
+        self.stats.stored += 1;
+
+        let mut reported = Vec::new();
+        let mut seen_this_arrival: Vec<Vec<ocep_vclock::EventId>> = Vec::new();
+        for &tl in self.pattern.terminating_leaves() {
+            if !self.pattern.leaves()[tl.as_usize()].matches_shape(event) {
+                continue;
+            }
+            self.stats.searches += 1;
+            let (matches, sstats) = self.run_search(tl, event);
+            self.stats.nodes += sstats.nodes;
+            self.stats.candidates += sstats.candidates;
+            self.stats.domains += sstats.domains;
+            self.stats.backjumps += sstats.backjumps;
+            self.stats.jump_bounds += sstats.jump_bounds_applied;
+            self.stats.deferred_rejections += sstats.deferred_rejections;
+            self.stats.matches_found += matches.len() as u64;
+
+            for m in matches {
+                // Suppress event-set duplicates within one arrival (two
+                // seeded searches can find the same match with leaves
+                // permuted).
+                let mut ids: Vec<_> = m.events().iter().map(Event::id).collect();
+                ids.sort_unstable();
+                if seen_this_arrival.contains(&ids) {
+                    continue;
+                }
+                seen_this_arrival.push(ids);
+
+                let mut new_cell = false;
+                for (leaf, e) in self.pattern.leaves().iter().zip(m.events()) {
+                    let cell =
+                        &mut self.subset[leaf.id().as_usize()][e.trace().as_usize()];
+                    if cell.is_none() {
+                        new_cell = true;
+                    }
+                    *cell = Some(m.clone());
+                }
+                let report = match self.config.policy {
+                    SubsetPolicy::Representative => new_cell,
+                    SubsetPolicy::PerArrival => true,
+                };
+                if report {
+                    self.stats.matches_reported += 1;
+                    reported.push(m);
+                }
+            }
+        }
+        reported
+    }
+
+    /// Runs one seeded search, sequentially or with the §VI parallel
+    /// trace traversal.
+    fn run_search(
+        &self,
+        tl: ocep_pattern::LeafId,
+        event: &Event,
+    ) -> (Vec<Match>, crate::search::SearchStats) {
+        let workers = self.config.parallelism.max(1).min(self.n_traces.max(1));
+        let order = self.pattern.eval_order(tl);
+        // A partner-pinned first level has a unique candidate: splitting
+        // traces would make every worker but one idle and one duplicate.
+        let level1_partner_pinned = order.len() >= 2
+            && self.pattern.constraints().iter().any(|c| {
+                matches!(
+                    c,
+                    ocep_pattern::Constraint::Partner { send, recv }
+                        if (*send == order[0] && *recv == order[1])
+                            || (*send == order[1] && *recv == order[0])
+                )
+            });
+        if workers <= 1 || order.len() < 2 || level1_partner_pinned {
+            let search = Search::new(
+                &self.pattern,
+                &self.history,
+                self.n_traces,
+                tl,
+                self.config.node_limit,
+            );
+            return search.run(event);
+        }
+
+        let results: Vec<(Vec<Match>, crate::search::SearchStats)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let pattern = &self.pattern;
+                    let history = &self.history;
+                    let n_traces = self.n_traces;
+                    let node_limit = self.config.node_limit;
+                    handles.push(scope.spawn(move || {
+                        let allowed: Vec<bool> =
+                            (0..n_traces).map(|t| t % workers == w).collect();
+                        Search::new(pattern, history, n_traces, tl, node_limit)
+                            .with_level1_traces(allowed)
+                            .run(event)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            });
+
+        let mut matches = Vec::new();
+        let mut stats = crate::search::SearchStats::default();
+        let mut seen: Vec<Vec<ocep_vclock::EventId>> = Vec::new();
+        for (ms, st) in results {
+            stats.nodes += st.nodes;
+            stats.candidates += st.candidates;
+            stats.domains += st.domains;
+            stats.backjumps += st.backjumps;
+            stats.jump_bounds_applied += st.jump_bounds_applied;
+            stats.deferred_rejections += st.deferred_rejections;
+            for m in ms {
+                let mut ids: Vec<_> = m.events().iter().map(Event::id).collect();
+                ids.sort_unstable();
+                if !seen.contains(&ids) {
+                    seen.push(ids);
+                    matches.push(m);
+                }
+            }
+        }
+        (matches, stats)
+    }
+
+    /// The current representative subset: for each `(leaf, trace)` cell
+    /// with at least one known match, the most recent such match. Matches
+    /// covering several cells appear once.
+    #[must_use]
+    pub fn subset(&self) -> Vec<&Match> {
+        let mut out: Vec<&Match> = Vec::new();
+        for per_trace in &self.subset {
+            for m in per_trace.iter().flatten() {
+                if !out.iter().any(|x| x.same_events(m)) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if some reported match has `leaf_name`'s event on trace `t` —
+    /// the §IV-B coverage criterion.
+    #[must_use]
+    pub fn covers(&self, leaf_name: &str, t: ocep_vclock::TraceId) -> bool {
+        self.pattern
+            .leaves()
+            .iter()
+            .filter(|l| l.display_name() == leaf_name || l.class_name() == leaf_name)
+            .any(|l| self.subset[l.id().as_usize()][t.as_usize()].is_some())
+    }
+
+    /// The compiled pattern being monitored.
+    #[must_use]
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Cumulative work counters.
+    #[must_use]
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Number of events currently stored across all leaf histories (the
+    /// §VI bounded-storage metric).
+    #[must_use]
+    pub fn history_size(&self) -> usize {
+        self.history.stored()
+    }
+
+    /// Arrivals suppressed by the §VI dedup rule.
+    #[must_use]
+    pub fn suppressed(&self) -> usize {
+        self.history.suppressed()
+    }
+
+    /// Approximate history memory in bytes (the §VI bounded-storage
+    /// metric).
+    #[must_use]
+    pub fn history_bytes(&self) -> usize {
+        self.history.approx_bytes()
+    }
+
+    /// The monitor's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+}

@@ -1,0 +1,51 @@
+//! Monitor counters used by tests, benchmarks, and the ablation studies.
+
+/// Cumulative counters of a [`crate::Monitor`]'s work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events observed (all categories of §V-B).
+    pub events: u64,
+    /// Events stored into at least one leaf history.
+    pub stored: u64,
+    /// Terminating-event searches started (category iii arrivals).
+    pub searches: u64,
+    /// Complete matches found (before subset filtering).
+    pub matches_found: u64,
+    /// Matches actually reported to the caller.
+    pub matches_reported: u64,
+    /// Backtracking nodes explored across all searches.
+    pub nodes: u64,
+    /// Candidate events examined across all searches.
+    pub candidates: u64,
+    /// Fig 4 domain computations performed.
+    pub domains: u64,
+    /// Conflict-directed backjumps taken.
+    pub backjumps: u64,
+    /// Fig 5 jump bounds applied to fast-forward a candidate cursor.
+    pub jump_bounds: u64,
+    /// Complete assignments rejected by deferred (`~>`/compound-`->`)
+    /// checks.
+    pub deferred_rejections: u64,
+}
+
+impl std::fmt::Display for MonitorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "events={} stored={} searches={} found={} reported={} nodes={} \
+             candidates={} domains={} backjumps={} jump_bounds={} \
+             deferred_rejections={}",
+            self.events,
+            self.stored,
+            self.searches,
+            self.matches_found,
+            self.matches_reported,
+            self.nodes,
+            self.candidates,
+            self.domains,
+            self.backjumps,
+            self.jump_bounds,
+            self.deferred_rejections
+        )
+    }
+}

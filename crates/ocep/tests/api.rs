@@ -1,0 +1,124 @@
+//! API-surface tests for the monitor: configuration accessors, stats
+//! display, and subset accessors.
+
+use ocep_core::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_pattern::Pattern;
+use ocep_poet::{EventKind, PoetServer};
+use ocep_vclock::TraceId;
+
+fn t(i: u32) -> TraceId {
+    TraceId::new(i)
+}
+
+fn ab() -> Pattern {
+    Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap()
+}
+
+#[test]
+fn config_is_exposed() {
+    let m = Monitor::with_config(
+        ab(),
+        2,
+        MonitorConfig {
+            dedup: false,
+            policy: SubsetPolicy::PerArrival,
+            node_limit: 7,
+            parallelism: 2,
+        },
+    );
+    assert!(!m.config().dedup);
+    assert_eq!(m.config().policy, SubsetPolicy::PerArrival);
+    assert_eq!(m.config().node_limit, 7);
+    assert_eq!(m.config().parallelism, 2);
+    // Defaults.
+    let d = Monitor::new(ab(), 2);
+    assert!(d.config().dedup);
+    assert_eq!(d.config().policy, SubsetPolicy::Representative);
+    assert_eq!(d.config().node_limit, 0);
+    assert_eq!(d.config().parallelism, 1);
+}
+
+#[test]
+fn stats_display_lists_every_counter() {
+    let mut poet = PoetServer::new(1);
+    let mut m = Monitor::new(ab(), 1);
+    poet.record(t(0), EventKind::Unary, "a", "");
+    poet.record(t(0), EventKind::Unary, "b", "");
+    for e in poet.linearization() {
+        let _ = m.observe(&e);
+    }
+    let shown = m.stats().to_string();
+    for field in [
+        "events=2",
+        "stored=2",
+        "searches=1",
+        "found=1",
+        "reported=1",
+        "nodes=",
+        "candidates=",
+        "domains=",
+        "backjumps=",
+        "jump_bounds=",
+        "deferred_rejections=",
+    ] {
+        assert!(shown.contains(field), "missing {field} in: {shown}");
+    }
+}
+
+#[test]
+fn pattern_accessor_and_history_metrics() {
+    let mut poet = PoetServer::new(2);
+    let mut m = Monitor::new(ab(), 2);
+    assert_eq!(m.pattern().n_leaves(), 2);
+    assert_eq!(m.history_size(), 0);
+    assert_eq!(m.history_bytes(), 0);
+    poet.record(t(0), EventKind::Unary, "a", "");
+    for e in poet.linearization() {
+        let _ = m.observe(&e);
+    }
+    assert_eq!(m.history_size(), 1);
+    assert!(m.history_bytes() > 0);
+}
+
+#[test]
+fn subset_lists_each_distinct_match_once() {
+    // One match covers cells for both leaves; subset() must not repeat it.
+    let mut poet = PoetServer::new(1);
+    let mut m = Monitor::new(ab(), 1);
+    poet.record(t(0), EventKind::Unary, "a", "");
+    poet.record(t(0), EventKind::Unary, "b", "");
+    for e in poet.linearization() {
+        let _ = m.observe(&e);
+    }
+    assert_eq!(m.subset().len(), 1);
+    assert!(m.covers("A", t(0)));
+    assert!(m.covers("B", t(0)));
+    assert!(!m.covers("A", t(0)) || !m.covers("Nope", t(0)));
+}
+
+#[test]
+fn covers_resolves_occurrence_and_class_names() {
+    let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B && A -> B;")
+        .unwrap();
+    let mut poet = PoetServer::new(1);
+    let mut m = Monitor::with_config(
+        p,
+        1,
+        MonitorConfig {
+            dedup: false,
+            ..MonitorConfig::default()
+        },
+    );
+    poet.record(t(0), EventKind::Unary, "a", "x");
+    poet.record(t(0), EventKind::Unary, "a", "y");
+    poet.record(t(0), EventKind::Unary, "b", "x");
+    poet.record(t(0), EventKind::Unary, "b", "y");
+    for e in poet.linearization() {
+        let _ = m.observe(&e);
+    }
+    // Class name covers both occurrences; exact names work too.
+    assert!(m.covers("A", t(0)));
+    assert!(m.covers("A#2", t(0)));
+    assert!(m.covers("B#2", t(0)));
+    assert!(!m.covers("C", t(0)));
+}

@@ -1,0 +1,161 @@
+//! Abstract syntax of pattern programs.
+
+use serde::{Deserialize, Serialize};
+
+/// One attribute slot of a `[process, type, text]` class tuple (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attr {
+    /// `*` — matches anything.
+    Wildcard,
+    /// An exact string to match (`green`, `'hello world'`, `T3`).
+    Literal(String),
+    /// `$name` — an attribute variable: binds on first match and must
+    /// compare equal at every other site it appears in.
+    Var(String),
+}
+
+impl Attr {
+    /// True if this attribute can constrain a candidate by itself (i.e. it
+    /// is a literal).
+    #[must_use]
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Attr::Literal(_))
+    }
+}
+
+impl std::fmt::Display for Attr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Attr::Wildcard => f.write_str("*"),
+            Attr::Literal(s) => write!(f, "'{s}'"),
+            Attr::Var(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+/// A named event-class definition: `Name := [process, type, text];`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// The class identifier used in the pattern expression.
+    pub name: String,
+    /// The process (trace) attribute.
+    pub process: Attr,
+    /// The event-type attribute.
+    pub ty: Attr,
+    /// The free-form text attribute.
+    pub text: Attr,
+}
+
+impl std::fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} := [{}, {}, {}]",
+            self.name, self.process, self.ty, self.text
+        )
+    }
+}
+
+/// The binary operators of Fig 1 plus conjunction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `->` — happens-before (weak precedence between compounds, eq. 2).
+    HappensBefore,
+    /// `->>` — strong precedence (Lamport): *every* pair ordered.
+    StrongPrecedes,
+    /// `<->` — entanglement (eq. 1): the compounds overlap or cross.
+    Entangled,
+    /// `||` — concurrency (strong concurrency between compounds, eq. 3).
+    Concurrent,
+    /// `<>` — partner events of one point-to-point message.
+    Partner,
+    /// `~>` — limited precedence: `a -> b` with no other event of the
+    /// left class causally between them.
+    Lim,
+    /// `&&` — conjunction of two sub-patterns.
+    And,
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::HappensBefore => "->",
+            BinOp::StrongPrecedes => "->>",
+            BinOp::Entangled => "<->",
+            BinOp::Concurrent => "||",
+            BinOp::Partner => "<>",
+            BinOp::Lim => "~>",
+            BinOp::And => "&&",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A fresh occurrence of a class by name.
+    Class(String),
+    /// A use of a declared event variable (`$diff`).
+    EventVar(String),
+    /// A binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Class(n) => f.write_str(n),
+            Expr::EventVar(v) => write!(f, "${v}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+        }
+    }
+}
+
+/// A complete parsed pattern program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Class definitions, in source order.
+    pub classes: Vec<ClassDef>,
+    /// Event-variable declarations: `(class name, variable name)`.
+    pub event_vars: Vec<(String, String)>,
+    /// The pattern expression.
+    pub pattern: Expr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(Expr::Binary {
+                op: BinOp::HappensBefore,
+                lhs: Box::new(Expr::Class("A".into())),
+                rhs: Box::new(Expr::EventVar("x".into())),
+            }),
+            rhs: Box::new(Expr::Class("B".into())),
+        };
+        assert_eq!(e.to_string(), "((A -> $x) && B)");
+    }
+
+    #[test]
+    fn class_def_display() {
+        let c = ClassDef {
+            name: "Synch".into(),
+            process: Attr::Var("1".into()),
+            ty: Attr::Literal("synch_leader".into()),
+            text: Attr::Wildcard,
+        };
+        assert_eq!(c.to_string(), "Synch := [$1, 'synch_leader', *]");
+    }
+}

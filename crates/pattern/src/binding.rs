@@ -1,0 +1,139 @@
+//! Attribute-variable bindings (§III-C).
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Index of an attribute variable in a pattern's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The variable's dense index.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which attribute slot of the `[process, type, text]` tuple a variable
+/// site occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrField {
+    /// The process (trace) attribute.
+    Process,
+    /// The event-type attribute.
+    Type,
+    /// The text attribute.
+    Text,
+}
+
+/// The current values of a pattern's attribute variables during a search.
+///
+/// Once a matched event is bound to a variable, the same value must match
+/// at every occurrence of that variable in the pattern (§III-C). The
+/// matcher applies a delta when instantiating a level and retracts it when
+/// backtracking.
+///
+/// # Example
+///
+/// ```
+/// use ocep_pattern::{Bindings, VarId};
+/// let mut b = Bindings::new(2);
+/// assert!(b.get(VarId::from_index(0)).is_none());
+/// b.apply(&[(VarId::from_index(0), "T3".into())]);
+/// assert_eq!(b.get(VarId::from_index(0)).as_deref(), Some("T3"));
+/// b.retract(&[(VarId::from_index(0), "T3".into())]);
+/// assert!(b.get(VarId::from_index(0)).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    values: Vec<Option<Arc<str>>>,
+}
+
+impl Bindings {
+    /// Creates an all-unbound table for `n_vars` variables.
+    #[must_use]
+    pub fn new(n_vars: usize) -> Self {
+        Bindings {
+            values: vec![None; n_vars],
+        }
+    }
+
+    /// The current value of `var`, if bound.
+    #[must_use]
+    pub fn get(&self, var: VarId) -> Option<Arc<str>> {
+        self.values.get(var.as_usize()).and_then(Clone::clone)
+    }
+
+    /// Applies a delta of fresh bindings (produced by a successful leaf
+    /// match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable in the delta is already bound — the matcher
+    /// must only apply deltas computed against this table.
+    pub fn apply(&mut self, delta: &[(VarId, Arc<str>)]) {
+        for (var, value) in delta {
+            let slot = &mut self.values[var.as_usize()];
+            assert!(slot.is_none(), "variable {var:?} bound twice");
+            *slot = Some(Arc::clone(value));
+        }
+    }
+
+    /// Retracts a previously applied delta (backtracking).
+    pub fn retract(&mut self, delta: &[(VarId, Arc<str>)]) {
+        for (var, _) in delta {
+            self.values[var.as_usize()] = None;
+        }
+    }
+
+    /// Number of variables in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the table has no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl VarId {
+    /// Builds a `VarId` from a dense index. Intended for tests and for
+    /// iterating a pattern's variable table.
+    #[must_use]
+    pub fn from_index(i: u32) -> Self {
+        VarId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_then_retract_restores_unbound() {
+        let mut b = Bindings::new(3);
+        let delta = vec![
+            (VarId(0), Arc::<str>::from("x")),
+            (VarId(2), Arc::<str>::from("y")),
+        ];
+        b.apply(&delta);
+        assert_eq!(b.get(VarId(0)).as_deref(), Some("x"));
+        assert!(b.get(VarId(1)).is_none());
+        assert_eq!(b.get(VarId(2)).as_deref(), Some("y"));
+        b.retract(&delta);
+        assert!(b.get(VarId(0)).is_none());
+        assert!(b.get(VarId(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_apply_panics() {
+        let mut b = Bindings::new(1);
+        b.apply(&[(VarId(0), Arc::<str>::from("x"))]);
+        b.apply(&[(VarId(0), Arc::<str>::from("y"))]);
+    }
+}

@@ -1,0 +1,454 @@
+//! Compilation of a parsed program into the matcher-facing constraint
+//! graph: leaves, binary causal constraints with transitive closure,
+//! deferred compound constraints, terminating leaves, and evaluation
+//! orders.
+
+use crate::ast::{Attr, BinOp, ClassDef, Expr, Program};
+use crate::binding::VarId;
+use crate::tree::{LeafId, LeafSpec, PatternNode, ResolvedAttr};
+use crate::PatternError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One compiled constraint between pattern leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// The `from` leaf's event must happen before the `to` leaf's event.
+    Before {
+        /// Earlier leaf.
+        from: LeafId,
+        /// Later leaf.
+        to: LeafId,
+    },
+    /// The two leaves' events must be concurrent.
+    Concurrent {
+        /// One leaf.
+        a: LeafId,
+        /// The other leaf.
+        b: LeafId,
+    },
+    /// The leaves' events must be the two endpoints of one point-to-point
+    /// message (`<>` in Fig 1): `recv.partner() == send.id()`.
+    Partner {
+        /// The send endpoint.
+        send: LeafId,
+        /// The receive endpoint.
+        recv: LeafId,
+    },
+    /// Limited precedence (`~>`): `from -> to` with no other event
+    /// matching `from`'s leaf strictly causally between them.
+    Lim {
+        /// Earlier leaf.
+        from: LeafId,
+        /// Later leaf.
+        to: LeafId,
+    },
+    /// Weak precedence between compound operands (eq. 2): at least one
+    /// `(from, to)` pair ordered, and the two groups not entangled.
+    /// Checked when all involved leaves are instantiated.
+    WeakPrecede {
+        /// Leaves of the left compound.
+        from: Vec<LeafId>,
+        /// Leaves of the right compound.
+        to: Vec<LeafId>,
+    },
+    /// Entanglement between compound operands (eq. 1): the instantiated
+    /// sets overlap or cross. Checked when all involved leaves are
+    /// instantiated.
+    Entangled {
+        /// Leaves of the left compound.
+        left: Vec<LeafId>,
+        /// Leaves of the right compound.
+        right: Vec<LeafId>,
+    },
+}
+
+/// The pairwise causal requirement between two instantiated leaves,
+/// derived from the binary constraints and their transitive closure. This
+/// is what drives the Fig 4 domain restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairRel {
+    /// Row leaf must happen before column leaf.
+    Before,
+    /// Row leaf must happen after column leaf.
+    After,
+    /// The leaves must be concurrent.
+    Concurrent,
+}
+
+pub(crate) struct Compiled {
+    pub leaves: Vec<LeafSpec>,
+    pub root: PatternNode,
+    pub constraints: Vec<Constraint>,
+    pub rel: Vec<Vec<Option<PairRel>>>,
+    pub var_names: Vec<String>,
+    pub terminating: Vec<LeafId>,
+    pub eval_order: Vec<Vec<LeafId>>,
+}
+
+pub(crate) fn compile(program: &Program) -> Result<Compiled, PatternError> {
+    // --- class table -----------------------------------------------------
+    let mut classes: HashMap<&str, &ClassDef> = HashMap::new();
+    for c in &program.classes {
+        if c.name == "pattern" {
+            return Err(PatternError::Semantic(
+                "'pattern' is reserved and cannot name a class".into(),
+            ));
+        }
+        if classes.insert(&c.name, c).is_some() {
+            return Err(PatternError::Semantic(format!(
+                "class '{}' defined twice",
+                c.name
+            )));
+        }
+    }
+
+    // --- event variables --------------------------------------------------
+    let mut event_var_class: HashMap<&str, &ClassDef> = HashMap::new();
+    for (class, var) in &program.event_vars {
+        let def = classes.get(class.as_str()).ok_or_else(|| {
+            PatternError::Semantic(format!(
+                "event variable '${var}' declared with unknown class '{class}'"
+            ))
+        })?;
+        if event_var_class.insert(var, def).is_some() {
+            return Err(PatternError::Semantic(format!(
+                "event variable '${var}' declared twice"
+            )));
+        }
+    }
+
+    // --- leaf extraction & attribute-variable resolution ------------------
+    let mut builder = LeafBuilder {
+        leaves: Vec::new(),
+        event_var_leaf: HashMap::new(),
+        var_ids: HashMap::new(),
+        var_names: Vec::new(),
+    };
+    let mut constraints = Vec::new();
+    let root = walk(
+        &program.pattern,
+        &classes,
+        &event_var_class,
+        &mut builder,
+        &mut constraints,
+    )?;
+
+    let k = builder.leaves.len();
+    if k == 0 {
+        return Err(PatternError::Semantic("pattern has no events".into()));
+    }
+
+    // --- pairwise relation matrix and its transitive closure --------------
+    let mut rel: Vec<Vec<Option<PairRel>>> = vec![vec![None; k]; k];
+    let set_rel = |rel: &mut Vec<Vec<Option<PairRel>>>,
+                       i: usize,
+                       j: usize,
+                       r: PairRel|
+     -> Result<(), PatternError> {
+        if i == j {
+            return Err(PatternError::Semantic(format!(
+                "constraint relates the event '{}' to itself",
+                builder_name(&builder.leaves, i)
+            )));
+        }
+        match (&rel[i][j], r) {
+            (None, _) => {
+                rel[i][j] = Some(r);
+                rel[j][i] = Some(inverse(r));
+                Ok(())
+            }
+            (Some(existing), _) if *existing == r => Ok(()),
+            (Some(existing), _) => Err(PatternError::Semantic(format!(
+                "contradictory constraints between '{}' and '{}': {existing:?} vs {r:?}",
+                builder_name(&builder.leaves, i),
+                builder_name(&builder.leaves, j)
+            ))),
+        }
+    };
+
+    for c in &constraints {
+        match c {
+            Constraint::Before { from, to }
+            | Constraint::Lim { from, to }
+            | Constraint::Partner {
+                send: from,
+                recv: to,
+            } => set_rel(&mut rel, from.as_usize(), to.as_usize(), PairRel::Before)?,
+            Constraint::Concurrent { a, b } => {
+                set_rel(&mut rel, a.as_usize(), b.as_usize(), PairRel::Concurrent)?
+            }
+            Constraint::WeakPrecede { .. } | Constraint::Entangled { .. } => {}
+        }
+    }
+
+    // Transitive closure of Before (Floyd-Warshall); detect cycles and
+    // conflicts with Concurrent edges.
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..k {
+        for i in 0..k {
+            for j in 0..k {
+                if rel[i][m] == Some(PairRel::Before) && rel[m][j] == Some(PairRel::Before) {
+                    if i == j {
+                        return Err(PatternError::Semantic(format!(
+                            "precedence cycle through '{}'",
+                            builder_name(&builder.leaves, i)
+                        )));
+                    }
+                    set_rel(&mut rel, i, j, PairRel::Before)?;
+                }
+            }
+        }
+    }
+
+    // --- terminating leaves (§V-B): no outgoing Before edge ---------------
+    let mut terminating = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..k {
+        let has_out = (0..k).any(|j| rel[i][j] == Some(PairRel::Before));
+        if !has_out {
+            terminating.push(LeafId::from_index(i as u32));
+        }
+    }
+
+    // --- evaluation order per terminating leaf ----------------------------
+    // Breadth-first over the constraint adjacency from the seed so every
+    // newly instantiated level is causally constrained by an earlier one
+    // where possible (maximizes Fig 4 pruning).
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); k];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && rel[i][j].is_some() {
+                adjacency[i].push(j);
+            }
+        }
+    }
+    for c in &constraints {
+        let (xs, ys) = match c {
+            Constraint::WeakPrecede { from, to } => (from, to),
+            Constraint::Entangled { left, right } => (left, right),
+            _ => continue,
+        };
+        for a in xs {
+            for b in ys {
+                if a != b {
+                    adjacency[a.as_usize()].push(b.as_usize());
+                    adjacency[b.as_usize()].push(a.as_usize());
+                }
+            }
+        }
+    }
+
+    let mut eval_order = Vec::with_capacity(k);
+    for seed in 0..k {
+        let mut order = Vec::with_capacity(k);
+        let mut seen = vec![false; k];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(seed);
+        seen[seed] = true;
+        while let Some(i) = queue.pop_front() {
+            order.push(LeafId::from_index(i as u32));
+            for &j in &adjacency[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                order.push(LeafId::from_index(i as u32));
+            }
+        }
+        eval_order.push(order);
+    }
+
+    Ok(Compiled {
+        leaves: builder.leaves,
+        root,
+        constraints,
+        rel,
+        var_names: builder.var_names,
+        terminating,
+        eval_order,
+    })
+}
+
+fn builder_name(leaves: &[LeafSpec], i: usize) -> String {
+    leaves[i].display_name().to_owned()
+}
+
+fn inverse(r: PairRel) -> PairRel {
+    match r {
+        PairRel::Before => PairRel::After,
+        PairRel::After => PairRel::Before,
+        PairRel::Concurrent => PairRel::Concurrent,
+    }
+}
+
+struct LeafBuilder {
+    leaves: Vec<LeafSpec>,
+    event_var_leaf: HashMap<String, LeafId>,
+    var_ids: HashMap<String, VarId>,
+    var_names: Vec<String>,
+}
+
+impl LeafBuilder {
+    fn resolve_attr(&mut self, attr: &Attr) -> ResolvedAttr {
+        match attr {
+            Attr::Wildcard => ResolvedAttr::Wildcard,
+            Attr::Literal(s) => ResolvedAttr::Literal(Arc::from(s.as_str())),
+            Attr::Var(name) => {
+                let next = VarId::from_index(self.var_names.len() as u32);
+                let id = *self.var_ids.entry(name.clone()).or_insert_with(|| {
+                    self.var_names.push(name.clone());
+                    next
+                });
+                ResolvedAttr::Var(id)
+            }
+        }
+    }
+
+    fn new_leaf(&mut self, def: &ClassDef, display: String) -> LeafId {
+        let id = LeafId::from_index(self.leaves.len() as u32);
+        let process = self.resolve_attr(&def.process);
+        let ty = self.resolve_attr(&def.ty);
+        let text = self.resolve_attr(&def.text);
+        self.leaves.push(LeafSpec::new(
+            id,
+            def.name.clone(),
+            display,
+            process,
+            ty,
+            text,
+        ));
+        id
+    }
+}
+
+/// Walks the expression, creating leaves and constraints; returns the
+/// Fig 2 tree node for the sub-expression together with its leaf set.
+fn walk(
+    expr: &Expr,
+    classes: &HashMap<&str, &ClassDef>,
+    event_vars: &HashMap<&str, &ClassDef>,
+    builder: &mut LeafBuilder,
+    constraints: &mut Vec<Constraint>,
+) -> Result<PatternNode, PatternError> {
+    match expr {
+        Expr::Class(name) => {
+            let def = classes.get(name.as_str()).ok_or_else(|| {
+                PatternError::Semantic(format!("unknown class '{name}' in pattern"))
+            })?;
+            let n = builder
+                .leaves
+                .iter()
+                .filter(|l| l.class_name() == name)
+                .count();
+            let display = if n == 0 {
+                name.clone()
+            } else {
+                format!("{name}#{}", n + 1)
+            };
+            Ok(PatternNode::Leaf(builder.new_leaf(def, display)))
+        }
+        Expr::EventVar(var) => {
+            if let Some(&leaf) = builder.event_var_leaf.get(var) {
+                return Ok(PatternNode::Leaf(leaf));
+            }
+            let def = event_vars.get(var.as_str()).ok_or_else(|| {
+                PatternError::Semantic(format!(
+                    "event variable '${var}' used but never declared"
+                ))
+            })?;
+            let leaf = builder.new_leaf(def, format!("${var}"));
+            builder.event_var_leaf.insert(var.clone(), leaf);
+            Ok(PatternNode::Leaf(leaf))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let left = walk(lhs, classes, event_vars, builder, constraints)?;
+            let right = walk(rhs, classes, event_vars, builder, constraints)?;
+            let ls = left.leaf_set();
+            let rs = right.leaf_set();
+            match op {
+                BinOp::And => {}
+                BinOp::HappensBefore => {
+                    if ls.len() == 1 && rs.len() == 1 {
+                        constraints.push(Constraint::Before {
+                            from: ls[0],
+                            to: rs[0],
+                        });
+                    } else {
+                        constraints.push(Constraint::WeakPrecede {
+                            from: ls.clone(),
+                            to: rs.clone(),
+                        });
+                    }
+                }
+                BinOp::StrongPrecedes => {
+                    // Lamport's strong precedence: every pair ordered —
+                    // fully decomposes into binary constraints.
+                    for &a in &ls {
+                        for &b in &rs {
+                            constraints.push(Constraint::Before { from: a, to: b });
+                        }
+                    }
+                }
+                BinOp::Entangled => {
+                    let shares_leaf = ls.iter().any(|l| rs.contains(l));
+                    if ls.len() == 1 && rs.len() == 1 && !shares_leaf {
+                        // Two distinct single events can neither overlap
+                        // nor cross: the constraint is unsatisfiable.
+                        return Err(PatternError::Semantic(
+                            "'<->' between two distinct primitive events can                              never hold; entanglement needs compound operands"
+                                .into(),
+                        ));
+                    }
+                    if !shares_leaf {
+                        constraints.push(Constraint::Entangled {
+                            left: ls.clone(),
+                            right: rs.clone(),
+                        });
+                    }
+                    // Overlapping operands are trivially entangled: no
+                    // constraint needed.
+                }
+                BinOp::Concurrent => {
+                    for &a in &ls {
+                        for &b in &rs {
+                            constraints.push(Constraint::Concurrent { a, b });
+                        }
+                    }
+                }
+                BinOp::Partner => {
+                    if ls.len() != 1 || rs.len() != 1 {
+                        return Err(PatternError::Semantic(
+                            "'<>' requires primitive-event operands".into(),
+                        ));
+                    }
+                    constraints.push(Constraint::Partner {
+                        send: ls[0],
+                        recv: rs[0],
+                    });
+                }
+                BinOp::Lim => {
+                    if ls.len() != 1 || rs.len() != 1 {
+                        return Err(PatternError::Semantic(
+                            "'~>' requires primitive-event operands".into(),
+                        ));
+                    }
+                    constraints.push(Constraint::Lim {
+                        from: ls[0],
+                        to: rs[0],
+                    });
+                }
+            }
+            Ok(PatternNode::Op {
+                op: *op,
+                lhs: Box::new(left),
+                rhs: Box::new(right),
+            })
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Tokenizer for the pattern language.
+
+use crate::{PatternError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// Identifier or bare attribute literal (`Synch`, `take_snapshot`).
+    Ident(String),
+    /// Quoted attribute literal (`'some text'`).
+    Str(String),
+    /// `$name` — an event or attribute variable.
+    Var(String),
+    /// `:=`
+    Define,
+    /// `*`
+    Star,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `->`
+    Arrow,
+    /// `->>`
+    StrongArrow,
+    /// `<->`
+    Entangle,
+    /// `||`
+    Par,
+    /// `<>`
+    Partner,
+    /// `~>`
+    Lim,
+    /// `&&`
+    And,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::Var(s) => write!(f, "variable '${s}'"),
+            Tok::Define => f.write_str("':='"),
+            Tok::Star => f.write_str("'*'"),
+            Tok::LBracket => f.write_str("'['"),
+            Tok::RBracket => f.write_str("']'"),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Semi => f.write_str("';'"),
+            Tok::Arrow => f.write_str("'->'"),
+            Tok::StrongArrow => f.write_str("'->>'"),
+            Tok::Entangle => f.write_str("'<->'"),
+            Tok::Par => f.write_str("'||'"),
+            Tok::Partner => f.write_str("'<>'"),
+            Tok::Lim => f.write_str("'~>'"),
+            Tok::And => f.write_str("'&&'"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Tokenizes `src`. Whitespace and `//`-to-end-of-line comments are
+/// skipped.
+pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, PatternError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else { break };
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "expected '//' comment".into(),
+                    });
+                }
+            }
+            '[' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
+            }
+            ']' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
+            }
+            ';' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Semi, pos });
+            }
+            '*' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Star, pos });
+            }
+            ':' => {
+                bump!();
+                if bump!() == Some('=') {
+                    out.push(Spanned {
+                        tok: Tok::Define,
+                        pos,
+                    });
+                } else {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "expected ':='".into(),
+                    });
+                }
+            }
+            '-' => {
+                bump!();
+                if bump!() == Some('>') {
+                    if chars.peek() == Some(&'>') {
+                        bump!();
+                        out.push(Spanned {
+                            tok: Tok::StrongArrow,
+                            pos,
+                        });
+                    } else {
+                        out.push(Spanned {
+                            tok: Tok::Arrow,
+                            pos,
+                        });
+                    }
+                } else {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "expected '->'".into(),
+                    });
+                }
+            }
+            '~' => {
+                bump!();
+                if bump!() == Some('>') {
+                    out.push(Spanned { tok: Tok::Lim, pos });
+                } else {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "expected '~>'".into(),
+                    });
+                }
+            }
+            '|' => {
+                bump!();
+                if bump!() == Some('|') {
+                    out.push(Spanned { tok: Tok::Par, pos });
+                } else {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "expected '||'".into(),
+                    });
+                }
+            }
+            '&' => {
+                bump!();
+                if bump!() == Some('&') {
+                    out.push(Spanned { tok: Tok::And, pos });
+                } else {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "expected '&&'".into(),
+                    });
+                }
+            }
+            '<' => {
+                bump!();
+                match bump!() {
+                    Some('>') => out.push(Spanned {
+                        tok: Tok::Partner,
+                        pos,
+                    }),
+                    Some('-') if chars.peek() == Some(&'>') => {
+                        bump!();
+                        out.push(Spanned {
+                            tok: Tok::Entangle,
+                            pos,
+                        });
+                    }
+                    _ => {
+                        return Err(PatternError::Lex {
+                            pos,
+                            msg: "expected '<>' or '<->'".into(),
+                        })
+                    }
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('\'') => break,
+                        Some(c2) => s.push(c2),
+                        None => {
+                            return Err(PatternError::Lex {
+                                pos,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos,
+                });
+            }
+            '$' => {
+                bump!();
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        s.push(c2);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(PatternError::Lex {
+                        pos,
+                        msg: "'$' must be followed by a variable name".into(),
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Var(s),
+                    pos,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        s.push(c2);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    pos,
+                });
+            }
+            other => {
+                return Err(PatternError::Lex {
+                    pos,
+                    msg: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_class_definition() {
+        assert_eq!(
+            toks("A := [$1, green, *];"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Define,
+                Tok::LBracket,
+                Tok::Var("1".into()),
+                Tok::Comma,
+                Tok::Ident("green".into()),
+                Tok::Comma,
+                Tok::Star,
+                Tok::RBracket,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        assert_eq!(
+            toks("-> || <> ~> && ( )"),
+            vec![
+                Tok::Arrow,
+                Tok::Par,
+                Tok::Partner,
+                Tok::Lim,
+                Tok::And,
+                Tok::LParen,
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_quoted_strings_and_comments() {
+        assert_eq!(
+            toks("'a b c' // trailing comment\nX"),
+            vec![Tok::Str("a b c".into()), Tok::Ident("X".into())]
+        );
+    }
+
+    #[test]
+    fn reports_position_of_errors() {
+        let err = lex("A :=\n  @").unwrap_err();
+        match err {
+            PatternError::Lex { pos, .. } => {
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.col, 3);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_lone_ampersand_pipe_dollar() {
+        assert!(lex("&x").is_err());
+        assert!(lex("|x").is_err());
+        assert!(lex("$ x").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("<x").is_err());
+        assert!(lex("~x").is_err());
+        assert!(lex("-x").is_err());
+        assert!(lex(": x").is_err());
+        assert!(lex("/ x").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the pattern front end: the parser never panics on
+//! arbitrary input, valid programs re-parse from their canonical
+//! rendering, and compilation invariants hold on generated patterns.
+
+use ocep_pattern::{PairRel, Pattern};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary input may be rejected but must never panic.
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = Pattern::parse(&src);
+    }
+
+    /// Arbitrary almost-plausible token soup never panics either.
+    #[test]
+    fn token_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("A".to_owned()),
+            Just("pattern".to_owned()),
+            Just(":=".to_owned()),
+            Just("[".to_owned()),
+            Just("]".to_owned()),
+            Just("(".to_owned()),
+            Just(")".to_owned()),
+            Just("*".to_owned()),
+            Just(",".to_owned()),
+            Just(";".to_owned()),
+            Just("->".to_owned()),
+            Just("||".to_owned()),
+            Just("<>".to_owned()),
+            Just("~>".to_owned()),
+            Just("&&".to_owned()),
+            Just("$v".to_owned()),
+            Just("'txt'".to_owned()),
+        ],
+        0..40,
+    )) {
+        let src = parts.join(" ");
+        let _ = Pattern::parse(&src);
+    }
+}
+
+/// A generated well-formed pattern over a small class alphabet.
+fn valid_program() -> impl Strategy<Value = String> {
+    let op = prop_oneof![
+        Just("->"),
+        Just("||"),
+        Just("&&"),
+    ];
+    (
+        proptest::collection::vec(op, 1..5),
+        proptest::collection::vec(0..3usize, 2..6),
+    )
+        .prop_map(|(ops, classes)| {
+            let names = ["A", "B", "C"];
+            let mut src = String::new();
+            for n in &names {
+                src.push_str(&format!("{n} := [*, {}, *];\n", n.to_lowercase()));
+            }
+            let mut expr = names[classes[0] % 3].to_owned();
+            for (i, op) in ops.iter().enumerate() {
+                let rhs = names[classes[(i + 1) % classes.len()] % 3];
+                expr = format!("({expr} {op} {rhs})");
+            }
+            src.push_str(&format!("pattern := {expr};\n"));
+            src
+        })
+}
+
+proptest! {
+    /// Every generated well-formed program compiles, and its invariants
+    /// hold: the relation matrix is antisymmetric, terminating leaves
+    /// have no outgoing Before edge, and each seed's evaluation order is
+    /// a permutation of all leaves starting with the seed.
+    #[test]
+    fn compiled_invariants(src in valid_program()) {
+        // Contradictions (e.g. (A -> B) || B creating Before+Concurrent
+        // on one pair through different sub-expressions) are legal
+        // rejections; everything else must compile.
+        let Ok(p) = Pattern::parse(&src) else { return Ok(()); };
+        let k = p.n_leaves();
+        for i in 0..k {
+            let li = p.leaves()[i].id();
+            for j in 0..k {
+                let lj = p.leaves()[j].id();
+                match (p.rel(li, lj), p.rel(lj, li)) {
+                    (Some(PairRel::Before), got) => {
+                        prop_assert_eq!(got, Some(PairRel::After))
+                    }
+                    (Some(PairRel::Concurrent), got) => {
+                        prop_assert_eq!(got, Some(PairRel::Concurrent))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for &tl in p.terminating_leaves() {
+            for j in 0..k {
+                let lj = p.leaves()[j].id();
+                prop_assert_ne!(p.rel(tl, lj), Some(PairRel::Before));
+            }
+        }
+        for seed in p.leaves() {
+            let order = p.eval_order(seed.id());
+            prop_assert_eq!(order.len(), k);
+            prop_assert_eq!(order[0], seed.id());
+            let mut sorted: Vec<_> = order.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k, "order must be a permutation");
+        }
+        prop_assert!(!p.terminating_leaves().is_empty(),
+            "an acyclic precedence graph always has a sink");
+    }
+}

@@ -1,0 +1,112 @@
+//! Channel-based client subscriptions.
+//!
+//! The paper's monitor "connects to the POET server in a way that it
+//! receives the arriving events in a linearization of the partial order"
+//! (§V-A). [`Subscription`] is that connection: a receive handle whose
+//! iterator yields events in the order the server published them.
+
+use crate::Event;
+use crossbeam::channel;
+
+/// A live client connection to a [`crate::PoetServer`].
+///
+/// Obtained from [`crate::PoetServer::subscribe`]. Iterating the
+/// subscription yields events in linearization order; iteration ends when
+/// the server is dropped.
+///
+/// # Example
+///
+/// ```
+/// use ocep_poet::{EventKind, PoetServer};
+/// use ocep_vclock::TraceId;
+///
+/// let mut poet = PoetServer::new(1);
+/// let sub = poet.subscribe();
+/// poet.record(TraceId::new(0), EventKind::Unary, "tick", "");
+/// drop(poet); // closes the stream
+/// let events: Vec<_> = sub.into_iter().collect();
+/// assert_eq!(events.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Subscription {
+    rx: channel::Receiver<Event>,
+}
+
+impl Subscription {
+    pub(crate) fn new(rx: channel::Receiver<Event>) -> Self {
+        Subscription { rx }
+    }
+
+    /// Receives the next event, blocking until one is available or the
+    /// server hangs up. Returns `None` once the stream is closed and
+    /// drained.
+    #[must_use]
+    pub fn recv(&self) -> Option<Event> {
+        self.rx.recv().ok()
+    }
+
+    /// Receives without blocking. `None` means "nothing available right
+    /// now" — the stream may still produce events later.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Event> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl IntoIterator for Subscription {
+    type Item = Event;
+    type IntoIter = SubscriptionIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        SubscriptionIter { rx: self.rx }
+    }
+}
+
+/// Blocking iterator over a [`Subscription`]'s event stream.
+#[derive(Debug)]
+pub struct SubscriptionIter {
+    rx: channel::Receiver<Event>,
+}
+
+impl Iterator for SubscriptionIter {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EventKind, PoetServer};
+    use ocep_vclock::TraceId;
+
+    #[test]
+    fn cross_thread_delivery_preserves_linearization() {
+        let mut poet = PoetServer::new(2);
+        let sub = poet.subscribe();
+        let handle = std::thread::spawn(move || {
+            let events: Vec<_> = sub.into_iter().collect();
+            events
+        });
+        let s = poet.record(TraceId::new(0), EventKind::Send, "s", "");
+        poet.record_receive(TraceId::new(1), s.id(), "r", "");
+        poet.record(TraceId::new(0), EventKind::Unary, "u", "");
+        drop(poet);
+        let events = handle.join().unwrap();
+        assert_eq!(events.len(), 3);
+        // The receive must not be delivered before its send.
+        let send_pos = events.iter().position(|e| e.ty() == "s").unwrap();
+        let recv_pos = events.iter().position(|e| e.ty() == "r").unwrap();
+        assert!(send_pos < recv_pos);
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let mut poet = PoetServer::new(1);
+        let sub = poet.subscribe();
+        assert!(sub.try_recv().is_none());
+        poet.record(TraceId::new(0), EventKind::Unary, "x", "");
+        assert!(sub.try_recv().is_some());
+    }
+}

@@ -1,0 +1,207 @@
+//! The tracer server: ingest, timestamping, storage, delivery.
+
+use crate::client::Subscription;
+use crate::{Event, EventKind, TraceStore};
+use crossbeam::channel;
+use ocep_vclock::{ClockAssigner, EventId, TraceId};
+
+/// The POET-style tracer server.
+///
+/// Applications (or the workload simulator feeding replayed dump
+/// files) record events here; the server assigns Fidge vector timestamps —
+/// the application itself carries no clock overhead, matching §V-C2's
+/// "OCEP receives a vector timestamp constructed in POET, not in the
+/// application" — stores the events grouped by trace, and delivers them to
+/// clients in a linearization of the partial order.
+///
+/// # Example
+///
+/// ```
+/// use ocep_poet::{EventKind, PoetServer};
+/// use ocep_vclock::TraceId;
+///
+/// let mut poet = PoetServer::new(3);
+/// let s = poet.record(TraceId::new(0), EventKind::Send, "ping", "");
+/// let r = poet.record_receive(TraceId::new(2), s.id(), "pong", "");
+/// assert_eq!(poet.store().len(), 2);
+/// assert!(s.stamp().happens_before(r.stamp()));
+/// ```
+#[derive(Debug)]
+pub struct PoetServer {
+    assigner: ClockAssigner,
+    store: TraceStore,
+    /// Events recorded since the last `linearization()` drain.
+    pending: Vec<Event>,
+    subscribers: Vec<channel::Sender<Event>>,
+}
+
+impl PoetServer {
+    /// Creates a server for a computation with `n_traces` traces.
+    #[must_use]
+    pub fn new(n_traces: usize) -> Self {
+        PoetServer {
+            assigner: ClockAssigner::new(n_traces),
+            store: TraceStore::new(n_traces),
+            pending: Vec::new(),
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// Number of traces in the monitored computation.
+    #[must_use]
+    pub fn n_traces(&self) -> usize {
+        self.store.n_traces()
+    }
+
+    /// Records a local or send event on trace `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range, or if `kind` is
+    /// [`EventKind::Receive`] (receives need a partner — use
+    /// [`PoetServer::record_receive`]).
+    pub fn record(
+        &mut self,
+        t: TraceId,
+        kind: EventKind,
+        ty: impl Into<std::sync::Arc<str>>,
+        text: impl Into<std::sync::Arc<str>>,
+    ) -> Event {
+        assert!(
+            kind != EventKind::Receive,
+            "receive events must be recorded with record_receive"
+        );
+        let stamp = self.assigner.local(t);
+        let event = Event::new(stamp, kind, ty, text, None);
+        self.commit(event.clone());
+        event
+    }
+
+    /// Records the receive endpoint of the message whose send was `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or `sender` is not a stored event.
+    pub fn record_receive(
+        &mut self,
+        t: TraceId,
+        sender: EventId,
+        ty: impl Into<std::sync::Arc<str>>,
+        text: impl Into<std::sync::Arc<str>>,
+    ) -> Event {
+        let send_stamp = self
+            .store
+            .get(sender)
+            .unwrap_or_else(|| panic!("unknown partner event {sender}"))
+            .stamp()
+            .clone();
+        let stamp = self.assigner.receive(t, &send_stamp);
+        let event = Event::new(stamp, EventKind::Receive, ty, text, Some(sender));
+        self.commit(event.clone());
+        event
+    }
+
+    fn commit(&mut self, event: Event) {
+        self.store
+            .push(event.clone())
+            .expect("server-assigned events are always consistent");
+        self.subscribers
+            .retain(|tx| tx.send(event.clone()).is_ok());
+        self.pending.push(event);
+    }
+
+    /// Drains the events recorded since the previous call, in arrival
+    /// order — a valid linearization of the partial order, because a
+    /// receive is always recorded after its send and each trace records in
+    /// program order.
+    pub fn linearization(&mut self) -> impl Iterator<Item = Event> {
+        std::mem::take(&mut self.pending).into_iter()
+    }
+
+    /// Opens a channel-based subscription that will receive every event
+    /// recorded **after** this call, in linearization order. This mirrors
+    /// the paper's architecture where the OCEP monitor connects to POET as
+    /// a client, possibly on another thread.
+    pub fn subscribe(&mut self) -> Subscription {
+        let (tx, rx) = channel::unbounded();
+        self.subscribers.push(tx);
+        Subscription::new(rx)
+    }
+
+    /// The underlying store (read access for GP/LS queries and dumping).
+    #[must_use]
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// Consumes the server, returning the store — used after a run to dump
+    /// the collected trace-event data.
+    #[must_use]
+    pub fn into_store(self) -> TraceStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    #[test]
+    fn record_assigns_sequential_indices() {
+        let mut poet = PoetServer::new(1);
+        let a = poet.record(t(0), EventKind::Unary, "x", "");
+        let b = poet.record(t(0), EventKind::Unary, "x", "");
+        assert_eq!(a.index().get(), 1);
+        assert_eq!(b.index().get(), 2);
+    }
+
+    #[test]
+    fn linearization_drains_pending() {
+        let mut poet = PoetServer::new(2);
+        poet.record(t(0), EventKind::Unary, "x", "");
+        poet.record(t(1), EventKind::Unary, "y", "");
+        assert_eq!(poet.linearization().count(), 2);
+        assert_eq!(poet.linearization().count(), 0);
+        poet.record(t(0), EventKind::Unary, "z", "");
+        assert_eq!(poet.linearization().count(), 1);
+    }
+
+    #[test]
+    fn receive_joins_sender_clock() {
+        let mut poet = PoetServer::new(2);
+        let s = poet.record(t(0), EventKind::Send, "s", "");
+        let r = poet.record_receive(t(1), s.id(), "r", "");
+        assert_eq!(r.clock().entry(t(0)).get(), 1);
+        assert_eq!(r.partner(), Some(s.id()));
+    }
+
+    #[test]
+    #[should_panic(expected = "record_receive")]
+    fn record_rejects_receive_kind() {
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Receive, "r", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown partner")]
+    fn record_receive_rejects_unknown_sender() {
+        let mut poet = PoetServer::new(2);
+        poet.record_receive(t(1), EventId::new(t(0), 5.into()), "r", "");
+    }
+
+    #[test]
+    fn subscription_sees_only_later_events() {
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Unary, "early", "");
+        let sub = poet.subscribe();
+        poet.record(t(0), EventKind::Unary, "late", "");
+        drop(poet);
+        let got: Vec<_> = sub.into_iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ty(), "late");
+    }
+}

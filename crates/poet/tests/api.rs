@@ -1,0 +1,108 @@
+//! API-surface tests for the tracer: error types, multi-subscriber
+//! delivery, dump compactness, and plugin vocabularies.
+
+use ocep_poet::{dump, EventKind, PoetError, PoetServer, TraceStore};
+use ocep_vclock::TraceId;
+
+fn t(i: u32) -> TraceId {
+    TraceId::new(i)
+}
+
+#[test]
+fn poet_error_display_and_source() {
+    let e = PoetError::BadHeader("nope".into());
+    assert!(e.to_string().contains("bad dump header"));
+    let e = PoetError::Corrupt("short".into());
+    assert!(e.to_string().contains("corrupt"));
+    let e = PoetError::Inconsistent("gap".into());
+    assert!(e.to_string().contains("inconsistent"));
+    let io = PoetError::from(std::io::Error::other("disk on fire"));
+    assert!(io.to_string().contains("disk on fire"));
+    use std::error::Error;
+    assert!(io.source().is_some());
+    assert!(PoetError::Corrupt(String::new()).source().is_none());
+}
+
+#[test]
+fn reload_from_missing_file_is_io_error() {
+    let err = dump::reload_from_file("/definitely/not/here.poet").unwrap_err();
+    assert!(matches!(err, PoetError::Io(_)));
+}
+
+#[test]
+fn multiple_subscribers_each_get_every_event() {
+    let mut poet = PoetServer::new(1);
+    let sub1 = poet.subscribe();
+    let sub2 = poet.subscribe();
+    poet.record(t(0), EventKind::Unary, "x", "");
+    poet.record(t(0), EventKind::Unary, "y", "");
+    drop(poet);
+    let a: Vec<_> = sub1.into_iter().map(|e| e.ty().to_owned()).collect();
+    let b: Vec<_> = sub2.into_iter().map(|e| e.ty().to_owned()).collect();
+    assert_eq!(a, vec!["x", "y"]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dropped_subscriber_does_not_break_recording() {
+    let mut poet = PoetServer::new(1);
+    let sub = poet.subscribe();
+    drop(sub);
+    poet.record(t(0), EventKind::Unary, "x", "");
+    assert_eq!(poet.store().len(), 1);
+}
+
+#[test]
+fn dump_string_table_deduplicates_repeated_attributes() {
+    // 1000 events sharing one type string: the dump must stay small
+    // (string stored once, not 1000 times).
+    let mut poet = PoetServer::new(1);
+    for _ in 0..1000 {
+        poet.record(t(0), EventKind::Unary, "very_long_event_type_name_here", "");
+    }
+    let bytes = dump::dump(poet.store());
+    // 14 bytes/event of fixed fields + header; the 31-byte string must
+    // not be repeated per event.
+    assert!(
+        bytes.len() < 1000 * 20,
+        "dump is {} bytes — string table not deduplicating?",
+        bytes.len()
+    );
+    let reloaded = dump::reload(&bytes).unwrap();
+    assert!(reloaded.store().content_eq(poet.store()));
+}
+
+#[test]
+fn into_store_transfers_ownership() {
+    let mut poet = PoetServer::new(2);
+    poet.record(t(0), EventKind::Unary, "x", "");
+    let store: TraceStore = poet.into_store();
+    assert_eq!(store.len(), 1);
+}
+
+#[test]
+fn event_kind_display() {
+    assert_eq!(EventKind::Send.to_string(), "send");
+    assert_eq!(EventKind::Receive.to_string(), "receive");
+    assert_eq!(EventKind::Unary.to_string(), "unary");
+}
+
+#[test]
+fn trace_events_of_out_of_range_trace_is_empty() {
+    let store = TraceStore::new(2);
+    assert!(store.trace_events(t(7)).is_empty());
+}
+
+#[test]
+fn store_iter_arrival_interleaves_traces_by_recording_order() {
+    let mut poet = PoetServer::new(2);
+    poet.record(t(1), EventKind::Unary, "first", "");
+    poet.record(t(0), EventKind::Unary, "second", "");
+    poet.record(t(1), EventKind::Unary, "third", "");
+    let order: Vec<_> = poet
+        .store()
+        .iter_arrival()
+        .map(|e| e.ty().to_owned())
+        .collect();
+    assert_eq!(order, vec!["first", "second", "third"]);
+}

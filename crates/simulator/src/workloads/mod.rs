@@ -1,0 +1,47 @@
+//! The four evaluation workloads of §V-C, each with its detection
+//! pattern and exact ground truth.
+
+pub mod atomicity;
+pub mod message_race;
+pub mod random_walk;
+pub mod replicated_service;
+
+use ocep_poet::PoetServer;
+use ocep_vclock::TraceId;
+
+/// One injected (or construction-implied) violation: the ground truth the
+/// §V-D completeness metric checks the monitor against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Violation kind (`deadlock`, `race`, `atomicity`, `ordering`).
+    pub kind: &'static str,
+    /// The traces whose events constitute the violation.
+    pub traces: Vec<TraceId>,
+}
+
+/// A generated workload: the populated tracer, the pattern that detects
+/// its violation, and the ground truth.
+#[derive(Debug)]
+pub struct Generated {
+    /// The tracer holding the full recorded computation.
+    pub poet: PoetServer,
+    /// Pattern-language source for the violation pattern.
+    pub pattern_src: String,
+    /// Number of traces in the computation.
+    pub n_traces: usize,
+    /// Ground truth: every violation present in the computation.
+    pub truth: Vec<Violation>,
+}
+
+impl Generated {
+    /// Parses [`Generated::pattern_src`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload produced an invalid pattern — a bug.
+    #[must_use]
+    pub fn pattern(&self) -> ocep_pattern::Pattern {
+        ocep_pattern::Pattern::parse(&self.pattern_src)
+            .expect("workload patterns are well-formed")
+    }
+}

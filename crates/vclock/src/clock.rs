@@ -1,0 +1,189 @@
+//! Fidge/Mattern vector clocks.
+
+use crate::{EventIndex, TraceId};
+use serde::{Deserialize, Serialize};
+
+/// A Fidge/Mattern vector timestamp over a fixed set of traces.
+///
+/// Entry `V[t]` is the number of events on trace `t` that causally precede
+/// (or are) the stamped event. Under this convention an event `e` on trace
+/// `t` has `V_e[t]` equal to its own 1-based [`EventIndex`], and for two
+/// distinct events `a` (on trace `i`) and `b`:
+///
+/// ```text
+/// a -> b  ⇔  V_a[i] <= V_b[i]
+/// ```
+///
+/// which is the at-most-two-integer-comparison test of §III-A.
+///
+/// # Example
+///
+/// ```
+/// use ocep_vclock::{TraceId, VectorClock};
+///
+/// let mut a = VectorClock::new(3);
+/// a.tick(TraceId::new(0));               // a = [1, 0, 0]
+/// let mut b = a.clone();
+/// b.tick(TraceId::new(1));               // b = [1, 1, 0] — receive from a
+/// assert!(a.entry(TraceId::new(0)).get() <= b.entry(TraceId::new(0)).get());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// Creates the zero clock for a computation with `n_traces` traces.
+    #[must_use]
+    pub fn new(n_traces: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n_traces],
+        }
+    }
+
+    /// Builds a clock from raw entries.
+    #[must_use]
+    pub fn from_entries(entries: Vec<u32>) -> Self {
+        VectorClock { entries }
+    }
+
+    /// Number of traces this clock covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the clock covers zero traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for trace `t`, i.e. the greatest-predecessor index on `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range for this clock.
+    #[must_use]
+    pub fn entry(&self, t: TraceId) -> EventIndex {
+        EventIndex::new(self.entries[t.as_usize()])
+    }
+
+    /// Advances the local component for trace `t` by one and returns the
+    /// new value (the stamped event's own index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range for this clock.
+    pub fn tick(&mut self, t: TraceId) -> EventIndex {
+        let e = &mut self.entries[t.as_usize()];
+        *e += 1;
+        EventIndex::new(*e)
+    }
+
+    /// Component-wise maximum with `other` (the message-receive join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks cover different numbers of traces.
+    pub fn join(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "cannot join clocks of different widths"
+        );
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Component-wise `self <= other` (the classic partial order on
+    /// clocks). Used by tests and the exhaustive oracle; the hot matcher
+    /// path uses the O(1) entry test instead.
+    #[must_use]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a <= b)
+    }
+
+    /// Raw entries, indexed by trace.
+    #[must_use]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u32> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        VectorClock {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_increments_only_local_entry() {
+        let mut v = VectorClock::new(3);
+        let idx = v.tick(TraceId::new(1));
+        assert_eq!(idx, EventIndex::new(1));
+        assert_eq!(v.entries(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VectorClock::from_entries(vec![3, 0, 5]);
+        let b = VectorClock::from_entries(vec![1, 4, 5]);
+        a.join(&b);
+        assert_eq!(a.entries(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn le_is_reflexive_and_detects_incomparability() {
+        let a = VectorClock::from_entries(vec![1, 2]);
+        let b = VectorClock::from_entries(vec![2, 1]);
+        assert!(a.le(&a));
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn join_panics_on_width_mismatch() {
+        let mut a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        a.join(&b);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let v = VectorClock::from_entries(vec![1, 0, 2]);
+        assert_eq!(v.to_string(), "[1,0,2]");
+    }
+
+    #[test]
+    fn from_iterator_collects_entries() {
+        let v: VectorClock = (0..4u32).collect();
+        assert_eq!(v.entries(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Relations between *compound* events (non-empty sets of primitive events).
+//!
+//! §III-B of the paper: strong precedence (Lamport), weak precedence,
+//! overlap, disjointness, crossing, and entanglement (Nichols), yielding an
+//! exhaustive four-way classification of any pair of compound events:
+//! `A -> B`, `B -> A`, `A || B`, or `A <-> B` (entangled).
+
+use crate::{Causality, EventId, StampedEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A compound event: a non-empty set of causally related primitive events.
+///
+/// ```
+/// use ocep_vclock::{ClockAssigner, EventSet, TraceId};
+/// let mut asn = ClockAssigner::new(2);
+/// let a = asn.local(TraceId::new(0));
+/// let b = asn.receive(TraceId::new(1), &a);
+/// let s: EventSet = [a, b].into_iter().collect();
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventSet {
+    events: Vec<StampedEvent>,
+    ids: BTreeSet<EventId>,
+}
+
+impl EventSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        EventSet::default()
+    }
+
+    /// Inserts an event; duplicates (by [`EventId`]) are ignored.
+    /// Returns `true` if the event was newly inserted.
+    pub fn insert(&mut self, e: StampedEvent) -> bool {
+        if self.ids.insert(e.id()) {
+            self.events.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct events in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the set holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True if the set contains the event with identifier `id`.
+    #[must_use]
+    pub fn contains(&self, id: EventId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Iterates over the events in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &StampedEvent> {
+        self.events.iter()
+    }
+
+    /// `A overlaps B ⇔ A ∩ B ≠ ∅` (§III-B).
+    #[must_use]
+    pub fn overlaps(&self, other: &EventSet) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.ids.iter().any(|id| large.ids.contains(id))
+    }
+
+    /// `A is disjoint from B ⇔ A ∩ B = ∅` (§III-B).
+    #[must_use]
+    pub fn disjoint(&self, other: &EventSet) -> bool {
+        !self.overlaps(other)
+    }
+
+    /// `A crosses B` (§III-B): the sets are disjoint yet have precedences
+    /// running in both directions (`∃ a0→b0` and `∃ b1→a1`).
+    #[must_use]
+    pub fn crosses(&self, other: &EventSet) -> bool {
+        self.disjoint(other)
+            && self.any_pair_before(other)
+            && other.any_pair_before(self)
+    }
+
+    /// Entanglement `A <-> B ⇔ A crosses B ∨ A overlaps B` (eq. 1).
+    #[must_use]
+    pub fn entangled(&self, other: &EventSet) -> bool {
+        self.overlaps(other) || self.crosses(other)
+    }
+
+    /// Lamport's strong precedence `A ≺ B ⇔ ∀a∈A, ∀b∈B: a -> b`.
+    #[must_use]
+    pub fn strongly_precedes(&self, other: &EventSet) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self
+                .events
+                .iter()
+                .all(|a| other.events.iter().all(|b| a.happens_before(b)))
+    }
+
+    /// Weak precedence per eq. 2: `(∃a∈A, b∈B: a -> b) ∧ ¬(A <-> B)`.
+    #[must_use]
+    pub fn weakly_precedes(&self, other: &EventSet) -> bool {
+        self.any_pair_before(other) && !self.entangled(other)
+    }
+
+    /// Compound concurrency per eq. 3: `∀a∈A, ∀b∈B: a || b`.
+    #[must_use]
+    pub fn concurrent_with(&self, other: &EventSet) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.events.iter().all(|a| {
+                other
+                    .events
+                    .iter()
+                    .all(|b| a.causality(b) == Causality::Concurrent)
+            })
+    }
+
+    /// Classifies the pair into exactly one [`CompoundRelation`] (§III-B:
+    /// with entanglement included, any two compound events stand in exactly
+    /// one of the four relationships).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set is empty — compound events are non-empty by
+    /// definition.
+    #[must_use]
+    pub fn relation(&self, other: &EventSet) -> CompoundRelation {
+        assert!(
+            !self.is_empty() && !other.is_empty(),
+            "compound events are non-empty sets"
+        );
+        if self.entangled(other) {
+            CompoundRelation::Entangled
+        } else if self.any_pair_before(other) {
+            CompoundRelation::Precedes
+        } else if other.any_pair_before(self) {
+            CompoundRelation::Follows
+        } else {
+            CompoundRelation::Concurrent
+        }
+    }
+
+    fn any_pair_before(&self, other: &EventSet) -> bool {
+        self.events
+            .iter()
+            .any(|a| other.events.iter().any(|b| a.happens_before(b)))
+    }
+}
+
+impl FromIterator<StampedEvent> for EventSet {
+    fn from_iter<I: IntoIterator<Item = StampedEvent>>(iter: I) -> Self {
+        let mut s = EventSet::new();
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+impl Extend<StampedEvent> for EventSet {
+    fn extend<I: IntoIterator<Item = StampedEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e);
+        }
+    }
+}
+
+/// The exhaustive four-way relationship between two compound events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompoundRelation {
+    /// `A -> B`: weak precedence holds from A to B (eq. 2).
+    Precedes,
+    /// `B -> A`: weak precedence holds from B to A.
+    Follows,
+    /// `A || B`: every pair of constituents is concurrent (eq. 3).
+    Concurrent,
+    /// `A <-> B`: the sets overlap or cross (eq. 1).
+    Entangled,
+}
+
+impl std::fmt::Display for CompoundRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CompoundRelation::Precedes => "->",
+            CompoundRelation::Follows => "<-",
+            CompoundRelation::Concurrent => "||",
+            CompoundRelation::Entangled => "<->",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockAssigner, TraceId};
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    /// Build the Fig-3-style diagram used across these tests:
+    /// trace 0: a1 a2(send) a3
+    /// trace 1: b1(recv from a2) b2
+    fn diagram() -> (Vec<StampedEvent>, Vec<StampedEvent>) {
+        let mut asn = ClockAssigner::new(2);
+        let a1 = asn.local(t(0));
+        let a2 = asn.local(t(0));
+        let b1 = asn.receive(t(1), &a2);
+        let a3 = asn.local(t(0));
+        let b2 = asn.local(t(1));
+        (vec![a1, a2, a3], vec![b1, b2])
+    }
+
+    #[test]
+    fn strong_precedence_requires_all_pairs() {
+        let (a, b) = diagram();
+        let a12: EventSet = a[..2].iter().cloned().collect();
+        let bs: EventSet = b.iter().cloned().collect();
+        assert!(a12.strongly_precedes(&bs));
+        let all_a: EventSet = a.iter().cloned().collect();
+        assert!(!all_a.strongly_precedes(&bs)); // a3 || b1
+    }
+
+    #[test]
+    fn weak_precedence_allows_concurrent_members() {
+        let (a, b) = diagram();
+        let all_a: EventSet = a.iter().cloned().collect();
+        let bs: EventSet = b.iter().cloned().collect();
+        assert!(all_a.weakly_precedes(&bs));
+        assert!(!bs.weakly_precedes(&all_a));
+    }
+
+    #[test]
+    fn overlap_and_disjoint() {
+        let (a, _) = diagram();
+        let s1: EventSet = a[..2].iter().cloned().collect();
+        let s2: EventSet = a[1..].iter().cloned().collect();
+        assert!(s1.overlaps(&s2));
+        assert!(!s1.disjoint(&s2));
+        let s3: EventSet = a[..1].iter().cloned().collect();
+        let s4: EventSet = a[2..].iter().cloned().collect();
+        assert!(s3.disjoint(&s4));
+    }
+
+    #[test]
+    fn crossing_sets_are_entangled_not_preceding() {
+        // trace 0: x1(send m1) x2(recv m2)
+        // trace 1: y1(recv m1) ... and trace 1 sends m2 before receiving m1?
+        // Build: y0(send m2) -> x2, x1 -> y1. Then A={x1,x2}, B={y0,y1}:
+        // x1 -> y1 and y0 -> x2: crossing.
+        let mut asn = ClockAssigner::new(2);
+        let x1 = asn.local(t(0)); // send m1
+        let y0 = asn.local(t(1)); // send m2
+        let y1 = asn.receive(t(1), &x1); // recv m1
+        let x2 = asn.receive(t(0), &y0); // recv m2
+        let a: EventSet = [x1, x2].into_iter().collect();
+        let b: EventSet = [y0, y1].into_iter().collect();
+        assert!(a.crosses(&b));
+        assert!(b.crosses(&a));
+        assert!(a.entangled(&b));
+        assert_eq!(a.relation(&b), CompoundRelation::Entangled);
+        assert!(!a.weakly_precedes(&b));
+        assert!(!b.weakly_precedes(&a));
+    }
+
+    #[test]
+    fn concurrent_compounds() {
+        let mut asn = ClockAssigner::new(2);
+        let a1 = asn.local(t(0));
+        let a2 = asn.local(t(0));
+        let b1 = asn.local(t(1));
+        let a: EventSet = [a1, a2].into_iter().collect();
+        let b: EventSet = [b1].into_iter().collect();
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.relation(&b), CompoundRelation::Concurrent);
+        assert_eq!(b.relation(&a), CompoundRelation::Concurrent);
+    }
+
+    #[test]
+    fn classification_is_exhaustive_and_consistent() {
+        let (a, b) = diagram();
+        let all_a: EventSet = a.iter().cloned().collect();
+        let bs: EventSet = b.iter().cloned().collect();
+        assert_eq!(all_a.relation(&bs), CompoundRelation::Precedes);
+        assert_eq!(bs.relation(&all_a), CompoundRelation::Follows);
+    }
+
+    #[test]
+    fn overlapping_sets_are_entangled() {
+        let (a, _) = diagram();
+        let s1: EventSet = a[..2].iter().cloned().collect();
+        let s2: EventSet = a[1..].iter().cloned().collect();
+        assert_eq!(s1.relation(&s2), CompoundRelation::Entangled);
+    }
+
+    #[test]
+    fn insert_deduplicates_by_id() {
+        let (a, _) = diagram();
+        let mut s = EventSet::new();
+        assert!(s.insert(a[0].clone()));
+        assert!(!s.insert(a[0].clone()));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(a[0].id()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn relation_rejects_empty_sets() {
+        let empty = EventSet::new();
+        let _ = empty.relation(&empty);
+    }
+}

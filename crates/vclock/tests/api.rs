@@ -1,0 +1,103 @@
+//! API-surface tests: trait implementations, display formats, and the
+//! small conveniences every public type promises.
+
+use ocep_vclock::{
+    Causality, ClockAssigner, CompoundRelation, EventId, EventIndex, EventSet, TraceId,
+    VectorClock,
+};
+
+fn t(i: u32) -> TraceId {
+    TraceId::new(i)
+}
+
+#[test]
+fn event_set_extend_and_from_iterator_agree() {
+    let mut asn = ClockAssigner::new(2);
+    let a = asn.local(t(0));
+    let b = asn.local(t(1));
+    let collected: EventSet = [a.clone(), b.clone()].into_iter().collect();
+    let mut extended = EventSet::new();
+    extended.extend([a.clone(), b.clone(), a.clone()]); // duplicate ignored
+    assert_eq!(collected.len(), extended.len());
+    assert!(extended.contains(a.id()));
+    assert!(extended.contains(b.id()));
+}
+
+#[test]
+fn event_set_iter_preserves_insertion_order() {
+    let mut asn = ClockAssigner::new(1);
+    let e1 = asn.local(t(0));
+    let e2 = asn.local(t(0));
+    let s: EventSet = [e2.clone(), e1.clone()].into_iter().collect();
+    let ids: Vec<_> = s.iter().map(|e| e.id()).collect();
+    assert_eq!(ids, vec![e2.id(), e1.id()]);
+}
+
+#[test]
+fn compound_relation_display() {
+    assert_eq!(CompoundRelation::Precedes.to_string(), "->");
+    assert_eq!(CompoundRelation::Follows.to_string(), "<-");
+    assert_eq!(CompoundRelation::Concurrent.to_string(), "||");
+    assert_eq!(CompoundRelation::Entangled.to_string(), "<->");
+}
+
+#[test]
+fn causality_predicates() {
+    assert!(Causality::Before.is_before());
+    assert!(!Causality::After.is_before());
+    assert!(Causality::Concurrent.is_concurrent());
+    assert!(!Causality::Equal.is_concurrent());
+}
+
+#[test]
+fn stamped_event_display_shows_id_and_clock() {
+    let mut asn = ClockAssigner::new(2);
+    let e = asn.local(t(1));
+    assert_eq!(e.to_string(), "T1:1@[0,1]");
+}
+
+#[test]
+fn clock_assigner_exposes_current_clocks() {
+    let mut asn = ClockAssigner::new(2);
+    assert_eq!(asn.n_traces(), 2);
+    let s = asn.local(t(0));
+    asn.receive(t(1), &s);
+    assert_eq!(asn.current(t(1)).entries(), &[1, 1]);
+    assert_eq!(asn.current(t(0)).entries(), &[1, 0]);
+}
+
+#[test]
+fn vector_clock_serde_round_trip_via_entries() {
+    // serde derives exist; spot-check through the raw-entries accessors
+    // (we avoid pulling a serde format crate just for tests).
+    let v = VectorClock::from_entries(vec![3, 1, 4]);
+    let copy = VectorClock::from_entries(v.entries().to_vec());
+    assert_eq!(v, copy);
+    assert_eq!(v.len(), 3);
+    assert!(!v.is_empty());
+    let empty = VectorClock::new(0);
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn event_id_ordering_and_accessors() {
+    let e = EventId::new(t(2), EventIndex::new(9));
+    assert_eq!(e.trace(), t(2));
+    assert_eq!(e.index(), EventIndex::new(9));
+    assert_eq!(u32::from(EventIndex::new(9)), 9);
+    assert_eq!(EventIndex::from(4u32).get(), 4);
+}
+
+#[test]
+fn strong_precedence_is_asymmetric_on_ordered_sets() {
+    let mut asn = ClockAssigner::new(2);
+    let a = asn.local(t(0));
+    let r = asn.receive(t(1), &a);
+    let left: EventSet = [a].into_iter().collect();
+    let right: EventSet = [r].into_iter().collect();
+    assert!(left.strongly_precedes(&right));
+    assert!(!right.strongly_precedes(&left));
+    // Empty sets never strongly precede.
+    assert!(!EventSet::new().strongly_precedes(&right));
+    assert!(!left.strongly_precedes(&EventSet::new()));
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the vector-clock causality algebra.
+
+use ocep_vclock::{Causality, ClockAssigner, EventSet, StampedEvent, TraceId};
+use proptest::prelude::*;
+
+/// One step of a randomly generated distributed computation.
+#[derive(Debug, Clone)]
+enum Step {
+    Local(u32),
+    /// Send from trace .0 delivered (received) immediately at trace .1.
+    Message(u32, u32),
+}
+
+fn step_strategy(n_traces: u32) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..n_traces).prop_map(Step::Local),
+        (0..n_traces, 0..n_traces).prop_map(|(a, b)| Step::Message(a, b)),
+    ]
+}
+
+/// Replays the steps, returning every generated event.
+fn run(n_traces: u32, steps: &[Step]) -> Vec<StampedEvent> {
+    let mut asn = ClockAssigner::new(n_traces as usize);
+    let mut events = Vec::new();
+    for s in steps {
+        match *s {
+            Step::Local(t) => events.push(asn.local(TraceId::new(t))),
+            Step::Message(from, to) => {
+                let send = asn.local(TraceId::new(from));
+                if from != to {
+                    let recv = asn.receive(TraceId::new(to), &send);
+                    events.push(send);
+                    events.push(recv);
+                } else {
+                    events.push(send);
+                }
+            }
+        }
+    }
+    events
+}
+
+fn computation() -> impl Strategy<Value = (u32, Vec<Step>)> {
+    (2u32..6).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(step_strategy(n), 1..60),
+        )
+    })
+}
+
+proptest! {
+    /// happens-before agrees with the componentwise clock order.
+    #[test]
+    fn hb_matches_componentwise_le((n, steps) in computation()) {
+        let events = run(n, &steps);
+        for a in &events {
+            for b in &events {
+                if a.id() == b.id() { continue; }
+                let hb = a.happens_before(b);
+                let le = a.clock().le(b.clock());
+                prop_assert_eq!(hb, le, "a={} b={}", a, b);
+            }
+        }
+    }
+
+    /// The four-way classification is exhaustive and antisymmetric.
+    #[test]
+    fn classification_is_consistent((n, steps) in computation()) {
+        let events = run(n, &steps);
+        for a in &events {
+            for b in &events {
+                let ab = a.causality(b);
+                let ba = b.causality(a);
+                prop_assert_eq!(ab, ba.inverse());
+                if a.id() == b.id() {
+                    prop_assert_eq!(ab, Causality::Equal);
+                } else {
+                    prop_assert_ne!(ab, Causality::Equal);
+                }
+            }
+        }
+    }
+
+    /// happens-before is transitive and irreflexive.
+    #[test]
+    fn hb_is_a_strict_partial_order((n, steps) in computation()) {
+        let events = run(n, &steps);
+        for a in &events {
+            prop_assert!(!a.happens_before(a));
+            for b in &events {
+                if !a.happens_before(b) { continue; }
+                prop_assert!(!b.happens_before(a));
+                for c in &events {
+                    if b.happens_before(c) {
+                        prop_assert!(a.happens_before(c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Events on one trace are totally ordered by their index.
+    #[test]
+    fn same_trace_is_totally_ordered((n, steps) in computation()) {
+        let events = run(n, &steps);
+        for a in &events {
+            for b in &events {
+                if a.trace() == b.trace() && a.index() < b.index() {
+                    prop_assert!(a.happens_before(b));
+                }
+            }
+        }
+    }
+
+    /// GP(a, t) is the index of the latest event on t that happens before a.
+    #[test]
+    fn greatest_predecessor_matches_brute_force((n, steps) in computation()) {
+        let events = run(n, &steps);
+        for a in &events {
+            for t in 0..n {
+                let t = TraceId::new(t);
+                let gp = a.greatest_predecessor(t);
+                let brute = events
+                    .iter()
+                    .filter(|e| e.trace() == t && e.happens_before(a))
+                    .map(|e| e.index())
+                    .max();
+                match brute {
+                    Some(idx) => prop_assert_eq!(gp, idx),
+                    None => prop_assert_eq!(gp.get(), 0),
+                }
+            }
+        }
+    }
+
+    /// Exactly one compound relation holds for any two disjoint non-empty
+    /// subsets, and the classification agrees with the defining formulas.
+    #[test]
+    fn compound_relation_is_exhaustive((n, steps) in computation(), split in 1usize..8) {
+        let events = run(n, &steps);
+        prop_assume!(events.len() >= 2);
+        let cut = split % (events.len() - 1) + 1;
+        let a: EventSet = events[..cut].iter().cloned().collect();
+        let b: EventSet = events[cut..].iter().cloned().collect();
+        prop_assume!(!a.is_empty() && !b.is_empty());
+
+        let rel = a.relation(&b);
+        let weak_ab = a.weakly_precedes(&b);
+        let weak_ba = b.weakly_precedes(&a);
+        let conc = a.concurrent_with(&b);
+        let ent = a.entangled(&b);
+        // Exactly one of the four formulas holds.
+        let count = [weak_ab, weak_ba, conc, ent].iter().filter(|x| **x).count();
+        prop_assert_eq!(count, 1, "rel={:?}", rel);
+        use ocep_vclock::CompoundRelation as R;
+        match rel {
+            R::Precedes => prop_assert!(weak_ab),
+            R::Follows => prop_assert!(weak_ba),
+            R::Concurrent => prop_assert!(conc),
+            R::Entangled => prop_assert!(ent),
+        }
+        // Strong precedence implies weak precedence.
+        if a.strongly_precedes(&b) {
+            prop_assert!(weak_ab);
+        }
+    }
+}

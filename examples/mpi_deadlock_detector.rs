@@ -1,0 +1,73 @@
+//! §V-C1: detecting blocking-send deadlock cycles in an MPI-style
+//! parallel random-walk application, and comparing the causal-pattern
+//! approach with a classic wait-for dependency-graph detector running on
+//! the same event stream.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example mpi_deadlock_detector -- [cycle_len]
+//! ```
+
+use ocep_repro::baselines::DepGraphDetector;
+use ocep_repro::ocep::Monitor;
+use ocep_repro::simulator::workloads::random_walk::{self, Params};
+
+fn main() {
+    let cycle_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let params = Params {
+        n_processes: 12,
+        rounds: 400,
+        walk_steps: 2,
+        cycle_len,
+        deadlock_prob: 0.02,
+        seed: 7,
+    };
+    println!(
+        "simulating a parallel random walk on {} processes with injected \
+         length-{} blocking-send cycles",
+        params.n_processes, params.cycle_len
+    );
+    let generated = random_walk::generate(&params);
+    println!(
+        "recorded {} events; {} deadlock episodes injected\n",
+        generated.poet.store().len(),
+        generated.truth.len()
+    );
+    println!("cycle pattern:\n{}\n", generated.pattern_src);
+
+    // OCEP: the causal pattern of pairwise-concurrent blocked sends whose
+    // destinations chain into a cycle.
+    let mut monitor = Monitor::new(generated.pattern(), generated.n_traces);
+    // Baseline: incremental wait-for-graph cycle search.
+    let mut depgraph = DepGraphDetector::new(generated.n_traces);
+
+    let mut ocep_detections = 0;
+    let mut graph_detections = 0;
+    for event in generated.poet.store().iter_arrival() {
+        for m in monitor.observe(event) {
+            ocep_detections += 1;
+            let members: Vec<String> =
+                m.events().iter().map(|e| e.trace().to_string()).collect();
+            println!("OCEP     : deadlock cycle {}", members.join(" -> "));
+        }
+        if let Some(cycle) = depgraph.observe(event) {
+            graph_detections += 1;
+            let members: Vec<String> = cycle.iter().map(ToString::to_string).collect();
+            println!("depgraph : deadlock cycle {}", members.join(" -> "));
+        }
+    }
+
+    println!("\nepisodes injected:      {}", generated.truth.len());
+    println!("OCEP subset reports:    {ocep_detections}");
+    println!("OCEP matches found:     {}", monitor.stats().matches_found);
+    println!("depgraph cycles found:  {graph_detections}");
+    println!(
+        "note: OCEP reports a bounded representative subset (one report per \
+         new (event, trace) cell); matches_found counts every detection."
+    );
+    assert!(monitor.stats().matches_found >= generated.truth.len() as u64);
+    assert_eq!(graph_detections, generated.truth.len() as u64 as usize);
+}

@@ -1,0 +1,344 @@
+//! `ocep` — command-line front end for the OCEP framework.
+//!
+//! ```text
+//! ocep validate <pattern-file>                 # parse & explain a pattern
+//! ocep check <pattern-file> <dump-file>        # match a pattern over a dump
+//! ocep record-demo <workload> <out-file>       # produce a demo trace dump
+//! ocep info <dump-file>                        # summarize a trace dump
+//! ocep show <dump-file> [--limit N]            # ASCII process-time diagram
+//! ocep analyze <pattern-file> <dump-file>      # offline exhaustive statistics
+//! ocep slice <dump-file> <out-file> T0,T3,...  # project onto involved traces
+//! ```
+
+use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_repro::pattern::{Constraint, Pattern};
+use ocep_repro::poet::dump;
+use ocep_repro::simulator::workloads::{
+    atomicity, message_race, random_walk, replicated_service,
+};
+
+const USAGE: &str = "\
+ocep — online causal-event-pattern matching (ICDCS 2013 reproduction)
+
+USAGE:
+    ocep validate <pattern-file>
+    ocep check <pattern-file> <dump-file> [--per-arrival] [--no-dedup] [--stats]
+    ocep record-demo <deadlock|race|atomicity|ordering> <out-file> [--seed N]
+    ocep info <dump-file>
+    ocep show <dump-file> [--limit N]
+    ocep analyze <pattern-file> <dump-file>
+    ocep slice <dump-file> <out-file> <T0,T3,...>
+
+A pattern file holds a pattern program, e.g.:
+
+    A := [*, enter_method, *];
+    B := [*, enter_method, *];
+    pattern := A || B;
+
+A dump file is the POET trace format written by `record-demo` or by
+`ocep_poet::dump::dump_to_file`.
+";
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("validate") => validate(args.get(1).ok_or("missing pattern file")?),
+        Some("check") => check(&args[1..]),
+        Some("record-demo") => record_demo(&args[1..]),
+        Some("info") => info(args.get(1).ok_or("missing dump file")?),
+        Some("show") => show(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
+        Some("slice") => slice_cmd(&args[1..]),
+        Some("--help" | "-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn load_pattern(path: &str) -> Result<Pattern, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read pattern file '{path}': {e}"))?;
+    Pattern::parse(&src).map_err(|e| e.to_string())
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let p = load_pattern(path)?;
+    println!("pattern: {}", p.program().pattern);
+    println!("\nevents ({}):", p.n_leaves());
+    for leaf in p.leaves() {
+        let term = if p.terminating_leaves().contains(&leaf.id()) {
+            "  [terminating]"
+        } else {
+            ""
+        };
+        println!("  {}  (class {}){}", leaf.display_name(), leaf.class_name(), term);
+    }
+    if !p.var_names().is_empty() {
+        println!("\nattribute variables: {}", p.var_names().join(", "));
+    }
+    println!("\nconstraints:");
+    for c in p.constraints() {
+        let name = |l: ocep_repro::pattern::LeafId| {
+            p.leaves()[l.as_usize()].display_name().to_owned()
+        };
+        match c {
+            Constraint::Before { from, to } => {
+                println!("  {} -> {}", name(*from), name(*to));
+            }
+            Constraint::Concurrent { a, b } => {
+                println!("  {} || {}", name(*a), name(*b));
+            }
+            Constraint::Partner { send, recv } => {
+                println!("  {} <> {}", name(*send), name(*recv));
+            }
+            Constraint::Lim { from, to } => {
+                println!("  {} ~> {}", name(*from), name(*to));
+            }
+            Constraint::WeakPrecede { from, to } => {
+                let f: Vec<_> = from.iter().map(|l| name(*l)).collect();
+                let t: Vec<_> = to.iter().map(|l| name(*l)).collect();
+                println!("  {{{}}} -> {{{}}} (weak)", f.join(","), t.join(","));
+            }
+            Constraint::Entangled { left, right } => {
+                let l: Vec<_> = left.iter().map(|x| name(*x)).collect();
+                let r: Vec<_> = right.iter().map(|x| name(*x)).collect();
+                println!("  {{{}}} <-> {{{}}}", l.join(","), r.join(","));
+            }
+        }
+    }
+    println!("\nok: pattern is valid");
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let pattern_path = args.first().ok_or("missing pattern file")?;
+    let dump_path = args.get(1).ok_or("missing dump file")?;
+    let per_arrival = args.iter().any(|a| a == "--per-arrival");
+    let no_dedup = args.iter().any(|a| a == "--no-dedup");
+    let show_stats = args.iter().any(|a| a == "--stats");
+
+    let pattern = load_pattern(pattern_path)?;
+    let server = dump::reload_from_file(dump_path)
+        .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+    let n = server.n_traces();
+    let mut monitor = Monitor::with_config(
+        pattern,
+        n,
+        MonitorConfig {
+            dedup: !no_dedup,
+            policy: if per_arrival {
+                SubsetPolicy::PerArrival
+            } else {
+                SubsetPolicy::Representative
+            },
+            ..MonitorConfig::default()
+        },
+    );
+    let mut reported = 0usize;
+    for e in server.store().iter_arrival() {
+        for m in monitor.observe(e) {
+            reported += 1;
+            println!("match: {m}");
+        }
+    }
+    println!(
+        "\n{} events, {} matches found, {} reported",
+        monitor.stats().events,
+        monitor.stats().matches_found,
+        reported
+    );
+    if show_stats {
+        println!("stats: {}", monitor.stats());
+        println!(
+            "history: {} events stored, {} suppressed by dedup",
+            monitor.history_size(),
+            monitor.suppressed()
+        );
+    }
+    Ok(())
+}
+
+fn record_demo(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("missing workload name")?;
+    let out = args.get(1).ok_or("missing output file")?;
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let generated = match which.as_str() {
+        "deadlock" => random_walk::generate(&random_walk::Params {
+            seed,
+            deadlock_prob: 0.05,
+            ..random_walk::Params::default()
+        }),
+        "race" => message_race::generate(&message_race::Params {
+            seed,
+            ..message_race::Params::default()
+        }),
+        "atomicity" => atomicity::generate(&atomicity::Params {
+            seed,
+            bug_prob: 0.05,
+            ..atomicity::Params::default()
+        }),
+        "ordering" => replicated_service::generate(&replicated_service::Params {
+            seed,
+            bug_prob: 0.05,
+            ..replicated_service::Params::default()
+        }),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    dump::dump_to_file(generated.poet.store(), out)
+        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+    let pattern_path = format!("{out}.pattern");
+    std::fs::write(&pattern_path, &generated.pattern_src)
+        .map_err(|e| format!("cannot write '{pattern_path}': {e}"))?;
+    println!(
+        "wrote {} events over {} traces to {out}\n\
+         ({} violations injected; matching pattern written to {pattern_path})",
+        generated.poet.store().len(),
+        generated.n_traces,
+        generated.truth.len()
+    );
+    println!("try: ocep check {pattern_path} {out} --stats");
+    Ok(())
+}
+
+/// Renders a Fig 3-style process-time diagram: one column per trace,
+/// one row per event in linearization order, with `o--->` send markers
+/// and `>` receive markers labelled by type.
+fn show(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing dump file")?;
+    let limit: usize = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let server =
+        dump::reload_from_file(path).map_err(|e| format!("cannot reload '{path}': {e}"))?;
+    let store = server.store();
+    let n = store.n_traces();
+    let col = 14usize;
+
+    let mut header = String::from("        ");
+    for tr in 0..n {
+        header.push_str(&format!("{:^col$}", format!("T{tr}")));
+    }
+    println!("{header}");
+    println!("        {}", "-".repeat(col * n));
+
+    for (row, e) in store.iter_arrival().enumerate() {
+        if row >= limit {
+            println!(
+                "        ... ({} more events; raise with --limit)",
+                store.len() - limit
+            );
+            break;
+        }
+        let mut line = format!("{:>6}  ", row + 1);
+        for tr in 0..n {
+            if e.trace().as_usize() == tr {
+                let marker = match e.kind() {
+                    ocep_repro::poet::EventKind::Send => format!("{}>", e.ty()),
+                    ocep_repro::poet::EventKind::Receive => format!(">{}", e.ty()),
+                    ocep_repro::poet::EventKind::Unary => e.ty().to_owned(),
+                };
+                let mut cell = marker;
+                cell.truncate(col - 1);
+                line.push_str(&format!("{cell:^col$}"));
+            } else {
+                line.push_str(&format!("{:^col$}", "|"));
+            }
+        }
+        if let Some(p) = e.partner() {
+            line.push_str(&format!("  (from {p})"));
+        }
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// Offline exhaustive statistics (the post-mortem companion of §II).
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    let pattern = load_pattern(args.first().ok_or("missing pattern file")?)?;
+    let dump_path = args.get(1).ok_or("missing dump file")?;
+    let server = dump::reload_from_file(dump_path)
+        .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+    let report = ocep_repro::analysis::analyze(&pattern, server.store());
+    print!("{report}");
+    let involved = report.involved_traces();
+    if !involved.is_empty() {
+        let names: Vec<String> = involved.iter().map(ToString::to_string).collect();
+        println!("involved traces: {}", names.join(","));
+        println!(
+            "tip: ocep slice {dump_path} <out-file> {}",
+            names.join(",")
+        );
+    }
+    Ok(())
+}
+
+/// Projects a dump onto selected traces (post-mortem §II workflow).
+fn slice_cmd(args: &[String]) -> Result<(), String> {
+    let dump_path = args.first().ok_or("missing dump file")?;
+    let out_path = args.get(1).ok_or("missing output file")?;
+    let spec = args.get(2).ok_or("missing trace list (e.g. T0,T3)")?;
+    let keep: Vec<ocep_repro::vclock::TraceId> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .strip_prefix('T')
+                .and_then(|d| d.parse::<u32>().ok())
+                .map(ocep_repro::vclock::TraceId::new)
+                .ok_or_else(|| format!("bad trace name '{s}' (expected T<n>)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let server = dump::reload_from_file(dump_path)
+        .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+    for &t in &keep {
+        if t.as_usize() >= server.n_traces() {
+            return Err(format!("trace {t} is outside the dump"));
+        }
+    }
+    let sliced = ocep_repro::analysis::slice(server.store(), &keep);
+    dump::dump_to_file(sliced.store(), out_path)
+        .map_err(|e| format!("cannot write '{out_path}': {e}"))?;
+    println!(
+        "sliced {} of {} events onto {} traces -> {out_path}",
+        sliced.store().len(),
+        server.store().len(),
+        keep.len()
+    );
+    Ok(())
+}
+
+fn info(path: &str) -> Result<(), String> {
+    let server =
+        dump::reload_from_file(path).map_err(|e| format!("cannot reload '{path}': {e}"))?;
+    let store = server.store();
+    println!("dump: {path}");
+    println!("traces: {}", store.n_traces());
+    println!("events: {}", store.len());
+    let mut by_type: std::collections::BTreeMap<String, usize> = Default::default();
+    for e in store.iter_arrival() {
+        *by_type.entry(e.ty().to_owned()).or_default() += 1;
+    }
+    println!("event types:");
+    for (ty, count) in by_type {
+        println!("  {ty:<24} {count}");
+    }
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! Integration tests for the `ocep` command-line tool: the full
+//! record → validate → check pipeline through the real binary.
+
+use std::process::Command;
+
+fn ocep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ocep"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ocep-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn record_info_validate_check_pipeline() {
+    let dump = tmp("pipeline.poet");
+    let out = ocep()
+        .args(["record-demo", "ordering", dump.to_str().unwrap(), "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("violations injected"), "{stdout}");
+
+    let info = ocep().args(["info", dump.to_str().unwrap()]).output().unwrap();
+    assert!(info.status.success());
+    let info_out = String::from_utf8_lossy(&info.stdout);
+    assert!(info_out.contains("recv_snapshot"), "{info_out}");
+
+    let pattern = format!("{}.pattern", dump.display());
+    let validate = ocep().args(["validate", &pattern]).output().unwrap();
+    assert!(validate.status.success());
+    let v_out = String::from_utf8_lossy(&validate.stdout);
+    assert!(v_out.contains("[terminating]"), "{v_out}");
+    assert!(v_out.contains("pattern is valid"), "{v_out}");
+
+    let check = ocep()
+        .args(["check", &pattern, dump.to_str().unwrap(), "--stats"])
+        .output()
+        .unwrap();
+    assert!(check.status.success());
+    let c_out = String::from_utf8_lossy(&check.stdout);
+    assert!(c_out.contains("matches found"), "{c_out}");
+    assert!(c_out.contains("match: {"), "violations must be reported: {c_out}");
+}
+
+#[test]
+fn check_per_arrival_reports_each_violation() {
+    let dump = tmp("per-arrival.poet");
+    ocep()
+        .args(["record-demo", "atomicity", dump.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    let pattern = format!("{}.pattern", dump.display());
+    let rep = ocep()
+        .args(["check", &pattern, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let per = ocep()
+        .args(["check", &pattern, dump.to_str().unwrap(), "--per-arrival"])
+        .output()
+        .unwrap();
+    let count = |out: &std::process::Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("match:"))
+            .count()
+    };
+    assert!(count(&per) >= count(&rep));
+}
+
+#[test]
+fn helpful_errors_for_bad_input() {
+    let out = ocep().args(["validate", "/nonexistent.pattern"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let bad = tmp("bad.pattern");
+    std::fs::write(&bad, "pattern := ;").unwrap();
+    let out = ocep().args(["validate", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = ocep().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = ocep().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn custom_pattern_over_demo_dump() {
+    // A user-authored pattern (not the bundled one) over a demo dump:
+    // find any update that reaches a follower.
+    let dump = tmp("custom.poet");
+    ocep()
+        .args(["record-demo", "ordering", dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let pattern = tmp("custom.pattern");
+    std::fs::write(
+        &pattern,
+        "U := [T0, make_update, *]; R := [*, recv_snapshot, *]; pattern := U -> R;",
+    )
+    .unwrap();
+    let out = ocep()
+        .args([
+            "check",
+            pattern.to_str().unwrap(),
+            dump.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("match: {"), "{stdout}");
+}
+
+#[test]
+fn show_renders_a_process_time_diagram() {
+    let dump = tmp("show.poet");
+    ocep()
+        .args(["record-demo", "deadlock", dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = ocep()
+        .args(["show", dump.to_str().unwrap(), "--limit", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T0"), "{text}");
+    assert!(text.contains("more events"), "{text}");
+    assert!(text.lines().count() >= 7, "{text}");
+}
+
+#[test]
+fn analyze_and_slice_post_mortem_workflow() {
+    // The §II workflow: detect online, then slice the recording down to
+    // the involved traces for focused offline analysis.
+    let dump = tmp("pm.poet");
+    ocep()
+        .args(["record-demo", "ordering", dump.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .unwrap();
+    let pattern = format!("{}.pattern", dump.display());
+
+    let analyze = ocep()
+        .args(["analyze", &pattern, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(analyze.status.success());
+    let a_out = String::from_utf8_lossy(&analyze.stdout);
+    assert!(a_out.contains("total matches:"), "{a_out}");
+    assert!(a_out.contains("involved traces: "), "{a_out}");
+
+    // Slice to the leader plus one victim named in the report.
+    let involved = a_out
+        .lines()
+        .find(|l| l.starts_with("involved traces: "))
+        .unwrap()
+        .trim_start_matches("involved traces: ")
+        .to_owned();
+    let sliced = tmp("pm-slice.poet");
+    let out = ocep()
+        .args([
+            "slice",
+            dump.to_str().unwrap(),
+            sliced.to_str().unwrap(),
+            &involved,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The sliced dump still contains every match (all involved traces kept).
+    let re_analyze = ocep()
+        .args(["analyze", &pattern, sliced.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let r_out = String::from_utf8_lossy(&re_analyze.stdout);
+    let total = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("total matches:"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap()
+    };
+    assert_eq!(total(&a_out), total(&r_out), "slice lost matches: {r_out}");
+
+    // Bad trace list errors cleanly.
+    let bad = ocep()
+        .args(["slice", dump.to_str().unwrap(), sliced.to_str().unwrap(), "X9"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}

@@ -1,0 +1,90 @@
+//! Scalability regression guards: per-event work must stay bounded as
+//! runs grow (the §VI bounded-storage story plus the O(1) partner
+//! resolution), so a refactor that reintroduces linear scans fails here.
+
+use ocep_repro::ocep::{Monitor, MonitorConfig};
+use ocep_repro::simulator::workloads::{atomicity, message_race};
+
+fn race_candidates(messages_per_sender: usize) -> (u64, u64) {
+    let g = message_race::generate(&message_race::Params {
+        n_processes: 6,
+        messages_per_sender,
+        seed: 3,
+    });
+    let mut monitor = Monitor::new(g.pattern(), g.n_traces);
+    for e in g.poet.store().iter_arrival() {
+        let _ = monitor.observe(e);
+    }
+    (monitor.stats().searches, monitor.stats().candidates)
+}
+
+#[test]
+fn race_search_work_scales_linearly_with_run_length() {
+    // Doubling the run doubles the searches; candidates examined per
+    // search must stay roughly constant (partner index + concurrency
+    // windows), not grow with history size.
+    let (searches_1x, cands_1x) = race_candidates(40);
+    let (searches_2x, cands_2x) = race_candidates(80);
+    assert!(searches_2x >= searches_1x * 2 - 4);
+    let per_search_1x = cands_1x as f64 / searches_1x as f64;
+    let per_search_2x = cands_2x as f64 / searches_2x as f64;
+    assert!(
+        per_search_2x < per_search_1x * 2.0,
+        "per-search candidate work grew {per_search_1x:.1} -> {per_search_2x:.1}: \
+         a linear scan crept back in"
+    );
+}
+
+#[test]
+fn dedup_bounds_history_under_unary_storms() {
+    // The atomicity workload with huge rounds: stored history must be a
+    // small fraction of events observed.
+    let g = atomicity::generate(&atomicity::Params {
+        n_threads: 4,
+        rounds_per_thread: 200,
+        bug_prob: 0.01,
+        seed: 5,
+    });
+    let mut monitor = Monitor::new(g.pattern(), g.n_traces);
+    for e in g.poet.store().iter_arrival() {
+        let _ = monitor.observe(e);
+    }
+    let events = monitor.stats().events as usize;
+    // enter_method is the only stored class (routed into both pattern
+    // leaves); everything else is never stored.
+    let enters = g
+        .poet
+        .store()
+        .iter_arrival()
+        .filter(|e| e.ty() == "enter_method")
+        .count();
+    assert_eq!(monitor.history_size(), 2 * enters);
+    assert!(monitor.history_size() < events / 2);
+}
+
+#[test]
+fn search_cost_is_independent_of_irrelevant_traffic() {
+    // Adding non-matching traffic must not change search work at all
+    // (§V-B: "the runtime of the matching algorithm is only affected by
+    // the events that are actually in the pattern").
+    use ocep_repro::pattern::Pattern;
+    use ocep_repro::poet::{EventKind, PoetServer};
+    use ocep_repro::vclock::TraceId;
+
+    let src = "A := [*, a, *]; B := [*, b, *]; pattern := A -> B;";
+    let run = |noise: usize| {
+        let mut poet = PoetServer::new(2);
+        let mut monitor =
+            Monitor::with_config(Pattern::parse(src).unwrap(), 2, MonitorConfig::default());
+        poet.record(TraceId::new(0), EventKind::Unary, "a", "");
+        for i in 0..noise {
+            poet.record(TraceId::new(1), EventKind::Unary, "noise", i.to_string());
+        }
+        poet.record(TraceId::new(0), EventKind::Unary, "b", "");
+        for e in poet.store().iter_arrival() {
+            let _ = monitor.observe(e);
+        }
+        (monitor.stats().nodes, monitor.stats().candidates)
+    };
+    assert_eq!(run(0), run(10_000));
+}
