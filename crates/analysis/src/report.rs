@@ -49,7 +49,10 @@ impl std::fmt::Display for MatchReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "total matches: {}", self.total_matches)?;
         if let (Some(first), Some(last)) = (self.first_completion, self.last_completion) {
-            writeln!(f, "completions: first at event {first}, last at event {last}")?;
+            writeln!(
+                f,
+                "completions: first at event {first}, last at event {last}"
+            )?;
         }
         for c in &self.cells {
             writeln!(
@@ -73,11 +76,8 @@ impl std::fmt::Display for MatchReport {
 #[must_use]
 pub fn analyze(pattern: &Pattern, store: &TraceStore) -> MatchReport {
     let all: Vec<Event> = store.iter_arrival().cloned().collect();
-    let arrival_pos: std::collections::HashMap<_, _> = all
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (e.id(), i))
-        .collect();
+    let arrival_pos: std::collections::HashMap<_, _> =
+        all.iter().enumerate().map(|(i, e)| (e.id(), i)).collect();
     let matches = ExhaustiveMatcher::new(pattern).matches(&all);
 
     let k = pattern.n_leaves();

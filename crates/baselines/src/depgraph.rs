@@ -74,8 +74,7 @@ impl DepGraphDetector {
                 // A receive resolves the blocked send it partners.
                 if let Some(partner) = event.partner() {
                     let from = partner.trace();
-                    self.edges[from.as_usize()]
-                        .retain(|_, send| *send != partner);
+                    self.edges[from.as_usize()].retain(|_, send| *send != partner);
                 }
                 None
             }
@@ -102,9 +101,7 @@ impl DepGraphDetector {
                 if next == start {
                     return true;
                 }
-                if !visited[next.as_usize()]
-                    && dfs(edges, next, start, visited, path)
-                {
+                if !visited[next.as_usize()] && dfs(edges, next, start, visited, path) {
                     return true;
                 }
             }

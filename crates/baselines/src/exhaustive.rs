@@ -105,12 +105,10 @@ impl<'p> ExhaustiveMatcher<'p> {
             for c in self.pattern.constraints() {
                 if let Constraint::Partner { send, recv } = c {
                     let (s_pos, r_pos) = (send.as_usize(), recv.as_usize());
-                    if r_pos == pos && s_pos < pos && cand.partner() != Some(stack[s_pos].id())
-                    {
+                    if r_pos == pos && s_pos < pos && cand.partner() != Some(stack[s_pos].id()) {
                         continue 'cands;
                     }
-                    if s_pos == pos && r_pos < pos && stack[r_pos].partner() != Some(cand.id())
-                    {
+                    if s_pos == pos && r_pos < pos && stack[r_pos].partner() != Some(cand.id()) {
                         continue 'cands;
                     }
                 }
@@ -205,10 +203,9 @@ mod tests {
 
     #[test]
     fn respects_partner_and_variables() {
-        let p = Pattern::parse(
-            "S := [$x, mpi_send, *]; R := [*, mpi_recv, $x]; pattern := S <> R;",
-        )
-        .unwrap();
+        let p =
+            Pattern::parse("S := [$x, mpi_send, *]; R := [*, mpi_recv, $x]; pattern := S <> R;")
+                .unwrap();
         let mut poet = PoetServer::new(2);
         let s = poet.record(t(0), EventKind::Send, "mpi_send", "");
         poet.record_receive(t(1), s.id(), "mpi_recv", "T0");

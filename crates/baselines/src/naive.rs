@@ -84,11 +84,7 @@ impl NaiveMatcher {
         let candidates = self.history[leaf.as_usize()].clone();
         'cands: for cand in candidates.iter().rev() {
             self.nodes += 1;
-            if assignment
-                .iter()
-                .flatten()
-                .any(|e| e.id() == cand.id())
-            {
+            if assignment.iter().flatten().any(|e| e.id() == cand.id()) {
                 continue;
             }
             // Check every constraint against already-assigned leaves —

@@ -136,7 +136,10 @@ mod tests {
         let covers_t1 = found
             .iter()
             .any(|m| m.iter().any(|e| e.trace() == t(1) && e.ty() == "a"));
-        assert!(!covers_t1, "window matcher should have omitted the T1 match");
+        assert!(
+            !covers_t1,
+            "window matcher should have omitted the T1 match"
+        );
     }
 
     #[test]

@@ -1,14 +1,34 @@
-//! Criterion end-to-end benchmarks: one per paper case study (Figs 6–9),
+//! End-to-end benchmarks: one per paper case study (Figs 6–9),
 //! measuring full-stream monitoring time on a fixed-size workload, plus
 //! the naive-backtracking and sliding-window comparisons.
+//!
+//! Self-timed (no external bench framework): each case replays its
+//! stream a few times and reports the median run.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use ocep_baselines::{NaiveMatcher, SlidingWindowMatcher};
 use ocep_core::Monitor;
 use ocep_poet::Event;
 use ocep_simulator::workloads::{
     atomicity, message_race, random_walk, replicated_service, Generated,
 };
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    println!(
+        "{name:<40} {:>12.3} ms/run",
+        samples[samples.len() / 2] * 1e3
+    );
+}
 
 fn monitor_stream(g: &Generated, events: &[Event]) -> u64 {
     let mut m = Monitor::new(g.pattern(), g.n_traces);
@@ -18,14 +38,12 @@ fn monitor_stream(g: &Generated, events: &[Event]) -> u64 {
     m.stats().matches_found
 }
 
-fn bench_case(c: &mut Criterion, name: &str, g: &Generated) {
+fn bench_case(name: &str, g: &Generated) {
     let events: Vec<Event> = g.poet.store().iter_arrival().cloned().collect();
-    c.bench_function(&format!("case/{name}/ocep"), |bench| {
-        bench.iter(|| monitor_stream(g, &events))
-    });
+    bench(&format!("case/{name}/ocep"), || monitor_stream(g, &events));
 }
 
-fn bench_deadlock(c: &mut Criterion) {
+fn bench_deadlock() {
     let g = random_walk::generate(&random_walk::Params {
         n_processes: 10,
         rounds: 100,
@@ -34,39 +52,39 @@ fn bench_deadlock(c: &mut Criterion) {
         deadlock_prob: 0.1,
         seed: 1,
     });
-    bench_case(c, "deadlock_n10", &g);
+    bench_case("deadlock_n10", &g);
 }
 
-fn bench_race(c: &mut Criterion) {
+fn bench_race() {
     let g = message_race::generate(&message_race::Params {
         n_processes: 10,
         messages_per_sender: 40,
         seed: 1,
     });
-    bench_case(c, "race_n10", &g);
+    bench_case("race_n10", &g);
 }
 
-fn bench_atomicity(c: &mut Criterion) {
+fn bench_atomicity() {
     let g = atomicity::generate(&atomicity::Params {
         n_threads: 9,
         rounds_per_thread: 30,
         bug_prob: 0.01,
         seed: 1,
     });
-    bench_case(c, "atomicity_n10", &g);
+    bench_case("atomicity_n10", &g);
 }
 
-fn bench_ordering(c: &mut Criterion) {
+fn bench_ordering() {
     let g = replicated_service::generate(&replicated_service::Params {
         n_followers: 49,
         synchs_per_follower: 10,
         bug_prob: 0.01,
         seed: 1,
     });
-    bench_case(c, "ordering_n50", &g);
+    bench_case("ordering_n50", &g);
 }
 
-fn bench_vs_naive(c: &mut Criterion) {
+fn bench_vs_naive() {
     let g = replicated_service::generate(&replicated_service::Params {
         n_followers: 19,
         synchs_per_follower: 10,
@@ -74,36 +92,25 @@ fn bench_vs_naive(c: &mut Criterion) {
         seed: 1,
     });
     let events: Vec<Event> = g.poet.store().iter_arrival().cloned().collect();
-    c.bench_function("baseline/ordering_n20/ocep", |bench| {
-        bench.iter(|| monitor_stream(&g, &events))
+    bench("baseline/ordering_n20/ocep", || monitor_stream(&g, &events));
+    bench("baseline/ordering_n20/naive", || {
+        let mut naive = NaiveMatcher::new(g.pattern(), g.n_traces);
+        for e in &events {
+            black_box(naive.observe(e));
+        }
     });
-    c.bench_function("baseline/ordering_n20/naive", |bench| {
-        bench.iter_batched(
-            || NaiveMatcher::new(g.pattern(), g.n_traces),
-            |mut naive| {
-                for e in &events {
-                    black_box(naive.observe(e));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("baseline/ordering_n20/sliding_window", |bench| {
-        bench.iter_batched(
-            || SlidingWindowMatcher::paper_sized(g.pattern(), g.n_traces),
-            |mut w| {
-                for e in &events {
-                    black_box(w.observe(e));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("baseline/ordering_n20/sliding_window", || {
+        let mut w = SlidingWindowMatcher::paper_sized(g.pattern(), g.n_traces);
+        for e in &events {
+            black_box(w.observe(e));
+        }
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_deadlock, bench_race, bench_atomicity, bench_ordering, bench_vs_naive
+fn main() {
+    bench_deadlock();
+    bench_race();
+    bench_atomicity();
+    bench_ordering();
+    bench_vs_naive();
 }
-criterion_main!(benches);

@@ -1,13 +1,37 @@
-//! Criterion micro-benchmarks for the primitive operations the §IV
-//! matcher composes: vector-clock comparison, GP/LS lookup, history
-//! insertion with §VI dedup, pattern parsing, monitor observation, and
-//! the dump/reload path.
+//! Micro-benchmarks for the primitive operations the §IV matcher
+//! composes: vector-clock comparison, GP/LS lookup, history insertion
+//! with §VI dedup, pattern parsing, monitor observation, and the
+//! dump/reload path.
+//!
+//! Self-timed (no external bench framework): each benchmark runs a
+//! short warmup, then reports the median of 15 timed batches.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use ocep_core::{Monitor, MonitorConfig};
 use ocep_pattern::Pattern;
 use ocep_poet::{Event, EventKind, PoetServer};
 use ocep_vclock::TraceId;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` in timed batches of `batch` iterations and prints the
+/// median per-iteration time.
+fn bench<T>(name: &str, batch: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..batch {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..15)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / f64::from(batch)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!("{name:<45} {:>12.1} ns/iter", median * 1e9);
+}
 
 fn t(i: u32) -> TraceId {
     TraceId::new(i)
@@ -35,74 +59,60 @@ fn build_store(n: usize, len: usize) -> PoetServer {
     poet
 }
 
-fn bench_clock_comparison(c: &mut Criterion) {
+fn bench_clock_comparison() {
     let poet = build_store(16, 64);
     let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
     let a = events[events.len() / 3].clone();
     let b = events[2 * events.len() / 3].clone();
-    c.bench_function("vclock/happens_before", |bench| {
-        bench.iter(|| black_box(a.stamp().happens_before(black_box(b.stamp()))))
+    bench("vclock/happens_before", 1000, || {
+        a.stamp().happens_before(black_box(b.stamp()))
     });
-    c.bench_function("vclock/causality_classify", |bench| {
-        bench.iter(|| black_box(a.stamp().causality(black_box(b.stamp()))))
+    bench("vclock/causality_classify", 1000, || {
+        a.stamp().causality(black_box(b.stamp()))
     });
 }
 
-fn bench_gp_ls(c: &mut Criterion) {
+fn bench_gp_ls() {
     let poet = build_store(16, 256);
     let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
     let probe = events[events.len() / 2].clone();
-    c.bench_function("store/greatest_predecessor", |bench| {
-        bench.iter(|| {
-            black_box(
-                poet.store()
-                    .greatest_predecessor(probe.stamp(), black_box(t(3))),
-            )
-        })
+    bench("store/greatest_predecessor", 1000, || {
+        poet.store()
+            .greatest_predecessor(probe.stamp(), black_box(t(3)))
     });
-    c.bench_function("store/least_successor_binary_search", |bench| {
-        bench.iter(|| black_box(poet.store().least_successor(probe.stamp(), black_box(t(3)))))
+    bench("store/least_successor_binary_search", 1000, || {
+        poet.store().least_successor(probe.stamp(), black_box(t(3)))
     });
 }
 
-fn bench_history_insert(c: &mut Criterion) {
+fn bench_history_insert() {
     let pattern_src = "A := [*, a, *]; B := [*, b, *]; pattern := A -> B;";
     let poet = build_store(8, 128);
     let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
-    c.bench_function("history/observe_with_dedup", |bench| {
-        bench.iter_batched(
-            || {
-                (
-                    Monitor::with_config(
-                        Pattern::parse(pattern_src).unwrap(),
-                        8,
-                        MonitorConfig::default(),
-                    ),
-                    events.clone(),
-                )
-            },
-            |(mut monitor, events)| {
-                for e in &events {
-                    black_box(monitor.observe(e));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("history/observe_with_dedup", 4, || {
+        let mut monitor = Monitor::with_config(
+            Pattern::parse(pattern_src).unwrap(),
+            8,
+            MonitorConfig::default(),
+        );
+        for e in &events {
+            black_box(monitor.observe(e));
+        }
     });
 }
 
-fn bench_pattern_parse(c: &mut Criterion) {
+fn bench_pattern_parse() {
     let src = ocep_simulator::workloads::replicated_service::ordering_pattern();
-    c.bench_function("pattern/parse_ordering_bug", |bench| {
-        bench.iter(|| black_box(Pattern::parse(black_box(&src)).unwrap()))
+    bench("pattern/parse_ordering_bug", 200, || {
+        Pattern::parse(black_box(&src)).unwrap()
     });
     let cycle = ocep_simulator::workloads::random_walk::cycle_pattern(6);
-    c.bench_function("pattern/parse_deadlock_cycle6", |bench| {
-        bench.iter(|| black_box(Pattern::parse(black_box(&cycle)).unwrap()))
+    bench("pattern/parse_deadlock_cycle6", 200, || {
+        Pattern::parse(black_box(&cycle)).unwrap()
     });
 }
 
-fn bench_observe_terminating(c: &mut Criterion) {
+fn bench_observe_terminating() {
     // Cost of the terminating-event searches on a warm monitor.
     let g = ocep_simulator::workloads::replicated_service::generate(
         &ocep_simulator::workloads::replicated_service::Params {
@@ -114,43 +124,31 @@ fn bench_observe_terminating(c: &mut Criterion) {
     );
     let events: Vec<Event> = g.poet.store().iter_arrival().cloned().collect();
     let (warm, tail) = events.split_at(events.len() - 50);
-    c.bench_function("monitor/observe_tail_50_events_ordering", |bench| {
-        bench.iter_batched(
-            || {
-                let mut m = Monitor::new(g.pattern(), g.n_traces);
-                for e in warm {
-                    let _ = m.observe(e);
-                }
-                m
-            },
-            |mut m| {
-                for e in tail {
-                    black_box(m.observe(e));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("monitor/observe_tail_50_events_ordering", 2, || {
+        let mut m = Monitor::new(g.pattern(), g.n_traces);
+        for e in warm {
+            let _ = m.observe(e);
+        }
+        for e in tail {
+            black_box(m.observe(e));
+        }
     });
 }
 
-fn bench_dump_reload(c: &mut Criterion) {
+fn bench_dump_reload() {
     let poet = build_store(8, 128);
-    c.bench_function("poet/dump", |bench| {
-        bench.iter(|| black_box(ocep_poet::dump::dump(poet.store())))
-    });
+    bench("poet/dump", 100, || ocep_poet::dump::dump(poet.store()));
     let bytes = ocep_poet::dump::dump(poet.store());
-    c.bench_function("poet/reload", |bench| {
-        bench.iter(|| black_box(ocep_poet::dump::reload(black_box(&bytes)).unwrap()))
+    bench("poet/reload", 100, || {
+        ocep_poet::dump::reload(black_box(&bytes)).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_clock_comparison,
-    bench_gp_ls,
-    bench_history_insert,
-    bench_pattern_parse,
-    bench_observe_terminating,
-    bench_dump_reload
-);
-criterion_main!(benches);
+fn main() {
+    bench_clock_comparison();
+    bench_gp_ls();
+    bench_history_insert();
+    bench_pattern_parse();
+    bench_observe_terminating();
+    bench_dump_reload();
+}

@@ -45,7 +45,12 @@ fn print_series(title: &str, series: &[(usize, BoxPlot)]) {
 
 /// Deadlock-workload parameters for `n` traces and an event budget.
 #[must_use]
-pub fn deadlock_params(n: usize, events: usize, cycle_len: usize, seed: u64) -> random_walk::Params {
+pub fn deadlock_params(
+    n: usize,
+    events: usize,
+    cycle_len: usize,
+    seed: u64,
+) -> random_walk::Params {
     let per_round = n * (2 + 2); // walk_steps=2 locals + send + recv per process
     let rounds = (events / per_round).max(20);
     random_walk::Params {
@@ -222,8 +227,7 @@ pub fn fig3() -> (bool, bool) {
     poet.record(t(2), ocep_poet::EventKind::Unary, "b", "");
 
     let mut monitor = Monitor::new(Pattern::parse(src).unwrap(), n);
-    let mut window =
-        SlidingWindowMatcher::paper_sized(Pattern::parse(src).unwrap(), n);
+    let mut window = SlidingWindowMatcher::paper_sized(Pattern::parse(src).unwrap(), n);
     let mut window_covers_t1 = false;
     for e in poet.store().iter_arrival() {
         let _ = monitor.observe(e);
@@ -272,9 +276,9 @@ pub fn completeness(opts: &RunOptions) -> Vec<Completeness> {
             .truth
             .iter()
             .filter(|v| {
-                v.traces.iter().all(|&tr| {
-                    (0..3).any(|i| monitor.covers(&format!("S{i}"), tr))
-                })
+                v.traces
+                    .iter()
+                    .all(|&tr| (0..3).any(|i| monitor.covers(&format!("S{i}"), tr)))
             })
             .count();
         out.push(Completeness {
@@ -293,9 +297,9 @@ pub fn completeness(opts: &RunOptions) -> Vec<Completeness> {
             .truth
             .iter()
             .filter(|v| {
-                v.traces.iter().all(|&tr| {
-                    monitor.covers("S1", tr) || monitor.covers("S2", tr)
-                })
+                v.traces
+                    .iter()
+                    .all(|&tr| monitor.covers("S1", tr) || monitor.covers("S2", tr))
             })
             .count();
         out.push(Completeness {
@@ -569,7 +573,10 @@ pub fn ablation_dedup(opts: &RunOptions) -> (usize, usize, f64, f64) {
 pub fn ablation_parallel(opts: &RunOptions) -> Vec<(usize, f64)> {
     let g = random_walk::generate(&deadlock_params(20, opts.events.min(40_000), 8, 5));
     println!("\n=== Ablation: SVI parallel trace traversal (deadlock, 20 traces) ===");
-    println!("{:>8} {:>14} {:>14}", "threads", "median (us)", "total (ms)");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "threads", "median (us)", "total (ms)"
+    );
     let mut out = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         let m = measure_monitor(

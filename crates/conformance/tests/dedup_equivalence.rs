@@ -1,0 +1,163 @@
+//! Satellite property: §VI causal deduplication never changes match
+//! verdicts.
+//!
+//! Dedup collapses blocks of interchangeable unary events, so the
+//! workloads here are deliberately *unary-heavy* (long same-shape local
+//! runs with only occasional messages) to force heavy suppression —
+//! plus patterns with repeated same-shape occurrences (`C -> C`),
+//! which are exactly the shapes where an over-eager dedup loses the
+//! only completing candidate.
+
+use ocep_conformance::{gen_pattern, Action, Case};
+use ocep_core::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_pattern::Pattern;
+use ocep_rng::Rng;
+
+const TYPES: [&str; 3] = ["a", "b", "c"];
+const TEXTS: [&str; 2] = ["u", "v"];
+
+/// Patterns whose operands can all be satisfied by unary events,
+/// including the self-precedence shapes dedup historically broke.
+const PATTERNS: [&str; 6] = [
+    "A := [*, 'a', *]; B := [*, 'b', *]; pattern := A -> B;",
+    "C := [*, 'c', *]; pattern := C -> C;",
+    "C := [*, 'a', *]; pattern := (C -> C) -> C;",
+    "A := [*, 'a', 'u']; B := [*, 'a', *]; pattern := A && B;",
+    "A := [*, 'b', *]; B := [*, 'b', *]; pattern := A || B;",
+    "A := [*, 'a', *]; B := [*, 'c', *]; pattern := A ~> B;",
+];
+
+/// A unary-heavy random execution: ~90% local events in same-shape
+/// runs, ~10% messages so cross-trace causality still moves.
+fn unary_heavy(rng: &mut Rng) -> Case {
+    let n_traces = rng.gen_range(2..4usize);
+    let mut actions = Vec::new();
+    let mut pending: Vec<(usize, u32)> = Vec::new();
+    let steps = rng.gen_range(10..60usize);
+    for _ in 0..steps {
+        let trace = rng.gen_range(0..n_traces as u32);
+        let ty = (*rng.choose(&TYPES).unwrap()).to_string();
+        let text = (*rng.choose(&TEXTS).unwrap()).to_string();
+        if rng.gen_bool(0.9) {
+            // A short run of identical locals — the dedup target.
+            let run = rng.gen_range(1..4usize);
+            for _ in 0..run {
+                actions.push(Action::Local {
+                    trace,
+                    ty: ty.clone(),
+                    text: text.clone(),
+                });
+            }
+        } else if rng.gen_bool(0.5) || pending.is_empty() {
+            actions.push(Action::Send { trace, ty, text });
+            pending.push((actions.len() - 1, trace));
+        } else {
+            let i = rng.gen_range(0..pending.len());
+            let (sender, from) = pending.swap_remove(i);
+            if from != trace {
+                actions.push(Action::Receive {
+                    trace,
+                    sender,
+                    ty,
+                    text,
+                });
+            }
+        }
+    }
+    Case {
+        pattern_src: String::new(),
+        n_traces,
+        actions,
+    }
+}
+
+fn verdict(pattern: Pattern, case: &Case, dedup: bool, policy: SubsetPolicy) -> (bool, usize) {
+    let mut monitor = Monitor::with_config(
+        pattern,
+        case.n_traces,
+        MonitorConfig {
+            dedup,
+            policy,
+            ..MonitorConfig::default()
+        },
+    );
+    let poet = case.build();
+    for e in poet.store().iter_arrival() {
+        monitor.observe(e);
+    }
+    (monitor.stats().matches_found > 0, monitor.history_size())
+}
+
+#[test]
+fn dedup_never_changes_the_verdict_on_fixed_patterns() {
+    for case_no in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0xDED0 ^ case_no);
+        let case = unary_heavy(&mut rng);
+        for src in PATTERNS {
+            for policy in [SubsetPolicy::PerArrival, SubsetPolicy::Representative] {
+                let parse = || Pattern::parse(src).unwrap();
+                let (with, stored_with) = verdict(parse(), &case, true, policy);
+                let (without, stored_without) = verdict(parse(), &case, false, policy);
+                assert_eq!(
+                    with, without,
+                    "verdict changed by dedup: pattern {src:?}, case {case_no}, \
+                     policy {policy:?}"
+                );
+                assert!(
+                    stored_with <= stored_without,
+                    "dedup stored more events than no-dedup: pattern {src:?}, case {case_no}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dedup_never_changes_the_verdict_on_random_patterns() {
+    for case_no in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x0DD ^ case_no);
+        let pattern = gen_pattern(&mut rng);
+        let case = unary_heavy(&mut rng);
+        let (with, _) = verdict(
+            Pattern::parse(&pattern.source).unwrap(),
+            &case,
+            true,
+            SubsetPolicy::PerArrival,
+        );
+        let (without, _) = verdict(
+            Pattern::parse(&pattern.source).unwrap(),
+            &case,
+            false,
+            SubsetPolicy::PerArrival,
+        );
+        assert_eq!(
+            with, without,
+            "verdict changed by dedup: pattern {:?}, case {case_no}",
+            pattern.source
+        );
+    }
+}
+
+#[test]
+fn dedup_actually_suppresses_on_unary_runs() {
+    // Guard against the exemptions quietly disabling dedup everywhere:
+    // a distinct-type chain pattern must still see suppression on
+    // same-shape unary runs.
+    let mut rng = Rng::seed_from_u64(0x5100);
+    let mut total_suppressed = 0usize;
+    for _ in 0..16 {
+        let case = unary_heavy(&mut rng);
+        let pattern =
+            Pattern::parse("A := [*, 'a', *]; B := [*, 'b', *]; pattern := A -> B;").unwrap();
+        let mut monitor = Monitor::with_config(pattern, case.n_traces, MonitorConfig::default());
+        let poet = case.build();
+        for e in poet.store().iter_arrival() {
+            monitor.observe(e);
+        }
+        total_suppressed += monitor.suppressed();
+    }
+    assert!(
+        total_suppressed > 0,
+        "dedup exemptions disabled suppression even for distinct-shape patterns"
+    );
+}

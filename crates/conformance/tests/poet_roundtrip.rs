@@ -1,0 +1,75 @@
+//! Satellite property: POET dump → reload round-trips bit-identically.
+//!
+//! For random generated executions: every event (kind, type, text,
+//! partner) and every vector timestamp survives reload unchanged, a
+//! second dump of the reloaded store is byte-identical to the first,
+//! and the online monitor produces identical match results over the
+//! original and the reloaded stores.
+
+use ocep_conformance::{gen_case, Case};
+use ocep_core::Monitor;
+use ocep_pattern::Pattern;
+use ocep_poet::dump;
+use ocep_rng::Rng;
+use ocep_vclock::EventId;
+
+fn matches_over(case: &Case, store: &ocep_poet::TraceStore) -> Vec<Vec<EventId>> {
+    let pattern = Pattern::parse(&case.pattern_src).unwrap();
+    let mut monitor = Monitor::new(pattern, store.n_traces());
+    let mut out = Vec::new();
+    for e in store.iter_arrival() {
+        for m in monitor.observe(e) {
+            out.push(m.events().iter().map(ocep_poet::Event::id).collect());
+        }
+    }
+    out
+}
+
+#[test]
+fn dump_reload_round_trip_is_bit_identical() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x90E7 ^ seed);
+        let case = gen_case(&mut rng);
+        let poet = case.build();
+
+        let bytes = dump::dump(poet.store());
+        let reloaded = dump::reload(&bytes).expect("reload succeeds");
+
+        // Events and vector timestamps identical, in arrival order.
+        assert_eq!(poet.store().len(), reloaded.store().len());
+        assert!(
+            poet.store().content_eq(reloaded.store()),
+            "store contents differ after reload (seed {seed})"
+        );
+        for (a, b) in poet
+            .store()
+            .iter_arrival()
+            .zip(reloaded.store().iter_arrival())
+        {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.ty(), b.ty());
+            assert_eq!(a.text(), b.text());
+            assert_eq!(a.partner(), b.partner());
+            assert_eq!(
+                a.stamp().clock(),
+                b.stamp().clock(),
+                "vector timestamps differ"
+            );
+        }
+
+        // Second-generation dump is byte-identical.
+        assert_eq!(
+            bytes,
+            dump::dump(reloaded.store()),
+            "re-dump is not byte-identical (seed {seed})"
+        );
+
+        // Match results over original and reloaded stores agree.
+        assert_eq!(
+            matches_over(&case, poet.store()),
+            matches_over(&case, reloaded.store()),
+            "match results differ after reload (seed {seed})"
+        );
+    }
+}

@@ -48,9 +48,18 @@ pub struct LeafHistory {
 impl LeafHistory {
     /// Creates empty histories for `n_leaves` leaves over `n_traces`
     /// traces. `dedup` enables the §VI O(1) suppression (disable it only
-    /// for the ablation benchmark); leaves used as the `from` side of a
-    /// `~>` constraint in `pattern` are exempted, because limited
-    /// precedence distinguishes same-block repeats.
+    /// for the ablation benchmark). Two leaf classes are exempted:
+    ///
+    /// * the `from` side of a `~>` constraint, because limited precedence
+    ///   distinguishes same-block repeats;
+    /// * any leaf with an overlapping-shape sibling not forced
+    ///   `Concurrent` with it. A suppressed arrival's stored duplicate
+    ///   matches exactly the same leaves, so a match may need *both*
+    ///   occurrences at two related leaves (`C -> C`, or `C && C'` with
+    ///   `C'` shape-compatible) — distinctness then makes the suppression
+    ///   lossy. Concurrent pairs are safe: same-trace duplicates are
+    ///   always program-ordered, never concurrent, so e.g. the pairwise-`||`
+    ///   deadlock-cycle patterns keep their full §VI dedup.
     #[must_use]
     pub fn new_for(pattern: &Pattern, n_traces: usize, dedup: bool) -> Self {
         let n_leaves = pattern.n_leaves();
@@ -58,6 +67,22 @@ impl LeafHistory {
         for c in pattern.constraints() {
             if let ocep_pattern::Constraint::Lim { from, .. } = c {
                 dedup_exempt[from.as_usize()] = true;
+            }
+        }
+        let leaves = pattern.leaves();
+        for i in 0..n_leaves {
+            for j in 0..n_leaves {
+                if i == j {
+                    continue;
+                }
+                let rel = pattern.rel(LeafId::from_index(i as u32), LeafId::from_index(j as u32));
+                if rel == Some(ocep_pattern::PairRel::Concurrent) {
+                    continue;
+                }
+                if leaves[i].may_overlap(&leaves[j]) {
+                    dedup_exempt[i] = true;
+                    break;
+                }
             }
         }
         let text_indexed: Vec<bool> = pattern
@@ -174,8 +199,7 @@ impl LeafHistory {
     /// §VI bounded-storage metric in physical terms.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        let per_event = std::mem::size_of::<Event>()
-            + self.n_traces() * std::mem::size_of::<u32>();
+        let per_event = std::mem::size_of::<Event>() + self.n_traces() * std::mem::size_of::<u32>();
         self.stored * per_event
     }
 
@@ -361,9 +385,6 @@ mod block_head_tests {
         // Both the send and the unary must be stored on T1.
         let b_leaf = p.leaves()[1].id();
         assert_eq!(h.on_trace(b_leaf, TraceId::new(1)).len(), 2);
-        assert_eq!(
-            h.on_trace(b_leaf, TraceId::new(1))[1].id(),
-            u.id()
-        );
+        assert_eq!(h.on_trace(b_leaf, TraceId::new(1))[1].id(), u.id());
     }
 }

@@ -139,8 +139,7 @@ impl Monitor {
 
                 let mut new_cell = false;
                 for (leaf, e) in self.pattern.leaves().iter().zip(m.events()) {
-                    let cell =
-                        &mut self.subset[leaf.id().as_usize()][e.trace().as_usize()];
+                    let cell = &mut self.subset[leaf.id().as_usize()][e.trace().as_usize()];
                     if cell.is_none() {
                         new_cell = true;
                     }
@@ -190,27 +189,25 @@ impl Monitor {
             return search.run(event);
         }
 
-        let results: Vec<(Vec<Match>, crate::search::SearchStats)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for w in 0..workers {
-                    let pattern = &self.pattern;
-                    let history = &self.history;
-                    let n_traces = self.n_traces;
-                    let node_limit = self.config.node_limit;
-                    handles.push(scope.spawn(move || {
-                        let allowed: Vec<bool> =
-                            (0..n_traces).map(|t| t % workers == w).collect();
-                        Search::new(pattern, history, n_traces, tl, node_limit)
-                            .with_level1_traces(allowed)
-                            .run(event)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("search worker panicked"))
-                    .collect()
-            });
+        let results: Vec<(Vec<Match>, crate::search::SearchStats)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let pattern = &self.pattern;
+                let history = &self.history;
+                let n_traces = self.n_traces;
+                let node_limit = self.config.node_limit;
+                handles.push(scope.spawn(move || {
+                    let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == w).collect();
+                    Search::new(pattern, history, n_traces, tl, node_limit)
+                        .with_level1_traces(allowed)
+                        .run(event)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
 
         let mut matches = Vec::new();
         let mut stats = crate::search::SearchStats::default();

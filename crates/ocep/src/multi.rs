@@ -91,10 +91,7 @@ impl MonitorSet {
     /// The monitor registered under `name`.
     #[must_use]
     pub fn monitor(&self, name: &str) -> Option<&Monitor> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, m)| m)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
     }
 
     /// Iterates over `(name, monitor)` pairs.
@@ -147,11 +144,7 @@ mod tests {
     }
 
     fn feed(set: &mut MonitorSet, poet: &mut PoetServer) -> Vec<(String, Match)> {
-        poet.linearization()
-            .flat_map(|e| {
-                set.observe(&e)
-            })
-            .collect()
+        poet.linearization().flat_map(|e| set.observe(&e)).collect()
     }
 
     #[test]

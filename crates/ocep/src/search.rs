@@ -130,9 +130,7 @@ impl<'a> Search<'a> {
         // Quick feasibility screen: every leaf needs at least one
         // candidate on some trace.
         for &leaf in &self.order[1..] {
-            if !(0..self.n_traces)
-                .any(|t| self.history.has_any(leaf, TraceId::new(t as u32)))
-            {
+            if !(0..self.n_traces).any(|t| self.history.has_any(leaf, TraceId::new(t as u32))) {
                 return (Vec::new(), self.stats);
             }
         }
@@ -222,6 +220,15 @@ impl<'a> Search<'a> {
                     .as_ref()
                     .expect("earlier levels are instantiated")
                     .clone();
+                // Deliberate, feature-gated bug used to validate the
+                // conformance harness: drop the happens-before (GP-derived)
+                // domain restriction, so candidates that do not precede the
+                // already-assigned event survive and false positives reach
+                // the report path.
+                #[cfg(feature = "mutation-skip-domain")]
+                if rel == PairRel::Before {
+                    continue;
+                }
                 let individual = restrict(slice, rel, &e);
                 if individual.is_empty() {
                     // The conflict involves only e and this history: a

@@ -98,8 +98,7 @@ fn subset_lists_each_distinct_match_once() {
 
 #[test]
 fn covers_resolves_occurrence_and_class_names() {
-    let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B && A -> B;")
-        .unwrap();
+    let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B && A -> B;").unwrap();
     let mut poet = PoetServer::new(1);
     let mut m = Monitor::with_config(
         p,

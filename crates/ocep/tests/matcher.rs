@@ -42,10 +42,8 @@ fn happens_before_respects_causality_not_arrival_order() {
 
 #[test]
 fn partner_operator_requires_the_exact_message() {
-    let p = Pattern::parse(
-        "S := [*, mpi_send, *]; R := [*, mpi_recv, *]; pattern := S <> R;",
-    )
-    .unwrap();
+    let p =
+        Pattern::parse("S := [*, mpi_send, *]; R := [*, mpi_recv, *]; pattern := S <> R;").unwrap();
     let mut poet = PoetServer::new(3);
     let mut monitor = Monitor::with_config(
         p,
@@ -483,12 +481,9 @@ fn results_are_linearization_independent() {
 }
 
 #[test]
-fn event_routed_to_multiple_leaves(){
+fn event_routed_to_multiple_leaves() {
     // One event can be a candidate for several leaves of different classes.
-    let p = Pattern::parse(
-        "X := [*, ping, *]; Y := [T1, ping, *]; pattern := X || Y;",
-    )
-    .unwrap();
+    let p = Pattern::parse("X := [*, ping, *]; Y := [T1, ping, *]; pattern := X || Y;").unwrap();
     let mut poet = PoetServer::new(2);
     let mut monitor = Monitor::new(p, 2);
     poet.record(t(0), EventKind::Unary, "ping", "");
@@ -538,12 +533,7 @@ fn fig5_jump_bound_fast_forwards_candidates() {
     let _ = a1;
     assert!(!matches.is_empty(), "a2 -> y and a2 -> z is a match");
     assert_eq!(
-        matches
-            .last()
-            .unwrap()
-            .binding_for("$x")
-            .unwrap()
-            .text(),
+        matches.last().unwrap().binding_for("$x").unwrap().text(),
         "2",
         "the latest feasible candidate is a2"
     );
@@ -623,8 +613,7 @@ fn entanglement_operator_matches_crossing_compounds() {
 
 #[test]
 fn entanglement_between_distinct_primitives_is_rejected() {
-    let err = Pattern::parse("A := [*,a,*]; B := [*,b,*]; pattern := A <-> B;")
-        .unwrap_err();
+    let err = Pattern::parse("A := [*,a,*]; B := [*,b,*]; pattern := A <-> B;").unwrap_err();
     assert!(err.to_string().contains("entanglement"), "{err}");
 }
 
@@ -665,9 +654,7 @@ fn parallel_search_detects_the_same_violations() {
             let _ = monitor.observe(&e);
         }
         let cells: Vec<(String, u32)> = (0..3)
-            .flat_map(|leaf| {
-                (0..n as u32).map(move |tr| (format!("S{leaf}"), tr))
-            })
+            .flat_map(|leaf| (0..n as u32).map(move |tr| (format!("S{leaf}"), tr)))
             .collect();
         let covered: Vec<bool> = cells
             .iter()
@@ -678,7 +665,10 @@ fn parallel_search_detects_the_same_violations() {
     let (seq_found, seq_cells) = build(1);
     let (par_found, par_cells) = build(4);
     assert!(seq_found && par_found);
-    assert_eq!(seq_cells, par_cells, "coverage must be thread-count independent");
+    assert_eq!(
+        seq_cells, par_cells,
+        "coverage must be thread-count independent"
+    );
 }
 
 #[test]
@@ -752,10 +742,7 @@ fn seed_bindings_constrain_earlier_levels() {
     // The terminating event binds $p; candidates for the other leaf on
     // non-matching traces must be rejected by the binding even though
     // their causality fits.
-    let p = Pattern::parse(
-        "W := [$p, work, *]; D := [*, done, $p]; pattern := W -> D;",
-    )
-    .unwrap();
+    let p = Pattern::parse("W := [$p, work, *]; D := [*, done, $p]; pattern := W -> D;").unwrap();
     let mut poet = PoetServer::new(3);
     let w0 = poet.record(t(0), EventKind::Send, "work", "");
     let w1 = poet.record(t(1), EventKind::Send, "work", "");
@@ -819,8 +806,7 @@ fn text_index_resolves_bound_variables_without_scanning() {
     }
     // Without the index each of the 300 searches would scan up to 300
     // q-candidates (~45k); with it, one lookup each.
-    let per_search =
-        monitor.stats().candidates as f64 / monitor.stats().searches as f64;
+    let per_search = monitor.stats().candidates as f64 / monitor.stats().searches as f64;
     assert!(
         per_search < 4.0,
         "text-indexed lookup degraded to scanning: {per_search:.1} candidates/search"

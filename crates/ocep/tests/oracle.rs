@@ -1,5 +1,5 @@
 //! Property tests: the online matcher against a brute-force oracle on
-//! random computations and a family of representative patterns.
+//! seeded random computations and a family of representative patterns.
 //!
 //! The oracle enumerates *all* leaf assignments over the full event set
 //! and checks every constraint directly with vector-clock causality. The
@@ -11,8 +11,8 @@
 use ocep_core::{Monitor, MonitorConfig, SubsetPolicy};
 use ocep_pattern::{Bindings, Constraint, PairRel, Pattern};
 use ocep_poet::{Event, EventKind, PoetServer};
+use ocep_rng::Rng;
 use ocep_vclock::{Causality, EventSet, TraceId};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -20,15 +20,31 @@ enum Step {
     Message(u32, u32, u8),
 }
 
-fn step_strategy(n: u32) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..n, 0..3u8, 0..3u8).prop_map(|(t, ty, tx)| Step::Local(t, ty, tx)),
-        (0..n, 0..n, 0..3u8).prop_map(|(a, b, ty)| Step::Message(a, b, ty)),
-    ]
-}
-
 const TYPES: [&str; 3] = ["a", "b", "c"];
 const TEXTS: [&str; 3] = ["", "u", "v"];
+
+fn random_computation(rng: &mut Rng) -> (u32, Vec<Step>) {
+    let n = rng.gen_range(2u32..5);
+    let len = rng.gen_range(1usize..30);
+    let steps = (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Step::Local(
+                    rng.gen_range(0..n),
+                    rng.gen_range(0u8..3),
+                    rng.gen_range(0u8..3),
+                )
+            } else {
+                Step::Message(
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(0u8..3),
+                )
+            }
+        })
+        .collect();
+    (n, steps)
+}
 
 fn run_steps(n: u32, steps: &[Step]) -> PoetServer {
     let mut poet = PoetServer::new(n as usize);
@@ -43,19 +59,9 @@ fn run_steps(n: u32, steps: &[Step]) -> PoetServer {
                 );
             }
             Step::Message(from, to, ty) => {
-                let send = poet.record(
-                    TraceId::new(from),
-                    EventKind::Send,
-                    TYPES[ty as usize],
-                    "",
-                );
+                let send = poet.record(TraceId::new(from), EventKind::Send, TYPES[ty as usize], "");
                 if from != to {
-                    poet.record_receive(
-                        TraceId::new(to),
-                        send.id(),
-                        TYPES[ty as usize],
-                        "",
-                    );
+                    poet.record_receive(TraceId::new(to), send.id(), TYPES[ty as usize], "");
                 }
             }
         }
@@ -102,10 +108,7 @@ fn oracle_accepts(pattern: &Pattern, events: &[&Event], all: &[Event]) -> bool {
     // Pairwise causal requirements.
     for i in 0..events.len() {
         for j in 0..events.len() {
-            let (li, lj) = (
-                pattern.leaves()[i].id(),
-                pattern.leaves()[j].id(),
-            );
+            let (li, lj) = (pattern.leaves()[i].id(), pattern.leaves()[j].id());
             if let Some(rel) = pattern.rel(li, lj) {
                 let got = events[i].stamp().causality(events[j].stamp());
                 let ok = matches!(
@@ -207,21 +210,14 @@ fn oracle_matches<'a>(pattern: &Pattern, all: &'a [Event]) -> Vec<Vec<&'a Event>
     out
 }
 
-fn computation() -> impl Strategy<Value = (u32, Vec<Step>)> {
-    (2u32..5).prop_flat_map(|n| {
-        (Just(n), proptest::collection::vec(step_strategy(n), 1..30))
-    })
-}
+#[test]
+fn monitor_agrees_with_oracle() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x0AC1E ^ case);
+        let (n, steps) = random_computation(&mut rng);
+        let pat_idx = rng.gen_range(0..PATTERNS.len());
+        let dedup = rng.gen_bool(0.5);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn monitor_agrees_with_oracle(
-        (n, steps) in computation(),
-        pat_idx in 0usize..PATTERNS.len(),
-        dedup in any::<bool>(),
-    ) {
         let poet = run_steps(n, &steps);
         let all: Vec<Event> = poet.store().iter_arrival().cloned().collect();
         let pattern = Pattern::parse(PATTERNS[pat_idx]).unwrap();
@@ -231,7 +227,12 @@ proptest! {
         let mut monitor = Monitor::with_config(
             pattern2,
             n as usize,
-            MonitorConfig { dedup, policy: SubsetPolicy::PerArrival, node_limit: 0, parallelism: 1 },
+            MonitorConfig {
+                dedup,
+                policy: SubsetPolicy::PerArrival,
+                node_limit: 0,
+                parallelism: 1,
+            },
         );
         let mut reported = Vec::new();
         for e in &all {
@@ -242,17 +243,17 @@ proptest! {
         let p_check = Pattern::parse(PATTERNS[pat_idx]).unwrap();
         for m in &reported {
             let evs: Vec<&Event> = m.events().iter().collect();
-            prop_assert!(
+            assert!(
                 oracle_accepts(&p_check, &evs, &all),
-                "false positive: {m} (pattern {pat_idx})"
+                "case {case}: false positive: {m} (pattern {pat_idx})"
             );
         }
 
         // (b) Detection completeness: a match exists iff one is found.
-        prop_assert_eq!(
+        assert_eq!(
             truth.is_empty(),
             monitor.stats().matches_found == 0,
-            "oracle found {} matches, monitor found {} (pattern {}, dedup={})",
+            "case {case}: oracle found {} matches, monitor found {} (pattern {}, dedup={})",
             truth.len(),
             monitor.stats().matches_found,
             pat_idx,
@@ -267,7 +268,7 @@ proptest! {
         for e in &all {
             rep_count += rep_monitor.observe(e).len();
         }
-        prop_assert!(rep_count <= k * n as usize);
+        assert!(rep_count <= k * n as usize, "case {case}");
 
         // (d) Cell soundness: every covered (class, trace) cell appears in
         // some oracle match (`covers` resolves names at class granularity,
@@ -278,13 +279,12 @@ proptest! {
                 if rep_monitor.covers(leaf.display_name(), TraceId::new(tr)) {
                     let in_truth = truth.iter().any(|m| {
                         m.iter().zip(&leaves).any(|(e, l)| {
-                            l.class_name() == leaf.class_name()
-                                && e.trace() == TraceId::new(tr)
+                            l.class_name() == leaf.class_name() && e.trace() == TraceId::new(tr)
                         })
                     });
-                    prop_assert!(
+                    assert!(
                         in_truth,
-                        "cell ({}, T{}) covered but not in any oracle match",
+                        "case {case}: cell ({}, T{}) covered but not in any oracle match",
                         leaf.display_name(),
                         tr
                     );
@@ -292,15 +292,18 @@ proptest! {
             }
         }
     }
+}
 
-    /// With dedup off, every terminating arrival that the oracle says
-    /// participates (as the causally-newest element) in a match triggers
-    /// at least one found match at that arrival.
-    #[test]
-    fn every_completing_arrival_is_detected(
-        (n, steps) in computation(),
-        pat_idx in 0usize..PATTERNS.len(),
-    ) {
+/// With dedup off, every terminating arrival that the oracle says
+/// participates (as the causally-newest element) in a match triggers
+/// at least one found match at that arrival.
+#[test]
+fn every_completing_arrival_is_detected() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xA11 ^ case);
+        let (n, steps) = random_computation(&mut rng);
+        let pat_idx = rng.gen_range(0..PATTERNS.len());
+
         let poet = run_steps(n, &steps);
         let all: Vec<Event> = poet.store().iter_arrival().cloned().collect();
         let pattern = Pattern::parse(PATTERNS[pat_idx]).unwrap();
@@ -310,7 +313,12 @@ proptest! {
         let mut monitor = Monitor::with_config(
             pattern2,
             n as usize,
-            MonitorConfig { dedup: false, policy: SubsetPolicy::PerArrival, node_limit: 0, parallelism: 1 },
+            MonitorConfig {
+                dedup: false,
+                policy: SubsetPolicy::PerArrival,
+                node_limit: 0,
+                parallelism: 1,
+            },
         );
         let mut found_at: Vec<u64> = Vec::new(); // arrival positions with found matches
         for (i, e) in all.iter().enumerate() {
@@ -328,31 +336,30 @@ proptest! {
                 .map(|e| all.iter().position(|x| x.id() == e.id()).unwrap())
                 .max()
                 .unwrap() as u64;
-            prop_assert!(
+            assert!(
                 found_at.contains(&last_pos),
-                "match completing at arrival {last_pos} was not detected \
+                "case {case}: match completing at arrival {last_pos} was not detected \
                  (pattern {pat_idx})"
             );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Delivery-order independence of *detection*: every valid
+/// linearization agrees on whether the pattern occurred, and any
+/// covered (class, trace) cell is justified by the oracle. (Exactly
+/// *which* representative cells a run covers is best-effort and may
+/// legitimately vary with delivery order, as in the paper.)
+#[test]
+fn detection_is_linearization_independent() {
+    use ocep_poet::Linearizer;
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x11DE ^ case);
+        let (n, steps) = random_computation(&mut rng);
+        let pat_idx = rng.gen_range(0..PATTERNS.len());
+        let seed_a = rng.gen_range(0u64..64);
+        let seed_b = rng.gen_range(0u64..64);
 
-    /// Delivery-order independence of *detection*: every valid
-    /// linearization agrees on whether the pattern occurred, and any
-    /// covered (class, trace) cell is justified by the oracle. (Exactly
-    /// *which* representative cells a run covers is best-effort and may
-    /// legitimately vary with delivery order, as in the paper.)
-    #[test]
-    fn detection_is_linearization_independent(
-        (n, steps) in computation(),
-        pat_idx in 0usize..PATTERNS.len(),
-        seed_a in 0u64..64,
-        seed_b in 0u64..64,
-    ) {
-        use ocep_poet::Linearizer;
         let poet = run_steps(n, &steps);
         let all: Vec<Event> = poet.store().iter_arrival().cloned().collect();
         let pattern = Pattern::parse(PATTERNS[pat_idx]).unwrap();
@@ -379,18 +386,21 @@ proptest! {
         };
         let (found_a, cells_a) = run(seed_a);
         let (found_b, cells_b) = run(seed_b);
-        prop_assert_eq!(found_a, !truth.is_empty());
-        prop_assert_eq!(found_b, !truth.is_empty());
+        assert_eq!(found_a, !truth.is_empty(), "case {case}");
+        assert_eq!(found_b, !truth.is_empty(), "case {case}");
         // Cell soundness for both orders, at class granularity.
         let leaves = pattern.leaves();
         for cells in [&cells_a, &cells_b] {
             for (class, tr) in cells {
                 let ok = truth.iter().any(|m| {
-                    m.iter().zip(leaves).any(|(e, l)| {
-                        l.class_name() == class && e.trace() == TraceId::new(*tr)
-                    })
+                    m.iter()
+                        .zip(leaves)
+                        .any(|(e, l)| l.class_name() == class && e.trace() == TraceId::new(*tr))
                 });
-                prop_assert!(ok, "covered cell ({}, T{}) not in oracle", class, tr);
+                assert!(
+                    ok,
+                    "case {case}: covered cell ({class}, T{tr}) not in oracle"
+                );
             }
         }
     }

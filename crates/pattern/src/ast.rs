@@ -1,9 +1,7 @@
 //! Abstract syntax of pattern programs.
 
-use serde::{Deserialize, Serialize};
-
 /// One attribute slot of a `[process, type, text]` class tuple (§III-A).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Attr {
     /// `*` — matches anything.
     Wildcard,
@@ -34,7 +32,7 @@ impl std::fmt::Display for Attr {
 }
 
 /// A named event-class definition: `Name := [process, type, text];`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassDef {
     /// The class identifier used in the pattern expression.
     pub name: String,
@@ -57,7 +55,7 @@ impl std::fmt::Display for ClassDef {
 }
 
 /// The binary operators of Fig 1 plus conjunction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `->` — happens-before (weak precedence between compounds, eq. 2).
     HappensBefore,
@@ -92,7 +90,7 @@ impl std::fmt::Display for BinOp {
 }
 
 /// A pattern expression.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// A fresh occurrence of a class by name.
     Class(String),
@@ -120,7 +118,7 @@ impl std::fmt::Display for Expr {
 }
 
 /// A complete parsed pattern program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// Class definitions, in source order.
     pub classes: Vec<ClassDef>,

@@ -1,10 +1,9 @@
 //! Attribute-variable bindings (§III-C).
 
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Index of an attribute variable in a pattern's variable table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
@@ -17,7 +16,7 @@ impl VarId {
 
 /// Which attribute slot of the `[process, type, text]` tuple a variable
 /// site occupies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrField {
     /// The process (trace) attribute.
     Process,

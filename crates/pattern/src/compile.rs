@@ -142,9 +142,9 @@ pub(crate) fn compile(program: &Program) -> Result<Compiled, PatternError> {
     // --- pairwise relation matrix and its transitive closure --------------
     let mut rel: Vec<Vec<Option<PairRel>>> = vec![vec![None; k]; k];
     let set_rel = |rel: &mut Vec<Vec<Option<PairRel>>>,
-                       i: usize,
-                       j: usize,
-                       r: PairRel|
+                   i: usize,
+                   j: usize,
+                   r: PairRel|
      -> Result<(), PatternError> {
         if i == j {
             return Err(PatternError::Semantic(format!(
@@ -358,9 +358,7 @@ fn walk(
                 return Ok(PatternNode::Leaf(leaf));
             }
             let def = event_vars.get(var.as_str()).ok_or_else(|| {
-                PatternError::Semantic(format!(
-                    "event variable '${var}' used but never declared"
-                ))
+                PatternError::Semantic(format!("event variable '${var}' used but never declared"))
             })?;
             let leaf = builder.new_leaf(def, format!("${var}"));
             builder.event_var_leaf.insert(var.clone(), leaf);

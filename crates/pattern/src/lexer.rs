@@ -156,11 +156,17 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, PatternError> {
             }
             ';' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Semi, pos });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    pos,
+                });
             }
             '*' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Star, pos });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
             }
             ':' => {
                 bump!();

@@ -238,8 +238,7 @@ mod tests {
 
     #[test]
     fn and_binds_looser_than_causal_ops() {
-        let p = parse("A := [*,x,*]; B := [*,y,*]; C := [*,z,*]; pattern := A -> B && C;")
-            .unwrap();
+        let p = parse("A := [*,x,*]; B := [*,y,*]; C := [*,z,*]; pattern := A -> B && C;").unwrap();
         assert_eq!(p.pattern.to_string(), "((A -> B) && C)");
     }
 
@@ -251,8 +250,7 @@ mod tests {
 
     #[test]
     fn parentheses_group_compounds() {
-        let p =
-            parse("A := [*,x,*]; B := [*,y,*]; pattern := (A -> B) || (A -> B);").unwrap();
+        let p = parse("A := [*,x,*]; B := [*,y,*]; pattern := (A -> B) || (A -> B);").unwrap();
         assert_eq!(p.pattern.to_string(), "((A -> B) || (A -> B))");
     }
 

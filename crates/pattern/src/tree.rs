@@ -135,6 +135,23 @@ impl LeafSpec {
             && attr_shape_ok(&self.ty, event.ty())
             && attr_shape_ok(&self.text, event.text())
     }
+
+    /// True if some event could match both leaves: every attribute slot
+    /// is compatible (equal literals, or at least one side a wildcard or
+    /// variable). Conservative — variables count as compatible with
+    /// everything regardless of what they end up bound to.
+    #[must_use]
+    pub fn may_overlap(&self, other: &LeafSpec) -> bool {
+        fn compat(a: &ResolvedAttr, b: &ResolvedAttr) -> bool {
+            match (a, b) {
+                (ResolvedAttr::Literal(x), ResolvedAttr::Literal(y)) => x == y,
+                _ => true,
+            }
+        }
+        compat(&self.process, &other.process)
+            && compat(&self.ty, &other.ty)
+            && compat(&self.text, &other.text)
+    }
 }
 
 fn attr_shape_ok(attr: &ResolvedAttr, actual: &str) -> bool {
@@ -371,10 +388,7 @@ impl Pattern {
                 }
             }
         }
-        let sites = [
-            (&spec.ty, event.ty_arc()),
-            (&spec.text, event.text_arc()),
-        ];
+        let sites = [(&spec.ty, event.ty_arc()), (&spec.text, event.text_arc())];
         for (attr, actual) in sites {
             match attr {
                 ResolvedAttr::Wildcard => {}
@@ -388,9 +402,7 @@ impl Pattern {
                         if *bound != *actual {
                             return None;
                         }
-                    } else if let Some((_, prior)) =
-                        delta.iter().find(|(dv, _)| dv == v)
-                    {
+                    } else if let Some((_, prior)) = delta.iter().find(|(dv, _)| dv == v) {
                         if **prior != *actual {
                             return None;
                         }
@@ -405,10 +417,7 @@ impl Pattern {
 
     /// The leaves whose shape (variable-free attributes) accepts `event` —
     /// the routing step that appends an arriving event to leaf histories.
-    pub fn matching_leaves<'a>(
-        &'a self,
-        event: &'a Event,
-    ) -> impl Iterator<Item = LeafId> + 'a {
+    pub fn matching_leaves<'a>(&'a self, event: &'a Event) -> impl Iterator<Item = LeafId> + 'a {
         self.leaves
             .iter()
             .filter(move |l| l.matches_shape(event))
@@ -437,9 +446,11 @@ mod tests {
 
     #[test]
     fn repeated_class_creates_distinct_leaves() {
-        let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; \
-                                pattern := A -> B && A -> B;")
-            .unwrap();
+        let p = Pattern::parse(
+            "A := [*, a, *]; B := [*, b, *]; \
+                                pattern := A -> B && A -> B;",
+        )
+        .unwrap();
         assert_eq!(p.n_leaves(), 4);
         assert_eq!(p.leaves()[2].display_name(), "A#2");
     }
@@ -535,9 +546,11 @@ mod tests {
         .unwrap_err();
         assert!(matches!(e, PatternError::Semantic(_)), "{e}");
         // But two fresh occurrences of one class may be ordered freely.
-        assert!(Pattern::parse("A := [*,a,*]; B := [*,b,*]; \
-                                pattern := A -> B && A || B;")
-            .is_ok());
+        assert!(Pattern::parse(
+            "A := [*,a,*]; B := [*,b,*]; \
+                                pattern := A -> B && A || B;"
+        )
+        .is_ok());
     }
 
     #[test]
@@ -563,10 +576,8 @@ mod tests {
 
     #[test]
     fn leaf_match_binds_and_checks_variables() {
-        let p = Pattern::parse(
-            "S := [$l, synch, $f]; F := [$f, forward, $l]; pattern := S -> F;",
-        )
-        .unwrap();
+        let p = Pattern::parse("S := [$l, synch, $f]; F := [$f, forward, $l]; pattern := S -> F;")
+            .unwrap();
         let mut poet = PoetServer::new(2);
         let s = poet.record(t(0), EventKind::Unary, "synch", "T1");
         let f_good = poet.record(t(1), EventKind::Unary, "forward", "T0");
@@ -587,8 +598,7 @@ mod tests {
 
     #[test]
     fn same_variable_twice_in_one_class_forces_equality() {
-        let p = Pattern::parse("A := [*, x, $v]; B := [*, y, $v]; pattern := A -> B;")
-            .unwrap();
+        let p = Pattern::parse("A := [*, x, $v]; B := [*, y, $v]; pattern := A -> B;").unwrap();
         let mut poet = PoetServer::new(1);
         let a = poet.record(t(0), EventKind::Unary, "x", "same");
         let b_ok = poet.record(t(0), EventKind::Unary, "y", "same");
@@ -602,10 +612,7 @@ mod tests {
 
     #[test]
     fn matching_leaves_routes_by_shape() {
-        let p = Pattern::parse(
-            "A := [T0, a, *]; B := [*, b, *]; pattern := A -> B;",
-        )
-        .unwrap();
+        let p = Pattern::parse("A := [T0, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
         let mut poet = PoetServer::new(2);
         let on_t0 = poet.record(t(0), EventKind::Unary, "a", "");
         let on_t1 = poet.record(t(1), EventKind::Unary, "a", "");

@@ -53,8 +53,7 @@ fn pattern_exposes_source_and_program() {
 
 #[test]
 fn leaf_spec_ty_literal_prefilter() {
-    let p = Pattern::parse("A := [*, green, *]; B := [*, $v, *]; pattern := A -> B;")
-        .unwrap();
+    let p = Pattern::parse("A := [*, green, *]; B := [*, $v, *]; pattern := A -> B;").unwrap();
     assert_eq!(p.leaves()[0].ty_literal(), Some("green"));
     assert_eq!(p.leaves()[1].ty_literal(), None);
 }
@@ -77,17 +76,18 @@ fn pattern_tree_root_mirrors_expression_structure() {
 
 #[test]
 fn comments_and_whitespace_are_ignored() {
-    let p = Pattern::parse(
-        "// watch the lights\nA := [*, green, *]; // class\n\n   pattern := A;",
-    )
-    .unwrap();
+    let p = Pattern::parse("// watch the lights\nA := [*, green, *]; // class\n\n   pattern := A;")
+        .unwrap();
     assert_eq!(p.n_leaves(), 1);
 }
 
 #[test]
 fn pattern_reserved_word_cannot_name_a_class() {
     let e = Pattern::parse("pattern := [*, x, *]; pattern := pattern;").unwrap_err();
-    assert!(matches!(e, PatternError::Parse { .. } | PatternError::Semantic(_)));
+    assert!(matches!(
+        e,
+        PatternError::Parse { .. } | PatternError::Semantic(_)
+    ));
 }
 
 #[test]
@@ -100,10 +100,8 @@ fn leaf_id_display_and_conversions() {
 
 #[test]
 fn var_names_are_in_first_occurrence_order() {
-    let p = Pattern::parse(
-        "A := [$beta, x, $alpha]; B := [$alpha, y, $gamma]; pattern := A -> B;",
-    )
-    .unwrap();
+    let p = Pattern::parse("A := [$beta, x, $alpha]; B := [$alpha, y, $gamma]; pattern := A -> B;")
+        .unwrap();
     assert_eq!(p.var_names(), &["beta", "alpha", "gamma"]);
     assert_eq!(p.n_vars(), 3);
 }

@@ -1,84 +1,81 @@
 //! Property tests for the pattern front end: the parser never panics on
-//! arbitrary input, valid programs re-parse from their canonical
-//! rendering, and compilation invariants hold on generated patterns.
+//! arbitrary input, and compilation invariants hold on generated
+//! patterns. Driven by seeded deterministic generation (`ocep-rng`).
 
 use ocep_pattern::{PairRel, Pattern};
-use proptest::prelude::*;
+use ocep_rng::Rng;
 
-proptest! {
-    /// Arbitrary input may be rejected but must never panic.
-    #[test]
-    fn parser_never_panics(src in ".{0,200}") {
+/// Arbitrary input may be rejected but must never panic.
+#[test]
+fn parser_never_panics() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xBAD ^ case);
+        let len = rng.gen_range(0usize..200);
+        let src: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with occasional multi-byte
+                // characters to stress the lexer.
+                match rng.gen_range(0u32..20) {
+                    0 => 'λ',
+                    1 => '\n',
+                    _ => char::from(rng.gen_range(0x20u8..0x7f)),
+                }
+            })
+            .collect();
         let _ = Pattern::parse(&src);
     }
+}
 
-    /// Arbitrary almost-plausible token soup never panics either.
-    #[test]
-    fn token_soup_never_panics(parts in proptest::collection::vec(
-        prop_oneof![
-            Just("A".to_owned()),
-            Just("pattern".to_owned()),
-            Just(":=".to_owned()),
-            Just("[".to_owned()),
-            Just("]".to_owned()),
-            Just("(".to_owned()),
-            Just(")".to_owned()),
-            Just("*".to_owned()),
-            Just(",".to_owned()),
-            Just(";".to_owned()),
-            Just("->".to_owned()),
-            Just("||".to_owned()),
-            Just("<>".to_owned()),
-            Just("~>".to_owned()),
-            Just("&&".to_owned()),
-            Just("$v".to_owned()),
-            Just("'txt'".to_owned()),
-        ],
-        0..40,
-    )) {
+/// Arbitrary almost-plausible token soup never panics either.
+#[test]
+fn token_soup_never_panics() {
+    const TOKENS: [&str; 17] = [
+        "A", "pattern", ":=", "[", "]", "(", ")", "*", ",", ";", "->", "||", "<>", "~>", "&&",
+        "$v", "'txt'",
+    ];
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x50FF ^ case);
+        let len = rng.gen_range(0usize..40);
+        let parts: Vec<&str> = (0..len).map(|_| *rng.choose(&TOKENS).unwrap()).collect();
         let src = parts.join(" ");
         let _ = Pattern::parse(&src);
     }
 }
 
 /// A generated well-formed pattern over a small class alphabet.
-fn valid_program() -> impl Strategy<Value = String> {
-    let op = prop_oneof![
-        Just("->"),
-        Just("||"),
-        Just("&&"),
-    ];
-    (
-        proptest::collection::vec(op, 1..5),
-        proptest::collection::vec(0..3usize, 2..6),
-    )
-        .prop_map(|(ops, classes)| {
-            let names = ["A", "B", "C"];
-            let mut src = String::new();
-            for n in &names {
-                src.push_str(&format!("{n} := [*, {}, *];\n", n.to_lowercase()));
-            }
-            let mut expr = names[classes[0] % 3].to_owned();
-            for (i, op) in ops.iter().enumerate() {
-                let rhs = names[classes[(i + 1) % classes.len()] % 3];
-                expr = format!("({expr} {op} {rhs})");
-            }
-            src.push_str(&format!("pattern := {expr};\n"));
-            src
-        })
+fn valid_program(rng: &mut Rng) -> String {
+    const OPS: [&str; 3] = ["->", "||", "&&"];
+    let names = ["A", "B", "C"];
+    let n_ops = rng.gen_range(1usize..5);
+    let mut src = String::new();
+    for n in &names {
+        src.push_str(&format!("{n} := [*, {}, *];\n", n.to_lowercase()));
+    }
+    let mut expr = names[rng.gen_range(0usize..3)].to_owned();
+    for _ in 0..n_ops {
+        let op = *rng.choose(&OPS).unwrap();
+        let rhs = names[rng.gen_range(0usize..3)];
+        expr = format!("({expr} {op} {rhs})");
+    }
+    src.push_str(&format!("pattern := {expr};\n"));
+    src
 }
 
-proptest! {
-    /// Every generated well-formed program compiles, and its invariants
-    /// hold: the relation matrix is antisymmetric, terminating leaves
-    /// have no outgoing Before edge, and each seed's evaluation order is
-    /// a permutation of all leaves starting with the seed.
-    #[test]
-    fn compiled_invariants(src in valid_program()) {
+/// Every generated well-formed program compiles, and its invariants
+/// hold: the relation matrix is antisymmetric, terminating leaves
+/// have no outgoing Before edge, and each seed's evaluation order is
+/// a permutation of all leaves starting with the seed.
+#[test]
+fn compiled_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xC0DE ^ case);
+        let src = valid_program(&mut rng);
         // Contradictions (e.g. (A -> B) || B creating Before+Concurrent
         // on one pair through different sub-expressions) are legal
         // rejections; everything else must compile.
-        let Ok(p) = Pattern::parse(&src) else { return Ok(()); };
+        let Ok(p) = Pattern::parse(&src) else {
+            continue;
+        };
         let k = p.n_leaves();
         for i in 0..k {
             let li = p.leaves()[i].id();
@@ -86,10 +83,10 @@ proptest! {
                 let lj = p.leaves()[j].id();
                 match (p.rel(li, lj), p.rel(lj, li)) {
                     (Some(PairRel::Before), got) => {
-                        prop_assert_eq!(got, Some(PairRel::After))
+                        assert_eq!(got, Some(PairRel::After), "case {case}\n{src}");
                     }
                     (Some(PairRel::Concurrent), got) => {
-                        prop_assert_eq!(got, Some(PairRel::Concurrent))
+                        assert_eq!(got, Some(PairRel::Concurrent), "case {case}\n{src}");
                     }
                     _ => {}
                 }
@@ -98,19 +95,21 @@ proptest! {
         for &tl in p.terminating_leaves() {
             for j in 0..k {
                 let lj = p.leaves()[j].id();
-                prop_assert_ne!(p.rel(tl, lj), Some(PairRel::Before));
+                assert_ne!(p.rel(tl, lj), Some(PairRel::Before), "case {case}\n{src}");
             }
         }
         for seed in p.leaves() {
             let order = p.eval_order(seed.id());
-            prop_assert_eq!(order.len(), k);
-            prop_assert_eq!(order[0], seed.id());
+            assert_eq!(order.len(), k, "case {case}");
+            assert_eq!(order[0], seed.id(), "case {case}");
             let mut sorted: Vec<_> = order.to_vec();
             sorted.sort();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), k, "order must be a permutation");
+            assert_eq!(sorted.len(), k, "case {case}: order must be a permutation");
         }
-        prop_assert!(!p.terminating_leaves().is_empty(),
-            "an acyclic precedence graph always has a sink");
+        assert!(
+            !p.terminating_leaves().is_empty(),
+            "case {case}: an acyclic precedence graph always has a sink"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! iterator yields events in the order the server published them.
 
 use crate::Event;
-use crossbeam::channel;
+use std::sync::mpsc;
 
 /// A live client connection to a [`crate::PoetServer`].
 ///
@@ -29,11 +29,11 @@ use crossbeam::channel;
 /// ```
 #[derive(Debug)]
 pub struct Subscription {
-    rx: channel::Receiver<Event>,
+    rx: mpsc::Receiver<Event>,
 }
 
 impl Subscription {
-    pub(crate) fn new(rx: channel::Receiver<Event>) -> Self {
+    pub(crate) fn new(rx: mpsc::Receiver<Event>) -> Self {
         Subscription { rx }
     }
 
@@ -65,7 +65,7 @@ impl IntoIterator for Subscription {
 /// Blocking iterator over a [`Subscription`]'s event stream.
 #[derive(Debug)]
 pub struct SubscriptionIter {
-    rx: channel::Receiver<Event>,
+    rx: mpsc::Receiver<Event>,
 }
 
 impl Iterator for SubscriptionIter {

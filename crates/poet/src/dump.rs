@@ -25,7 +25,6 @@
 //! ```
 
 use crate::{Event, PoetError, PoetServer, TraceStore};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ocep_vclock::{EventId, EventIndex, TraceId};
 use std::collections::HashMap;
 use std::path::Path;
@@ -50,7 +49,7 @@ const VERSION: u16 = 1;
 /// assert!(reloaded.store().content_eq(poet.store()));
 /// ```
 #[must_use]
-pub fn dump(store: &TraceStore) -> Bytes {
+pub fn dump(store: &TraceStore) -> Vec<u8> {
     let mut strings: Vec<&str> = Vec::new();
     let mut string_ids: HashMap<&str, u32> = HashMap::new();
     let events: Vec<&Event> = store.iter_arrival().collect();
@@ -63,35 +62,35 @@ pub fn dump(store: &TraceStore) -> Bytes {
         }
     }
 
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(store.n_traces() as u32);
-    buf.put_u32_le(strings.len() as u32);
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(store.n_traces() as u32).to_le_bytes());
+    buf.extend_from_slice(&(strings.len() as u32).to_le_bytes());
     for s in &strings {
-        buf.put_u32_le(s.len() as u32);
-        buf.put_slice(s.as_bytes());
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
     }
-    buf.put_u64_le(events.len() as u64);
+    buf.extend_from_slice(&(events.len() as u64).to_le_bytes());
     for e in events {
-        buf.put_u32_le(e.trace().as_u32());
-        buf.put_u8(match e.kind() {
+        buf.extend_from_slice(&e.trace().as_u32().to_le_bytes());
+        buf.push(match e.kind() {
             crate::EventKind::Send => 0,
             crate::EventKind::Receive => 1,
             crate::EventKind::Unary => 2,
         });
-        buf.put_u32_le(string_ids[e.ty()]);
-        buf.put_u32_le(string_ids[e.text()]);
+        buf.extend_from_slice(&string_ids[e.ty()].to_le_bytes());
+        buf.extend_from_slice(&string_ids[e.text()].to_le_bytes());
         match e.partner() {
             Some(p) => {
-                buf.put_u8(1);
-                buf.put_u32_le(p.trace().as_u32());
-                buf.put_u32_le(p.index().get());
+                buf.push(1);
+                buf.extend_from_slice(&p.trace().as_u32().to_le_bytes());
+                buf.extend_from_slice(&p.index().get().to_le_bytes());
             }
-            None => buf.put_u8(0),
+            None => buf.push(0),
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Replays a dump through a fresh server, reconstructing all timestamps.
@@ -102,17 +101,18 @@ pub fn dump(store: &TraceStore) -> Bytes {
 /// malformed, or if a receive names a partner that has not been recorded.
 pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
     let mut buf = data;
-    if buf.remaining() < 6 {
+    if buf.len() < 6 {
         return Err(PoetError::BadHeader("file shorter than header".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let (magic, rest) = buf.split_at(4);
+    buf = rest;
+    if magic != MAGIC {
         return Err(PoetError::BadHeader(format!(
             "magic {magic:?} is not b\"POET\""
         )));
     }
-    let version = buf.get_u16_le();
+    let version = u16::from_le_bytes([buf[0], buf[1]]);
+    buf = &buf[2..];
     if version != VERSION {
         return Err(PoetError::BadHeader(format!(
             "unsupported version {version}"
@@ -123,19 +123,21 @@ pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
     let mut strings: Vec<std::sync::Arc<str>> = Vec::with_capacity(n_strings);
     for i in 0..n_strings {
         let len = read_u32(&mut buf, "string length")? as usize;
-        if buf.remaining() < len {
+        if buf.len() < len {
             return Err(PoetError::Corrupt(format!("string {i} truncated")));
         }
-        let raw = buf.copy_to_bytes(len);
-        let s = std::str::from_utf8(&raw)
+        let (raw, rest) = buf.split_at(len);
+        buf = rest;
+        let s = std::str::from_utf8(raw)
             .map_err(|e| PoetError::Corrupt(format!("string {i} is not utf-8: {e}")))?;
         strings.push(std::sync::Arc::from(s));
     }
 
-    if buf.remaining() < 8 {
+    if buf.len() < 8 {
         return Err(PoetError::Corrupt("missing event count".into()));
     }
-    let n_events = buf.get_u64_le();
+    let n_events = u64::from_le_bytes(buf[..8].try_into().expect("checked length"));
+    buf = &buf[8..];
     let mut server = PoetServer::new(n_traces);
     for i in 0..n_events {
         let trace = TraceId::new(read_u32(&mut buf, "event trace")?);
@@ -144,16 +146,10 @@ pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
                 "event {i} names out-of-range trace {trace}"
             )));
         }
-        if buf.remaining() < 1 {
-            return Err(PoetError::Corrupt(format!("event {i} truncated")));
-        }
-        let kind = buf.get_u8();
+        let kind = read_u8(&mut buf, i)?;
         let ty = lookup(&strings, read_u32(&mut buf, "type id")?, i)?;
         let text = lookup(&strings, read_u32(&mut buf, "text id")?, i)?;
-        if buf.remaining() < 1 {
-            return Err(PoetError::Corrupt(format!("event {i} truncated")));
-        }
-        let has_partner = buf.get_u8() == 1;
+        let has_partner = read_u8(&mut buf, i)? == 1;
         match kind {
             0 => {
                 server.record(trace, crate::EventKind::Send, ty, text);
@@ -210,11 +206,21 @@ pub fn reload_from_file(path: impl AsRef<Path>) -> Result<PoetServer, PoetError>
     reload(&data)
 }
 
+fn read_u8(buf: &mut &[u8], event: u64) -> Result<u8, PoetError> {
+    let (&byte, rest) = buf
+        .split_first()
+        .ok_or_else(|| PoetError::Corrupt(format!("event {event} truncated")))?;
+    *buf = rest;
+    Ok(byte)
+}
+
 fn read_u32(buf: &mut &[u8], what: &str) -> Result<u32, PoetError> {
-    if buf.remaining() < 4 {
+    if buf.len() < 4 {
         return Err(PoetError::Corrupt(format!("missing {what}")));
     }
-    Ok(buf.get_u32_le())
+    let v = u32::from_le_bytes(buf[..4].try_into().expect("checked length"));
+    *buf = &buf[4..];
+    Ok(v)
 }
 
 fn lookup(
@@ -295,7 +301,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_version() {
-        let mut bytes = dump(sample().store()).to_vec();
+        let mut bytes = dump(sample().store());
         bytes[4] = 99;
         assert!(matches!(
             reload(&bytes).unwrap_err(),

@@ -1,7 +1,6 @@
 //! The traced-event model.
 
 use ocep_vclock::{EventId, EventIndex, StampedEvent, TraceId, VectorClock};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The communication role of an event.
@@ -9,7 +8,7 @@ use std::sync::Arc;
 /// How an event is causally related to events on *other* traces is only
 /// affected by messages (§VI of the paper), so the tracer distinguishes
 /// message endpoints from purely local activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A message-send endpoint.
     Send,

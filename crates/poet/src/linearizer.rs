@@ -107,7 +107,14 @@ struct EmittedSet {
 impl EmittedSet {
     fn new(store: &TraceStore) -> Self {
         let per_trace = (0..store.n_traces())
-            .map(|t| vec![false; store.trace_events(ocep_vclock::TraceId::new(t as u32)).len()])
+            .map(|t| {
+                vec![
+                    false;
+                    store
+                        .trace_events(ocep_vclock::TraceId::new(t as u32))
+                        .len()
+                ]
+            })
             .collect();
         EmittedSet { per_trace }
     }

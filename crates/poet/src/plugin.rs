@@ -320,9 +320,12 @@ impl<'a> PthreadsPlugin<'a> {
     /// Records a full `pthread_mutex_lock`: request, arrival at the
     /// mutex trace, grant, and the grant's arrival back at the thread.
     pub fn lock(&mut self, thread: TraceId, mutex: TraceId) -> Event {
-        let req = self
-            .server
-            .record(thread, EventKind::Send, pthread_types::MTX_LOCK, mutex.to_string());
+        let req = self.server.record(
+            thread,
+            EventKind::Send,
+            pthread_types::MTX_LOCK,
+            mutex.to_string(),
+        );
         self.server
             .record_receive(mutex, req.id(), pthread_types::MTX_LOCK, thread.to_string());
         let grant = self.server.record(

@@ -2,8 +2,8 @@
 
 use crate::client::Subscription;
 use crate::{Event, EventKind, TraceStore};
-use crossbeam::channel;
 use ocep_vclock::{ClockAssigner, EventId, TraceId};
+use std::sync::mpsc;
 
 /// The POET-style tracer server.
 ///
@@ -32,7 +32,7 @@ pub struct PoetServer {
     store: TraceStore,
     /// Events recorded since the last `linearization()` drain.
     pending: Vec<Event>,
-    subscribers: Vec<channel::Sender<Event>>,
+    subscribers: Vec<mpsc::Sender<Event>>,
 }
 
 impl PoetServer {
@@ -105,8 +105,7 @@ impl PoetServer {
         self.store
             .push(event.clone())
             .expect("server-assigned events are always consistent");
-        self.subscribers
-            .retain(|tx| tx.send(event.clone()).is_ok());
+        self.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
         self.pending.push(event);
     }
 
@@ -123,7 +122,7 @@ impl PoetServer {
     /// the paper's architecture where the OCEP monitor connects to POET as
     /// a client, possibly on another thread.
     pub fn subscribe(&mut self) -> Subscription {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = mpsc::channel();
         self.subscribers.push(tx);
         Subscription::new(rx)
     }

@@ -8,9 +8,8 @@
 //! distributed execution.
 
 use ocep_poet::{Event, EventKind, PoetServer};
+use ocep_rng::Rng;
 use ocep_vclock::{EventId, TraceId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A message in flight between two actors.
 #[derive(Debug, Clone)]
@@ -33,7 +32,7 @@ pub struct Message {
 pub struct Ctx<'a> {
     poet: &'a mut PoetServer,
     outbox: &'a mut Vec<Message>,
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng,
     me: TraceId,
 }
 
@@ -161,7 +160,7 @@ pub struct SimKernel {
     poet: PoetServer,
     actors: Vec<Box<dyn Actor>>,
     in_flight: Vec<Message>,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl std::fmt::Debug for SimKernel {
@@ -182,7 +181,7 @@ impl SimKernel {
             poet: PoetServer::new(n_traces),
             actors: Vec::new(),
             in_flight: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
@@ -286,7 +285,11 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(1), build(1));
-        assert_ne!(build(1), build(2), "different seeds should interleave differently");
+        assert_ne!(
+            build(1),
+            build(2),
+            "different seeds should interleave differently"
+        );
     }
 
     #[test]

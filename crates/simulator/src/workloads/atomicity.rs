@@ -135,7 +135,10 @@ impl Actor for Thread {
 /// Panics if `n_threads < 2`.
 #[must_use]
 pub fn generate(params: &Params) -> Generated {
-    assert!(params.n_threads >= 2, "atomicity needs at least two threads");
+    assert!(
+        params.n_threads >= 2,
+        "atomicity needs at least two threads"
+    );
     let n = params.n_threads + 1; // semaphore is the last trace
     let sem = TraceId::new(params.n_threads as u32);
     let violations = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));

@@ -120,8 +120,12 @@ pub fn generate(params: &Params) -> Generated {
     let mut truth = Vec::new();
     for i in 0..recvs.len() {
         for j in i + 1..recvs.len() {
-            let si = store.get(recvs[i].partner().expect("recv has partner")).unwrap();
-            let sj = store.get(recvs[j].partner().expect("recv has partner")).unwrap();
+            let si = store
+                .get(recvs[i].partner().expect("recv has partner"))
+                .unwrap();
+            let sj = store
+                .get(recvs[j].partner().expect("recv has partner"))
+                .unwrap();
             if si.stamp().concurrent_with(sj.stamp()) {
                 truth.push(Violation {
                     kind: "race",

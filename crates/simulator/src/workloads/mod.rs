@@ -41,7 +41,6 @@ impl Generated {
     /// Panics if the workload produced an invalid pattern — a bug.
     #[must_use]
     pub fn pattern(&self) -> ocep_pattern::Pattern {
-        ocep_pattern::Pattern::parse(&self.pattern_src)
-            .expect("workload patterns are well-formed")
+        ocep_pattern::Pattern::parse(&self.pattern_src).expect("workload patterns are well-formed")
     }
 }

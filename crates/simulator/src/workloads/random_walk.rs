@@ -19,10 +19,8 @@
 
 use super::{Generated, Violation};
 use ocep_poet::PoetServer;
+use ocep_rng::Rng;
 use ocep_vclock::TraceId;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 /// Parameters for the random-walk/deadlock workload.
@@ -63,11 +61,7 @@ pub fn cycle_pattern(k: usize) -> String {
     assert!(k >= 2, "a deadlock cycle needs at least two processes");
     let mut src = String::new();
     for i in 0..k {
-        let _ = writeln!(
-            src,
-            "S{i} := [$p{i}, mpi_block_send, $p{}];",
-            (i + 1) % k
-        );
+        let _ = writeln!(src, "S{i} := [$p{i}, mpi_block_send, $p{}];", (i + 1) % k);
     }
     for i in 0..k {
         let _ = writeln!(src, "S{i} $s{i};");
@@ -97,7 +91,7 @@ pub fn generate(params: &Params) -> Generated {
     assert!(params.cycle_len >= 2);
     assert!(params.cycle_len <= params.n_processes);
     let n = params.n_processes;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut poet = PoetServer::new(n);
     let mut truth = Vec::new();
     // Blocked sends from the previous episode, delivered (timeout) a
@@ -126,7 +120,7 @@ pub fn generate(params: &Params) -> Generated {
         // Possibly inject a deadlock episode.
         if rng.gen_bool(params.deadlock_prob) {
             let mut procs: Vec<u32> = (0..n as u32).collect();
-            procs.shuffle(&mut rng);
+            rng.shuffle(&mut procs);
             procs.truncate(params.cycle_len);
             for (i, &p) in procs.iter().enumerate() {
                 let next = procs[(i + 1) % procs.len()];

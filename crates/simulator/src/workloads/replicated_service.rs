@@ -89,7 +89,13 @@ impl Actor for Leader {
                 traces: vec![ctx.me(), follower],
             });
         }
-        ctx.send_with_text(follower, "forward_snapshot", "recv_snapshot", &token, &token);
+        ctx.send_with_text(
+            follower,
+            "forward_snapshot",
+            "recv_snapshot",
+            &token,
+            &token,
+        );
     }
 }
 
@@ -171,7 +177,7 @@ mod tests {
         let p = ocep_pattern::Pattern::parse(&ordering_pattern()).unwrap();
         assert_eq!(p.n_leaves(), 4);
         assert_eq!(p.n_vars(), 2); // $l, $f
-        // Forward is the single terminating leaf.
+                                   // Forward is the single terminating leaf.
         assert_eq!(p.terminating_leaves().len(), 1);
     }
 

@@ -1,7 +1,6 @@
 //! Fidge/Mattern vector clocks.
 
 use crate::{EventIndex, TraceId};
-use serde::{Deserialize, Serialize};
 
 /// A Fidge/Mattern vector timestamp over a fixed set of traces.
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// b.tick(TraceId::new(1));               // b = [1, 1, 0] — receive from a
 /// assert!(a.entry(TraceId::new(0)).get() <= b.entry(TraceId::new(0)).get());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     entries: Vec<u32>,
 }
@@ -103,11 +102,7 @@ impl VectorClock {
     #[must_use]
     pub fn le(&self, other: &VectorClock) -> bool {
         self.entries.len() == other.entries.len()
-            && self
-                .entries
-                .iter()
-                .zip(&other.entries)
-                .all(|(a, b)| a <= b)
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 
     /// Raw entries, indexed by trace.

@@ -6,7 +6,6 @@
 //! `A -> B`, `B -> A`, `A || B`, or `A <-> B` (entangled).
 
 use crate::{Causality, EventId, StampedEvent};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A compound event: a non-empty set of causally related primitive events.
@@ -87,9 +86,7 @@ impl EventSet {
     /// running in both directions (`∃ a0→b0` and `∃ b1→a1`).
     #[must_use]
     pub fn crosses(&self, other: &EventSet) -> bool {
-        self.disjoint(other)
-            && self.any_pair_before(other)
-            && other.any_pair_before(self)
+        self.disjoint(other) && self.any_pair_before(other) && other.any_pair_before(self)
     }
 
     /// Entanglement `A <-> B ⇔ A crosses B ∨ A overlaps B` (eq. 1).
@@ -179,7 +176,7 @@ impl Extend<StampedEvent> for EventSet {
 }
 
 /// The exhaustive four-way relationship between two compound events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompoundRelation {
     /// `A -> B`: weak precedence holds from A to B (eq. 2).
     Precedes,

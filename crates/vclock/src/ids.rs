@@ -1,7 +1,5 @@
 //! Identifier newtypes for traces and events.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one *trace* in a monitored computation.
 ///
 /// A trace is any relevant entity with sequential behaviour (§III-A of the
@@ -14,9 +12,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_usize(), 3);
 /// assert_eq!(t.to_string(), "T3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TraceId(u32);
 
 impl TraceId {
@@ -71,9 +67,7 @@ impl std::fmt::Display for TraceId {
 /// assert_eq!(i.prev(), Some(EventIndex::new(4)));
 /// assert_eq!(EventIndex::new(1).prev(), None);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EventIndex(u32);
 
 impl EventIndex {
@@ -139,9 +133,7 @@ impl std::fmt::Display for EventIndex {
 /// let e = EventId::new(TraceId::new(1), EventIndex::new(7));
 /// assert_eq!(e.to_string(), "T1:7");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EventId {
     trace: TraceId,
     index: EventIndex,

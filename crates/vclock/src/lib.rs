@@ -47,14 +47,12 @@ pub use compound::{CompoundRelation, EventSet};
 pub use ids::{EventId, EventIndex, TraceId};
 pub use stamped::{ClockAssigner, StampedEvent};
 
-use serde::{Deserialize, Serialize};
-
 /// The causal relationship between two primitive events.
 ///
 /// Exactly one of the four variants holds for any pair of events in a
 /// distributed computation (Lamport's happened-before relation extended
 /// with equality).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Causality {
     /// The first event happens before the second (`a -> b`).
     Before,

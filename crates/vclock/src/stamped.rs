@@ -1,7 +1,6 @@
 //! Timestamped events and the per-computation clock assigner.
 
 use crate::{Causality, EventId, EventIndex, TraceId, VectorClock};
-use serde::{Deserialize, Serialize};
 
 /// An event position together with its vector timestamp.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(a.happens_before(&b));
 /// assert_eq!(b.causality(&a), Causality::After);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StampedEvent {
     id: EventId,
     clock: VectorClock,

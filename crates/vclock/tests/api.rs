@@ -2,8 +2,7 @@
 //! small conveniences every public type promises.
 
 use ocep_vclock::{
-    Causality, ClockAssigner, CompoundRelation, EventId, EventIndex, EventSet, TraceId,
-    VectorClock,
+    Causality, ClockAssigner, CompoundRelation, EventId, EventIndex, EventSet, TraceId, VectorClock,
 };
 
 fn t(i: u32) -> TraceId {

@@ -1,7 +1,8 @@
-//! Property-based tests for the vector-clock causality algebra.
+//! Property-based tests for the vector-clock causality algebra, driven
+//! by seeded deterministic random computations (`ocep-rng`).
 
+use ocep_rng::Rng;
 use ocep_vclock::{Causality, ClockAssigner, EventSet, StampedEvent, TraceId};
-use proptest::prelude::*;
 
 /// One step of a randomly generated distributed computation.
 #[derive(Debug, Clone)]
@@ -11,11 +12,20 @@ enum Step {
     Message(u32, u32),
 }
 
-fn step_strategy(n_traces: u32) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..n_traces).prop_map(Step::Local),
-        (0..n_traces, 0..n_traces).prop_map(|(a, b)| Step::Message(a, b)),
-    ]
+/// Draws a random computation: a trace count and a step list.
+fn random_computation(rng: &mut Rng) -> (u32, Vec<Step>) {
+    let n = rng.gen_range(2u32..6);
+    let len = rng.gen_range(1usize..60);
+    let steps = (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Step::Local(rng.gen_range(0..n))
+            } else {
+                Step::Message(rng.gen_range(0..n), rng.gen_range(0..n))
+            }
+        })
+        .collect();
+    (n, steps)
 }
 
 /// Replays the steps, returning every generated event.
@@ -40,83 +50,98 @@ fn run(n_traces: u32, steps: &[Step]) -> Vec<StampedEvent> {
     events
 }
 
-fn computation() -> impl Strategy<Value = (u32, Vec<Step>)> {
-    (2u32..6).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec(step_strategy(n), 1..60),
-        )
-    })
+const CASES: u64 = 64;
+
+fn for_each_case(f: impl Fn(u64, u32, &[Step])) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC10C ^ case);
+        let (n, steps) = random_computation(&mut rng);
+        f(case, n, &steps);
+    }
 }
 
-proptest! {
-    /// happens-before agrees with the componentwise clock order.
-    #[test]
-    fn hb_matches_componentwise_le((n, steps) in computation()) {
-        let events = run(n, &steps);
+/// happens-before agrees with the componentwise clock order.
+#[test]
+fn hb_matches_componentwise_le() {
+    for_each_case(|case, n, steps| {
+        let events = run(n, steps);
         for a in &events {
             for b in &events {
-                if a.id() == b.id() { continue; }
-                let hb = a.happens_before(b);
-                let le = a.clock().le(b.clock());
-                prop_assert_eq!(hb, le, "a={} b={}", a, b);
+                if a.id() == b.id() {
+                    continue;
+                }
+                assert_eq!(
+                    a.happens_before(b),
+                    a.clock().le(b.clock()),
+                    "case {case}: a={a} b={b}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// The four-way classification is exhaustive and antisymmetric.
-    #[test]
-    fn classification_is_consistent((n, steps) in computation()) {
-        let events = run(n, &steps);
+/// The four-way classification is exhaustive and antisymmetric.
+#[test]
+fn classification_is_consistent() {
+    for_each_case(|case, n, steps| {
+        let events = run(n, steps);
         for a in &events {
             for b in &events {
                 let ab = a.causality(b);
                 let ba = b.causality(a);
-                prop_assert_eq!(ab, ba.inverse());
+                assert_eq!(ab, ba.inverse(), "case {case}");
                 if a.id() == b.id() {
-                    prop_assert_eq!(ab, Causality::Equal);
+                    assert_eq!(ab, Causality::Equal, "case {case}");
                 } else {
-                    prop_assert_ne!(ab, Causality::Equal);
+                    assert_ne!(ab, Causality::Equal, "case {case}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// happens-before is transitive and irreflexive.
-    #[test]
-    fn hb_is_a_strict_partial_order((n, steps) in computation()) {
-        let events = run(n, &steps);
+/// happens-before is transitive and irreflexive.
+#[test]
+fn hb_is_a_strict_partial_order() {
+    for_each_case(|case, n, steps| {
+        let events = run(n, steps);
         for a in &events {
-            prop_assert!(!a.happens_before(a));
+            assert!(!a.happens_before(a), "case {case}");
             for b in &events {
-                if !a.happens_before(b) { continue; }
-                prop_assert!(!b.happens_before(a));
+                if !a.happens_before(b) {
+                    continue;
+                }
+                assert!(!b.happens_before(a), "case {case}");
                 for c in &events {
                     if b.happens_before(c) {
-                        prop_assert!(a.happens_before(c));
+                        assert!(a.happens_before(c), "case {case}");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Events on one trace are totally ordered by their index.
-    #[test]
-    fn same_trace_is_totally_ordered((n, steps) in computation()) {
-        let events = run(n, &steps);
+/// Events on one trace are totally ordered by their index.
+#[test]
+fn same_trace_is_totally_ordered() {
+    for_each_case(|case, n, steps| {
+        let events = run(n, steps);
         for a in &events {
             for b in &events {
                 if a.trace() == b.trace() && a.index() < b.index() {
-                    prop_assert!(a.happens_before(b));
+                    assert!(a.happens_before(b), "case {case}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// GP(a, t) is the index of the latest event on t that happens before a.
-    #[test]
-    fn greatest_predecessor_matches_brute_force((n, steps) in computation()) {
-        let events = run(n, &steps);
+/// GP(a, t) is the index of the latest event on t that happens before a.
+#[test]
+fn greatest_predecessor_matches_brute_force() {
+    for_each_case(|case, n, steps| {
+        let events = run(n, steps);
         for a in &events {
             for t in 0..n {
                 let t = TraceId::new(t);
@@ -124,26 +149,32 @@ proptest! {
                 let brute = events
                     .iter()
                     .filter(|e| e.trace() == t && e.happens_before(a))
-                    .map(|e| e.index())
+                    .map(ocep_vclock::StampedEvent::index)
                     .max();
                 match brute {
-                    Some(idx) => prop_assert_eq!(gp, idx),
-                    None => prop_assert_eq!(gp.get(), 0),
+                    Some(idx) => assert_eq!(gp, idx, "case {case}"),
+                    None => assert_eq!(gp.get(), 0, "case {case}"),
                 }
             }
         }
-    }
+    });
+}
 
-    /// Exactly one compound relation holds for any two disjoint non-empty
-    /// subsets, and the classification agrees with the defining formulas.
-    #[test]
-    fn compound_relation_is_exhaustive((n, steps) in computation(), split in 1usize..8) {
+/// Exactly one compound relation holds for any two disjoint non-empty
+/// subsets, and the classification agrees with the defining formulas.
+#[test]
+fn compound_relation_is_exhaustive() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE5E7 ^ case);
+        let (n, steps) = random_computation(&mut rng);
         let events = run(n, &steps);
-        prop_assume!(events.len() >= 2);
-        let cut = split % (events.len() - 1) + 1;
+        if events.len() < 2 {
+            continue;
+        }
+        let cut = rng.gen_range(1usize..events.len());
         let a: EventSet = events[..cut].iter().cloned().collect();
         let b: EventSet = events[cut..].iter().cloned().collect();
-        prop_assume!(!a.is_empty() && !b.is_empty());
+        assert!(!a.is_empty() && !b.is_empty());
 
         let rel = a.relation(&b);
         let weak_ab = a.weakly_precedes(&b);
@@ -152,17 +183,17 @@ proptest! {
         let ent = a.entangled(&b);
         // Exactly one of the four formulas holds.
         let count = [weak_ab, weak_ba, conc, ent].iter().filter(|x| **x).count();
-        prop_assert_eq!(count, 1, "rel={:?}", rel);
+        assert_eq!(count, 1, "case {case}: rel={rel:?}");
         use ocep_vclock::CompoundRelation as R;
         match rel {
-            R::Precedes => prop_assert!(weak_ab),
-            R::Follows => prop_assert!(weak_ba),
-            R::Concurrent => prop_assert!(conc),
-            R::Entangled => prop_assert!(ent),
+            R::Precedes => assert!(weak_ab, "case {case}"),
+            R::Follows => assert!(weak_ba, "case {case}"),
+            R::Concurrent => assert!(conc, "case {case}"),
+            R::Entangled => assert!(ent, "case {case}"),
         }
         // Strong precedence implies weak precedence.
         if a.strongly_precedes(&b) {
-            prop_assert!(weak_ab);
+            assert!(weak_ab, "case {case}");
         }
     }
 }

@@ -49,8 +49,7 @@ fn main() {
     for event in generated.poet.store().iter_arrival() {
         for m in monitor.observe(event) {
             ocep_detections += 1;
-            let members: Vec<String> =
-                m.events().iter().map(|e| e.trace().to_string()).collect();
+            let members: Vec<String> = m.events().iter().map(|e| e.trace().to_string()).collect();
             println!("OCEP     : deadlock cycle {}", members.join(" -> "));
         }
         if let Some(cycle) = depgraph.observe(event) {

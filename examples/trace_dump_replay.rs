@@ -43,7 +43,10 @@ fn main() {
         reloaded.store().content_eq(generated.poet.store()),
         "reload must reproduce the computation exactly"
     );
-    println!("reloaded {} events, timestamps re-derived", reloaded.store().len());
+    println!(
+        "reloaded {} events, timestamps re-derived",
+        reloaded.store().len()
+    );
 
     // 4. Monitor the replayed stream.
     let mut monitor = Monitor::new(generated.pattern(), generated.n_traces);

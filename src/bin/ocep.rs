@@ -8,14 +8,14 @@
 //! ocep show <dump-file> [--limit N]            # ASCII process-time diagram
 //! ocep analyze <pattern-file> <dump-file>      # offline exhaustive statistics
 //! ocep slice <dump-file> <out-file> T0,T3,...  # project onto involved traces
+//! ocep fuzz [--seed N] [--cases N]             # differential conformance fuzzing
+//! ocep fuzz --replay <dir>                     # re-run a dumped failure
 //! ```
 
 use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
 use ocep_repro::pattern::{Constraint, Pattern};
 use ocep_repro::poet::dump;
-use ocep_repro::simulator::workloads::{
-    atomicity, message_race, random_walk, replicated_service,
-};
+use ocep_repro::simulator::workloads::{atomicity, message_race, random_walk, replicated_service};
 
 const USAGE: &str = "\
 ocep — online causal-event-pattern matching (ICDCS 2013 reproduction)
@@ -28,6 +28,14 @@ USAGE:
     ocep show <dump-file> [--limit N]
     ocep analyze <pattern-file> <dump-file>
     ocep slice <dump-file> <out-file> <T0,T3,...>
+    ocep fuzz [--seed N] [--cases N] [--smoke] [--dump-dir DIR]
+    ocep fuzz --replay <dir>
+
+`fuzz` generates seeded random (pattern, execution) cases and checks the
+online monitor against the exhaustive oracle and the naive baseline
+(agreement, k*n subset bound, coverage, linearization invariance). A
+failing case is shrunk and dumped as a replayable directory; `--replay`
+re-runs one deterministically. `--smoke` is the fixed-size CI run.
 
 A pattern file holds a pattern program, e.g.:
 
@@ -56,6 +64,7 @@ fn run() -> Result<(), String> {
         Some("show") => show(&args[1..]),
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("slice") => slice_cmd(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("--help" | "-h") => {
             print!("{USAGE}");
             Ok(())
@@ -81,16 +90,20 @@ fn validate(path: &str) -> Result<(), String> {
         } else {
             ""
         };
-        println!("  {}  (class {}){}", leaf.display_name(), leaf.class_name(), term);
+        println!(
+            "  {}  (class {}){}",
+            leaf.display_name(),
+            leaf.class_name(),
+            term
+        );
     }
     if !p.var_names().is_empty() {
         println!("\nattribute variables: {}", p.var_names().join(", "));
     }
     println!("\nconstraints:");
     for c in p.constraints() {
-        let name = |l: ocep_repro::pattern::LeafId| {
-            p.leaves()[l.as_usize()].display_name().to_owned()
-        };
+        let name =
+            |l: ocep_repro::pattern::LeafId| p.leaves()[l.as_usize()].display_name().to_owned();
         match c {
             Constraint::Before { from, to } => {
                 println!("  {} -> {}", name(*from), name(*to));
@@ -283,10 +296,7 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     if !involved.is_empty() {
         let names: Vec<String> = involved.iter().map(ToString::to_string).collect();
         println!("involved traces: {}", names.join(","));
-        println!(
-            "tip: ocep slice {dump_path} <out-file> {}",
-            names.join(",")
-        );
+        println!("tip: ocep slice {dump_path} <out-file> {}", names.join(","));
     }
     Ok(())
 }
@@ -323,6 +333,105 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
         keep.len()
     );
     Ok(())
+}
+
+/// Differential conformance fuzzing (`ocep fuzz`).
+fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+    use ocep_repro::conformance as conf;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+
+    if let Some(dir) = flag_val("--replay") {
+        let outcome = conf::replay_dump(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot replay '{dir}': {e}"))?;
+        match &outcome.result {
+            Err(m) => println!("replay: mismatch reproduced: {m}"),
+            Ok(o) => println!(
+                "replay: all invariants hold (truth={}, reported={}, detected={})",
+                o.truth, o.reported, o.detected
+            ),
+        }
+        if let Some(expected) = outcome.expected {
+            println!("dump recorded invariant: {expected}");
+        }
+        if outcome.reproduced() {
+            println!("verdict: REPRODUCED");
+            return Ok(());
+        }
+        println!("verdict: NOT reproduced");
+        std::process::exit(1);
+    }
+
+    let seed: u64 = flag_val("--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(0);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cases: usize = if smoke {
+        2000
+    } else {
+        flag_val("--cases")
+            .map(|s| s.parse().map_err(|_| format!("bad --cases '{s}'")))
+            .transpose()?
+            .unwrap_or(500)
+    };
+    let dump_dir = flag_val("--dump-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| Some(std::path::PathBuf::from("fuzz-failures")));
+
+    let cfg = conf::FuzzConfig {
+        seed,
+        cases,
+        dump_dir,
+        max_failures: 5,
+    };
+    println!("fuzzing: seed={seed} cases={cases}");
+    let mut checked = 0usize;
+    let report = conf::run_fuzz(&cfg, |i, result| {
+        checked += 1;
+        if let Err(m) = result {
+            eprintln!("case {i}: MISMATCH {m}");
+        } else if (i + 1) % 100 == 0 {
+            eprintln!("  ... {} cases checked", i + 1);
+        }
+    });
+    println!(
+        "done: {} cases, {} with a match ({} oracle assignments total), {} failures",
+        report.cases_run,
+        report.detected,
+        report.truth_total,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "failure at case {} (case seed {:#x}): {}",
+            f.case_index, f.case_seed, f.mismatch
+        );
+        println!(
+            "  shrunk to {} traces / {} events, pattern:\n    {}",
+            f.shrunk.n_traces,
+            f.shrunk.actions.len(),
+            f.shrunk.pattern_src.replace('\n', "\n    ")
+        );
+        match &f.dump {
+            Some(dir) => println!(
+                "  dump: {} (re-run: ocep fuzz --replay {})",
+                dir.display(),
+                dir.display()
+            ),
+            None => println!("  dump: <not written>"),
+        }
+    }
+    if report.failures.is_empty() {
+        println!("all invariants hold");
+        Ok(())
+    } else {
+        std::process::exit(1);
+    }
 }
 
 fn info(path: &str) -> Result<(), String> {

@@ -12,6 +12,9 @@
 //! * [`ocep`] — the online matching engine itself (§IV).
 //! * [`baselines`] — sliding-window / naive / dependency-graph baselines.
 //! * [`analysis`] — post-mortem companion: trace slicing, offline stats.
+//! * [`conformance`] — differential fuzzing harness (`ocep fuzz`):
+//!   seeded pattern/execution generators, oracle cross-checks,
+//!   shrinking, replayable failure dumps.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 
 pub use ocep_analysis as analysis;
 pub use ocep_baselines as baselines;
+pub use ocep_conformance as conformance;
 pub use ocep_core as ocep;
 pub use ocep_pattern as pattern;
 pub use ocep_poet as poet;

@@ -17,14 +17,27 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn record_info_validate_check_pipeline() {
     let dump = tmp("pipeline.poet");
     let out = ocep()
-        .args(["record-demo", "ordering", dump.to_str().unwrap(), "--seed", "7"])
+        .args([
+            "record-demo",
+            "ordering",
+            dump.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("violations injected"), "{stdout}");
 
-    let info = ocep().args(["info", dump.to_str().unwrap()]).output().unwrap();
+    let info = ocep()
+        .args(["info", dump.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(info.status.success());
     let info_out = String::from_utf8_lossy(&info.stdout);
     assert!(info_out.contains("recv_snapshot"), "{info_out}");
@@ -43,14 +56,23 @@ fn record_info_validate_check_pipeline() {
     assert!(check.status.success());
     let c_out = String::from_utf8_lossy(&check.stdout);
     assert!(c_out.contains("matches found"), "{c_out}");
-    assert!(c_out.contains("match: {"), "violations must be reported: {c_out}");
+    assert!(
+        c_out.contains("match: {"),
+        "violations must be reported: {c_out}"
+    );
 }
 
 #[test]
 fn check_per_arrival_reports_each_violation() {
     let dump = tmp("per-arrival.poet");
     ocep()
-        .args(["record-demo", "atomicity", dump.to_str().unwrap(), "--seed", "3"])
+        .args([
+            "record-demo",
+            "atomicity",
+            dump.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
         .output()
         .unwrap();
     let pattern = format!("{}.pattern", dump.display());
@@ -73,13 +95,19 @@ fn check_per_arrival_reports_each_violation() {
 
 #[test]
 fn helpful_errors_for_bad_input() {
-    let out = ocep().args(["validate", "/nonexistent.pattern"]).output().unwrap();
+    let out = ocep()
+        .args(["validate", "/nonexistent.pattern"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
     let bad = tmp("bad.pattern");
     std::fs::write(&bad, "pattern := ;").unwrap();
-    let out = ocep().args(["validate", bad.to_str().unwrap()]).output().unwrap();
+    let out = ocep()
+        .args(["validate", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let out = ocep().args(["frobnicate"]).output().unwrap();
@@ -106,14 +134,14 @@ fn custom_pattern_over_demo_dump() {
     )
     .unwrap();
     let out = ocep()
-        .args([
-            "check",
-            pattern.to_str().unwrap(),
-            dump.to_str().unwrap(),
-        ])
+        .args(["check", pattern.to_str().unwrap(), dump.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("match: {"), "{stdout}");
 }
@@ -142,7 +170,13 @@ fn analyze_and_slice_post_mortem_workflow() {
     // the involved traces for focused offline analysis.
     let dump = tmp("pm.poet");
     ocep()
-        .args(["record-demo", "ordering", dump.to_str().unwrap(), "--seed", "5"])
+        .args([
+            "record-demo",
+            "ordering",
+            dump.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
         .output()
         .unwrap();
     let pattern = format!("{}.pattern", dump.display());
@@ -173,7 +207,11 @@ fn analyze_and_slice_post_mortem_workflow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The sliced dump still contains every match (all involved traces kept).
     let re_analyze = ocep()
@@ -192,7 +230,12 @@ fn analyze_and_slice_post_mortem_workflow() {
 
     // Bad trace list errors cleanly.
     let bad = ocep()
-        .args(["slice", dump.to_str().unwrap(), sliced.to_str().unwrap(), "X9"])
+        .args([
+            "slice",
+            dump.to_str().unwrap(),
+            sliced.to_str().unwrap(),
+            "X9",
+        ])
         .output()
         .unwrap();
     assert!(!bad.status.success());

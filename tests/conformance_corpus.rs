@@ -1,0 +1,63 @@
+//! Regression-seed corpus replay (tier-1).
+//!
+//! `tests/corpus/seeds.txt` pins `master_seed,case_index` pairs: every
+//! line is regenerated through the conformance generators and pushed
+//! through the full differential check on plain `cargo test`. Dump
+//! directories under `tests/corpus/dumps/` (shrunk historical
+//! failures) are replayed the same way and must stay fixed.
+
+use ocep_repro::conformance as conf;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn pinned_seed_corpus_passes_the_differential_check() {
+    let text = std::fs::read_to_string(corpus_dir().join("seeds.txt"))
+        .expect("tests/corpus/seeds.txt exists");
+    let mut checked = 0usize;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (seed, index) = line
+            .split_once(',')
+            .unwrap_or_else(|| panic!("seeds.txt:{}: expected `seed,case`", line_no + 1));
+        let seed: u64 = seed.trim().parse().expect("numeric master seed");
+        let index: usize = index.trim().parse().expect("numeric case index");
+        let (case, cfg) = conf::nth_case(seed, index);
+        if let Err(mismatch) = conf::check_case(&case, &cfg) {
+            panic!(
+                "corpus case (seed {seed}, index {index}) regressed: {mismatch}\n\
+                 replay with: ocep fuzz --seed {seed} --cases {}",
+                index + 1
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "corpus shrank to {checked} cases");
+}
+
+#[test]
+fn committed_failure_dumps_stay_fixed() {
+    let dumps = corpus_dir().join("dumps");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&dumps).expect("tests/corpus/dumps exists") {
+        let dir = entry.expect("readable dir entry").path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let outcome = conf::replay_dump(&dir).expect("dump loads");
+        assert!(
+            outcome.result.is_ok(),
+            "historical failure dump {} regressed: {:?}",
+            dir.display(),
+            outcome.result.err()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "no dump fixtures found");
+}

@@ -235,9 +235,9 @@ fn monitor_agrees_with_exhaustive_oracle_on_small_workloads() {
                 let t = TraceId::new(t as u32);
                 if monitor.covers(leaf.display_name(), t) {
                     let ok = oracle.iter().any(|m| {
-                        m.iter().zip(leaves).any(|(e, l)| {
-                            l.class_name() == leaf.class_name() && e.trace() == t
-                        })
+                        m.iter()
+                            .zip(leaves)
+                            .any(|(e, l)| l.class_name() == leaf.class_name() && e.trace() == t)
                     });
                     assert!(ok, "cell ({}, {t}) not in oracle", leaf.display_name());
                 }
@@ -278,10 +278,8 @@ fn sliding_window_omits_what_ocep_represents() {
         seed: 31,
     });
     let (monitor, _) = run_monitor(&g, SubsetPolicy::Representative);
-    let mut window = ocep_repro::baselines::SlidingWindowMatcher::paper_sized(
-        g.pattern(),
-        g.n_traces,
-    );
+    let mut window =
+        ocep_repro::baselines::SlidingWindowMatcher::paper_sized(g.pattern(), g.n_traces);
     let mut window_cells: std::collections::HashSet<(usize, TraceId)> =
         std::collections::HashSet::new();
     for e in g.poet.store().iter_arrival() {
@@ -318,7 +316,8 @@ fn per_event_cost_is_bounded_for_non_matching_events() {
     });
     let (monitor, _) = run_monitor(&g, SubsetPolicy::Representative);
     assert_eq!(
-        monitor.stats().searches, 0,
+        monitor.stats().searches,
+        0,
         "no blocked sends were generated, so no event matches the pattern"
     );
 }

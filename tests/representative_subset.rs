@@ -62,7 +62,10 @@ fn fig3_subset_covers_p1_and_p2_but_window_misses_p2() {
     }
     // The desired subset of Fig 3: an A on P1 and the A on P2.
     assert!(monitor.covers("A", t(0)), "a1x b25 missing");
-    assert!(monitor.covers("A", t(1)), "a21 b25 missing (the window's blind spot)");
+    assert!(
+        monitor.covers("A", t(1)),
+        "a21 b25 missing (the window's blind spot)"
+    );
     // a33/a34 on P3 are concurrent with b25: no match, so no coverage.
     assert!(!monitor.covers("A", t(2)));
 
@@ -88,7 +91,10 @@ fn fig3_subset_covers_p1_and_p2_but_window_misses_p2() {
             }
         }
     }
-    assert!(!window_covers_p2, "the window should demonstrate the omission");
+    assert!(
+        !window_covers_p2,
+        "the window should demonstrate the omission"
+    );
 }
 
 #[test]
@@ -119,7 +125,10 @@ fn subset_cardinality_never_exceeds_kn() {
         .map(|m| m.binding_for("B").unwrap().text().parse::<u32>().unwrap())
         .max()
         .unwrap();
-    assert!(max_b_round >= 190, "subset should hold recent matches, got {max_b_round}");
+    assert!(
+        max_b_round >= 190,
+        "subset should hold recent matches, got {max_b_round}"
+    );
 }
 
 #[test]
