@@ -28,15 +28,27 @@ where
 }
 
 fn print_series(title: &str, series: &[(usize, BoxPlot)]) {
-    println!("\n=== {title} ===");
-    println!(
+    crate::hprintln!("\n=== {title} ===");
+    crate::hprintln!(
         "{:>8} {:>8} {:>8} {:>8} {:>12} {:>8} {:>8}",
-        "traces", "Q1", "Med", "Q3", "TopWhisker", "Max", "samples"
+        "traces",
+        "Q1",
+        "Med",
+        "Q3",
+        "TopWhisker",
+        "Max",
+        "samples"
     );
     for (n, b) in series {
-        println!(
+        crate::hprintln!(
             "{:>8} {:>8.0} {:>8.0} {:>8.0} {:>12.0} {:>8.0} {:>8}",
-            n, b.q1, b.median, b.q3, b.top_whisker, b.max, b.n
+            n,
+            b.q1,
+            b.median,
+            b.q3,
+            b.top_whisker,
+            b.max,
+            b.n
         );
     }
 }
@@ -188,15 +200,20 @@ pub fn fig10(opts: &RunOptions) -> Vec<(&'static str, BoxPlot)> {
             }),
         ),
     ];
-    println!("\n=== Fig 10: Detailed Runtime for Test Cases (us) ===");
-    println!(
+    crate::hprintln!("\n=== Fig 10: Detailed Runtime for Test Cases (us) ===");
+    crate::hprintln!(
         "{:<12} {:>8} {:>8} {:>8} {:>12} {:>8}",
-        "Test Case", "Q1", "Med", "Q3", "TopWhisker", "Max"
+        "Test Case",
+        "Q1",
+        "Med",
+        "Q3",
+        "TopWhisker",
+        "Max"
     );
     let mut out = Vec::new();
     for (name, samples) in cases {
         let b = BoxPlot::from_samples(&samples);
-        println!("{name:<12} {}", b.fig10_row());
+        crate::hprintln!("{name:<12} {}", b.fig10_row());
         out.push((name, b));
     }
     out
@@ -238,10 +255,10 @@ pub fn fig3() -> (bool, bool) {
         }
     }
     let ocep_covers_t1 = monitor.covers("A", t(1));
-    println!("\n=== Fig 3: Representative Subset vs Sliding Window ===");
-    println!("match involving the old event on T1 (the paper's a21 b25):");
-    println!("  OCEP representative subset covers it: {ocep_covers_t1}");
-    println!("  n^2 sliding window reports it:        {window_covers_t1}");
+    crate::hprintln!("\n=== Fig 3: Representative Subset vs Sliding Window ===");
+    crate::hprintln!("match involving the old event on T1 (the paper's a21 b25):");
+    crate::hprintln!("  OCEP representative subset covers it: {ocep_covers_t1}");
+    crate::hprintln!("  n^2 sliding window reports it:        {window_covers_t1}");
     (ocep_covers_t1, window_covers_t1)
 }
 
@@ -351,15 +368,23 @@ pub fn completeness(opts: &RunOptions) -> Vec<Completeness> {
         });
     }
 
-    println!("\n=== SV-D: Completeness and False Positives ===");
-    println!(
+    crate::hprintln!("\n=== SV-D: Completeness and False Positives ===");
+    crate::hprintln!(
         "{:<12} {:>9} {:>12} {:>13} {:>16}",
-        "Test Case", "injected", "represented", "matches", "false positives"
+        "Test Case",
+        "injected",
+        "represented",
+        "matches",
+        "false positives"
     );
     for c in &out {
-        println!(
+        crate::hprintln!(
             "{:<12} {:>9} {:>12} {:>13} {:>16}",
-            c.name, c.injected, c.represented, c.matches_found, c.false_positives
+            c.name,
+            c.injected,
+            c.represented,
+            c.matches_found,
+            c.false_positives
         );
     }
     out
@@ -424,10 +449,12 @@ fn verify_match(pattern: &Pattern, events: &[Event]) -> bool {
 /// dependency-graph cycle detector, per blocked-send event (µs medians),
 /// across cycle lengths.
 pub fn depgraph(opts: &RunOptions) -> Vec<(usize, f64, f64)> {
-    println!("\n=== SV-C1: OCEP vs dependency-graph deadlock detection ===");
-    println!(
+    crate::hprintln!("\n=== SV-C1: OCEP vs dependency-graph deadlock detection ===");
+    crate::hprintln!(
         "{:>10} {:>16} {:>16}",
-        "cycle len", "OCEP med (us)", "depgraph med (us)"
+        "cycle len",
+        "OCEP med (us)",
+        "depgraph med (us)"
     );
     let mut out = Vec::new();
     for &len in &[2usize, 3, 4, 5] {
@@ -447,7 +474,7 @@ pub fn depgraph(opts: &RunOptions) -> Vec<(usize, f64, f64)> {
             }
         }
         let dep_med = BoxPlot::from_samples(&dep_samples).median;
-        println!("{len:>10} {ocep_med:>16.1} {dep_med:>16.1}");
+        crate::hprintln!("{len:>10} {ocep_med:>16.1} {dep_med:>16.1}");
         out.push((len, ocep_med, dep_med));
     }
     out
@@ -470,15 +497,25 @@ pub fn ablation_pattern_len(opts: &RunOptions) -> Vec<(usize, BoxPlot)> {
         });
         out.push((len, BoxPlot::from_samples(&samples)));
     }
-    println!("\n=== Ablation: runtime vs pattern length (deadlock cycle) ===");
-    println!(
+    crate::hprintln!("\n=== Ablation: runtime vs pattern length (deadlock cycle) ===");
+    crate::hprintln!(
         "{:>12} {:>8} {:>8} {:>8} {:>12} {:>8}",
-        "pattern len", "Q1", "Med", "Q3", "TopWhisker", "Max"
+        "pattern len",
+        "Q1",
+        "Med",
+        "Q3",
+        "TopWhisker",
+        "Max"
     );
     for (len, b) in &out {
-        println!(
+        crate::hprintln!(
             "{:>12} {:>8.0} {:>8.0} {:>8.0} {:>12.0} {:>8.0}",
-            len, b.q1, b.median, b.q3, b.top_whisker, b.max
+            len,
+            b.q1,
+            b.median,
+            b.q3,
+            b.top_whisker,
+            b.max
         );
     }
     out
@@ -504,19 +541,27 @@ pub fn ablation_pruning(opts: &RunOptions) -> Vec<(&'static str, f64, f64, u64, 
             message_race::generate(&race_params(10, scale.min(10_000), 5)),
         ),
     ];
-    println!("\n=== Ablation: causal pruning vs naive backtracking ===");
-    println!(
+    crate::hprintln!("\n=== Ablation: causal pruning vs naive backtracking ===");
+    crate::hprintln!(
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
-        "case", "OCEP med(us)", "naive med(us)", "OCEP cands", "naive cands"
+        "case",
+        "OCEP med(us)",
+        "naive med(us)",
+        "OCEP cands",
+        "naive cands"
     );
     for (name, g) in cases {
         let m = measure_monitor(&g, MonitorConfig::default());
         let ocep_med = BoxPlot::from_samples(&m.per_search_event_us).median;
         let (naive_samples, naive_nodes, _) = measure_naive(&g);
         let naive_med = BoxPlot::from_samples(&naive_samples).median;
-        println!(
+        crate::hprintln!(
             "{:<10} {:>14.1} {:>14.1} {:>12} {:>12}",
-            name, ocep_med, naive_med, m.stats.candidates, naive_nodes
+            name,
+            ocep_med,
+            naive_med,
+            m.stats.candidates,
+            naive_nodes
         );
         out.push((name, ocep_med, naive_med, m.stats.candidates, naive_nodes));
     }
@@ -544,18 +589,19 @@ pub fn ablation_dedup(opts: &RunOptions) -> (usize, usize, f64, f64) {
             ..MonitorConfig::default()
         },
     );
-    println!("\n=== Ablation: SVI history deduplication ===");
-    println!(
+    crate::hprintln!("\n=== Ablation: SVI history deduplication ===");
+    crate::hprintln!(
         "history with dedup:    {:>10} events ({} arrivals suppressed)",
-        with.history_size, with.suppressed
+        with.history_size,
+        with.suppressed
     );
-    println!("history without dedup: {:>10} events", without.history_size);
-    println!(
+    crate::hprintln!("history without dedup: {:>10} events", without.history_size);
+    crate::hprintln!(
         "approx memory: {:.1} KiB with vs {:.1} KiB without",
         with.history_bytes as f64 / 1024.0,
         without.history_bytes as f64 / 1024.0
     );
-    println!(
+    crate::hprintln!(
         "monitoring time: {:.1} ms with vs {:.1} ms without",
         with.total.as_secs_f64() * 1e3,
         without.total.as_secs_f64() * 1e3
@@ -569,13 +615,19 @@ pub fn ablation_dedup(opts: &RunOptions) -> (usize, usize, f64, f64) {
 }
 
 /// Ablation: the §VI parallel trace traversal. Returns
-/// `(threads, median_us)` for the deadlock case (largest searches).
-pub fn ablation_parallel(opts: &RunOptions) -> Vec<(usize, f64)> {
+/// `(threads, median_us, total_ms, clones_avoided)` for the deadlock
+/// case (largest searches). `clones_avoided` is the zero-copy hot-path
+/// counter: Fig 4 restrictions that borrowed the assigned event instead
+/// of cloning its timestamp buffer.
+pub fn ablation_parallel(opts: &RunOptions) -> Vec<(usize, f64, f64, u64)> {
     let g = random_walk::generate(&deadlock_params(20, opts.events.min(40_000), 8, 5));
-    println!("\n=== Ablation: SVI parallel trace traversal (deadlock, 20 traces) ===");
-    println!(
-        "{:>8} {:>14} {:>14}",
-        "threads", "median (us)", "total (ms)"
+    crate::hprintln!("\n=== Ablation: SVI parallel trace traversal (deadlock, 20 traces) ===");
+    crate::hprintln!(
+        "{:>8} {:>14} {:>14} {:>16}",
+        "threads",
+        "median (us)",
+        "total (ms)",
+        "clones avoided"
     );
     let mut out = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
@@ -587,11 +639,12 @@ pub fn ablation_parallel(opts: &RunOptions) -> Vec<(usize, f64)> {
             },
         );
         let med = BoxPlot::from_samples(&m.per_search_event_us).median;
-        println!(
-            "{threads:>8} {med:>14.1} {:>14.1}",
-            m.total.as_secs_f64() * 1e3
+        let total_ms = m.total.as_secs_f64() * 1e3;
+        crate::hprintln!(
+            "{threads:>8} {med:>14.1} {total_ms:>14.1} {:>16}",
+            m.stats.clones_avoided
         );
-        out.push((threads, med));
+        out.push((threads, med, total_ms, m.stats.clones_avoided));
     }
     out
 }

@@ -14,8 +14,39 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod json;
 pub mod measure;
 pub mod stats;
+
+/// Gate for the human-readable tables: `--json` turns them off so
+/// stdout is a single machine-readable document.
+pub mod output {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static HUMAN: AtomicBool = AtomicBool::new(true);
+
+    /// Enables or disables the human-readable output.
+    pub fn set_human(on: bool) {
+        HUMAN.store(on, Ordering::Relaxed);
+    }
+
+    /// True when experiments should print their tables.
+    #[must_use]
+    pub fn human() -> bool {
+        HUMAN.load(Ordering::Relaxed)
+    }
+}
+
+/// `println!` that respects [`output::set_human`] — every experiment's
+/// table goes through this so `--json` leaves stdout clean.
+#[macro_export]
+macro_rules! hprintln {
+    ($($arg:tt)*) => {
+        if $crate::output::human() {
+            println!($($arg)*);
+        }
+    };
+}
 
 /// Global run options shared by all experiments.
 #[derive(Debug, Clone, Copy)]

@@ -1,13 +1,15 @@
 //! The `ocep-bench` command-line harness: regenerates every figure and
 //! table of the paper's evaluation plus the DESIGN.md ablations.
 
-use ocep_bench::{figures, RunOptions};
+use ocep_bench::json::Json;
+use ocep_bench::stats::BoxPlot;
+use ocep_bench::{figures, output, RunOptions};
 
 const USAGE: &str = "\
 ocep-bench — regenerate the OCEP paper's evaluation
 
 USAGE:
-    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full]
+    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full] [--json]
 
 EXPERIMENTS:
     all                   run every experiment below
@@ -28,6 +30,8 @@ OPTIONS:
     --events N   approximate events per workload (default 40000)
     --reps N     repetitions per configuration (default 5)
     --full       paper scale: 1,000,000 events per test case
+    --json       emit one machine-readable JSON document on stdout
+                 instead of the human tables
 ";
 
 fn main() {
@@ -38,10 +42,12 @@ fn main() {
     }
     let mut opts = RunOptions::default();
     let mut experiment = None;
+    let mut json_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opts = RunOptions::paper_scale(),
+            "--json" => json_mode = true,
             "--events" => {
                 i += 1;
                 opts.events = args
@@ -71,50 +77,140 @@ fn main() {
         bail("missing experiment name");
     };
 
-    println!(
-        "# ocep-bench: {experiment} (events≈{}, reps={})",
-        opts.events, opts.reps
-    );
-    match experiment.as_str() {
-        "all" => figures::run_all(&opts),
+    output::set_human(!json_mode);
+    if !json_mode {
+        println!(
+            "# ocep-bench: {experiment} (events≈{}, reps={})",
+            opts.events, opts.reps
+        );
+    }
+    let results = match experiment.as_str() {
+        "all" => Json::obj(
+            [
+                "fig3",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "completeness",
+                "depgraph",
+                "ablation-pattern-len",
+                "ablation-pruning",
+                "ablation-dedup",
+                "ablation-parallel",
+            ]
+            .into_iter()
+            .map(|name| (name, run_one(name, &opts))),
+        ),
+        name => run_one(name, &opts),
+    };
+    if json_mode {
+        let doc = Json::obj([
+            ("bench", Json::from(experiment)),
+            (
+                "options",
+                Json::obj([
+                    ("events", Json::from(opts.events)),
+                    ("reps", Json::from(opts.reps)),
+                ]),
+            ),
+            ("results", results),
+        ]);
+        println!("{doc}");
+    }
+}
+
+/// Runs one named experiment and returns its results as JSON (also
+/// printing the human table unless `--json` suppressed it).
+fn run_one(name: &str, opts: &RunOptions) -> Json {
+    match name {
         "fig3" => {
-            let _ = figures::fig3();
+            let (ocep, window) = figures::fig3();
+            Json::obj([
+                ("ocep_covers_old_trace", Json::from(ocep)),
+                ("window_covers_old_trace", Json::from(window)),
+            ])
         }
-        "fig6" => {
-            let _ = figures::fig6(&opts);
-        }
-        "fig7" => {
-            let _ = figures::fig7(&opts);
-        }
-        "fig8" => {
-            let _ = figures::fig8(&opts);
-        }
-        "fig9" => {
-            let _ = figures::fig9(&opts);
-        }
-        "fig10" => {
-            let _ = figures::fig10(&opts);
-        }
-        "completeness" => {
-            let _ = figures::completeness(&opts);
-        }
-        "depgraph" => {
-            let _ = figures::depgraph(&opts);
-        }
-        "ablation-pattern-len" => {
-            let _ = figures::ablation_pattern_len(&opts);
-        }
-        "ablation-pruning" => {
-            let _ = figures::ablation_pruning(&opts);
-        }
+        "fig6" => series_json("traces", figures::fig6(opts)),
+        "fig7" => series_json("traces", figures::fig7(opts)),
+        "fig8" => series_json("traces", figures::fig8(opts)),
+        "fig9" => series_json("traces", figures::fig9(opts)),
+        "fig10" => Json::arr(figures::fig10(opts).into_iter().map(|(case, b)| {
+            let mut pairs = vec![("case".to_owned(), Json::from(case))];
+            pairs.extend(boxplot_pairs(&b));
+            Json::Obj(pairs)
+        })),
+        "completeness" => Json::arr(figures::completeness(opts).into_iter().map(|c| {
+            Json::obj([
+                ("case", Json::from(c.name)),
+                ("injected", Json::from(c.injected)),
+                ("represented", Json::from(c.represented)),
+                ("matches_found", Json::from(c.matches_found)),
+                ("false_positives", Json::from(c.false_positives)),
+            ])
+        })),
+        "depgraph" => Json::arr(figures::depgraph(opts).into_iter().map(
+            |(len, ocep_med, dep_med)| {
+                Json::obj([
+                    ("cycle_len", Json::from(len)),
+                    ("ocep_median_us", Json::from(ocep_med)),
+                    ("depgraph_median_us", Json::from(dep_med)),
+                ])
+            },
+        )),
+        "ablation-pattern-len" => series_json("pattern_len", figures::ablation_pattern_len(opts)),
+        "ablation-pruning" => Json::arr(figures::ablation_pruning(opts).into_iter().map(
+            |(case, ocep_med, naive_med, ocep_cands, naive_cands)| {
+                Json::obj([
+                    ("case", Json::from(case)),
+                    ("ocep_median_us", Json::from(ocep_med)),
+                    ("naive_median_us", Json::from(naive_med)),
+                    ("ocep_candidates", Json::from(ocep_cands)),
+                    ("naive_candidates", Json::from(naive_cands)),
+                ])
+            },
+        )),
         "ablation-dedup" => {
-            let _ = figures::ablation_dedup(&opts);
+            let (with, without, with_us, without_us) = figures::ablation_dedup(opts);
+            Json::obj([
+                ("history_with_dedup", Json::from(with)),
+                ("history_without_dedup", Json::from(without)),
+                ("total_with_us", Json::from(with_us)),
+                ("total_without_us", Json::from(without_us)),
+            ])
         }
-        "ablation-parallel" => {
-            let _ = figures::ablation_parallel(&opts);
-        }
+        "ablation-parallel" => Json::arr(figures::ablation_parallel(opts).into_iter().map(
+            |(threads, median_us, total_ms, clones_avoided)| {
+                Json::obj([
+                    ("threads", Json::from(threads)),
+                    ("median_us", Json::from(median_us)),
+                    ("total_ms", Json::from(total_ms)),
+                    ("clones_avoided", Json::from(clones_avoided)),
+                ])
+            },
+        )),
         other => bail(&format!("unknown experiment '{other}'")),
     }
+}
+
+fn boxplot_pairs(b: &BoxPlot) -> Vec<(String, Json)> {
+    vec![
+        ("q1_us".to_owned(), Json::from(b.q1)),
+        ("median_us".to_owned(), Json::from(b.median)),
+        ("q3_us".to_owned(), Json::from(b.q3)),
+        ("top_whisker_us".to_owned(), Json::from(b.top_whisker)),
+        ("max_us".to_owned(), Json::from(b.max)),
+        ("samples".to_owned(), Json::from(b.n)),
+    ]
+}
+
+fn series_json(key: &str, series: Vec<(usize, BoxPlot)>) -> Json {
+    Json::arr(series.into_iter().map(|(n, b)| {
+        let mut pairs = vec![(key.to_owned(), Json::from(n))];
+        pairs.extend(boxplot_pairs(&b));
+        Json::Obj(pairs)
+    }))
 }
 
 fn bail(msg: &str) -> ! {

@@ -94,6 +94,11 @@ pub struct CheckConfig {
     pub dedup: bool,
     /// Tie-break seeds for the two extra linearizations of invariant 4.
     pub lin_seeds: [u64; 2],
+    /// Worker threads for the monitors' §VI parallel trace traversal
+    /// (`1` = the paper's sequential search). The invariants are
+    /// parallelism-independent, so raising this exercises the worker-pool
+    /// partitioning against the same oracle truth.
+    pub parallelism: usize,
 }
 
 impl Default for CheckConfig {
@@ -101,6 +106,7 @@ impl Default for CheckConfig {
         CheckConfig {
             dedup: true,
             lin_seeds: [1, 2],
+            parallelism: 1,
         }
     }
 }
@@ -151,6 +157,7 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
         MonitorConfig {
             dedup: cfg.dedup,
             policy: SubsetPolicy::PerArrival,
+            parallelism: cfg.parallelism,
             ..MonitorConfig::default()
         },
     );
@@ -202,6 +209,7 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
         MonitorConfig {
             dedup: cfg.dedup,
             policy: SubsetPolicy::Representative,
+            parallelism: cfg.parallelism,
             ..MonitorConfig::default()
         },
     );
@@ -278,6 +286,7 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
             MonitorConfig {
                 dedup: cfg.dedup,
                 policy: SubsetPolicy::PerArrival,
+                parallelism: cfg.parallelism,
                 ..MonitorConfig::default()
             },
         );

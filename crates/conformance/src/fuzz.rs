@@ -86,6 +86,7 @@ pub fn nth_case(master: u64, i: usize) -> (Case, CheckConfig) {
     let cfg = CheckConfig {
         dedup: rng.gen_bool(0.5),
         lin_seeds: [rng.next_u64(), rng.next_u64()],
+        parallelism: 1,
     };
     (case, cfg)
 }
@@ -191,5 +192,34 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.detected > 0, "burst never exercised a match");
+    }
+
+    /// The pool-enabled engine must satisfy the same four invariants as
+    /// the sequential one AND reach the same detection verdict on every
+    /// pinned case (parallel partitioning may pick different — equally
+    /// valid — representatives, but never change what exists).
+    #[test]
+    fn parallel_search_matches_sequential_verdicts() {
+        let mut exercised = 0;
+        for seed in [0u64, 7] {
+            for i in 0..25 {
+                let (case, mut cfg) = nth_case(seed, i);
+                cfg.parallelism = 1;
+                let sequential = check_case(&case, &cfg)
+                    .unwrap_or_else(|m| panic!("seed {seed} case {i} sequential: {m}"));
+                cfg.parallelism = 3;
+                let parallel = check_case(&case, &cfg)
+                    .unwrap_or_else(|m| panic!("seed {seed} case {i} parallel: {m}"));
+                assert_eq!(
+                    sequential.detected, parallel.detected,
+                    "seed {seed} case {i}: detection verdict changed under the worker pool"
+                );
+                assert_eq!(sequential.truth, parallel.truth);
+                if sequential.detected {
+                    exercised += 1;
+                }
+            }
+        }
+        assert!(exercised > 0, "pinned cases never exercised a match");
     }
 }

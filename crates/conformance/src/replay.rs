@@ -53,6 +53,7 @@ pub fn write_dump(
     text.push_str(&format!("dedup={}\n", cfg.dedup));
     text.push_str(&format!("lin_seed_0={}\n", cfg.lin_seeds[0]));
     text.push_str(&format!("lin_seed_1={}\n", cfg.lin_seeds[1]));
+    text.push_str(&format!("parallelism={}\n", cfg.parallelism));
     std::fs::write(dir.join("meta.txt"), text)?;
     Ok(dir.to_path_buf())
 }
@@ -81,6 +82,10 @@ pub fn load_dump(dir: &Path) -> io::Result<(Case, CheckConfig, Option<Invariant>
         if let Some(s) = meta.get(key).and_then(|v| v.parse().ok()) {
             cfg.lin_seeds[i] = s;
         }
+    }
+    // Absent in dumps written before the pool existed: default to 1.
+    if let Some(p) = meta.get("parallelism").and_then(|v| v.parse().ok()) {
+        cfg.parallelism = p;
     }
     let expected = meta.get("invariant").and_then(|s| Invariant::from_name(s));
     Ok((case, cfg, expected))
@@ -149,6 +154,7 @@ mod tests {
         let cfg = CheckConfig {
             dedup: false,
             lin_seeds: [7, 8],
+            parallelism: 2,
         };
         let mismatch = Mismatch {
             invariant: Invariant::OracleSoundness,
@@ -164,6 +170,7 @@ mod tests {
         assert_eq!(loaded.n_traces, case.n_traces);
         assert!(!loaded_cfg.dedup);
         assert_eq!(loaded_cfg.lin_seeds, [7, 8]);
+        assert_eq!(loaded_cfg.parallelism, 2);
         assert_eq!(expected, Some(Invariant::OracleSoundness));
 
         // This case is healthy, so the replay must NOT reproduce the

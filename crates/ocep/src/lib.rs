@@ -63,6 +63,7 @@ mod history;
 mod matching;
 mod monitor;
 mod multi;
+mod pool;
 mod search;
 mod stats;
 
@@ -70,4 +71,5 @@ pub use history::LeafHistory;
 pub use matching::Match;
 pub use monitor::{Monitor, MonitorConfig, SubsetPolicy};
 pub use multi::MonitorSet;
+pub use pool::WorkerPool;
 pub use stats::MonitorStats;

@@ -2,11 +2,13 @@
 
 use crate::history::LeafHistory;
 use crate::matching::Match;
-use crate::search::Search;
+use crate::pool::WorkerPool;
+use crate::search::{Search, SearchScratch, SearchStats};
 use crate::stats::MonitorStats;
 use ocep_pattern::Pattern;
 use ocep_poet::Event;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{mpsc, Arc};
 
 /// Which matches a [`Monitor`] reports to its caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +43,12 @@ pub struct MonitorConfig {
     /// threads, each exploring its own subtrees. `1` (default) is the
     /// paper's sequential algorithm. Parallel searches may report
     /// slightly different (equally valid) representatives per cell.
+    ///
+    /// Threads come from a persistent [`WorkerPool`] — lazily created by
+    /// the monitor on first use, or shared across monitors via
+    /// [`Monitor::set_pool`] / [`crate::MonitorSet::ensure_pool`]. One of
+    /// the partitions always runs inline on the observing thread, so a
+    /// parallelism of `p` occupies `p - 1` pool workers.
     pub parallelism: usize,
 }
 
@@ -63,7 +71,11 @@ impl Default for MonitorConfig {
 #[derive(Debug)]
 pub struct Monitor {
     pattern: Arc<Pattern>,
-    history: LeafHistory,
+    /// Shared with in-flight parallel search jobs only; between searches
+    /// the monitor is the unique owner (jobs release their handles before
+    /// signalling completion), so `observe` mutates via [`Arc::get_mut`]
+    /// without ever deep-copying.
+    history: Arc<LeafHistory>,
     n_traces: usize,
     config: MonitorConfig,
     /// `subset[leaf][trace]` — the most recent reported-or-found match
@@ -71,6 +83,12 @@ pub struct Monitor {
     /// at most `k·n` entries).
     subset: Vec<Vec<Option<Match>>>,
     stats: MonitorStats,
+    /// Working buffers for the searches run on the observing thread,
+    /// reused across arrivals.
+    scratch: SearchScratch,
+    /// Threads for the parallel trace traversal; `None` until the first
+    /// parallel search (or a call to [`Monitor::set_pool`]).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Monitor {
@@ -87,13 +105,25 @@ impl Monitor {
         let pattern = Arc::new(pattern);
         let k = pattern.n_leaves();
         Monitor {
-            history: LeafHistory::new_for(&pattern, n_traces, config.dedup),
+            history: Arc::new(LeafHistory::new_for(&pattern, n_traces, config.dedup)),
             subset: vec![vec![None; n_traces]; k],
             pattern,
             n_traces,
             config,
             stats: MonitorStats::default(),
+            scratch: SearchScratch::default(),
+            pool: None,
         }
+    }
+
+    /// Backs this monitor's parallel searches with an existing pool
+    /// (normally one shared across a [`crate::MonitorSet`]). Without
+    /// this, a monitor with `parallelism > 1` lazily creates a private
+    /// pool on its first parallel search. The effective parallelism is
+    /// capped at the pool size plus one (the observing thread runs one
+    /// partition inline).
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Observes one event (the next element of the linearization) and
@@ -104,26 +134,24 @@ impl Monitor {
     /// trigger the backtracking search.
     pub fn observe(&mut self, event: &Event) -> Vec<Match> {
         self.stats.events += 1;
-        let stored = self.history.observe(&self.pattern, event);
+        let stored = Arc::get_mut(&mut self.history)
+            .expect("history is uniquely owned between searches")
+            .observe(&self.pattern, event);
         if !stored {
             return Vec::new();
         }
         self.stats.stored += 1;
 
         let mut reported = Vec::new();
-        let mut seen_this_arrival: Vec<Vec<ocep_vclock::EventId>> = Vec::new();
-        for &tl in self.pattern.terminating_leaves() {
-            if !self.pattern.leaves()[tl.as_usize()].matches_shape(event) {
+        let mut seen_this_arrival: HashSet<Vec<ocep_vclock::EventId>> = HashSet::new();
+        let pattern = Arc::clone(&self.pattern);
+        for &tl in pattern.terminating_leaves() {
+            if !pattern.leaves()[tl.as_usize()].matches_shape(event) {
                 continue;
             }
             self.stats.searches += 1;
             let (matches, sstats) = self.run_search(tl, event);
-            self.stats.nodes += sstats.nodes;
-            self.stats.candidates += sstats.candidates;
-            self.stats.domains += sstats.domains;
-            self.stats.backjumps += sstats.backjumps;
-            self.stats.jump_bounds += sstats.jump_bounds_applied;
-            self.stats.deferred_rejections += sstats.deferred_rejections;
+            self.stats.absorb_search(&sstats);
             self.stats.matches_found += matches.len() as u64;
 
             for m in matches {
@@ -132,13 +160,12 @@ impl Monitor {
                 // permuted).
                 let mut ids: Vec<_> = m.events().iter().map(Event::id).collect();
                 ids.sort_unstable();
-                if seen_this_arrival.contains(&ids) {
+                if !seen_this_arrival.insert(ids) {
                     continue;
                 }
-                seen_this_arrival.push(ids);
 
                 let mut new_cell = false;
-                for (leaf, e) in self.pattern.leaves().iter().zip(m.events()) {
+                for (leaf, e) in pattern.leaves().iter().zip(m.events()) {
                     let cell = &mut self.subset[leaf.id().as_usize()][e.trace().as_usize()];
                     if cell.is_none() {
                         new_cell = true;
@@ -160,11 +187,7 @@ impl Monitor {
 
     /// Runs one seeded search, sequentially or with the §VI parallel
     /// trace traversal.
-    fn run_search(
-        &self,
-        tl: ocep_pattern::LeafId,
-        event: &Event,
-    ) -> (Vec<Match>, crate::search::SearchStats) {
+    fn run_search(&mut self, tl: ocep_pattern::LeafId, event: &Event) -> (Vec<Match>, SearchStats) {
         let workers = self.config.parallelism.max(1).min(self.n_traces.max(1));
         let order = self.pattern.eval_order(tl);
         // A partner-pinned first level has a unique candidate: splitting
@@ -185,45 +208,81 @@ impl Monitor {
                 self.n_traces,
                 tl,
                 self.config.node_limit,
+                &mut self.scratch,
             );
             return search.run(event);
         }
 
-        let results: Vec<(Vec<Match>, crate::search::SearchStats)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let pattern = &self.pattern;
-                let history = &self.history;
-                let n_traces = self.n_traces;
-                let node_limit = self.config.node_limit;
-                handles.push(scope.spawn(move || {
-                    let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == w).collect();
-                    Search::new(pattern, history, n_traces, tl, node_limit)
-                        .with_level1_traces(allowed)
-                        .run(event)
-                }));
+        // Partition the first level's traces across `workers` shares:
+        // share 0 runs inline on this thread, shares 1.. go to the pool.
+        let pool = match &self.pool {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::new(WorkerPool::new(workers - 1));
+                self.pool = Some(Arc::clone(&p));
+                p
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        });
+        };
+        let workers = workers.min(pool.size() + 1);
+        let n_traces = self.n_traces;
+        let node_limit = self.config.node_limit;
+        let (tx, rx) = mpsc::channel();
+        for w in 1..workers {
+            let pattern = Arc::clone(&self.pattern);
+            let history = Arc::clone(&self.history);
+            let event = event.clone();
+            let tx = tx.clone();
+            pool.execute(
+                w - 1,
+                Box::new(move |scratch| {
+                    let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == w).collect();
+                    let out = Search::new(&pattern, &history, n_traces, tl, node_limit, scratch)
+                        .with_level1_traces(allowed)
+                        .run(&event);
+                    // Release the shared handles BEFORE announcing the
+                    // result: once the dispatcher has drained the channel
+                    // it is again the history's unique owner and can
+                    // mutate it in place on the next arrival.
+                    drop(history);
+                    drop(pattern);
+                    tx.send((w, out)).expect("search dispatcher hung up");
+                }),
+            );
+        }
+        drop(tx);
+
+        // This thread takes share 0 (with its own persistent scratch)
+        // while the pool works the others.
+        let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == 0).collect();
+        let mine = Search::new(
+            &self.pattern,
+            &self.history,
+            n_traces,
+            tl,
+            node_limit,
+            &mut self.scratch,
+        )
+        .with_level1_traces(allowed)
+        .run(event);
+
+        // Collect into worker-order slots so the merge is deterministic
+        // regardless of completion order.
+        let mut slots: Vec<Option<(Vec<Match>, SearchStats)>> =
+            (0..workers).map(|_| None).collect();
+        slots[0] = Some(mine);
+        for (w, out) in rx {
+            slots[w] = Some(out);
+        }
 
         let mut matches = Vec::new();
-        let mut stats = crate::search::SearchStats::default();
-        let mut seen: Vec<Vec<ocep_vclock::EventId>> = Vec::new();
-        for (ms, st) in results {
-            stats.nodes += st.nodes;
-            stats.candidates += st.candidates;
-            stats.domains += st.domains;
-            stats.backjumps += st.backjumps;
-            stats.jump_bounds_applied += st.jump_bounds_applied;
-            stats.deferred_rejections += st.deferred_rejections;
+        let mut stats = SearchStats::default();
+        let mut seen: HashSet<Vec<ocep_vclock::EventId>> = HashSet::new();
+        for (ms, st) in slots.into_iter().flatten() {
+            stats.merge(&st);
             for m in ms {
                 let mut ids: Vec<_> = m.events().iter().map(Event::id).collect();
                 ids.sort_unstable();
-                if !seen.contains(&ids) {
-                    seen.push(ids);
+                if seen.insert(ids) {
                     matches.push(m);
                 }
             }
@@ -237,9 +296,12 @@ impl Monitor {
     #[must_use]
     pub fn subset(&self) -> Vec<&Match> {
         let mut out: Vec<&Match> = Vec::new();
+        let mut seen: HashSet<Vec<ocep_vclock::EventId>> = HashSet::new();
         for per_trace in &self.subset {
             for m in per_trace.iter().flatten() {
-                if !out.iter().any(|x| x.same_events(m)) {
+                // Leaf-wise ids: `same_events` equality, as a hashable key.
+                let ids: Vec<_> = m.events().iter().map(Event::id).collect();
+                if seen.insert(ids) {
                     out.push(m);
                 }
             }

@@ -1,8 +1,10 @@
 //! Monitoring several patterns over one event stream.
 
+use crate::pool::WorkerPool;
 use crate::{Match, Monitor, MonitorConfig, MonitorStats};
 use ocep_pattern::Pattern;
 use ocep_poet::Event;
+use std::sync::Arc;
 
 /// A set of independently configured monitors sharing one event stream —
 /// how a deployment watches for deadlocks, races, and ordering bugs
@@ -46,6 +48,9 @@ use ocep_poet::Event;
 pub struct MonitorSet {
     n_traces: usize,
     entries: Vec<(String, Monitor)>,
+    /// One worker pool backing every parallel monitor in the set (see
+    /// [`MonitorSet::ensure_pool`]).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl MonitorSet {
@@ -55,6 +60,27 @@ impl MonitorSet {
         MonitorSet {
             n_traces,
             entries: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// Makes sure the set owns a shared [`WorkerPool`] of at least
+    /// `threads` workers and injects it into every registered monitor
+    /// (and every monitor registered later). Monitors observe in turn, so
+    /// one pool safely serves them all; without this, each parallel
+    /// monitor lazily spawns its own private pool.
+    pub fn ensure_pool(&mut self, threads: usize) {
+        let need = threads.max(1);
+        let rebuild = match &self.pool {
+            Some(p) => p.size() < need,
+            None => true,
+        };
+        if rebuild {
+            self.pool = Some(Arc::new(WorkerPool::new(need)));
+        }
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        for (_, m) in &mut self.entries {
+            m.set_pool(Arc::clone(pool));
         }
     }
 
@@ -70,10 +96,11 @@ impl MonitorSet {
         pattern: Pattern,
         config: MonitorConfig,
     ) {
-        self.entries.push((
-            name.into(),
-            Monitor::with_config(pattern, self.n_traces, config),
-        ));
+        let mut monitor = Monitor::with_config(pattern, self.n_traces, config);
+        if let Some(pool) = &self.pool {
+            monitor.set_pool(Arc::clone(pool));
+        }
+        self.entries.push((name.into(), monitor));
     }
 
     /// Observes one event on every registered monitor; returns the newly
@@ -116,18 +143,7 @@ impl MonitorSet {
     pub fn total_stats(&self) -> MonitorStats {
         let mut total = MonitorStats::default();
         for (_, m) in &self.entries {
-            let s = m.stats();
-            total.events += s.events;
-            total.stored += s.stored;
-            total.searches += s.searches;
-            total.matches_found += s.matches_found;
-            total.matches_reported += s.matches_reported;
-            total.nodes += s.nodes;
-            total.candidates += s.candidates;
-            total.domains += s.domains;
-            total.backjumps += s.backjumps;
-            total.jump_bounds += s.jump_bounds;
-            total.deferred_rejections += s.deferred_rejections;
+            total.absorb(m.stats());
         }
         total
     }

@@ -1,0 +1,163 @@
+//! A persistent worker pool for the §VI parallel trace traversal.
+//!
+//! The paper's parallel matcher partitions the first backtracking
+//! level's traces across threads. Spawning OS threads per arrival (the
+//! previous `std::thread::scope` implementation) costs more than most
+//! searches do, so the pool keeps its threads alive for the monitor's
+//! lifetime and feeds them jobs over channels. Each worker *owns* a
+//! [`SearchScratch`](crate::search::SearchScratch) for its whole life,
+//! so a search dispatched to a warmed-up worker performs no per-arrival
+//! allocation for its working buffers.
+//!
+//! One pool can back any number of monitors — a
+//! [`MonitorSet`](crate::MonitorSet) shares a single pool across all of
+//! its entries (see [`crate::MonitorSet::ensure_pool`]).
+//!
+//! Jobs capture `Arc` handles to the pattern and history they read; the
+//! dispatching monitor regains unique ownership of its history because
+//! every job drops its handles *before* announcing completion.
+
+use crate::search::SearchScratch;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// A job sent to one worker: runs with the worker's long-lived scratch.
+pub(crate) type Job = Box<dyn FnOnce(&mut SearchScratch) + Send>;
+
+struct Worker {
+    tx: mpsc::Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of long-lived search threads (see the module docs).
+///
+/// Dropping the pool closes every job channel and joins the threads.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ocep-search-{i}"))
+                    .spawn(move || {
+                        // The scratch outlives every job this worker runs:
+                        // buffers are allocated once and reused.
+                        let mut scratch = SearchScratch::default();
+                        while let Ok(job) = rx.recv() {
+                            job(&mut scratch);
+                        }
+                    })
+                    .expect("failed to spawn search worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool { workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Dispatches `job` to worker `w` (targeted, so each worker's scratch
+    /// only ever serves one job at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or the worker has exited (it only
+    /// exits when the pool is dropped).
+    pub(crate) fn execute(&self, w: usize, job: Job) {
+        self.workers[w]
+            .tx
+            .send(job)
+            .expect("search worker exited early");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing a worker's channel ends its recv loop; join afterwards
+        // so queued jobs still run to completion.
+        for w in &mut self.workers {
+            let (dead, _) = mpsc::channel();
+            w.tx = dead;
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                handle.join().expect("search worker panicked");
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_drop_joins_cleanly() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.size(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for w in 0..pool.size() {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(
+                w,
+                Box::new(move |_scratch| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    tx.send(w).unwrap();
+                }),
+            );
+        }
+        drop(tx);
+        let done: Vec<usize> = rx.iter().collect();
+        assert_eq!(done.len(), 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn queued_jobs_finish_before_drop_returns() {
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.execute(
+                0,
+                Box::new(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

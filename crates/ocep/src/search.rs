@@ -23,6 +23,17 @@
 //!   for `e`'s level can ever resolve the conflict (cases a and b of
 //!   Fig 5); the bound is carried upward and fast-forwards the candidate
 //!   cursor at that level.
+//!
+//! # Allocation discipline
+//!
+//! The recursion itself is allocation-free: already-instantiated events
+//! are *borrowed* out of the assignment for the Fig 4 restriction rules,
+//! candidate events are O(1) clones (`Arc`-shared timestamps), a failed
+//! subtree's jump bound travels as a `Copy` `Option` rather than a `Vec`,
+//! and the per-level working buffers (`assignment`, `covered`,
+//! `my_bound`, variable bindings) live in a [`SearchScratch`] that the
+//! caller reuses across searches — the monitor keeps one, and each
+//! worker of the parallel pool owns one for its thread's lifetime.
 
 use crate::domain::{restrict, Domain};
 use crate::history::LeafHistory;
@@ -41,6 +52,27 @@ pub(crate) struct SearchStats {
     pub backjumps: u64,
     pub jump_bounds_applied: u64,
     pub deferred_rejections: u64,
+    /// Fig 4 restrictions evaluated against a *borrowed* assigned event
+    /// where the matcher previously cloned it (the ablation counter for
+    /// the zero-copy hot path).
+    pub clones_avoided: u64,
+    /// Heap bytes those avoided clones would have copied pre-Arc: one
+    /// `n_traces`-wide `u32` timestamp buffer per restriction.
+    pub clone_bytes_avoided: u64,
+}
+
+impl SearchStats {
+    /// Accumulates a worker's counters into a merged total.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.candidates += other.candidates;
+        self.domains += other.domains;
+        self.backjumps += other.backjumps;
+        self.jump_bounds_applied += other.jump_bounds_applied;
+        self.deferred_rejections += other.deferred_rejections;
+        self.clones_avoided += other.clones_avoided;
+        self.clone_bytes_avoided += other.clone_bytes_avoided;
+    }
 }
 
 /// A Fig 5 jump bound: candidates for the level holding `target_leaf` on
@@ -53,17 +85,56 @@ struct JumpBound {
     max_index: u32,
 }
 
-/// Result of exploring one subtree.
+/// Result of exploring one subtree. `Copy`, so failure propagation never
+/// allocates.
+#[derive(Clone, Copy)]
 enum Outcome {
     /// At least one complete match was recorded below this point.
     FoundSome,
     /// No match; `conflicts` is a bitmask (over eval-order positions) of
-    /// the levels the failure depends on, and `bounds` carries Fig 5 jump
-    /// bounds for earlier levels.
+    /// the levels the failure depends on, and `bound` carries the Fig 5
+    /// jump bound for an earlier level when one was derivable. (At most
+    /// one bound can survive a level — it must be *uniform* across every
+    /// failed trace — so an `Option` replaces the old per-subtree `Vec`.)
     Exhausted {
         conflicts: u64,
-        bounds: Vec<JumpBound>,
+        bound: Option<JumpBound>,
     },
+}
+
+/// Reusable per-search working memory (see the module docs on allocation
+/// discipline). One instance lives in the sequential [`crate::Monitor`];
+/// each thread of the parallel worker pool owns another. Buffers are
+/// resized on demand, so one scratch serves patterns and computations of
+/// any shape (the pool is shared across a [`crate::MonitorSet`]).
+#[derive(Debug, Default)]
+pub(crate) struct SearchScratch {
+    /// Assignment indexed by *leaf id*.
+    assignment: Vec<Option<Event>>,
+    /// Per (eval position, trace), flattened: a match through this cell
+    /// was already found this arrival, so the trace is skipped
+    /// (per-trace advance).
+    covered: Vec<bool>,
+    /// Per eval position: the Fig 5 fast-forward bound for that level's
+    /// candidates, keyed by trace. Taken out by the level's recursion
+    /// frame and put back on exit.
+    my_bound: Vec<Vec<Option<u32>>>,
+    /// Attribute-variable bindings (§III-C).
+    bindings: Bindings,
+}
+
+impl SearchScratch {
+    /// Clears the buffers and sizes them for one search.
+    fn prepare(&mut self, levels: usize, n_traces: usize, n_leaves: usize, n_vars: usize) {
+        self.assignment.clear();
+        self.assignment.resize(n_leaves, None);
+        self.covered.clear();
+        self.covered.resize(levels * n_traces, false);
+        if self.my_bound.len() < levels {
+            self.my_bound.resize_with(levels, Vec::new);
+        }
+        self.bindings.reset(n_vars);
+    }
 }
 
 pub(crate) struct Search<'a> {
@@ -71,12 +142,7 @@ pub(crate) struct Search<'a> {
     history: &'a LeafHistory,
     n_traces: usize,
     order: &'a [LeafId],
-    /// Assignment indexed by *leaf id*.
-    assignment: Vec<Option<Event>>,
-    bindings: Bindings,
-    /// Per (eval position, trace): a match through this cell was already
-    /// found this arrival, so the trace is skipped (per-trace advance).
-    covered: Vec<Vec<bool>>,
+    scratch: &'a mut SearchScratch,
     matches: Vec<Match>,
     pub stats: SearchStats,
     /// Safety valve for adversarial patterns: the search aborts after
@@ -95,16 +161,16 @@ impl<'a> Search<'a> {
         n_traces: usize,
         seed_leaf: LeafId,
         node_limit: u64,
+        scratch: &'a mut SearchScratch,
     ) -> Self {
         let order = pattern.eval_order(seed_leaf);
+        scratch.prepare(order.len(), n_traces, pattern.n_leaves(), pattern.n_vars());
         Search {
             pattern,
             history,
             n_traces,
             order,
-            assignment: vec![None; pattern.n_leaves()],
-            bindings: Bindings::new(pattern.n_vars()),
-            covered: vec![vec![false; n_traces]; order.len()],
+            scratch,
             matches: Vec::new(),
             stats: SearchStats::default(),
             node_limit,
@@ -120,11 +186,18 @@ impl<'a> Search<'a> {
         self
     }
 
+    fn covered(&self, pos: usize, t: usize) -> bool {
+        self.scratch.covered[pos * self.n_traces + t]
+    }
+
     /// Runs the search seeded with `seed` at the order's first leaf and
     /// returns every match found (one per covered (level, trace) cell).
     pub fn run(mut self, seed: &Event) -> (Vec<Match>, SearchStats) {
         let seed_leaf = self.order[0];
-        let Some(delta) = self.pattern.leaf_match(seed_leaf, seed, &self.bindings) else {
+        let Some(delta) = self
+            .pattern
+            .leaf_match(seed_leaf, seed, &self.scratch.bindings)
+        else {
             return (Vec::new(), self.stats);
         };
         // Quick feasibility screen: every leaf needs at least one
@@ -134,8 +207,8 @@ impl<'a> Search<'a> {
                 return (Vec::new(), self.stats);
             }
         }
-        self.bindings.apply(&delta);
-        self.assignment[seed_leaf.as_usize()] = Some(seed.clone());
+        self.scratch.bindings.apply(&delta);
+        self.scratch.assignment[seed_leaf.as_usize()] = Some(seed.clone());
         let _ = self.go(1);
         (std::mem::take(&mut self.matches), self.stats)
     }
@@ -143,7 +216,7 @@ impl<'a> Search<'a> {
     fn exhausted_all_earlier(&self, pos: usize) -> Outcome {
         Outcome::Exhausted {
             conflicts: mask_below(pos),
-            bounds: Vec::new(),
+            bound: None,
         }
     }
 
@@ -155,7 +228,7 @@ impl<'a> Search<'a> {
             // Abort quietly: report whatever was found so far.
             return Outcome::Exhausted {
                 conflicts: 0,
-                bounds: Vec::new(),
+                bound: None,
             };
         }
         if pos == self.order.len() {
@@ -170,6 +243,9 @@ impl<'a> Search<'a> {
         }
         let mut found_any = false;
         let mut conflicts: u64 = 0;
+        // Local tallies for counters that would otherwise need `&mut
+        // self` while an assigned event is borrowed.
+        let mut avoided: u64 = 0;
         // Fig 5 bookkeeping. A jump bound may only be emitted when *every*
         // failed trace at this level was emptied by the same earlier
         // level's event alone, each with a derivable bound — otherwise a
@@ -179,11 +255,15 @@ impl<'a> Search<'a> {
         let mut poisoned = false;
         // Fast-forward bound for *this* level's candidates, learned from
         // deeper failures, keyed by the trace currently being iterated.
-        let mut my_bound: Vec<Option<u32>> = vec![None; self.n_traces];
+        // Taken out of the scratch pool (and put back on every exit) so
+        // recursion never allocates it.
+        let mut my_bound = std::mem::take(&mut self.scratch.my_bound[pos]);
+        my_bound.clear();
+        my_bound.resize(self.n_traces, None);
         // A literal or bound process attribute pins the level to one
         // trace: skip all others outright.
         let pin = self.pattern.leaves()[leaf.as_usize()]
-            .process_pin(&self.bindings)
+            .process_pin(&self.scratch.bindings)
             .map(ocep_vclock::TraceId::as_usize);
 
         #[allow(clippy::needless_range_loop)]
@@ -193,7 +273,7 @@ impl<'a> Search<'a> {
                     continue;
                 }
             }
-            if self.covered[pos][t] {
+            if self.covered(pos, t) {
                 continue;
             }
             if pos == 1 {
@@ -216,10 +296,10 @@ impl<'a> Search<'a> {
                 let Some(rel) = self.pattern.rel(leaf, other_leaf) else {
                     continue;
                 };
-                let e = self.assignment[other_leaf.as_usize()]
+                let e = self.scratch.assignment[other_leaf.as_usize()]
                     .as_ref()
-                    .expect("earlier levels are instantiated")
-                    .clone();
+                    .expect("earlier levels are instantiated");
+                avoided += 1;
                 // Deliberate, feature-gated bug used to validate the
                 // conformance harness: drop the happens-before (GP-derived)
                 // domain restriction, so candidates that do not precede the
@@ -229,11 +309,11 @@ impl<'a> Search<'a> {
                 if rel == PairRel::Before {
                     continue;
                 }
-                let individual = restrict(slice, rel, &e);
+                let individual = restrict(slice, rel, e);
                 if individual.is_empty() {
                     // The conflict involves only e and this history: a
                     // Fig 5 bound on replacements for e may exist.
-                    match fig5_bound(rel, &e, slice) {
+                    match fig5_bound(rel, e, slice) {
                         Some(b) => {
                             let jb = JumpBound {
                                 target_leaf: other_leaf,
@@ -287,7 +367,7 @@ impl<'a> Search<'a> {
             // instead of scanning the whole domain.
             let indexed: Option<Vec<usize>> = self.pattern.leaves()[leaf.as_usize()]
                 .text_var()
-                .and_then(|v| self.bindings.get(v))
+                .and_then(|v| self.scratch.bindings.get(v))
                 .and_then(|val| self.history.text_positions(leaf, trace, &val))
                 .map(|positions| {
                     let lo = positions.partition_point(|&p| (p as usize) < dom.lo);
@@ -324,6 +404,7 @@ impl<'a> Search<'a> {
                     }
                 };
                 self.stats.candidates += 1;
+                // O(1): the event's timestamp buffer is Arc-shared.
                 let cand = slice[cpos].clone();
                 // Distinctness: one concrete event per leaf.
                 if let Some(p) = self.position_holding(&cand, pos) {
@@ -336,15 +417,16 @@ impl<'a> Search<'a> {
                     continue;
                 }
                 // Attribute variables (§III-C).
-                let Some(delta) = self.pattern.leaf_match(leaf, &cand, &self.bindings) else {
+                let Some(delta) = self.pattern.leaf_match(leaf, &cand, &self.scratch.bindings)
+                else {
                     conflicts |= mask_below(pos);
                     continue;
                 };
-                self.bindings.apply(&delta);
-                self.assignment[leaf.as_usize()] = Some(cand);
+                self.scratch.bindings.apply(&delta);
+                self.scratch.assignment[leaf.as_usize()] = Some(cand);
                 let out = self.go(pos + 1);
-                self.assignment[leaf.as_usize()] = None;
-                self.bindings.retract(&delta);
+                self.scratch.assignment[leaf.as_usize()] = None;
+                self.scratch.bindings.retract(&delta);
                 match out {
                     Outcome::FoundSome => {
                         found_any = true;
@@ -354,25 +436,28 @@ impl<'a> Search<'a> {
                     }
                     Outcome::Exhausted {
                         conflicts: c,
-                        bounds,
+                        bound,
                     } => {
                         if c & (1 << pos) == 0 {
                             // This level's choice is irrelevant to the
                             // failure: no other candidate here can help
-                            // (conflict-directed backjump). Bounds pass
-                            // through unchanged — their validity depends
-                            // only on their target's assignment.
+                            // (conflict-directed backjump). The bound
+                            // passes through unchanged — its validity
+                            // depends only on its target's assignment.
                             self.stats.backjumps += 1;
+                            self.stats.clones_avoided += avoided;
+                            self.stats.clone_bytes_avoided += avoided * self.clone_bytes();
+                            self.scratch.my_bound[pos] = my_bound;
                             if found_any {
                                 return Outcome::FoundSome;
                             }
                             return Outcome::Exhausted {
                                 conflicts: c | conflicts,
-                                bounds,
+                                bound,
                             };
                         }
                         conflicts |= c & mask_below(pos);
-                        for b in bounds {
+                        if let Some(b) = bound {
                             if b.target_leaf == leaf && b.on_trace == trace {
                                 let slot = &mut my_bound[t];
                                 *slot = Some(match *slot {
@@ -380,7 +465,7 @@ impl<'a> Search<'a> {
                                     None => b.max_index,
                                 });
                             }
-                            // Bounds for other levels are dropped here: a
+                            // A bound for another level is dropped here: a
                             // strict-rule bound only arrives with a
                             // singleton conflict set, which either names
                             // this level (consumed above) or triggers the
@@ -391,15 +476,24 @@ impl<'a> Search<'a> {
             }
         }
 
+        self.stats.clones_avoided += avoided;
+        self.stats.clone_bytes_avoided += avoided * self.clone_bytes();
+        self.scratch.my_bound[pos] = my_bound;
         if found_any {
             Outcome::FoundSome
         } else {
-            let bounds = match uniform {
-                Some(u) if !poisoned => vec![u],
-                _ => Vec::new(),
+            let bound = match uniform {
+                Some(u) if !poisoned => Some(u),
+                _ => None,
             };
-            Outcome::Exhausted { conflicts, bounds }
+            Outcome::Exhausted { conflicts, bound }
         }
+    }
+
+    /// Heap bytes one avoided `Event` clone would have copied before the
+    /// timestamps became `Arc`-shared: the `n_traces`-wide `u32` buffer.
+    fn clone_bytes(&self) -> u64 {
+        (self.n_traces * std::mem::size_of::<u32>()) as u64
     }
 
     /// All levels instantiated: verify deferred constraints, record the
@@ -410,20 +504,23 @@ impl<'a> Search<'a> {
             // Deferred constraints span many leaves; blame every level.
             return self.exhausted_all_earlier(self.order.len());
         }
+        // O(1) clones throughout: the Match shares every event's
+        // timestamp and string buffers with the history.
         let events: Vec<Event> = self
+            .scratch
             .assignment
             .iter()
-            .map(|e| e.clone().expect("complete assignment"))
+            .map(|e| e.as_ref().expect("complete assignment").clone())
             .collect();
         self.matches
             .push(Match::new(Arc::clone(self.pattern), events));
         for (p, &leaf) in self.order.iter().enumerate() {
-            let t = self.assignment[leaf.as_usize()]
+            let t = self.scratch.assignment[leaf.as_usize()]
                 .as_ref()
                 .expect("complete assignment")
                 .trace()
                 .as_usize();
-            self.covered[p][t] = true;
+            self.scratch.covered[p * self.n_traces + t] = true;
         }
         Outcome::FoundSome
     }
@@ -439,7 +536,7 @@ impl<'a> Search<'a> {
                     let fs: EventSet = from
                         .iter()
                         .map(|l| {
-                            self.assignment[l.as_usize()]
+                            self.scratch.assignment[l.as_usize()]
                                 .as_ref()
                                 .expect("complete")
                                 .stamp()
@@ -449,7 +546,7 @@ impl<'a> Search<'a> {
                     let ts: EventSet = to
                         .iter()
                         .map(|l| {
-                            self.assignment[l.as_usize()]
+                            self.scratch.assignment[l.as_usize()]
                                 .as_ref()
                                 .expect("complete")
                                 .stamp()
@@ -464,7 +561,7 @@ impl<'a> Search<'a> {
                     let ls: EventSet = left
                         .iter()
                         .map(|l| {
-                            self.assignment[l.as_usize()]
+                            self.scratch.assignment[l.as_usize()]
                                 .as_ref()
                                 .expect("complete")
                                 .stamp()
@@ -474,7 +571,7 @@ impl<'a> Search<'a> {
                     let rs: EventSet = right
                         .iter()
                         .map(|l| {
-                            self.assignment[l.as_usize()]
+                            self.scratch.assignment[l.as_usize()]
                                 .as_ref()
                                 .expect("complete")
                                 .stamp()
@@ -494,8 +591,12 @@ impl<'a> Search<'a> {
     /// `from ~> to`: no other stored event of `from`'s leaf strictly
     /// causally between the two assigned events.
     fn lim_ok(&self, from: LeafId, to: LeafId) -> bool {
-        let a = self.assignment[from.as_usize()].as_ref().expect("complete");
-        let b = self.assignment[to.as_usize()].as_ref().expect("complete");
+        let a = self.scratch.assignment[from.as_usize()]
+            .as_ref()
+            .expect("complete");
+        let b = self.scratch.assignment[to.as_usize()]
+            .as_ref()
+            .expect("complete");
         for t in 0..self.n_traces {
             let trace = TraceId::new(t as u32);
             let slice = self.history.on_trace(from, trace);
@@ -520,14 +621,14 @@ impl<'a> Search<'a> {
         for c in self.pattern.constraints() {
             match c {
                 Constraint::Partner { send, recv } if *recv == leaf => {
-                    if let Some(s) = &self.assignment[send.as_usize()] {
+                    if let Some(s) = &self.scratch.assignment[send.as_usize()] {
                         if self.order[..pos].contains(send) {
                             return self.history.receive_of(leaf, s.id()).cloned();
                         }
                     }
                 }
                 Constraint::Partner { send, recv } if *send == leaf => {
-                    if let Some(r) = &self.assignment[recv.as_usize()] {
+                    if let Some(r) = &self.scratch.assignment[recv.as_usize()] {
                         if self.order[..pos].contains(recv) {
                             let sid = r.partner()?;
                             return self.history.find(leaf, sid).cloned();
@@ -548,16 +649,16 @@ impl<'a> Search<'a> {
         let t = cand.trace().as_usize();
         let fail = Outcome::Exhausted {
             conflicts: mask_below(pos),
-            bounds: Vec::new(),
+            bound: None,
         };
-        if self.covered[pos][t] || self.position_holding(&cand, pos).is_some() {
+        if self.covered(pos, t) || self.position_holding(&cand, pos).is_some() {
             return fail;
         }
         for &other_leaf in &self.order[..pos] {
             let Some(rel) = self.pattern.rel(leaf, other_leaf) else {
                 continue;
             };
-            let other = self.assignment[other_leaf.as_usize()]
+            let other = self.scratch.assignment[other_leaf.as_usize()]
                 .as_ref()
                 .expect("earlier levels are instantiated");
             let got = cand.stamp().causality(other.stamp());
@@ -574,15 +675,15 @@ impl<'a> Search<'a> {
         if self.partner_violation(leaf, &cand, pos).is_some() {
             return fail;
         }
-        let Some(delta) = self.pattern.leaf_match(leaf, &cand, &self.bindings) else {
+        let Some(delta) = self.pattern.leaf_match(leaf, &cand, &self.scratch.bindings) else {
             return fail;
         };
         self.stats.candidates += 1;
-        self.bindings.apply(&delta);
-        self.assignment[leaf.as_usize()] = Some(cand);
+        self.scratch.bindings.apply(&delta);
+        self.scratch.assignment[leaf.as_usize()] = Some(cand);
         let out = self.go(pos + 1);
-        self.assignment[leaf.as_usize()] = None;
-        self.bindings.retract(&delta);
+        self.scratch.assignment[leaf.as_usize()] = None;
+        self.scratch.bindings.retract(&delta);
         match out {
             Outcome::FoundSome => Outcome::FoundSome,
             Outcome::Exhausted { .. } => fail,
@@ -593,7 +694,7 @@ impl<'a> Search<'a> {
     /// level's eval position.
     fn position_holding(&self, cand: &Event, pos: usize) -> Option<usize> {
         for (p, &l) in self.order[..pos].iter().enumerate() {
-            if let Some(e) = &self.assignment[l.as_usize()] {
+            if let Some(e) = &self.scratch.assignment[l.as_usize()] {
                 if e.id() == cand.id() {
                     return Some(p);
                 }
@@ -611,7 +712,7 @@ impl<'a> Search<'a> {
                 Constraint::Partner { send, recv } if *recv == leaf => (*send, false),
                 _ => continue,
             };
-            let Some(e) = &self.assignment[other.as_usize()] else {
+            let Some(e) = &self.scratch.assignment[other.as_usize()] else {
                 continue;
             };
             let ok = if cand_is_send {

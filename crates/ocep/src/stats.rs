@@ -1,5 +1,7 @@
 //! Monitor counters used by tests, benchmarks, and the ablation studies.
 
+use crate::search::SearchStats;
+
 /// Cumulative counters of a [`crate::Monitor`]'s work.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MonitorStats {
@@ -26,6 +28,44 @@ pub struct MonitorStats {
     /// Complete assignments rejected by deferred (`~>`/compound-`->`)
     /// checks.
     pub deferred_rejections: u64,
+    /// `Event` clones the zero-copy hot path skipped (assigned events are
+    /// borrowed for the Fig 4 restriction rules instead of cloned).
+    pub clones_avoided: u64,
+    /// Timestamp-buffer bytes those skipped clones would have copied
+    /// before clocks became `Arc`-shared.
+    pub clone_bytes_avoided: u64,
+}
+
+impl MonitorStats {
+    /// Folds one search's counters into the monitor totals.
+    pub(crate) fn absorb_search(&mut self, s: &SearchStats) {
+        self.nodes += s.nodes;
+        self.candidates += s.candidates;
+        self.domains += s.domains;
+        self.backjumps += s.backjumps;
+        self.jump_bounds += s.jump_bounds_applied;
+        self.deferred_rejections += s.deferred_rejections;
+        self.clones_avoided += s.clones_avoided;
+        self.clone_bytes_avoided += s.clone_bytes_avoided;
+    }
+
+    /// Adds every counter of `other` into `self` (used to total a
+    /// [`crate::MonitorSet`]).
+    pub fn absorb(&mut self, other: &MonitorStats) {
+        self.events += other.events;
+        self.stored += other.stored;
+        self.searches += other.searches;
+        self.matches_found += other.matches_found;
+        self.matches_reported += other.matches_reported;
+        self.nodes += other.nodes;
+        self.candidates += other.candidates;
+        self.domains += other.domains;
+        self.backjumps += other.backjumps;
+        self.jump_bounds += other.jump_bounds;
+        self.deferred_rejections += other.deferred_rejections;
+        self.clones_avoided += other.clones_avoided;
+        self.clone_bytes_avoided += other.clone_bytes_avoided;
+    }
 }
 
 impl std::fmt::Display for MonitorStats {
@@ -34,7 +74,7 @@ impl std::fmt::Display for MonitorStats {
             f,
             "events={} stored={} searches={} found={} reported={} nodes={} \
              candidates={} domains={} backjumps={} jump_bounds={} \
-             deferred_rejections={}",
+             deferred_rejections={} clones_avoided={} clone_bytes_avoided={}",
             self.events,
             self.stored,
             self.searches,
@@ -45,7 +85,9 @@ impl std::fmt::Display for MonitorStats {
             self.domains,
             self.backjumps,
             self.jump_bounds,
-            self.deferred_rejections
+            self.deferred_rejections,
+            self.clones_avoided,
+            self.clone_bytes_avoided
         )
     }
 }

@@ -60,6 +60,8 @@ fn stats_display_lists_every_counter() {
         "backjumps=",
         "jump_bounds=",
         "deferred_rejections=",
+        "clones_avoided=",
+        "clone_bytes_avoided=",
     ] {
         assert!(shown.contains(field), "missing {field} in: {shown}");
     }
@@ -120,4 +122,36 @@ fn covers_resolves_occurrence_and_class_names() {
     assert!(m.covers("A#2", t(0)));
     assert!(m.covers("B#2", t(0)));
     assert!(!m.covers("C", t(0)));
+}
+
+#[test]
+fn monitor_set_shares_one_worker_pool() {
+    use ocep_core::MonitorSet;
+    let parallel = MonitorConfig {
+        parallelism: 3,
+        ..MonitorConfig::default()
+    };
+    let mut set = MonitorSet::new(4);
+    set.add_with_config("ab", ab(), parallel);
+    set.ensure_pool(2);
+    // Monitors registered after the pool exists pick it up too.
+    set.add_with_config(
+        "conc",
+        Pattern::parse("X := [*, a, *]; Y := [*, a, *]; pattern := X || Y;").unwrap(),
+        parallel,
+    );
+    let mut poet = PoetServer::new(4);
+    // a -> b across a message (fires "ab"), plus a concurrent second
+    // "a" on another trace (fires "conc").
+    let s = poet.record(t(0), EventKind::Send, "a", "");
+    poet.record_receive(t(1), s.id(), "b", "");
+    poet.record(t(2), EventKind::Unary, "a", "");
+    let names: Vec<String> = poet
+        .linearization()
+        .flat_map(|e| set.observe(&e))
+        .map(|(name, _)| name)
+        .collect();
+    assert!(names.iter().any(|n| n == "ab"));
+    assert!(names.iter().any(|n| n == "conc"));
+    assert!(set.total_stats().searches > 0);
 }

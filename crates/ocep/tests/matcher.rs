@@ -812,3 +812,68 @@ fn text_index_resolves_bound_variables_without_scanning() {
         "text-indexed lookup degraded to scanning: {per_search:.1} candidates/search"
     );
 }
+
+#[test]
+fn regression_partner_pinned_first_level_is_worker_count_independent() {
+    // When the first two backtracking levels are a `<>` pair, the second
+    // level has a *unique* candidate (the partner index resolves it), so
+    // partitioning level-1 traces across workers must not lose or
+    // duplicate matches — the monitor falls back to one inline search.
+    let src = "S := [*, mpi_send, *]; R := [*, mpi_recv, *]; pattern := S <> R;";
+    let n = 4;
+    let run = |parallelism: usize| {
+        let mut poet = PoetServer::new(n);
+        // Four send/recv pairs, each crossing to a different trace.
+        for i in 0..n as u32 {
+            let s = poet.record(t(i), EventKind::Send, "mpi_send", "");
+            poet.record_receive(t((i + 1) % n as u32), s.id(), "mpi_recv", "");
+        }
+        let mut monitor = Monitor::with_config(
+            Pattern::parse(src).unwrap(),
+            n,
+            MonitorConfig {
+                policy: SubsetPolicy::PerArrival,
+                parallelism,
+                ..MonitorConfig::default()
+            },
+        );
+        let mut ids: Vec<Vec<ocep_vclock::EventId>> = drain(&mut poet, &mut monitor)
+            .iter()
+            .map(|m| m.events().iter().map(ocep_poet::Event::id).collect())
+            .collect();
+        ids.sort();
+        ids
+    };
+    let sequential = run(1);
+    let pooled = run(4);
+    assert_eq!(sequential.len(), n, "one match per send/recv pair");
+    assert_eq!(
+        sequential, pooled,
+        "partner-pinned searches must return identical matches at any worker count"
+    );
+}
+
+#[test]
+fn hot_path_counts_avoided_event_clones() {
+    // The Fig 4 restriction loop borrows assigned events instead of
+    // cloning them; every evaluated restriction bumps the ablation
+    // counter so `ocep-bench` can report the avoided allocation volume.
+    let p = Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap();
+    let n = 3;
+    let mut poet = PoetServer::new(n);
+    let s = poet.record(t(0), EventKind::Send, "a", "");
+    poet.record_receive(t(1), s.id(), "b", "");
+    let mut monitor = Monitor::new(p, n);
+    let matches = drain(&mut poet, &mut monitor);
+    assert_eq!(matches.len(), 1);
+    let stats = monitor.stats();
+    assert!(
+        stats.clones_avoided > 0,
+        "the A->B restriction must have borrowed the assigned event: {stats}"
+    );
+    assert_eq!(
+        stats.clone_bytes_avoided,
+        stats.clones_avoided * (n as u64) * 4,
+        "each avoided clone saves one n_traces-wide u32 timestamp buffer"
+    );
+}

@@ -86,6 +86,14 @@ impl Bindings {
         }
     }
 
+    /// Clears every binding and resizes the table to `n_vars` variables,
+    /// reusing the existing allocation. Lets a matcher keep one table as
+    /// per-search scratch instead of allocating a fresh one per search.
+    pub fn reset(&mut self, n_vars: usize) {
+        self.values.clear();
+        self.values.resize(n_vars, None);
+    }
+
     /// Number of variables in the table.
     #[must_use]
     pub fn len(&self) -> usize {

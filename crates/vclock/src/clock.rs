@@ -1,6 +1,7 @@
 //! Fidge/Mattern vector clocks.
 
 use crate::{EventIndex, TraceId};
+use std::sync::Arc;
 
 /// A Fidge/Mattern vector timestamp over a fixed set of traces.
 ///
@@ -15,6 +16,13 @@ use crate::{EventIndex, TraceId};
 ///
 /// which is the at-most-two-integer-comparison test of §III-A.
 ///
+/// The entry buffer is shared (`Arc`-backed): `clone` is O(1) and never
+/// copies the entries, so a stamped event's timestamp can be handed
+/// around the matcher's hot path for free regardless of the trace count.
+/// Mutation (`tick`/`join`) is copy-on-write — it copies the buffer only
+/// when it is actually shared, which is exactly once per stamped event
+/// (the same O(n) the eager copy used to pay at stamping time).
+///
 /// # Example
 ///
 /// ```
@@ -28,7 +36,7 @@ use crate::{EventIndex, TraceId};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
-    entries: Vec<u32>,
+    entries: Arc<[u32]>,
 }
 
 impl VectorClock {
@@ -36,14 +44,24 @@ impl VectorClock {
     #[must_use]
     pub fn new(n_traces: usize) -> Self {
         VectorClock {
-            entries: vec![0; n_traces],
+            entries: vec![0; n_traces].into(),
         }
     }
 
     /// Builds a clock from raw entries.
     #[must_use]
     pub fn from_entries(entries: Vec<u32>) -> Self {
-        VectorClock { entries }
+        VectorClock {
+            entries: entries.into(),
+        }
+    }
+
+    /// Unique view of the entry buffer, copying it first when shared.
+    fn entries_mut(&mut self) -> &mut [u32] {
+        if Arc::get_mut(&mut self.entries).is_none() {
+            self.entries = self.entries.iter().copied().collect();
+        }
+        Arc::get_mut(&mut self.entries).expect("buffer is unique after copy-on-write")
     }
 
     /// Number of traces this clock covers.
@@ -75,7 +93,7 @@ impl VectorClock {
     ///
     /// Panics if `t` is out of range for this clock.
     pub fn tick(&mut self, t: TraceId) -> EventIndex {
-        let e = &mut self.entries[t.as_usize()];
+        let e = &mut self.entries_mut()[t.as_usize()];
         *e += 1;
         EventIndex::new(*e)
     }
@@ -91,7 +109,7 @@ impl VectorClock {
             other.entries.len(),
             "cannot join clocks of different widths"
         );
-        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+        for (mine, theirs) in self.entries_mut().iter_mut().zip(other.entries.iter()) {
             *mine = (*mine).max(*theirs);
         }
     }
@@ -102,13 +120,25 @@ impl VectorClock {
     #[must_use]
     pub fn le(&self, other: &VectorClock) -> bool {
         self.entries.len() == other.entries.len()
-            && self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
+            && self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .all(|(a, b)| a <= b)
     }
 
     /// Raw entries, indexed by trace.
     #[must_use]
     pub fn entries(&self) -> &[u32] {
         &self.entries
+    }
+
+    /// True if `self` and `other` share the same physical entry buffer —
+    /// i.e. one is an O(1) clone of the other and no copy has happened.
+    /// Used by tests asserting the zero-copy discipline of the matcher.
+    #[must_use]
+    pub fn shares_buffer(&self, other: &VectorClock) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
     }
 }
 
@@ -128,7 +158,7 @@ impl std::fmt::Display for VectorClock {
 impl FromIterator<u32> for VectorClock {
     fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
         VectorClock {
-            entries: iter.into_iter().collect(),
+            entries: iter.into_iter().collect::<Arc<[u32]>>(),
         }
     }
 }
@@ -180,5 +210,28 @@ mod tests {
     fn from_iterator_collects_entries() {
         let v: VectorClock = (0..4u32).collect();
         assert_eq!(v.entries(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_shares_the_entry_buffer() {
+        let v = VectorClock::from_entries(vec![1, 2, 3]);
+        let c = v.clone();
+        assert!(v.shares_buffer(&c), "clone must be O(1), not a buffer copy");
+        assert_eq!(c.entries(), v.entries());
+    }
+
+    #[test]
+    fn mutation_copies_on_write_and_leaves_clones_intact() {
+        let v = VectorClock::from_entries(vec![1, 2]);
+        let mut c = v.clone();
+        c.tick(TraceId::new(0));
+        assert!(!v.shares_buffer(&c), "mutation must unshare the buffer");
+        assert_eq!(v.entries(), &[1, 2], "original unchanged");
+        assert_eq!(c.entries(), &[2, 2]);
+        // An unshared clock mutates in place: no further copies.
+        let before = c.clone();
+        drop(before); // refcount back to one
+        c.tick(TraceId::new(1));
+        assert_eq!(c.entries(), &[2, 3]);
     }
 }
