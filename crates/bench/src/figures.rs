@@ -6,13 +6,22 @@ use crate::measure::{measure_monitor, measure_naive};
 use crate::stats::BoxPlot;
 use crate::RunOptions;
 use ocep_baselines::{DepGraphDetector, SlidingWindowMatcher};
-use ocep_core::{Monitor, MonitorConfig};
+use ocep_core::{GuardConfig, Monitor, MonitorConfig};
 use ocep_pattern::{PairRel, Pattern};
 use ocep_poet::Event;
 use ocep_simulator::workloads::{
     atomicity, message_race, random_walk, replicated_service, Generated,
 };
 use ocep_vclock::{Causality, TraceId};
+
+/// The monitor configuration every figure measures: the default engine,
+/// optionally behind the causal admission guard (`--guard`).
+fn figure_config(opts: &RunOptions) -> MonitorConfig {
+    MonitorConfig {
+        guard: opts.guard.then(GuardConfig::default),
+        ..MonitorConfig::default()
+    }
+}
 
 fn pooled_samples<F>(opts: &RunOptions, mut generate: F) -> Vec<f64>
 where
@@ -21,7 +30,7 @@ where
     let mut samples = Vec::new();
     for rep in 0..opts.reps {
         let g = generate(rep);
-        let m = measure_monitor(&g, MonitorConfig::default());
+        let m = measure_monitor(&g, figure_config(opts));
         samples.extend(m.per_search_event_us);
     }
     samples

@@ -55,6 +55,10 @@ pub struct RunOptions {
     pub events: usize,
     /// Repetitions per configuration (pooled samples, distinct seeds).
     pub reps: u64,
+    /// Run the monitors behind the causal admission guard (measures the
+    /// guard's in-order fast-path overhead; the streams are clean, so no
+    /// buffering or quarantine happens).
+    pub guard: bool,
 }
 
 impl Default for RunOptions {
@@ -62,6 +66,7 @@ impl Default for RunOptions {
         RunOptions {
             events: 40_000,
             reps: 5,
+            guard: false,
         }
     }
 }
@@ -74,6 +79,7 @@ impl RunOptions {
         RunOptions {
             events: 1_000_000,
             reps: 5,
+            guard: false,
         }
     }
 }

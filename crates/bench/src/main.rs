@@ -9,7 +9,7 @@ const USAGE: &str = "\
 ocep-bench — regenerate the OCEP paper's evaluation
 
 USAGE:
-    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full] [--json]
+    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full] [--guard] [--json]
 
 EXPERIMENTS:
     all                   run every experiment below
@@ -30,6 +30,8 @@ OPTIONS:
     --events N   approximate events per workload (default 40000)
     --reps N     repetitions per configuration (default 5)
     --full       paper scale: 1,000,000 events per test case
+    --guard      run the monitors behind the causal admission guard
+                 (measures the guard's in-order fast path overhead)
     --json       emit one machine-readable JSON document on stdout
                  instead of the human tables
 ";
@@ -47,6 +49,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opts = RunOptions::paper_scale(),
+            "--guard" => opts.guard = true,
             "--json" => json_mode = true,
             "--events" => {
                 i += 1;
@@ -113,6 +116,7 @@ fn main() {
                 Json::obj([
                     ("events", Json::from(opts.events)),
                     ("reps", Json::from(opts.reps)),
+                    ("guard", Json::from(opts.guard)),
                 ]),
             ),
             ("results", results),

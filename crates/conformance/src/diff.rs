@@ -38,6 +38,16 @@ pub enum Invariant {
     /// A different linearization of the same partial order changed the
     /// verdict.
     Linearization,
+    /// A guarded run over a fault-injected stream diverged from the
+    /// clean-delivery run even though the guard could repair every
+    /// injected fault (duplicates and causal-safe reorders, no drops).
+    GuardTransparency,
+    /// The guard's ingest counters disagree with the number of faults the
+    /// harness actually injected.
+    QuarantineAccounting,
+    /// A monitor restored from a checkpoint diverged from the
+    /// uninterrupted run over the same stream.
+    CheckpointRestore,
 }
 
 impl fmt::Display for Invariant {
@@ -50,6 +60,9 @@ impl fmt::Display for Invariant {
             Invariant::SubsetBound => "subset-bound",
             Invariant::Coverage => "coverage",
             Invariant::Linearization => "linearization",
+            Invariant::GuardTransparency => "guard-transparency",
+            Invariant::QuarantineAccounting => "quarantine-accounting",
+            Invariant::CheckpointRestore => "checkpoint-restore",
         })
     }
 }
@@ -67,6 +80,9 @@ impl Invariant {
             "subset-bound" => Invariant::SubsetBound,
             "coverage" => Invariant::Coverage,
             "linearization" => Invariant::Linearization,
+            "guard-transparency" => Invariant::GuardTransparency,
+            "quarantine-accounting" => Invariant::QuarantineAccounting,
+            "checkpoint-restore" => Invariant::CheckpointRestore,
             _ => return None,
         })
     }
@@ -390,6 +406,9 @@ mod tests {
             Invariant::SubsetBound,
             Invariant::Coverage,
             Invariant::Linearization,
+            Invariant::GuardTransparency,
+            Invariant::QuarantineAccounting,
+            Invariant::CheckpointRestore,
         ] {
             assert_eq!(Invariant::from_name(&inv.to_string()), Some(inv));
         }

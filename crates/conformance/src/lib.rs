@@ -32,6 +32,7 @@
 
 mod case;
 mod diff;
+mod faults;
 mod fuzz;
 mod generate;
 mod replay;
@@ -39,6 +40,11 @@ mod shrink;
 
 pub use case::{Action, Case};
 pub use diff::{check_case, CaseOutcome, CheckConfig, Invariant, Mismatch};
+pub use faults::{
+    apply_faults, check_checkpoint_restart, check_fault_case, nth_fault_case, run_fault_fuzz,
+    FaultFailure, FaultFuzzConfig, FaultFuzzReport, FaultOutcome, FaultPlan, InjectedFaults,
+    ReorderMode,
+};
 pub use fuzz::{case_seed, nth_case, run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generate::{gen_case, gen_pattern, GeneratedPattern};
 pub use replay::{load_dump, replay_dump, write_dump, ReplayOutcome};

@@ -1,0 +1,27 @@
+//! The checkpoint/restore acceptance gate: cutting a run at an
+//! arbitrary point, checkpointing, restoring, and resuming must be
+//! indistinguishable from never stopping — same per-arrival verdicts,
+//! same final subset, and byte-identical final checkpoints.
+
+use ocep_conformance::{check_checkpoint_restart, nth_fault_case};
+
+#[test]
+fn restart_is_indistinguishable_across_pinned_cases() {
+    let mut checked = 0;
+    for seed in [0u64, 5] {
+        for i in 0..15 {
+            let (case, cfg, _) = nth_fault_case(seed, i);
+            let n = case.actions.len();
+            // Cut at the edges and in the middle of the stream.
+            for cut in [0, n / 3, n / 2, n] {
+                check_checkpoint_restart(&case, &cfg, cut)
+                    .unwrap_or_else(|m| panic!("seed {seed} case {i} cut {cut}: {m}"));
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 100,
+        "expected at least 100 restart checks, ran {checked}"
+    );
+}

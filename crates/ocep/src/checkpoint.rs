@@ -1,0 +1,763 @@
+//! Monitor checkpoint/restore: crash recovery for a long-running monitor.
+//!
+//! A checkpoint captures everything the matcher's *future* behavior
+//! depends on — the leaf histories (with their dedup bookkeeping), the
+//! §IV-B representative subset, the cumulative [`MonitorStats`], the
+//! configuration, and the admission guard's reorder state — so a monitor
+//! restored from a checkpoint and fed the remainder of the stream
+//! produces bit-identical verdicts to one that never stopped. The stream
+//! position is implied by `stats.events` (raw arrivals consumed): a
+//! resuming driver replays the recorded stream and skips that many
+//! arrivals.
+//!
+//! The byte format follows the conventions of the POET dump
+//! (`ocep_poet::dump`): little-endian, magic-and-version header, an
+//! interned string table, and decoding through the offset-tracking
+//! [`Reader`] so a truncated or corrupt checkpoint yields a diagnostic
+//! with a byte offset, never a panic.
+//!
+//! ```text
+//! magic        [u8;4] = b"OCKP", version u16 = 1
+//! pattern_src  str (u32 len + utf-8) — the monitored pattern's source
+//! n_traces     u32
+//! config       dedup u8, policy u8, node_limit u64, parallelism u64,
+//!              guard u8 [, capacity u64, overflow u8]
+//! stats        26 × u64 (MonitorStats incl. IngestStats, fixed order)
+//! strings      u32 count, then u32-len-prefixed utf-8 entries
+//! events       u32 count; per event: trace u32, index u32, kind u8,
+//!              ty u32, text u32, partner u8 [trace u32, index u32],
+//!              clock_len u32, entries u32×len
+//! history      relevant u64×n; per leaf: last_relevant u64×n;
+//!              per leaf×trace: u32 count + event refs; stored u64,
+//!              suppressed u64
+//! subset       per leaf×trace: u8 flag [, n_leaves event refs]
+//! guard        (iff config.guard) admitted u32×n;
+//!              u32 buffered + event refs; 12 × u64 guard stats
+//! ```
+//!
+//! The guard's capped fault *log* is deliberately not checkpointed (the
+//! counters are); a restored monitor starts with an empty log.
+
+use crate::history::LeafHistory;
+use crate::ingest::{GuardConfig, IngestStats, OverflowPolicy};
+use crate::matching::Match;
+use crate::monitor::{Monitor, MonitorConfig, SubsetPolicy};
+use crate::stats::MonitorStats;
+use ocep_pattern::Pattern;
+use ocep_poet::dump::Reader;
+use ocep_poet::{Event, EventKind, PoetError};
+use ocep_vclock::{EventId, EventIndex, StampedEvent, TraceId, VectorClock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"OCKP";
+const VERSION: u16 = 1;
+
+/// Why a checkpoint failed to decode.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The byte stream itself was malformed (truncated, bad magic,
+    /// version mismatch, trailing garbage); carries the offset.
+    Format(PoetError),
+    /// The bytes decoded but describe an inconsistent monitor (out of
+    /// range references, shape mismatches, a pattern that fails to
+    /// parse).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Format(e) => write!(f, "checkpoint format error: {e}"),
+            CheckpointError::Invalid(s) => write!(f, "invalid checkpoint: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<PoetError> for CheckpointError {
+    fn from(e: PoetError) -> Self {
+        CheckpointError::Format(e)
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Interns every distinct event (by id) and string reachable from the
+/// monitor, so shared events serialize once.
+struct EventTable<'m> {
+    events: Vec<&'m Event>,
+    ids: HashMap<EventId, u32>,
+    strings: Vec<&'m str>,
+    string_ids: HashMap<&'m str, u32>,
+}
+
+impl<'m> EventTable<'m> {
+    fn new() -> Self {
+        EventTable {
+            events: Vec::new(),
+            ids: HashMap::new(),
+            strings: Vec::new(),
+            string_ids: HashMap::new(),
+        }
+    }
+
+    fn intern_str(&mut self, s: &'m str) -> u32 {
+        if let Some(&id) = self.string_ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.string_ids.insert(s, id);
+        self.strings.push(s);
+        id
+    }
+
+    fn intern(&mut self, e: &'m Event) -> u32 {
+        if let Some(&id) = self.ids.get(&e.id()) {
+            return id;
+        }
+        let id = self.events.len() as u32;
+        self.ids.insert(e.id(), id);
+        self.events.push(e);
+        self.intern_str(e.ty());
+        self.intern_str(e.text());
+        id
+    }
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &MonitorStats) {
+    for v in [
+        s.events,
+        s.stored,
+        s.searches,
+        s.matches_found,
+        s.matches_reported,
+        s.nodes,
+        s.candidates,
+        s.domains,
+        s.backjumps,
+        s.jump_bounds,
+        s.deferred_rejections,
+        s.clones_avoided,
+        s.clone_bytes_avoided,
+        s.degraded_arrivals,
+    ] {
+        put_u64(buf, v);
+    }
+    put_ingest_stats(buf, &s.ingest);
+}
+
+fn put_ingest_stats(buf: &mut Vec<u8>, g: &IngestStats) {
+    for v in [
+        g.admitted,
+        g.duplicates_dropped,
+        g.buffered,
+        g.reordered_delivered,
+        g.quarantined_trace_range,
+        g.quarantined_clock_width,
+        g.quarantined_non_monotone,
+        g.overflow_rejected,
+        g.overflow_dropped,
+        g.degraded_flushes,
+        g.degraded_delivered,
+        g.buffered_peak,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<MonitorStats, PoetError> {
+    let mut s = MonitorStats::default();
+    for field in [
+        &mut s.events,
+        &mut s.stored,
+        &mut s.searches,
+        &mut s.matches_found,
+        &mut s.matches_reported,
+        &mut s.nodes,
+        &mut s.candidates,
+        &mut s.domains,
+        &mut s.backjumps,
+        &mut s.jump_bounds,
+        &mut s.deferred_rejections,
+        &mut s.clones_avoided,
+        &mut s.clone_bytes_avoided,
+        &mut s.degraded_arrivals,
+    ] {
+        *field = r.u64("monitor stat")?;
+    }
+    s.ingest = read_ingest_stats(r)?;
+    Ok(s)
+}
+
+fn read_ingest_stats(r: &mut Reader<'_>) -> Result<IngestStats, PoetError> {
+    let mut g = IngestStats::default();
+    for field in [
+        &mut g.admitted,
+        &mut g.duplicates_dropped,
+        &mut g.buffered,
+        &mut g.reordered_delivered,
+        &mut g.quarantined_trace_range,
+        &mut g.quarantined_clock_width,
+        &mut g.quarantined_non_monotone,
+        &mut g.overflow_rejected,
+        &mut g.overflow_dropped,
+        &mut g.degraded_flushes,
+        &mut g.degraded_delivered,
+        &mut g.buffered_peak,
+    ] {
+        *field = r.u64("ingest stat")?;
+    }
+    Ok(g)
+}
+
+/// Serializes `monitor` (monitoring the pattern whose source text is
+/// `pattern_src`) to the checkpoint format.
+#[must_use]
+pub fn save(monitor: &Monitor, pattern_src: &str) -> Vec<u8> {
+    let n_traces = monitor.history.n_traces();
+    let n_leaves = monitor.pattern().n_leaves();
+
+    // Intern everything reachable, deterministic order: histories first
+    // (leaf-major, trace-major, index order), then subset, then guard.
+    let mut table = EventTable::new();
+    for leaf in &monitor.history.per_leaf {
+        for trace in leaf {
+            for e in trace {
+                table.intern(e);
+            }
+        }
+    }
+    for per_trace in &monitor.subset {
+        for m in per_trace.iter().flatten() {
+            for e in m.events() {
+                table.intern(e);
+            }
+        }
+    }
+    if let Some(g) = &monitor.guard {
+        for e in &g.buffer {
+            table.intern(e);
+        }
+    }
+
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    put_str(&mut buf, pattern_src);
+    put_u32(&mut buf, n_traces as u32);
+
+    let config = monitor.config();
+    buf.push(u8::from(config.dedup));
+    buf.push(match config.policy {
+        SubsetPolicy::Representative => 0,
+        SubsetPolicy::PerArrival => 1,
+    });
+    put_u64(&mut buf, config.node_limit);
+    put_u64(&mut buf, config.parallelism as u64);
+    match config.guard {
+        Some(g) => {
+            buf.push(1);
+            put_u64(&mut buf, g.capacity as u64);
+            buf.push(match g.overflow {
+                OverflowPolicy::Reject => 0,
+                OverflowPolicy::DropOldest => 1,
+                OverflowPolicy::FlushDegraded => 2,
+            });
+        }
+        None => buf.push(0),
+    }
+
+    put_stats(&mut buf, monitor.stats());
+
+    put_u32(&mut buf, table.strings.len() as u32);
+    for s in &table.strings {
+        put_str(&mut buf, s);
+    }
+
+    put_u32(&mut buf, table.events.len() as u32);
+    for e in &table.events {
+        put_u32(&mut buf, e.trace().as_u32());
+        put_u32(&mut buf, e.index().get());
+        buf.push(match e.kind() {
+            EventKind::Send => 0,
+            EventKind::Receive => 1,
+            EventKind::Unary => 2,
+        });
+        put_u32(&mut buf, table.string_ids[e.ty()]);
+        put_u32(&mut buf, table.string_ids[e.text()]);
+        match e.partner() {
+            Some(p) => {
+                buf.push(1);
+                put_u32(&mut buf, p.trace().as_u32());
+                put_u32(&mut buf, p.index().get());
+            }
+            None => buf.push(0),
+        }
+        let entries = e.clock().entries();
+        put_u32(&mut buf, entries.len() as u32);
+        for &v in entries {
+            put_u32(&mut buf, v);
+        }
+    }
+
+    for &v in &monitor.history.relevant {
+        put_u64(&mut buf, v);
+    }
+    for l in 0..n_leaves {
+        for &v in &monitor.history.last_relevant[l] {
+            put_u64(&mut buf, v);
+        }
+    }
+    for leaf in &monitor.history.per_leaf {
+        for trace in leaf {
+            put_u32(&mut buf, trace.len() as u32);
+            for e in trace {
+                put_u32(&mut buf, table.ids[&e.id()]);
+            }
+        }
+    }
+    put_u64(&mut buf, monitor.history.stored as u64);
+    put_u64(&mut buf, monitor.history.suppressed as u64);
+
+    for per_trace in &monitor.subset {
+        for cell in per_trace {
+            match cell {
+                Some(m) => {
+                    buf.push(1);
+                    for e in m.events() {
+                        put_u32(&mut buf, table.ids[&e.id()]);
+                    }
+                }
+                None => buf.push(0),
+            }
+        }
+    }
+
+    if let Some(g) = &monitor.guard {
+        for &v in &g.admitted {
+            put_u32(&mut buf, v);
+        }
+        put_u32(&mut buf, g.buffer.len() as u32);
+        for e in &g.buffer {
+            put_u32(&mut buf, table.ids[&e.id()]);
+        }
+        put_ingest_stats(&mut buf, g.stats());
+    }
+
+    buf
+}
+
+/// Decodes a checkpoint back into a live [`Monitor`], returning it with
+/// the pattern source it was monitoring (so a resuming driver can verify
+/// it matches the pattern file it was invoked with).
+///
+/// # Errors
+///
+/// [`CheckpointError::Format`] on malformed bytes (with a byte offset),
+/// [`CheckpointError::Invalid`] on well-formed bytes that describe an
+/// inconsistent monitor. Never panics.
+pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
+    let mut r = Reader::new(data);
+    r.magic(MAGIC)?;
+    let version = r.u16("version")?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(PoetError::BadHeader(format!(
+            "checkpoint version {version} is not supported (expected {VERSION})"
+        ))));
+    }
+    let pattern_src = r.str("pattern source")?.to_string();
+    let n_traces = r.u32("n_traces")? as usize;
+
+    let dedup = r.u8("config.dedup")? != 0;
+    let policy = match r.u8("config.policy")? {
+        0 => SubsetPolicy::Representative,
+        1 => SubsetPolicy::PerArrival,
+        k => {
+            return Err(CheckpointError::Invalid(format!(
+                "unknown subset policy {k}"
+            )))
+        }
+    };
+    let node_limit = r.u64("config.node_limit")?;
+    let parallelism = r.u64("config.parallelism")? as usize;
+    let guard_cfg = if r.u8("config.guard flag")? != 0 {
+        let capacity = r.u64("guard capacity")? as usize;
+        let overflow = match r.u8("guard overflow policy")? {
+            0 => OverflowPolicy::Reject,
+            1 => OverflowPolicy::DropOldest,
+            2 => OverflowPolicy::FlushDegraded,
+            k => {
+                return Err(CheckpointError::Invalid(format!(
+                    "unknown overflow policy {k}"
+                )))
+            }
+        };
+        Some(GuardConfig { capacity, overflow })
+    } else {
+        None
+    };
+    let config = MonitorConfig {
+        dedup,
+        policy,
+        node_limit,
+        parallelism,
+        guard: guard_cfg,
+        inject_partition_panic: None,
+    };
+
+    let stats = read_stats(&mut r)?;
+
+    let n_strings = r.u32("string count")? as usize;
+    let mut strings: Vec<Arc<str>> = Vec::with_capacity(n_strings.min(4096));
+    for _ in 0..n_strings {
+        strings.push(Arc::from(r.str("string table entry")?));
+    }
+
+    let n_events = r.u32("event count")? as usize;
+    let mut events: Vec<Event> = Vec::with_capacity(n_events.min(65536));
+    for i in 0..n_events {
+        let at = r.offset();
+        let trace = r.u32("event trace")?;
+        let index = r.u32("event index")?;
+        let kind = match r.u8("event kind")? {
+            0 => EventKind::Send,
+            1 => EventKind::Receive,
+            2 => EventKind::Unary,
+            k => {
+                return Err(CheckpointError::Format(PoetError::Corrupt(format!(
+                    "bad kind {k} for event {i} at byte {at}"
+                ))))
+            }
+        };
+        let lookup = |id: u32, what: &str| -> Result<Arc<str>, CheckpointError> {
+            strings.get(id as usize).cloned().ok_or_else(|| {
+                CheckpointError::Format(PoetError::Corrupt(format!(
+                    "unknown string {id} for event {what} at byte {at}"
+                )))
+            })
+        };
+        let ty = lookup(r.u32("event ty")?, "ty")?;
+        let text = lookup(r.u32("event text")?, "text")?;
+        let partner = if r.u8("partner flag")? != 0 {
+            let pt = r.u32("partner trace")?;
+            let pi = r.u32("partner index")?;
+            if pt as usize >= n_traces || pi == 0 {
+                return Err(CheckpointError::Invalid(format!(
+                    "event {i} partner T{pt}:{pi} out of range"
+                )));
+            }
+            Some(EventId::new(TraceId::new(pt), EventIndex::new(pi)))
+        } else {
+            None
+        };
+        let clock_len = r.u32("clock length")? as usize;
+        if clock_len != n_traces {
+            return Err(CheckpointError::Invalid(format!(
+                "event {i} clock has {clock_len} entries over {n_traces} traces"
+            )));
+        }
+        let mut entries = Vec::with_capacity(clock_len);
+        for _ in 0..clock_len {
+            entries.push(r.u32("clock entry")?);
+        }
+        if (trace as usize) >= n_traces || index == 0 || entries[trace as usize] != index {
+            return Err(CheckpointError::Invalid(format!(
+                "event {i} (T{trace}:{index}) violates the Fidge convention"
+            )));
+        }
+        let id = EventId::new(TraceId::new(trace), EventIndex::new(index));
+        let stamp = StampedEvent::new(id, VectorClock::from_entries(entries));
+        events.push(Event::new(stamp, kind, ty, text, partner));
+    }
+
+    let pattern = Pattern::parse(&pattern_src)
+        .map_err(|e| CheckpointError::Invalid(format!("pattern failed to parse: {e}")))?;
+    let mut monitor = Monitor::with_config(pattern, n_traces, config);
+    let n_leaves = monitor.pattern().n_leaves();
+
+    let lookup_event = |idx: u32| -> Result<Event, CheckpointError> {
+        events.get(idx as usize).cloned().ok_or_else(|| {
+            CheckpointError::Invalid(format!(
+                "event reference {idx} beyond table of {}",
+                events.len()
+            ))
+        })
+    };
+
+    let mut history = LeafHistory::new_for(monitor.pattern(), n_traces, dedup);
+    for t in 0..n_traces {
+        history.relevant[t] = r.u64("relevant counter")?;
+    }
+    for l in 0..n_leaves {
+        for t in 0..n_traces {
+            history.last_relevant[l][t] = r.u64("last_relevant counter")?;
+        }
+    }
+    for l in 0..n_leaves {
+        for t in 0..n_traces {
+            let count = r.u32("history length")? as usize;
+            for _ in 0..count {
+                let e = lookup_event(r.u32("history event ref")?)?;
+                if e.trace().as_usize() != t {
+                    return Err(CheckpointError::Invalid(format!(
+                        "event {} filed under trace {t}",
+                        e.id()
+                    )));
+                }
+                let slot = &mut history.per_leaf[l][t];
+                if let Some(prev) = slot.last() {
+                    if prev.index() >= e.index() {
+                        return Err(CheckpointError::Invalid(format!(
+                            "history for leaf {l} trace {t} is not ascending at {}",
+                            e.id()
+                        )));
+                    }
+                }
+                // Rebuild the derived indexes exactly as observe() does.
+                let pos = slot.len() as u32;
+                if let Some(p) = e.partner() {
+                    history.by_partner[l].insert(p, e.id());
+                }
+                if history.text_indexed[l] {
+                    history.by_text[l][t]
+                        .entry(e.text_arc())
+                        .or_default()
+                        .push(pos);
+                }
+                slot.push(e);
+            }
+        }
+    }
+    history.stored = r.u64("stored counter")? as usize;
+    history.suppressed = r.u64("suppressed counter")? as usize;
+    monitor.history = Arc::new(history);
+
+    let pattern_arc = Arc::clone(&monitor.pattern);
+    for l in 0..n_leaves {
+        for t in 0..n_traces {
+            if r.u8("subset cell flag")? == 0 {
+                continue;
+            }
+            let mut bound = Vec::with_capacity(n_leaves);
+            for _ in 0..n_leaves {
+                bound.push(lookup_event(r.u32("subset event ref")?)?);
+            }
+            monitor.subset[l][t] = Some(Match::new(Arc::clone(&pattern_arc), bound));
+        }
+    }
+
+    if guard_cfg.is_some() {
+        let guard = monitor
+            .guard
+            .as_mut()
+            .expect("with_config built a guard for a guarded config");
+        for t in 0..n_traces {
+            guard.admitted[t] = r.u32("guard admitted counter")?;
+        }
+        let buffered = r.u32("guard buffer length")? as usize;
+        for _ in 0..buffered {
+            let e = lookup_event(r.u32("guard buffer event ref")?)?;
+            guard.buffered_ids.insert(e.id());
+            guard.buffer.push(e);
+        }
+        guard.stats = read_ingest_stats(&mut r)?;
+    }
+
+    monitor.stats = stats;
+    r.finish()?;
+    Ok((monitor, pattern_src))
+}
+
+impl Monitor {
+    /// Serializes this monitor's full matching state (see the
+    /// [module docs](crate::checkpoint)). `pattern_src` is the source
+    /// text of the pattern being monitored, embedded so restore can
+    /// rebuild and cross-check it.
+    #[must_use]
+    pub fn checkpoint(&self, pattern_src: &str) -> Vec<u8> {
+        save(self, pattern_src)
+    }
+
+    /// Restores a monitor from [`Monitor::checkpoint`] bytes; returns it
+    /// with the embedded pattern source.
+    ///
+    /// # Errors
+    ///
+    /// See [`load`].
+    pub fn restore(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
+        load(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::PoetServer;
+
+    const PATTERN: &str = "A := [*, a, *]; B := [s, b, *]; C := [r, b, *]; \
+                           pattern := (A -> B) && (B <> C);";
+
+    fn workload(n_events: usize) -> (PoetServer, Vec<Event>) {
+        let mut poet = PoetServer::new(3);
+        let mut rng = ocep_rng::Rng::seed_from_u64(7);
+        for _ in 0..n_events {
+            let t = TraceId::new(rng.gen_range(0u32..3));
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let s = poet.record(t, EventKind::Send, "b", "m");
+                    let dst = TraceId::new((t.as_u32() + 1) % 3);
+                    poet.record_receive(dst, s.id(), "b", "m");
+                }
+                1 => {
+                    poet.record(t, EventKind::Unary, "a", "x");
+                }
+                _ => {
+                    poet.record(t, EventKind::Unary, "c", "");
+                }
+            }
+        }
+        let events: Vec<Event> = poet.linearization().collect();
+        (poet, events)
+    }
+
+    fn subset_ids(m: &Monitor) -> Vec<Vec<EventId>> {
+        m.subset()
+            .iter()
+            .map(|mm| mm.events().iter().map(Event::id).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_state_and_future_verdicts() {
+        let (_poet, events) = workload(40);
+        let mut straight = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        let mut first_half = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+
+        let cut = events.len() / 2;
+        for e in &events[..cut] {
+            straight.observe(e);
+            first_half.observe(e);
+        }
+        let bytes = first_half.checkpoint(PATTERN);
+        let (mut resumed, src) = Monitor::restore(&bytes).unwrap();
+        assert_eq!(src, PATTERN);
+        assert_eq!(resumed.stats(), first_half.stats());
+        assert_eq!(resumed.history_size(), first_half.history_size());
+        assert_eq!(subset_ids(&resumed), subset_ids(&first_half));
+
+        for e in &events[cut..] {
+            let a = straight.observe(e);
+            let b = resumed.observe(e);
+            assert_eq!(
+                a.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+                b.iter().map(|m| m.to_string()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(straight.stats(), resumed.stats());
+        assert_eq!(subset_ids(&straight), subset_ids(&resumed));
+    }
+
+    #[test]
+    fn round_trip_preserves_guard_buffer() {
+        let (_poet, events) = workload(20);
+        let pattern = Pattern::parse(PATTERN).unwrap();
+        let config = MonitorConfig {
+            guard: Some(GuardConfig::default()),
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::with_config(pattern, 3, config);
+        // Deliver out of order so something stays buffered: skip the
+        // first event entirely.
+        for e in &events[1..] {
+            m.observe(e);
+        }
+        let buffered_before = m.guard().unwrap().buffered();
+        assert!(buffered_before > 0, "workload should leave a gap");
+        let bytes = m.checkpoint(PATTERN);
+        let (mut resumed, _) = Monitor::restore(&bytes).unwrap();
+        assert_eq!(resumed.guard().unwrap().buffered(), buffered_before);
+        assert_eq!(resumed.guard().unwrap().stats(), m.guard().unwrap().stats());
+        // The straggler gap-filler unblocks the buffer in both.
+        let a = m.observe(&events[0]).len();
+        let b = resumed.observe(&events[0]).len();
+        assert_eq!(a, b);
+        assert_eq!(m.guard().unwrap().buffered(), 0);
+        assert_eq!(resumed.guard().unwrap().buffered(), 0);
+        assert_eq!(m.stats(), resumed.stats());
+    }
+
+    #[test]
+    fn truncated_checkpoint_errors_with_offset() {
+        let (_poet, events) = workload(12);
+        let mut m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        for e in &events {
+            m.observe(e);
+        }
+        let bytes = m.checkpoint(PATTERN);
+        for cut in [0, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+            let err = Monitor::restore(&bytes[..cut]).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("byte") || msg.contains("header"),
+                "diagnostic should locate the failure: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        let mut bytes = m.checkpoint(PATTERN);
+        bytes.extend_from_slice(b"junk");
+        let err = Monitor::restore(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_event_reference_is_invalid_not_panic() {
+        let (_poet, events) = workload(16);
+        let mut m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        for e in &events {
+            m.observe(e);
+        }
+        let bytes = m.checkpoint(PATTERN);
+        // Flip bytes across the body; every outcome must be Ok or Err,
+        // never a panic, and a changed byte in a structural field must
+        // not be silently accepted as the original state.
+        for pos in (8..bytes.len()).step_by(11) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0xff;
+            let _ = Monitor::restore(&bad);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_bad_header() {
+        let m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        let mut bytes = m.checkpoint(PATTERN);
+        bytes[0] = b'X';
+        assert!(matches!(
+            Monitor::restore(&bytes),
+            Err(CheckpointError::Format(PoetError::BadHeader(_)))
+        ));
+        let mut bytes2 = m.checkpoint(PATTERN);
+        bytes2[4] = 99; // version
+        assert!(matches!(
+            Monitor::restore(&bytes2),
+            Err(CheckpointError::Format(PoetError::BadHeader(_)))
+        ));
+    }
+}

@@ -19,30 +19,30 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct LeafHistory {
     /// `per_leaf[leaf][trace]` — events ascending by index.
-    per_leaf: Vec<Vec<Vec<Event>>>,
+    pub(crate) per_leaf: Vec<Vec<Vec<Event>>>,
     /// Monotone per-trace counter of causally relevant arrivals.
-    relevant: Vec<u64>,
+    pub(crate) relevant: Vec<u64>,
     /// `last_relevant[leaf][trace]` — the `relevant` value when that
     /// history last grew.
-    last_relevant: Vec<Vec<u64>>,
+    pub(crate) last_relevant: Vec<Vec<u64>>,
     /// `by_partner[leaf]` — for stored receive events, the position of
     /// the receive keyed by its partner send. Lets the search resolve a
     /// `<>`-constrained leaf in O(1) instead of scanning candidates.
-    by_partner: Vec<HashMap<EventId, EventId>>,
+    pub(crate) by_partner: Vec<HashMap<EventId, EventId>>,
     /// `by_text[leaf][trace]` — ascending slice positions keyed by text
     /// value, maintained only for leaves whose text attribute is a
     /// variable: a bound variable then resolves its candidates without a
     /// linear scan.
-    by_text: Vec<Vec<HashMap<std::sync::Arc<str>, Vec<u32>>>>,
+    pub(crate) by_text: Vec<Vec<HashMap<std::sync::Arc<str>, Vec<u32>>>>,
     /// Which leaves maintain `by_text`.
-    text_indexed: Vec<bool>,
-    dedup: bool,
+    pub(crate) text_indexed: Vec<bool>,
+    pub(crate) dedup: bool,
     /// Leaves whose candidates must never be suppressed: the `from` side
     /// of a `~>` constraint, where "no other occurrence causally between"
     /// makes same-block repeats semantically distinct.
-    dedup_exempt: Vec<bool>,
-    stored: usize,
-    suppressed: usize,
+    pub(crate) dedup_exempt: Vec<bool>,
+    pub(crate) stored: usize,
+    pub(crate) suppressed: usize,
 }
 
 impl LeafHistory {

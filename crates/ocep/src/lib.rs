@@ -58,8 +58,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod domain;
 mod history;
+pub mod ingest;
 mod matching;
 mod monitor;
 mod multi;
@@ -67,7 +69,11 @@ mod pool;
 mod search;
 mod stats;
 
+pub use checkpoint::CheckpointError;
 pub use history::LeafHistory;
+pub use ingest::{
+    AdmissionGuard, GuardConfig, IngestFault, IngestFaultKind, IngestStats, OverflowPolicy,
+};
 pub use matching::Match;
 pub use monitor::{Monitor, MonitorConfig, SubsetPolicy};
 pub use multi::MonitorSet;

@@ -1,6 +1,7 @@
 //! The public monitor facade.
 
 use crate::history::LeafHistory;
+use crate::ingest::{AdmissionGuard, GuardConfig, IngestFault};
 use crate::matching::Match;
 use crate::pool::WorkerPool;
 use crate::search::{Search, SearchScratch, SearchStats};
@@ -50,6 +51,15 @@ pub struct MonitorConfig {
     /// the partitions always runs inline on the observing thread, so a
     /// parallelism of `p` occupies `p - 1` pool workers.
     pub parallelism: usize,
+    /// When `Some`, a causal [`AdmissionGuard`](crate::ingest) with this
+    /// configuration validates, deduplicates, and reorders raw arrivals
+    /// in front of the matcher (default `None`: the caller promises a
+    /// clean linearization, as the paper assumes).
+    pub guard: Option<GuardConfig>,
+    /// Fault-injection hook for tests: the parallel partition with this
+    /// share index panics instead of searching, exercising the
+    /// worker-respawn and inline-fallback paths. `None` in production.
+    pub inject_partition_panic: Option<usize>,
 }
 
 impl Default for MonitorConfig {
@@ -59,6 +69,8 @@ impl Default for MonitorConfig {
             policy: SubsetPolicy::default(),
             node_limit: 0,
             parallelism: 1,
+            guard: None,
+            inject_partition_panic: None,
         }
     }
 }
@@ -70,25 +82,29 @@ impl Default for MonitorConfig {
 /// See the [crate documentation](crate) for the algorithm and an example.
 #[derive(Debug)]
 pub struct Monitor {
-    pattern: Arc<Pattern>,
+    pub(crate) pattern: Arc<Pattern>,
     /// Shared with in-flight parallel search jobs only; between searches
     /// the monitor is the unique owner (jobs release their handles before
     /// signalling completion), so `observe` mutates via [`Arc::get_mut`]
     /// without ever deep-copying.
-    history: Arc<LeafHistory>,
+    pub(crate) history: Arc<LeafHistory>,
     n_traces: usize,
     config: MonitorConfig,
     /// `subset[leaf][trace]` — the most recent reported-or-found match
     /// whose `leaf` event is on `trace` (the §IV-B representative subset,
     /// at most `k·n` entries).
-    subset: Vec<Vec<Option<Match>>>,
-    stats: MonitorStats,
+    pub(crate) subset: Vec<Vec<Option<Match>>>,
+    pub(crate) stats: MonitorStats,
     /// Working buffers for the searches run on the observing thread,
     /// reused across arrivals.
     scratch: SearchScratch,
     /// Threads for the parallel trace traversal; `None` until the first
     /// parallel search (or a call to [`Monitor::set_pool`]).
     pool: Option<Arc<WorkerPool>>,
+    /// The causal admission guard, when [`MonitorConfig::guard`] is set.
+    pub(crate) guard: Option<AdmissionGuard>,
+    /// Reused output buffer for guard deliveries.
+    admit_buf: Vec<Event>,
 }
 
 impl Monitor {
@@ -113,6 +129,8 @@ impl Monitor {
             stats: MonitorStats::default(),
             scratch: SearchScratch::default(),
             pool: None,
+            guard: config.guard.map(|g| AdmissionGuard::new(n_traces, g)),
+            admit_buf: Vec::new(),
         }
     }
 
@@ -126,17 +144,77 @@ impl Monitor {
         self.pool = Some(pool);
     }
 
-    /// Observes one event (the next element of the linearization) and
-    /// returns the newly reported matches.
+    /// Observes one raw arrival and returns the newly reported matches.
+    ///
+    /// Without a configured guard, the event is assumed to be the next
+    /// element of a clean linearization (the paper's contract) and goes
+    /// straight to the matcher. With a guard
+    /// ([`MonitorConfig::guard`]), the arrival is first validated,
+    /// deduplicated, and causally ordered: one raw arrival may yield
+    /// zero deliveries (buffered, duplicate, or quarantined — never a
+    /// panic) or several (it unblocked buffered successors).
     ///
     /// Non-matching events cost one routing pass; events suppressed by
     /// the §VI dedup rule cost O(1); only terminating events (§V-B)
     /// trigger the backtracking search.
     pub fn observe(&mut self, event: &Event) -> Vec<Match> {
         self.stats.events += 1;
-        let stored = Arc::get_mut(&mut self.history)
-            .expect("history is uniquely owned between searches")
-            .observe(&self.pattern, event);
+        if self.guard.is_none() {
+            return self.observe_admitted(event);
+        }
+        let mut guard = self.guard.take().expect("guard presence checked above");
+        let mut deliverable = std::mem::take(&mut self.admit_buf);
+        deliverable.clear();
+        guard.admit(event, &mut deliverable);
+        let mut reported = Vec::new();
+        for e in &deliverable {
+            reported.append(&mut self.observe_admitted(e));
+        }
+        self.stats.ingest = *guard.stats();
+        self.guard = Some(guard);
+        deliverable.clear();
+        self.admit_buf = deliverable;
+        reported
+    }
+
+    /// Abandons causal order for events still waiting in the guard's
+    /// reorder buffer: delivers them to the matcher sorted by
+    /// `(trace, index)` and marks the run degraded. Call at end of
+    /// stream (or before a checkpoint) so permanently gapped stragglers
+    /// still get matched best-effort. A no-op without a guard or with an
+    /// empty buffer.
+    pub fn flush_guard(&mut self) -> Vec<Match> {
+        let Some(mut guard) = self.guard.take() else {
+            return Vec::new();
+        };
+        let mut deliverable = std::mem::take(&mut self.admit_buf);
+        deliverable.clear();
+        guard.flush(&mut deliverable);
+        let mut reported = Vec::new();
+        for e in &deliverable {
+            reported.append(&mut self.observe_admitted(e));
+        }
+        self.stats.ingest = *guard.stats();
+        self.guard = Some(guard);
+        deliverable.clear();
+        self.admit_buf = deliverable;
+        reported
+    }
+
+    /// Regains unique access to the shared history. Normally immediate;
+    /// after a worker panic the job's result channel can close a moment
+    /// before the unwinding thread drops its history handle, so spin
+    /// rather than assume.
+    fn history_mut(history: &mut Arc<LeafHistory>) -> &mut LeafHistory {
+        while Arc::get_mut(history).is_none() {
+            std::thread::yield_now();
+        }
+        Arc::get_mut(history).expect("no other history handle can appear between searches")
+    }
+
+    /// Observes one *admitted* event: the matcher proper.
+    fn observe_admitted(&mut self, event: &Event) -> Vec<Match> {
+        let stored = Self::history_mut(&mut self.history).observe(&self.pattern, event);
         if !stored {
             return Vec::new();
         }
@@ -226,6 +304,7 @@ impl Monitor {
         let workers = workers.min(pool.size() + 1);
         let n_traces = self.n_traces;
         let node_limit = self.config.node_limit;
+        let inject_panic = self.config.inject_partition_panic;
         let (tx, rx) = mpsc::channel();
         for w in 1..workers {
             let pattern = Arc::clone(&self.pattern);
@@ -235,6 +314,9 @@ impl Monitor {
             pool.execute(
                 w - 1,
                 Box::new(move |scratch| {
+                    if inject_panic == Some(w) {
+                        panic!("injected partition fault (test hook)");
+                    }
                     let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == w).collect();
                     let out = Search::new(&pattern, &history, n_traces, tl, node_limit, scratch)
                         .with_level1_traces(allowed)
@@ -242,10 +324,12 @@ impl Monitor {
                     // Release the shared handles BEFORE announcing the
                     // result: once the dispatcher has drained the channel
                     // it is again the history's unique owner and can
-                    // mutate it in place on the next arrival.
+                    // mutate it in place on the next arrival. If the
+                    // dispatcher already fell back and left (worker died
+                    // elsewhere), the send fails harmlessly.
                     drop(history);
                     drop(pattern);
-                    tx.send((w, out)).expect("search dispatcher hung up");
+                    let _ = tx.send((w, out));
                 }),
             );
         }
@@ -272,6 +356,34 @@ impl Monitor {
         slots[0] = Some(mine);
         for (w, out) in rx {
             slots[w] = Some(out);
+        }
+
+        // Panic containment: a share whose worker died (or was never
+        // accepted) simply has no result. Re-run those partitions inline
+        // — same partition function, same scratch discipline — so the
+        // arrival's verdict is complete either way, and count the
+        // degradation instead of aborting.
+        let mut fell_back = false;
+        for (w, slot) in slots.iter_mut().enumerate().skip(1) {
+            if slot.is_some() {
+                continue;
+            }
+            fell_back = true;
+            let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == w).collect();
+            let out = Search::new(
+                &self.pattern,
+                &self.history,
+                n_traces,
+                tl,
+                node_limit,
+                &mut self.scratch,
+            )
+            .with_level1_traces(allowed)
+            .run(event);
+            *slot = Some(out);
+        }
+        if fell_back {
+            self.stats.degraded_arrivals += 1;
         }
 
         let mut matches = Vec::new();
@@ -356,5 +468,36 @@ impl Monitor {
     #[must_use]
     pub fn config(&self) -> &MonitorConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration, for runtime toggles (node
+    /// limit, the `inject_partition_panic` test hook). Changing `dedup`
+    /// or `guard` after construction does *not* rebuild the history or
+    /// guard — set those via [`Monitor::with_config`].
+    pub fn config_mut(&mut self) -> &mut MonitorConfig {
+        &mut self.config
+    }
+
+    /// The admission guard, when one is configured.
+    #[must_use]
+    pub fn guard(&self) -> Option<&AdmissionGuard> {
+        self.guard.as_ref()
+    }
+
+    /// Drains the guard's structured fault stream (empty without a
+    /// guard; see [`crate::ingest::AdmissionGuard::take_faults`]).
+    pub fn take_ingest_faults(&mut self) -> Vec<IngestFault> {
+        self.guard
+            .as_mut()
+            .map(AdmissionGuard::take_faults)
+            .unwrap_or_default()
+    }
+
+    /// True when ingestion lost or reordered information (quarantines,
+    /// overflow drops, or degraded flushes) — the condition behind the
+    /// CLI's "ingest-degraded" exit code.
+    #[must_use]
+    pub fn ingest_degraded(&self) -> bool {
+        self.stats.ingest.is_degraded()
     }
 }

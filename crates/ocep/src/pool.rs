@@ -1,4 +1,5 @@
-//! A persistent worker pool for the §VI parallel trace traversal.
+//! A persistent, panic-contained worker pool for the §VI parallel trace
+//! traversal.
 //!
 //! The paper's parallel matcher partitions the first backtracking
 //! level's traces across threads. Spawning OS threads per arrival (the
@@ -16,9 +17,29 @@
 //! Jobs capture `Arc` handles to the pattern and history they read; the
 //! dispatching monitor regains unique ownership of its history because
 //! every job drops its handles *before* announcing completion.
+//!
+//! # Panic containment
+//!
+//! A panic inside a job must not take the monitor down. Every job runs
+//! under [`catch_unwind`]; a worker that catches one retires itself (its
+//! scratch may be mid-mutation, so it is not reused) and the next
+//! dispatch to that slot respawns a fresh thread. The dispatcher sees a
+//! dead worker in two ways, both recoverable: [`WorkerPool::execute`]
+//! returns `false` when even a respawn cannot accept the job, and a job
+//! accepted before the panic simply never reports back — the monitor
+//! runs the missing partitions inline and counts a `degraded_arrival`
+//! (see [`MonitorStats`](crate::MonitorStats)). Shutdown is equally
+//! defensive: `Drop` joins best-effort and never panics, so a dead
+//! worker cannot turn an unwinding monitor into a double-panic abort.
+//! The pool exposes [`caught_panics`](WorkerPool::caught_panics) and
+//! [`respawned`](WorkerPool::respawned) counters instead of logging.
+//!
+//! [`catch_unwind`]: std::panic::catch_unwind
 
 use crate::search::SearchScratch;
-use std::sync::mpsc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A job sent to one worker: runs with the worker's long-lived scratch.
@@ -31,36 +52,62 @@ struct Worker {
 
 /// A fixed set of long-lived search threads (see the module docs).
 ///
-/// Dropping the pool closes every job channel and joins the threads.
+/// Dropping the pool closes every job channel and joins the threads
+/// best-effort.
 pub struct WorkerPool {
-    workers: Vec<Worker>,
+    workers: Vec<Mutex<Worker>>,
+    caught_panics: Arc<AtomicU64>,
+    respawned: AtomicU64,
+}
+
+fn spawn_worker(i: usize, panics: Arc<AtomicU64>) -> std::io::Result<Worker> {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let handle = std::thread::Builder::new()
+        .name(format!("ocep-search-{i}"))
+        .spawn(move || {
+            // The scratch outlives every job this worker runs: buffers
+            // are allocated once and reused.
+            let mut scratch = SearchScratch::default();
+            while let Ok(job) = rx.recv() {
+                if catch_unwind(AssertUnwindSafe(|| job(&mut scratch))).is_err() {
+                    // The scratch may be mid-mutation; retire this
+                    // worker rather than reuse it. Dropping `rx` is the
+                    // death notice: the next send to this slot fails and
+                    // triggers a respawn.
+                    panics.fetch_add(1, Ordering::SeqCst);
+                    break;
+                }
+            }
+        })?;
+    Ok(Worker {
+        tx,
+        handle: Some(handle),
+    })
 }
 
 impl WorkerPool {
     /// Spawns a pool of `threads` workers (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn threads at startup (later
+    /// respawns are best-effort and never panic).
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        let caught_panics = Arc::new(AtomicU64::new(0));
         let workers = (0..threads.max(1))
             .map(|i| {
-                let (tx, rx) = mpsc::channel::<Job>();
-                let handle = std::thread::Builder::new()
-                    .name(format!("ocep-search-{i}"))
-                    .spawn(move || {
-                        // The scratch outlives every job this worker runs:
-                        // buffers are allocated once and reused.
-                        let mut scratch = SearchScratch::default();
-                        while let Ok(job) = rx.recv() {
-                            job(&mut scratch);
-                        }
-                    })
-                    .expect("failed to spawn search worker");
-                Worker {
-                    tx,
-                    handle: Some(handle),
-                }
+                Mutex::new(
+                    spawn_worker(i, Arc::clone(&caught_panics))
+                        .expect("failed to spawn search worker"),
+                )
             })
             .collect();
-        WorkerPool { workers }
+        WorkerPool {
+            workers,
+            caught_panics,
+            respawned: AtomicU64::new(0),
+        }
     }
 
     /// Number of worker threads.
@@ -69,32 +116,71 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Job panics caught by workers over the pool's lifetime.
+    #[must_use]
+    pub fn caught_panics(&self) -> u64 {
+        self.caught_panics.load(Ordering::SeqCst)
+    }
+
+    /// Workers respawned after a caught panic.
+    #[must_use]
+    pub fn respawned(&self) -> u64 {
+        self.respawned.load(Ordering::SeqCst)
+    }
+
     /// Dispatches `job` to worker `w` (targeted, so each worker's scratch
     /// only ever serves one job at a time).
     ///
-    /// # Panics
-    ///
-    /// Panics if `w` is out of range or the worker has exited (it only
-    /// exits when the pool is dropped).
-    pub(crate) fn execute(&self, w: usize, job: Job) {
-        self.workers[w]
-            .tx
-            .send(job)
-            .expect("search worker exited early");
+    /// Returns `true` when a live (possibly freshly respawned) worker
+    /// accepted the job. Returns `false` — never panics — when `w` is out
+    /// of range or the slot's worker died and could not be respawned; the
+    /// caller is expected to run the job's work inline instead.
+    pub(crate) fn execute(&self, w: usize, job: Job) -> bool {
+        let Some(slot) = self.workers.get(w) else {
+            return false;
+        };
+        let mut worker = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let job = match worker.tx.send(job) {
+            Ok(()) => return true,
+            // The worker retired after catching a panic; the send hands
+            // the job back so the respawned thread can take it.
+            Err(mpsc::SendError(job)) => job,
+        };
+        if let Some(handle) = worker.handle.take() {
+            let _ = handle.join();
+        }
+        match spawn_worker(w, Arc::clone(&self.caught_panics)) {
+            Ok(fresh) => {
+                *worker = fresh;
+                self.respawned.fetch_add(1, Ordering::SeqCst);
+                worker.tx.send(job).is_ok()
+            }
+            Err(_) => false,
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing a worker's channel ends its recv loop; join afterwards
-        // so queued jobs still run to completion.
-        for w in &mut self.workers {
+        // so queued jobs still run to completion. Both steps are
+        // best-effort: a worker that died of a caught panic must not
+        // turn this Drop into an abort.
+        for slot in &self.workers {
+            let mut w = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let (dead, _) = mpsc::channel();
             w.tx = dead;
         }
-        for w in &mut self.workers {
+        for slot in &self.workers {
+            let mut w = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(handle) = w.handle.take() {
-                handle.join().expect("search worker panicked");
+                let _ = handle.join();
             }
         }
     }
@@ -104,6 +190,8 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("threads", &self.workers.len())
+            .field("caught_panics", &self.caught_panics())
+            .field("respawned", &self.respawned())
             .finish()
     }
 }
@@ -123,13 +211,13 @@ mod tests {
         for w in 0..pool.size() {
             let counter = Arc::clone(&counter);
             let tx = tx.clone();
-            pool.execute(
+            assert!(pool.execute(
                 w,
                 Box::new(move |_scratch| {
                     counter.fetch_add(1, Ordering::SeqCst);
                     tx.send(w).unwrap();
                 }),
-            );
+            ));
         }
         drop(tx);
         let done: Vec<usize> = rx.iter().collect();
@@ -145,19 +233,72 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_worker_is_refused_not_panicked() {
+        let pool = WorkerPool::new(1);
+        assert!(!pool.execute(5, Box::new(|_| {})));
+    }
+
+    #[test]
     fn queued_jobs_finish_before_drop_returns() {
         let pool = WorkerPool::new(1);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..16 {
             let counter = Arc::clone(&counter);
-            pool.execute(
+            assert!(pool.execute(
                 0,
                 Box::new(move |_| {
                     counter.fetch_add(1, Ordering::SeqCst);
                 }),
-            );
+            ));
         }
         drop(pool);
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_worker_respawns() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel::<&str>();
+        assert!(pool.execute(
+            0,
+            Box::new(move |_| {
+                // Hold the sender hostage to the unwind: rx sees a
+                // disconnect instead of a message.
+                let _keep = tx;
+                panic!("deliberate test panic");
+            }),
+        ));
+        // The panicking job never reports; its channel just closes. The
+        // counter bumps a moment later (after the unwind is caught).
+        assert!(rx.recv().is_err());
+        while pool.caught_panics() == 0 {
+            std::thread::yield_now();
+        }
+        // The next dispatch respawns the worker and runs normally.
+        let (tx2, rx2) = mpsc::channel::<&str>();
+        assert!(pool.execute(
+            0,
+            Box::new(move |_| {
+                tx2.send("alive").unwrap();
+            }),
+        ));
+        assert_eq!(rx2.recv().unwrap(), "alive");
+        assert_eq!(pool.respawned(), 1);
+        drop(pool); // best-effort shutdown after a death: no abort
+    }
+
+    #[test]
+    fn drop_after_worker_death_does_not_panic() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel::<()>();
+        assert!(pool.execute(
+            1,
+            Box::new(move |_| {
+                let _keep = tx;
+                panic!("die");
+            }),
+        ));
+        assert!(rx.recv().is_err()); // worker 1 is now dead
+        drop(pool); // must join worker 0 and skip the corpse quietly
     }
 }

@@ -1,5 +1,6 @@
 //! Monitor counters used by tests, benchmarks, and the ablation studies.
 
+use crate::ingest::IngestStats;
 use crate::search::SearchStats;
 
 /// Cumulative counters of a [`crate::Monitor`]'s work.
@@ -34,6 +35,12 @@ pub struct MonitorStats {
     /// Timestamp-buffer bytes those skipped clones would have copied
     /// before clocks became `Arc`-shared.
     pub clone_bytes_avoided: u64,
+    /// Arrivals whose parallel search lost a worker to a panic and fell
+    /// back to inline sequential search for the missing partitions.
+    pub degraded_arrivals: u64,
+    /// Admission-guard counters (all zero when no guard is configured;
+    /// see [`crate::ingest`]).
+    pub ingest: IngestStats,
 }
 
 impl MonitorStats {
@@ -65,6 +72,8 @@ impl MonitorStats {
         self.deferred_rejections += other.deferred_rejections;
         self.clones_avoided += other.clones_avoided;
         self.clone_bytes_avoided += other.clone_bytes_avoided;
+        self.degraded_arrivals += other.degraded_arrivals;
+        self.ingest.absorb(&other.ingest);
     }
 }
 
@@ -74,7 +83,8 @@ impl std::fmt::Display for MonitorStats {
             f,
             "events={} stored={} searches={} found={} reported={} nodes={} \
              candidates={} domains={} backjumps={} jump_bounds={} \
-             deferred_rejections={} clones_avoided={} clone_bytes_avoided={}",
+             deferred_rejections={} clones_avoided={} clone_bytes_avoided={} \
+             degraded_arrivals={}",
             self.events,
             self.stored,
             self.searches,
@@ -87,7 +97,25 @@ impl std::fmt::Display for MonitorStats {
             self.jump_bounds,
             self.deferred_rejections,
             self.clones_avoided,
-            self.clone_bytes_avoided
-        )
+            self.clone_bytes_avoided,
+            self.degraded_arrivals
+        )?;
+        if self.ingest != IngestStats::default() {
+            let g = &self.ingest;
+            write!(
+                f,
+                " ingest_admitted={} ingest_duplicates={} ingest_buffered={} \
+                 ingest_reordered={} ingest_quarantined={} ingest_overflow={} \
+                 ingest_degraded_flushes={}",
+                g.admitted,
+                g.duplicates_dropped,
+                g.buffered,
+                g.reordered_delivered,
+                g.quarantined(),
+                g.overflow_rejected + g.overflow_dropped,
+                g.degraded_flushes
+            )?;
+        }
+        Ok(())
     }
 }

@@ -24,6 +24,7 @@ fn config_is_exposed() {
             policy: SubsetPolicy::PerArrival,
             node_limit: 7,
             parallelism: 2,
+            ..MonitorConfig::default()
         },
     );
     assert!(!m.config().dedup);

@@ -1,0 +1,97 @@
+//! End-to-end panic containment: a search partition that panics mid-
+//! arrival must not abort the process — the monitor completes the
+//! arrival via inline fallback, counts it, and later arrivals run on a
+//! respawned worker.
+
+use ocep_core::{Monitor, MonitorConfig, SubsetPolicy, WorkerPool};
+use ocep_pattern::Pattern;
+use ocep_poet::{Event, EventKind, PoetServer};
+use ocep_vclock::TraceId;
+use std::sync::Arc;
+
+fn t(i: u32) -> TraceId {
+    TraceId::new(i)
+}
+
+fn pattern() -> Pattern {
+    Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A || B;").unwrap()
+}
+
+/// Matches as display strings, order-insensitive (the parallel merge
+/// visits partitions in worker order, not trace order).
+fn sorted(ms: &[ocep_core::Match]) -> Vec<String> {
+    let mut out: Vec<String> = ms.iter().map(|m| m.to_string()).collect();
+    out.sort();
+    out
+}
+
+/// A 4-trace workload with plenty of concurrent a/b pairs.
+fn workload() -> Vec<Event> {
+    let mut poet = PoetServer::new(4);
+    for round in 0..6u32 {
+        for tr in 0..4u32 {
+            let ty = if (round + tr) % 2 == 0 { "a" } else { "b" };
+            poet.record(t(tr), EventKind::Unary, ty, format!("{round}"));
+        }
+    }
+    poet.linearization().collect()
+}
+
+#[test]
+fn injected_partition_panic_degrades_instead_of_aborting() {
+    let events = workload();
+
+    // Reference: the sequential monitor (PerArrival reporting is exactly
+    // reproducible across worker counts, unlike representatives).
+    let mut reference = Monitor::with_config(
+        pattern(),
+        4,
+        MonitorConfig {
+            policy: SubsetPolicy::PerArrival,
+            ..MonitorConfig::default()
+        },
+    );
+
+    let pool = Arc::new(WorkerPool::new(2));
+    let mut m = Monitor::with_config(
+        pattern(),
+        4,
+        MonitorConfig {
+            policy: SubsetPolicy::PerArrival,
+            parallelism: 3,
+            inject_partition_panic: Some(1),
+            ..MonitorConfig::default()
+        },
+    );
+    m.set_pool(Arc::clone(&pool));
+
+    let half = events.len() / 2;
+    for e in &events[..half] {
+        let want = sorted(&reference.observe(e));
+        let got = sorted(&m.observe(e));
+        assert_eq!(
+            want, got,
+            "fallback must still complete the arrival's verdicts"
+        );
+    }
+    assert!(
+        m.stats().degraded_arrivals > 0,
+        "the injected panic should have degraded at least one arrival"
+    );
+    assert!(pool.caught_panics() > 0, "the pool caught the injections");
+
+    // Heal the hook: subsequent arrivals run on respawned workers with
+    // no further degradation.
+    m.config_mut().inject_partition_panic = None;
+    let degraded_before = m.stats().degraded_arrivals;
+    for e in &events[half..] {
+        assert_eq!(sorted(&reference.observe(e)), sorted(&m.observe(e)));
+    }
+    assert!(pool.respawned() > 0, "a fresh worker replaced the corpse");
+    assert_eq!(
+        m.stats().degraded_arrivals,
+        degraded_before,
+        "healed searches are no longer degraded"
+    );
+    assert_eq!(reference.stats().matches_found, m.stats().matches_found);
+}

@@ -262,6 +262,7 @@ fn lim_operator_requires_immediate_precedence() {
             policy: SubsetPolicy::PerArrival,
             node_limit: 0,
             parallelism: 1,
+            ..MonitorConfig::default()
         },
     );
     let _a1 = poet.record(t(0), EventKind::Unary, "a", "first");

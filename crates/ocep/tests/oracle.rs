@@ -232,6 +232,7 @@ fn monitor_agrees_with_oracle() {
                 policy: SubsetPolicy::PerArrival,
                 node_limit: 0,
                 parallelism: 1,
+                ..MonitorConfig::default()
             },
         );
         let mut reported = Vec::new();
@@ -318,6 +319,7 @@ fn every_completing_arrival_is_detected() {
                 policy: SubsetPolicy::PerArrival,
                 node_limit: 0,
                 parallelism: 1,
+                ..MonitorConfig::default()
             },
         );
         let mut found_at: Vec<u64> = Vec::new(); // arrival positions with found matches

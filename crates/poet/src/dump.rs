@@ -9,6 +9,12 @@
 //! which re-derives the vector timestamps — exercising exactly the live
 //! ingest path.
 //!
+//! Decoding is hardened: a truncated, garbage, or version-mismatched file
+//! always returns an [`Err`] carrying the byte offset where decoding
+//! stopped — never a panic. The offset-tracking [`Reader`] is public so
+//! other std-only binary formats in the workspace (the OCEP checkpoint
+//! format in `ocep_core`) decode with the same diagnostics.
+//!
 //! # Format
 //!
 //! Little-endian, preceded by the magic `POET` and a `u16` version:
@@ -31,6 +37,144 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"POET";
 const VERSION: u16 = 1;
+
+/// An offset-tracking little-endian reader over a byte slice.
+///
+/// Every decoding failure reports the byte offset at which the stream
+/// ended or went bad, so a corrupt file yields an actionable diagnostic
+/// (`truncated: need 4 byte(s) for n_traces at byte 6`) instead of a
+/// panic or a context-free error.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `data` from offset 0.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// The current byte offset (how much has been consumed).
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Consumes `n` raw bytes for field `what`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] with the offset when fewer than `n` bytes
+    /// remain.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], PoetError> {
+        if self.remaining() < n {
+            return Err(PoetError::Corrupt(format!(
+                "truncated: need {n} byte(s) for {what} at byte {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] with the offset on truncation.
+    pub fn u8(&mut self, what: &str) -> Result<u8, PoetError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    /// Consumes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] with the offset on truncation.
+    pub fn u16(&mut self, what: &str) -> Result<u16, PoetError> {
+        let b = self.bytes(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Consumes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] with the offset on truncation.
+    pub fn u32(&mut self, what: &str) -> Result<u32, PoetError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    /// Consumes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] with the offset on truncation.
+    pub fn u64(&mut self, what: &str) -> Result<u64, PoetError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    /// Consumes a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] with the offset on truncation or invalid
+    /// UTF-8.
+    pub fn str(&mut self, what: &str) -> Result<&'a str, PoetError> {
+        let len = self.u32(what)? as usize;
+        let at = self.pos;
+        let raw = self.bytes(len, what)?;
+        std::str::from_utf8(raw)
+            .map_err(|e| PoetError::Corrupt(format!("{what} at byte {at} is not utf-8: {e}")))
+    }
+
+    /// Consumes and checks a 4-byte magic number.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::BadHeader`] when the magic is absent or different.
+    pub fn magic(&mut self, expected: &[u8; 4]) -> Result<(), PoetError> {
+        let got = self
+            .bytes(4, "magic")
+            .map_err(|_| PoetError::BadHeader("file shorter than header".into()))?;
+        if got != expected {
+            return Err(PoetError::BadHeader(format!(
+                "magic {got:?} is not {expected:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Asserts the stream was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`PoetError::Corrupt`] naming the offset where trailing garbage
+    /// starts.
+    pub fn finish(&self) -> Result<(), PoetError> {
+        if self.remaining() != 0 {
+            return Err(PoetError::Corrupt(format!(
+                "{} byte(s) of trailing garbage at byte {}",
+                self.remaining(),
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
 
 /// Serializes a store's recorded actions to the dump format.
 ///
@@ -99,57 +243,48 @@ pub fn dump(store: &TraceStore) -> Vec<u8> {
 ///
 /// Returns [`PoetError`] if the header, string table, or event records are
 /// malformed, or if a receive names a partner that has not been recorded.
+/// Every error carries the byte offset where decoding stopped.
 pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
-    let mut buf = data;
-    if buf.len() < 6 {
-        return Err(PoetError::BadHeader("file shorter than header".into()));
-    }
-    let (magic, rest) = buf.split_at(4);
-    buf = rest;
-    if magic != MAGIC {
-        return Err(PoetError::BadHeader(format!(
-            "magic {magic:?} is not b\"POET\""
-        )));
-    }
-    let version = u16::from_le_bytes([buf[0], buf[1]]);
-    buf = &buf[2..];
+    let mut r = Reader::new(data);
+    r.magic(MAGIC)?;
+    let version = r
+        .u16("version")
+        .map_err(|_| PoetError::BadHeader("file shorter than header".into()))?;
     if version != VERSION {
         return Err(PoetError::BadHeader(format!(
             "unsupported version {version}"
         )));
     }
-    let n_traces = read_u32(&mut buf, "n_traces")? as usize;
-    let n_strings = read_u32(&mut buf, "n_strings")? as usize;
-    let mut strings: Vec<std::sync::Arc<str>> = Vec::with_capacity(n_strings);
+    let n_traces = r.u32("n_traces")? as usize;
+    let n_strings = r.u32("n_strings")? as usize;
+    let mut strings: Vec<std::sync::Arc<str>> = Vec::new();
     for i in 0..n_strings {
-        let len = read_u32(&mut buf, "string length")? as usize;
-        if buf.len() < len {
-            return Err(PoetError::Corrupt(format!("string {i} truncated")));
-        }
-        let (raw, rest) = buf.split_at(len);
-        buf = rest;
-        let s = std::str::from_utf8(raw)
-            .map_err(|e| PoetError::Corrupt(format!("string {i} is not utf-8: {e}")))?;
+        let s = r.str(&format!("string {i}"))?;
         strings.push(std::sync::Arc::from(s));
     }
 
-    if buf.len() < 8 {
-        return Err(PoetError::Corrupt("missing event count".into()));
-    }
-    let n_events = u64::from_le_bytes(buf[..8].try_into().expect("checked length"));
-    buf = &buf[8..];
+    let n_events = r.u64("event count")?;
     let mut server = PoetServer::new(n_traces);
+    let lookup = |strings: &[std::sync::Arc<str>], id: u32, i: u64, at: usize| {
+        strings.get(id as usize).cloned().ok_or_else(|| {
+            PoetError::Corrupt(format!("event {i} names unknown string {id} at byte {at}"))
+        })
+    };
     for i in 0..n_events {
-        let trace = TraceId::new(read_u32(&mut buf, "event trace")?);
+        let trace = TraceId::new(r.u32("event trace")?);
         if trace.as_usize() >= n_traces {
             return Err(PoetError::Inconsistent(format!(
-                "event {i} names out-of-range trace {trace}"
+                "event {i} names out-of-range trace {trace} (byte {})",
+                r.offset()
             )));
         }
-        let kind = read_u8(&mut buf, i)?;
-        let ty = lookup(&strings, read_u32(&mut buf, "type id")?, i)?;
-        let text = lookup(&strings, read_u32(&mut buf, "text id")?, i)?;
-        let has_partner = read_u8(&mut buf, i)? == 1;
+        let kind_at = r.offset();
+        let kind = r.u8("event kind")?;
+        let ty_at = r.offset();
+        let ty = lookup(&strings, r.u32("type id")?, i, ty_at)?;
+        let text_at = r.offset();
+        let text = lookup(&strings, r.u32("text id")?, i, text_at)?;
+        let has_partner = r.u8("partner flag")? == 1;
         match kind {
             0 => {
                 server.record(trace, crate::EventKind::Send, ty, text);
@@ -157,15 +292,17 @@ pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
             1 => {
                 if !has_partner {
                     return Err(PoetError::Inconsistent(format!(
-                        "receive event {i} has no partner"
+                        "receive event {i} has no partner (byte {})",
+                        r.offset()
                     )));
                 }
-                let pt = TraceId::new(read_u32(&mut buf, "partner trace")?);
-                let pi = EventIndex::new(read_u32(&mut buf, "partner index")?);
+                let pt = TraceId::new(r.u32("partner trace")?);
+                let pi = EventIndex::new(r.u32("partner index")?);
                 let pid = EventId::new(pt, pi);
                 if server.store().get(pid).is_none() {
                     return Err(PoetError::Inconsistent(format!(
-                        "receive event {i} names unknown partner {pid}"
+                        "receive event {i} names unknown partner {pid} (byte {})",
+                        r.offset()
                     )));
                 }
                 server.record_receive(trace, pid, ty, text);
@@ -174,15 +311,18 @@ pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
                 server.record(trace, crate::EventKind::Unary, ty, text);
             }
             k => {
-                return Err(PoetError::Corrupt(format!("event {i} has bad kind {k}")));
+                return Err(PoetError::Corrupt(format!(
+                    "event {i} has bad kind {k} at byte {kind_at}"
+                )));
             }
         }
         if kind != 1 && has_partner {
             // Skip the stray partner field so the stream stays aligned.
-            read_u32(&mut buf, "partner trace")?;
-            read_u32(&mut buf, "partner index")?;
+            r.u32("partner trace")?;
+            r.u32("partner index")?;
         }
     }
+    r.finish()?;
     Ok(server)
 }
 
@@ -204,34 +344,6 @@ pub fn dump_to_file(store: &TraceStore, path: impl AsRef<Path>) -> Result<(), Po
 pub fn reload_from_file(path: impl AsRef<Path>) -> Result<PoetServer, PoetError> {
     let data = std::fs::read(path)?;
     reload(&data)
-}
-
-fn read_u8(buf: &mut &[u8], event: u64) -> Result<u8, PoetError> {
-    let (&byte, rest) = buf
-        .split_first()
-        .ok_or_else(|| PoetError::Corrupt(format!("event {event} truncated")))?;
-    *buf = rest;
-    Ok(byte)
-}
-
-fn read_u32(buf: &mut &[u8], what: &str) -> Result<u32, PoetError> {
-    if buf.len() < 4 {
-        return Err(PoetError::Corrupt(format!("missing {what}")));
-    }
-    let v = u32::from_le_bytes(buf[..4].try_into().expect("checked length"));
-    *buf = &buf[4..];
-    Ok(v)
-}
-
-fn lookup(
-    strings: &[std::sync::Arc<str>],
-    id: u32,
-    event: u64,
-) -> Result<std::sync::Arc<str>, PoetError> {
-    strings
-        .get(id as usize)
-        .cloned()
-        .ok_or_else(|| PoetError::Corrupt(format!("event {event} names unknown string {id}")))
 }
 
 #[cfg(test)]
@@ -300,6 +412,14 @@ mod tests {
     }
 
     #[test]
+    fn truncation_errors_carry_a_byte_offset() {
+        let bytes = dump(sample().store());
+        let err = reload(&bytes[..bytes.len() - 3]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte"), "no offset diagnostic in: {msg}");
+    }
+
+    #[test]
     fn rejects_unknown_version() {
         let mut bytes = dump(sample().store());
         bytes[4] = 99;
@@ -307,6 +427,78 @@ mod tests {
             reload(&bytes).unwrap_err(),
             PoetError::BadHeader(_)
         ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_with_offset() {
+        let mut bytes = dump(sample().store());
+        let end = bytes.len();
+        bytes.extend_from_slice(b"junk");
+        let msg = reload(&bytes).unwrap_err().to_string();
+        assert!(
+            msg.contains("trailing") && msg.contains(&format!("byte {end}")),
+            "bad trailing-garbage diagnostic: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_kind_byte_with_offset() {
+        let poet = {
+            let mut p = PoetServer::new(1);
+            p.record(t(0), EventKind::Unary, "a", "");
+            p
+        };
+        let mut bytes = dump(poet.store());
+        // Header (6) + n_traces (4) + n_strings (4) + 2 strings ("a", "")
+        // then the event record: trace u32, kind u8 at +4.
+        let event_start = bytes.len() - (4 + 1 + 4 + 4 + 1);
+        bytes[event_start + 4] = 7;
+        let msg = reload(&bytes).unwrap_err().to_string();
+        assert!(
+            msg.contains("bad kind 7") && msg.contains("byte"),
+            "bad kind diagnostic: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_string_id_cleanly() {
+        let poet = {
+            let mut p = PoetServer::new(1);
+            p.record(t(0), EventKind::Unary, "a", "");
+            p
+        };
+        let mut bytes = dump(poet.store());
+        let event_start = bytes.len() - (4 + 1 + 4 + 4 + 1);
+        // Overwrite the type-id field with an out-of-table id.
+        bytes[event_start + 5..event_start + 9].copy_from_slice(&999u32.to_le_bytes());
+        let msg = reload(&bytes).unwrap_err().to_string();
+        assert!(
+            msg.contains("unknown string 999"),
+            "bad string-id diagnostic: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_after_header() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0xff; 64]);
+        // A huge bogus string count must fail on truncation, not OOM or
+        // panic.
+        assert!(reload(&bytes).is_err());
+    }
+
+    #[test]
+    fn reader_reports_offsets() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u8("first").unwrap(), 1);
+        assert_eq!(r.offset(), 1);
+        let err = r.u32("wide field").unwrap_err().to_string();
+        assert!(
+            err.contains("wide field") && err.contains("byte 1"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -38,6 +38,17 @@ impl StampedEvent {
         StampedEvent { id, clock }
     }
 
+    /// Creates a stamped event *without* validating the Fidge convention.
+    ///
+    /// Exists for layers that must be able to represent malformed input:
+    /// an ingestion guard validating events from an untrusted transport,
+    /// or a fault injector synthesizing corrupt clocks on purpose. All
+    /// in-process producers should use [`StampedEvent::new`].
+    #[must_use]
+    pub fn new_unchecked(id: EventId, clock: VectorClock) -> Self {
+        StampedEvent { id, clock }
+    }
+
     /// The event's global identifier.
     #[must_use]
     pub fn id(&self) -> EventId {

@@ -12,7 +12,7 @@
 //! ocep fuzz --replay <dir>                     # re-run a dumped failure
 //! ```
 
-use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_repro::ocep::{GuardConfig, Monitor, MonitorConfig, OverflowPolicy, SubsetPolicy};
 use ocep_repro::pattern::{Constraint, Pattern};
 use ocep_repro::poet::dump;
 use ocep_repro::simulator::workloads::{atomicity, message_race, random_walk, replicated_service};
@@ -23,19 +23,44 @@ ocep — online causal-event-pattern matching (ICDCS 2013 reproduction)
 USAGE:
     ocep validate <pattern-file>
     ocep check <pattern-file> <dump-file> [--per-arrival] [--no-dedup] [--stats]
+               [--guard] [--guard-capacity N] [--overflow reject|drop-oldest|flush-degraded]
+    ocep check --resume <ckpt-file> <dump-file> [--stats]
+    ocep checkpoint <pattern-file> <dump-file> <out-ckpt> [--events N]
+               [--per-arrival] [--no-dedup] [--guard] [--guard-capacity N] [--overflow P]
     ocep record-demo <deadlock|race|atomicity|ordering> <out-file> [--seed N]
     ocep info <dump-file>
     ocep show <dump-file> [--limit N]
     ocep analyze <pattern-file> <dump-file>
     ocep slice <dump-file> <out-file> <T0,T3,...>
     ocep fuzz [--seed N] [--cases N] [--smoke] [--dump-dir DIR]
+    ocep fuzz --faults [--seed N] [--cases N] [--smoke]
     ocep fuzz --replay <dir>
+
+EXIT CODES:
+    0  success; `check` found no pattern match
+    1  a pattern match (violation) was found, or fuzzing found failures
+    2  ingestion degraded: the admission guard quarantined or lost events,
+       or a search partition fell back after a worker panic
+    3  usage or runtime error (bad flags, unreadable files, corrupt input)
+
+`check --guard` puts the causal admission guard in front of the monitor:
+duplicated and reordered events are repaired via their vector timestamps,
+malformed events are quarantined into a structured fault stream, and the
+reorder buffer is bounded by --guard-capacity with an --overflow policy.
+
+`checkpoint` runs a monitor over (a prefix of) a dump and serializes its
+full matching state; `check --resume` restores it and continues over the
+remainder of the dump, producing the same verdicts as an uninterrupted
+run.
 
 `fuzz` generates seeded random (pattern, execution) cases and checks the
 online monitor against the exhaustive oracle and the naive baseline
 (agreement, k*n subset bound, coverage, linearization invariance). A
 failing case is shrunk and dumped as a replayable directory; `--replay`
-re-runs one deterministically. `--smoke` is the fixed-size CI run.
+re-runs one deterministically. `fuzz --faults` additionally perturbs
+each stream with seeded duplicates, reorders, drops, and corrupt-clock
+events, and checks the guarded monitor differentially against the clean
+run. `--smoke` is the fixed-size CI run.
 
 A pattern file holds a pattern program, e.g.:
 
@@ -48,26 +73,30 @@ A dump file is the POET trace format written by `record-demo` or by
 ";
 
 fn main() {
-    if let Err(msg) = run() {
-        eprintln!("error: {msg}\n\n{USAGE}");
-        std::process::exit(2);
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(3);
+        }
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<i32, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("validate") => validate(args.get(1).ok_or("missing pattern file")?),
+        Some("validate") => validate(args.get(1).ok_or("missing pattern file")?).map(|()| 0),
         Some("check") => check(&args[1..]),
-        Some("record-demo") => record_demo(&args[1..]),
-        Some("info") => info(args.get(1).ok_or("missing dump file")?),
-        Some("show") => show(&args[1..]),
-        Some("analyze") => analyze_cmd(&args[1..]),
-        Some("slice") => slice_cmd(&args[1..]),
+        Some("checkpoint") => checkpoint_cmd(&args[1..]).map(|()| 0),
+        Some("record-demo") => record_demo(&args[1..]).map(|()| 0),
+        Some("info") => info(args.get(1).ok_or("missing dump file")?).map(|()| 0),
+        Some("show") => show(&args[1..]).map(|()| 0),
+        Some("analyze") => analyze_cmd(&args[1..]).map(|()| 0),
+        Some("slice") => slice_cmd(&args[1..]).map(|()| 0),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("--help" | "-h") => {
             print!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
@@ -133,36 +162,114 @@ fn validate(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn check(args: &[String]) -> Result<(), String> {
-    let pattern_path = args.first().ok_or("missing pattern file")?;
-    let dump_path = args.get(1).ok_or("missing dump file")?;
-    let per_arrival = args.iter().any(|a| a == "--per-arrival");
-    let no_dedup = args.iter().any(|a| a == "--no-dedup");
-    let show_stats = args.iter().any(|a| a == "--stats");
+/// Parses the shared monitor flags (`--per-arrival`, `--no-dedup`,
+/// `--guard`, `--guard-capacity`, `--overflow`) into a [`MonitorConfig`].
+fn monitor_config(args: &[String]) -> Result<MonitorConfig, String> {
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let mut guard_cfg = GuardConfig::default();
+    let mut want_guard = args.iter().any(|a| a == "--guard");
+    if let Some(cap) = flag_val("--guard-capacity") {
+        guard_cfg.capacity = cap
+            .parse()
+            .map_err(|_| format!("bad --guard-capacity '{cap}'"))?;
+        want_guard = true;
+    }
+    if let Some(policy) = flag_val("--overflow") {
+        guard_cfg.overflow = OverflowPolicy::from_name(policy).ok_or_else(|| {
+            format!("bad --overflow '{policy}' (expected reject|drop-oldest|flush-degraded)")
+        })?;
+        want_guard = true;
+    }
+    Ok(MonitorConfig {
+        dedup: !args.iter().any(|a| a == "--no-dedup"),
+        policy: if args.iter().any(|a| a == "--per-arrival") {
+            SubsetPolicy::PerArrival
+        } else {
+            SubsetPolicy::Representative
+        },
+        guard: want_guard.then_some(guard_cfg),
+        ..MonitorConfig::default()
+    })
+}
 
-    let pattern = load_pattern(pattern_path)?;
+/// Positional (non-flag) arguments; flags that take a value are skipped
+/// together with it.
+fn positionals(args: &[String]) -> Vec<&String> {
+    const VALUED: &[&str] = &[
+        "--guard-capacity",
+        "--overflow",
+        "--resume",
+        "--events",
+        "--seed",
+        "--cases",
+        "--limit",
+        "--dump-dir",
+        "--replay",
+    ];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUED.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+fn check(args: &[String]) -> Result<i32, String> {
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let resume = args
+        .iter()
+        .position(|a| a == "--resume")
+        .and_then(|i| args.get(i + 1));
+    let pos = positionals(args);
+
+    let (mut monitor, dump_path, skip) = if let Some(ckpt_path) = resume {
+        let dump_path = *pos.first().ok_or("missing dump file")?;
+        let bytes = std::fs::read(ckpt_path)
+            .map_err(|e| format!("cannot read checkpoint '{ckpt_path}': {e}"))?;
+        let (monitor, _src) = Monitor::restore(&bytes)
+            .map_err(|e| format!("cannot restore checkpoint '{ckpt_path}': {e}"))?;
+        let skip = monitor.stats().events as usize;
+        println!(
+            "resumed from {ckpt_path}: {} events already observed, {} matches found",
+            skip,
+            monitor.stats().matches_found
+        );
+        (monitor, dump_path, skip)
+    } else {
+        let pattern_path = *pos.first().ok_or("missing pattern file")?;
+        let dump_path = *pos.get(1).ok_or("missing dump file")?;
+        let pattern = load_pattern(pattern_path)?;
+        let config = monitor_config(args)?;
+        let server = dump::reload_from_file(dump_path)
+            .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+        let monitor = Monitor::with_config(pattern, server.n_traces(), config);
+        (monitor, dump_path, 0)
+    };
+
     let server = dump::reload_from_file(dump_path)
         .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
-    let n = server.n_traces();
-    let mut monitor = Monitor::with_config(
-        pattern,
-        n,
-        MonitorConfig {
-            dedup: !no_dedup,
-            policy: if per_arrival {
-                SubsetPolicy::PerArrival
-            } else {
-                SubsetPolicy::Representative
-            },
-            ..MonitorConfig::default()
-        },
-    );
     let mut reported = 0usize;
-    for e in server.store().iter_arrival() {
+    for e in server.store().iter_arrival().skip(skip) {
         for m in monitor.observe(e) {
             reported += 1;
             println!("match: {m}");
         }
+    }
+    for m in monitor.flush_guard() {
+        reported += 1;
+        println!("match (degraded flush): {m}");
     }
     println!(
         "\n{} events, {} matches found, {} reported",
@@ -178,6 +285,71 @@ fn check(args: &[String]) -> Result<(), String> {
             monitor.suppressed()
         );
     }
+    let degraded = monitor.ingest_degraded() || monitor.stats().degraded_arrivals > 0;
+    if degraded {
+        let ingest = monitor.stats().ingest;
+        eprintln!(
+            "warning: ingestion degraded ({} quarantined, {} overflow-rejected, \
+             {} overflow-dropped, {} degraded flushes, {} degraded arrivals) — \
+             verdicts may be incomplete",
+            ingest.quarantined(),
+            ingest.overflow_rejected,
+            ingest.overflow_dropped,
+            ingest.degraded_flushes,
+            monitor.stats().degraded_arrivals
+        );
+        for fault in monitor.take_ingest_faults() {
+            eprintln!("  fault: {fault}");
+        }
+        return Ok(2);
+    }
+    Ok(if monitor.stats().matches_found > 0 {
+        1
+    } else {
+        0
+    })
+}
+
+/// `ocep checkpoint` — run a monitor over (a prefix of) a dump and
+/// serialize its full matching state for `check --resume`.
+fn checkpoint_cmd(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let pattern_path = *pos.first().ok_or("missing pattern file")?;
+    let dump_path = *pos.get(1).ok_or("missing dump file")?;
+    let out_path = *pos.get(2).ok_or("missing output checkpoint file")?;
+    let events_limit: Option<usize> = args
+        .iter()
+        .position(|a| a == "--events")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().map_err(|_| format!("bad --events '{s}'")))
+        .transpose()?;
+
+    let src = std::fs::read_to_string(pattern_path)
+        .map_err(|e| format!("cannot read pattern file '{pattern_path}': {e}"))?;
+    let pattern = Pattern::parse(&src).map_err(|e| e.to_string())?;
+    let config = monitor_config(args)?;
+    let server = dump::reload_from_file(dump_path)
+        .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+    let mut monitor = Monitor::with_config(pattern, server.n_traces(), config);
+    let mut observed = 0usize;
+    for e in server.store().iter_arrival() {
+        if events_limit.is_some_and(|n| observed >= n) {
+            break;
+        }
+        let _ = monitor.observe(e);
+        observed += 1;
+    }
+    let bytes = monitor.checkpoint(&src);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("cannot write '{out_path}': {e}"))?;
+    println!(
+        "checkpointed after {observed} of {} events: {} matches found, {} history \
+         events, {} bytes -> {out_path}",
+        server.store().len(),
+        monitor.stats().matches_found,
+        monitor.history_size(),
+        bytes.len()
+    );
+    println!("resume with: ocep check --resume {out_path} {dump_path}");
     Ok(())
 }
 
@@ -336,7 +508,7 @@ fn slice_cmd(args: &[String]) -> Result<(), String> {
 }
 
 /// Differential conformance fuzzing (`ocep fuzz`).
-fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+fn fuzz_cmd(args: &[String]) -> Result<i32, String> {
     use ocep_repro::conformance as conf;
 
     let flag_val = |name: &str| {
@@ -360,10 +532,10 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
         }
         if outcome.reproduced() {
             println!("verdict: REPRODUCED");
-            return Ok(());
+            return Ok(0);
         }
         println!("verdict: NOT reproduced");
-        std::process::exit(1);
+        return Ok(1);
     }
 
     let seed: u64 = flag_val("--seed")
@@ -371,6 +543,54 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0);
     let smoke = args.iter().any(|a| a == "--smoke");
+
+    if args.iter().any(|a| a == "--faults") {
+        let cases: usize = if smoke {
+            400
+        } else {
+            flag_val("--cases")
+                .map(|s| s.parse().map_err(|_| format!("bad --cases '{s}'")))
+                .transpose()?
+                .unwrap_or(200)
+        };
+        let cfg = conf::FaultFuzzConfig {
+            seed,
+            cases,
+            max_failures: 5,
+        };
+        println!("fault-injection fuzzing: seed={seed} cases={cases}");
+        let report = conf::run_fault_fuzz(&cfg, |i, result| {
+            if let Err(m) = result {
+                eprintln!("case {i}: MISMATCH {m}");
+            } else if (i + 1) % 100 == 0 {
+                eprintln!("  ... {} cases checked", i + 1);
+            }
+        });
+        println!(
+            "done: {} cases ({} degraded), {} with a match; injected {} duplicates, \
+             {} reorders, {} drops, {} corrupt events; {} failures",
+            report.cases_run,
+            report.degraded_cases,
+            report.detected,
+            report.injected.duplicates,
+            report.injected.reorders,
+            report.injected.drops,
+            report.injected.corrupt,
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!(
+                "failure at case {} (case seed {:#x}, plan {}): {}",
+                f.case_index, f.case_seed, f.plan, f.mismatch
+            );
+        }
+        if report.failures.is_empty() {
+            println!("guarded ingestion is transparent; all accounting exact");
+            return Ok(0);
+        }
+        return Ok(1);
+    }
+
     let cases: usize = if smoke {
         2000
     } else {
@@ -428,9 +648,9 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     }
     if report.failures.is_empty() {
         println!("all invariants hold");
-        Ok(())
+        Ok(0)
     } else {
-        std::process::exit(1);
+        Ok(1)
     }
 }
 

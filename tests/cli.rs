@@ -53,13 +53,183 @@ fn record_info_validate_check_pipeline() {
         .args(["check", &pattern, dump.to_str().unwrap(), "--stats"])
         .output()
         .unwrap();
-    assert!(check.status.success());
+    // A found violation is exit code 1 (0 is reserved for "no match").
+    assert_eq!(check.status.code(), Some(1));
     let c_out = String::from_utf8_lossy(&check.stdout);
     assert!(c_out.contains("matches found"), "{c_out}");
     assert!(
         c_out.contains("match: {"),
         "violations must be reported: {c_out}"
     );
+}
+
+#[test]
+fn check_exit_codes_separate_clean_and_violation() {
+    let dump = tmp("exit-codes.poet");
+    ocep()
+        .args([
+            "record-demo",
+            "ordering",
+            dump.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    // A pattern that cannot match anything in the dump: exit 0.
+    let nomatch = tmp("exit-codes-nomatch.pattern");
+    std::fs::write(
+        &nomatch,
+        "A := [*, no_such_type, *]; B := [*, also_missing, *]; pattern := A -> B;",
+    )
+    .unwrap();
+    let clean = ocep()
+        .args([
+            "check",
+            nomatch.to_str().unwrap(),
+            dump.to_str().unwrap(),
+            "--guard",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    // The bundled pattern finds the injected violations: exit 1, with or
+    // without the admission guard (clean dumps pass through it untouched).
+    let pattern = format!("{}.pattern", dump.display());
+    for extra in [&[][..], &["--guard"][..]] {
+        let hit = ocep()
+            .args(["check", &pattern, dump.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert_eq!(hit.status.code(), Some(1), "extra flags: {extra:?}");
+    }
+    // Usage and I/O errors are exit 3.
+    let err = ocep()
+        .args(["check", &pattern, "/nonexistent.poet"])
+        .output()
+        .unwrap();
+    assert_eq!(err.status.code(), Some(3));
+    let bad_flag = ocep()
+        .args([
+            "check",
+            &pattern,
+            dump.to_str().unwrap(),
+            "--overflow",
+            "panic",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad_flag.status.code(), Some(3));
+}
+
+#[test]
+fn checkpoint_then_resume_reaches_the_same_verdicts() {
+    let dump = tmp("ckpt.poet");
+    ocep()
+        .args([
+            "record-demo",
+            "ordering",
+            dump.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    let pattern = format!("{}.pattern", dump.display());
+
+    let full = ocep()
+        .args(["check", &pattern, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let full_out = String::from_utf8_lossy(&full.stdout);
+    // Final "<N> events, <M> matches found" totals (the per-run
+    // "reported" tally legitimately differs: matches reported before the
+    // checkpoint cut are not re-reported after resume).
+    let summary = |s: &str| {
+        s.lines()
+            .rev()
+            .find(|l| l.ends_with("reported"))
+            .and_then(|l| l.rsplit_once(','))
+            .map(|(totals, _)| totals.to_owned())
+            .unwrap()
+    };
+
+    let ckpt = tmp("ckpt.bin");
+    let cp = ocep()
+        .args([
+            "checkpoint",
+            &pattern,
+            dump.to_str().unwrap(),
+            ckpt.to_str().unwrap(),
+            "--events",
+            "100",
+            "--guard",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        cp.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&cp.stderr)
+    );
+    assert!(String::from_utf8_lossy(&cp.stdout).contains("checkpointed after 100"));
+
+    let resumed = ocep()
+        .args([
+            "check",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            dump.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(resumed.status.code(), full.status.code());
+    let r_out = String::from_utf8_lossy(&resumed.stdout);
+    assert!(r_out.contains("resumed from"), "{r_out}");
+    assert_eq!(
+        summary(&full_out),
+        summary(&r_out),
+        "resumed run must converge to the uninterrupted totals"
+    );
+
+    // A truncated checkpoint is a clean error (exit 3), not a panic.
+    let bytes = std::fs::read(&ckpt).unwrap();
+    let broken = tmp("ckpt-broken.bin");
+    std::fs::write(&broken, &bytes[..bytes.len() / 2]).unwrap();
+    let bad = ocep()
+        .args([
+            "check",
+            "--resume",
+            broken.to_str().unwrap(),
+            dump.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("cannot restore"));
+}
+
+#[test]
+fn fault_fuzz_smoke_is_clean() {
+    let out = ocep()
+        .args(["fuzz", "--faults", "--cases", "20"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("guarded ingestion is transparent"), "{text}");
 }
 
 #[test]
@@ -137,9 +307,10 @@ fn custom_pattern_over_demo_dump() {
         .args(["check", pattern.to_str().unwrap(), dump.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(
-        out.status.success(),
-        "{}",
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a found match exits 1: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -61,3 +61,104 @@ fn committed_failure_dumps_stay_fixed() {
     }
     assert!(checked >= 1, "no dump fixtures found");
 }
+
+/// Parses a `seed,index` corpus file, skipping comments and blanks.
+fn parse_seed_lines(name: &str) -> Vec<(u64, usize)> {
+    let path = corpus_dir().join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{} exists: {e}", path.display()));
+    let mut out = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (seed, index) = line
+            .split_once(',')
+            .unwrap_or_else(|| panic!("{name}:{}: expected `seed,case`", line_no + 1));
+        out.push((
+            seed.trim().parse().expect("numeric master seed"),
+            index.trim().parse().expect("numeric case index"),
+        ));
+    }
+    out
+}
+
+#[test]
+fn pinned_fault_corpus_stays_transparent() {
+    let entries = parse_seed_lines("fault-seeds.txt");
+    assert!(
+        entries.len() >= 10,
+        "fault corpus shrank to {} cases",
+        entries.len()
+    );
+    for (seed, index) in entries {
+        let (case, cfg, plan) = conf::nth_fault_case(seed, index);
+        if let Err(mismatch) = conf::check_fault_case(&case, &cfg, &plan) {
+            panic!(
+                "fault corpus case (seed {seed}, index {index}, plan {plan}) regressed: \
+                 {mismatch}\nreplay with: ocep fuzz --faults --seed {seed} --cases {}",
+                index + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_fault_corpus_survives_checkpoint_restart() {
+    for (seed, index) in parse_seed_lines("fault-seeds.txt") {
+        let (case, cfg, _) = conf::nth_fault_case(seed, index);
+        let cut = case.actions.len() / 2;
+        if let Err(mismatch) = conf::check_checkpoint_restart(&case, &cfg, cut) {
+            panic!(
+                "checkpoint restart (seed {seed}, index {index}, cut {cut}) regressed: \
+                 {mismatch}"
+            );
+        }
+    }
+}
+
+/// Explicit fault-plan fixtures: `tests/corpus/fault-plans/<name>/meta.txt`
+/// pins a case index *and* a hand-written plan (not the derived one), so
+/// a historical fault storm stays reproduced verbatim.
+#[test]
+fn committed_fault_plan_fixtures_stay_fixed() {
+    let root = corpus_dir().join("fault-plans");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&root).expect("tests/corpus/fault-plans exists") {
+        let dir = entry.expect("readable dir entry").path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let meta = std::fs::read_to_string(dir.join("meta.txt")).expect("meta.txt loads");
+        let field = |key: &str| {
+            meta.lines()
+                .filter_map(|l| l.split_once('='))
+                .find(|(k, _)| k.trim() == key)
+                .map(|(_, v)| v.trim().to_owned())
+                .unwrap_or_else(|| panic!("{}: missing `{key}`", dir.display()))
+        };
+        let master: u64 = field("master_seed").parse().expect("numeric master_seed");
+        let index: usize = field("case_index").parse().expect("numeric case_index");
+        let plan = conf::FaultPlan {
+            seed: field("fault_seed").parse().expect("numeric fault_seed"),
+            duplicate_p: field("duplicate_p").parse().expect("numeric duplicate_p"),
+            reorder_window: field("reorder_window").parse().expect("numeric window"),
+            reorder: conf::ReorderMode::from_name(&field("reorder_mode"))
+                .expect("valid reorder_mode"),
+            drop_p: field("drop_p").parse().expect("numeric drop_p"),
+            corrupt_clock_p: field("corrupt_clock_p").parse().expect("numeric corrupt_p"),
+        };
+        let (case, cfg, _) = conf::nth_fault_case(master, index);
+        let outcome = conf::check_fault_case(&case, &cfg, &plan)
+            .unwrap_or_else(|m| panic!("fault-plan fixture {} regressed: {m}", dir.display()));
+        assert!(
+            outcome.injected.corrupt > 0 && outcome.injected.duplicates > 0,
+            "fixture {} no longer injects faults: {:?}",
+            dir.display(),
+            outcome.injected
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "no fault-plan fixtures found");
+}

@@ -142,6 +142,7 @@ fn per_arrival_policy_reports_every_completing_event() {
             dedup: false,
             node_limit: 0,
             parallelism: 1,
+            ..MonitorConfig::default()
         },
     );
     poet.record(t(0), EventKind::Unary, "a", "");
@@ -164,6 +165,7 @@ fn per_arrival_policy_reports_every_completing_event() {
             dedup: false,
             node_limit: 0,
             parallelism: 1,
+            ..MonitorConfig::default()
         },
     );
     poet.record(t(0), EventKind::Unary, "a", "");
@@ -218,6 +220,7 @@ fn node_limit_bounds_search_work() {
             dedup: false,
             policy: SubsetPolicy::Representative,
             parallelism: 1,
+            ..MonitorConfig::default()
         },
     );
     // Dense concurrent 'x' events everywhere.
