@@ -19,6 +19,7 @@ use ocep_vclock::{Causality, TraceId};
 fn figure_config(opts: &RunOptions) -> MonitorConfig {
     MonitorConfig {
         guard: opts.guard.then(GuardConfig::default),
+        obs: opts.obs,
         ..MonitorConfig::default()
     }
 }

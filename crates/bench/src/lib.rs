@@ -16,7 +16,10 @@
 pub mod figures;
 pub mod json;
 pub mod measure;
+pub mod metrics_json;
 pub mod stats;
+
+use ocep_core::ObsLevel;
 
 /// Gate for the human-readable tables: `--json` turns them off so
 /// stdout is a single machine-readable document.
@@ -59,6 +62,10 @@ pub struct RunOptions {
     /// guard's in-order fast-path overhead; the streams are clean, so no
     /// buffering or quarantine happens).
     pub guard: bool,
+    /// Observability level for the monitors under measurement (`--obs`;
+    /// measures the instrumentation overhead — the CI perf gate bounds
+    /// `Full` at 1.10× the uninstrumented baseline).
+    pub obs: ObsLevel,
 }
 
 impl Default for RunOptions {
@@ -67,6 +74,7 @@ impl Default for RunOptions {
             events: 40_000,
             reps: 5,
             guard: false,
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -78,8 +86,7 @@ impl RunOptions {
     pub fn paper_scale() -> Self {
         RunOptions {
             events: 1_000_000,
-            reps: 5,
-            guard: false,
+            ..RunOptions::default()
         }
     }
 }

@@ -4,12 +4,14 @@
 use ocep_bench::json::Json;
 use ocep_bench::stats::BoxPlot;
 use ocep_bench::{figures, output, RunOptions};
+use ocep_core::ObsLevel;
 
 const USAGE: &str = "\
 ocep-bench — regenerate the OCEP paper's evaluation
 
 USAGE:
-    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full] [--guard] [--json]
+    ocep-bench <EXPERIMENT> [--events N] [--reps N] [--full] [--guard]
+               [--obs [LEVEL]] [--json]
 
 EXPERIMENTS:
     all                   run every experiment below
@@ -32,6 +34,9 @@ OPTIONS:
     --full       paper scale: 1,000,000 events per test case
     --guard      run the monitors behind the causal admission guard
                  (measures the guard's in-order fast path overhead)
+    --obs [LEVEL] collect observability metrics at LEVEL (off, counters,
+                 full; bare --obs means full) — measures instrumentation
+                 overhead against the uninstrumented baseline
     --json       emit one machine-readable JSON document on stdout
                  instead of the human tables
 ";
@@ -51,6 +56,15 @@ fn main() {
             "--full" => opts = RunOptions::paper_scale(),
             "--guard" => opts.guard = true,
             "--json" => json_mode = true,
+            "--obs" => {
+                // The level is optional: a bare --obs means full.
+                if let Some(level) = args.get(i + 1).and_then(|s| ObsLevel::from_name(s)) {
+                    opts.obs = level;
+                    i += 1;
+                } else {
+                    opts.obs = ObsLevel::Full;
+                }
+            }
             "--events" => {
                 i += 1;
                 opts.events = args
@@ -81,6 +95,9 @@ fn main() {
     };
 
     output::set_human(!json_mode);
+    if opts.obs.enabled() {
+        ocep_vclock::ops::enable(true);
+    }
     if !json_mode {
         println!(
             "# ocep-bench: {experiment} (events≈{}, reps={})",
@@ -117,6 +134,7 @@ fn main() {
                     ("events", Json::from(opts.events)),
                     ("reps", Json::from(opts.reps)),
                     ("guard", Json::from(opts.guard)),
+                    ("obs", Json::from(opts.obs.name())),
                 ]),
             ),
             ("results", results),

@@ -8,7 +8,7 @@
 
 use crate::case::Case;
 use ocep_baselines::{ExhaustiveMatcher, NaiveMatcher};
-use ocep_core::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_core::{MetricsSnapshot, Monitor, MonitorConfig, ObsLevel, SubsetPolicy};
 use ocep_pattern::Pattern;
 use ocep_poet::{Event, Linearizer};
 use ocep_vclock::EventId;
@@ -115,6 +115,10 @@ pub struct CheckConfig {
     /// parallelism-independent, so raising this exercises the worker-pool
     /// partitioning against the same oracle truth.
     pub parallelism: usize,
+    /// Observability level for the monitors under test. Must never change
+    /// a verdict — the metrics-transparency suite pins this by running
+    /// the same cases at [`ObsLevel::Off`] and [`ObsLevel::Full`].
+    pub obs: ObsLevel,
 }
 
 impl Default for CheckConfig {
@@ -123,6 +127,7 @@ impl Default for CheckConfig {
             dedup: true,
             lin_seeds: [1, 2],
             parallelism: 1,
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -151,6 +156,21 @@ fn ids(events: &[Event]) -> Vec<EventId> {
 ///
 /// Returns the first [`Mismatch`] found.
 pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatch> {
+    check_case_with_metrics(case, cfg, None)
+}
+
+/// Like [`check_case`], additionally absorbing the per-arrival and
+/// representative monitors' [`Monitor::metrics`] snapshots into `metrics`
+/// (when given) so callers can export what a fuzz run observed.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+pub fn check_case_with_metrics(
+    case: &Case,
+    cfg: &CheckConfig,
+    mut metrics: Option<&mut MetricsSnapshot>,
+) -> Result<CaseOutcome, Mismatch> {
     let parse = || {
         Pattern::parse(&case.pattern_src).map_err(|e| Mismatch {
             invariant: Invariant::PatternParse,
@@ -174,6 +194,7 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
             dedup: cfg.dedup,
             policy: SubsetPolicy::PerArrival,
             parallelism: cfg.parallelism,
+            obs: cfg.obs,
             ..MonitorConfig::default()
         },
     );
@@ -192,6 +213,9 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
                 });
             }
         }
+    }
+    if let Some(sink) = metrics.as_deref_mut() {
+        sink.absorb(&per_arrival.metrics());
     }
     if exists && reported == 0 {
         return Err(Mismatch {
@@ -226,6 +250,7 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
             dedup: cfg.dedup,
             policy: SubsetPolicy::Representative,
             parallelism: cfg.parallelism,
+            obs: cfg.obs,
             ..MonitorConfig::default()
         },
     );
@@ -241,6 +266,9 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
                 });
             }
         }
+    }
+    if let Some(sink) = metrics {
+        sink.absorb(&representative.metrics());
     }
     let bound = pattern.n_leaves() * case.n_traces;
     if rep_reported > bound {
@@ -303,6 +331,7 @@ pub fn check_case(case: &Case, cfg: &CheckConfig) -> Result<CaseOutcome, Mismatc
                 dedup: cfg.dedup,
                 policy: SubsetPolicy::PerArrival,
                 parallelism: cfg.parallelism,
+                obs: cfg.obs,
                 ..MonitorConfig::default()
             },
         );

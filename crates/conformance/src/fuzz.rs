@@ -6,10 +6,11 @@
 //! fully described by `(master seed, case index)`.
 
 use crate::case::Case;
-use crate::diff::{check_case, CaseOutcome, CheckConfig, Mismatch};
+use crate::diff::{check_case_with_metrics, CaseOutcome, CheckConfig, Mismatch};
 use crate::generate::gen_case;
 use crate::replay::write_dump;
 use crate::shrink::shrink_case;
+use ocep_core::{MetricsSnapshot, ObsLevel};
 use ocep_rng::Rng;
 use std::path::PathBuf;
 
@@ -29,6 +30,10 @@ pub struct FuzzConfig {
     pub dump_dir: Option<PathBuf>,
     /// Stop after this many failures (0 means never stop early).
     pub max_failures: usize,
+    /// Observability level forced onto every case's monitors. `Off`
+    /// keeps the generated per-case configs untouched; an enabled level
+    /// additionally collects a [`FuzzReport::metrics`] aggregate.
+    pub obs: ObsLevel,
 }
 
 impl Default for FuzzConfig {
@@ -38,6 +43,7 @@ impl Default for FuzzConfig {
             cases: 500,
             dump_dir: None,
             max_failures: 5,
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -69,6 +75,9 @@ pub struct FuzzReport {
     pub truth_total: usize,
     /// All failures, in case order.
     pub failures: Vec<Failure>,
+    /// Aggregated monitor metrics over the run, when
+    /// [`FuzzConfig::obs`] enabled collection.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Derives the self-contained seed for case `i` of a run.
@@ -87,6 +96,7 @@ pub fn nth_case(master: u64, i: usize) -> (Case, CheckConfig) {
         dedup: rng.gen_bool(0.5),
         lin_seeds: [rng.next_u64(), rng.next_u64()],
         parallelism: 1,
+        obs: ObsLevel::Off,
     };
     (case, cfg)
 }
@@ -98,9 +108,15 @@ pub fn run_fuzz(
     mut on_case: impl FnMut(usize, &Result<CaseOutcome, Mismatch>),
 ) -> FuzzReport {
     let mut report = FuzzReport::default();
+    if cfg.obs.enabled() {
+        report.metrics = Some(MetricsSnapshot::default());
+    }
     for i in 0..cfg.cases {
-        let (case, check_cfg) = nth_case(cfg.seed, i);
-        let result = check_case(&case, &check_cfg);
+        let (case, mut check_cfg) = nth_case(cfg.seed, i);
+        if cfg.obs.enabled() {
+            check_cfg.obs = cfg.obs;
+        }
+        let result = check_case_with_metrics(&case, &check_cfg, report.metrics.as_mut());
         report.cases_run += 1;
         on_case(i, &result);
         match result {
@@ -145,6 +161,7 @@ pub fn run_fuzz(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diff::check_case;
 
     #[test]
     fn runs_are_reproducible() {
@@ -153,6 +170,7 @@ mod tests {
             cases: 20,
             dump_dir: None,
             max_failures: 0,
+            ..FuzzConfig::default()
         };
         let a = run_fuzz(&cfg, |_, _| {});
         let b = run_fuzz(&cfg, |_, _| {});
@@ -179,6 +197,7 @@ mod tests {
             cases: 60,
             dump_dir: None,
             max_failures: 0,
+            ..FuzzConfig::default()
         };
         let report = run_fuzz(&cfg, |_, _| {});
         assert_eq!(report.cases_run, 60);

@@ -39,7 +39,9 @@ mod replay;
 mod shrink;
 
 pub use case::{Action, Case};
-pub use diff::{check_case, CaseOutcome, CheckConfig, Invariant, Mismatch};
+pub use diff::{
+    check_case, check_case_with_metrics, CaseOutcome, CheckConfig, Invariant, Mismatch,
+};
 pub use faults::{
     apply_faults, check_checkpoint_restart, check_fault_case, nth_fault_case, run_fault_fuzz,
     FaultFailure, FaultFuzzConfig, FaultFuzzReport, FaultOutcome, FaultPlan, InjectedFaults,

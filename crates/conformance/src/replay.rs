@@ -155,6 +155,7 @@ mod tests {
             dedup: false,
             lin_seeds: [7, 8],
             parallelism: 2,
+            ..CheckConfig::default()
         };
         let mismatch = Mismatch {
             invariant: Invariant::OracleSoundness,

@@ -17,7 +17,7 @@
 //! with a byte offset, never a panic.
 //!
 //! ```text
-//! magic        [u8;4] = b"OCKP", version u16 = 1
+//! magic        [u8;4] = b"OCKP", version u16 = 2
 //! pattern_src  str (u32 len + utf-8) — the monitored pattern's source
 //! n_traces     u32
 //! config       dedup u8, policy u8, node_limit u64, parallelism u64,
@@ -33,7 +33,19 @@
 //! subset       per leaf×trace: u8 flag [, n_leaves event refs]
 //! guard        (iff config.guard) admitted u32×n;
 //!              u32 buffered + event refs; 12 × u64 guard stats
+//! obs          marker u8; iff 1: level u8, 5 stage histograms,
+//!              arrival histogram, search obs (u32 level count +
+//!              histograms, 2 histograms, 3 × u64), recent ring
+//!              (u32 count; per record: seq u64, event str, stored u8,
+//!              5 × u64); histogram := u32 n (0 or 40) + n × u64 counts,
+//!              sum u64, max u64
 //! ```
+//!
+//! Version 2 appends the trailing `obs` section; version-1 checkpoints
+//! (which end after `guard`) still load, restoring with metrics off. The
+//! `obs` level lives *inside* the optional section — not in the config
+//! block — so an `Off` checkpoint and a metrics-stripped one (see
+//! [`strip_metrics`]) are byte-identical.
 //!
 //! The guard's capped fault *log* is deliberately not checkpointed (the
 //! counters are); a restored monitor starts with an empty log.
@@ -42,6 +54,7 @@ use crate::history::LeafHistory;
 use crate::ingest::{GuardConfig, IngestStats, OverflowPolicy};
 use crate::matching::Match;
 use crate::monitor::{Monitor, MonitorConfig, SubsetPolicy};
+use crate::obs::{ArrivalRecord, Histogram, Metrics, ObsLevel, HIST_BUCKETS, RECENT_CAP};
 use crate::stats::MonitorStats;
 use ocep_pattern::Pattern;
 use ocep_poet::dump::Reader;
@@ -51,7 +64,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"OCKP";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Why a checkpoint failed to decode.
 #[derive(Debug)]
@@ -200,6 +213,120 @@ fn read_stats(r: &mut Reader<'_>) -> Result<MonitorStats, PoetError> {
     }
     s.ingest = read_ingest_stats(r)?;
     Ok(s)
+}
+
+fn put_hist(buf: &mut Vec<u8>, h: &Histogram) {
+    let counts = h.bucket_counts();
+    put_u32(buf, counts.len() as u32);
+    for &c in counts {
+        put_u64(buf, c);
+    }
+    put_u64(buf, h.sum());
+    put_u64(buf, h.max());
+}
+
+fn read_hist(r: &mut Reader<'_>) -> Result<Histogram, CheckpointError> {
+    let n = r.u32("histogram bucket count")? as usize;
+    if n != 0 && n != HIST_BUCKETS {
+        return Err(CheckpointError::Invalid(format!(
+            "histogram with {n} buckets (expected 0 or {HIST_BUCKETS})"
+        )));
+    }
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(r.u64("histogram bucket")?);
+    }
+    let sum = r.u64("histogram sum")?;
+    let max = r.u64("histogram max")?;
+    Ok(Histogram::from_raw(counts, sum, max))
+}
+
+fn put_metrics(buf: &mut Vec<u8>, m: &Metrics) {
+    buf.push(m.level().code());
+    for h in &m.stage_ns {
+        put_hist(buf, h);
+    }
+    put_hist(buf, &m.arrival_ns);
+    put_u32(buf, m.search.domain_width.len() as u32);
+    for h in &m.search.domain_width {
+        put_hist(buf, h);
+    }
+    put_hist(buf, &m.search.backjump_depth);
+    put_hist(buf, &m.search.conflict_size);
+    put_u64(buf, m.search.prune_gp_ls);
+    put_u64(buf, m.search.prune_intersect);
+    put_u64(buf, m.search.domain_ns);
+    // Rotation is an in-memory detail: records go out oldest-first and
+    // come back unrotated (RecentRing compares by content).
+    let recent = m.recent.records();
+    put_u32(buf, recent.len() as u32);
+    for rec in &recent {
+        put_u64(buf, rec.seq);
+        put_str(buf, &rec.event);
+        buf.push(u8::from(rec.stored));
+        for v in [
+            rec.searches,
+            rec.matches_found,
+            rec.matches_reported,
+            rec.nodes,
+            rec.total_ns,
+        ] {
+            put_u64(buf, v);
+        }
+    }
+}
+
+fn read_metrics(r: &mut Reader<'_>) -> Result<Metrics, CheckpointError> {
+    let code = r.u8("obs level")?;
+    let level = ObsLevel::from_code(code)
+        .ok_or_else(|| CheckpointError::Invalid(format!("unknown obs level {code}")))?;
+    let mut m = Metrics::new(level);
+    for h in &mut m.stage_ns {
+        *h = read_hist(r)?;
+    }
+    m.arrival_ns = read_hist(r)?;
+    let n_levels = r.u32("domain width level count")? as usize;
+    if n_levels > crate::obs::MAX_TRACKED_LEVELS {
+        return Err(CheckpointError::Invalid(format!(
+            "domain width tracked for {n_levels} levels (max {})",
+            crate::obs::MAX_TRACKED_LEVELS
+        )));
+    }
+    for _ in 0..n_levels {
+        m.search.domain_width.push(read_hist(r)?);
+    }
+    m.search.backjump_depth = read_hist(r)?;
+    m.search.conflict_size = read_hist(r)?;
+    m.search.prune_gp_ls = r.u64("prune_gp_ls")?;
+    m.search.prune_intersect = r.u64("prune_intersect")?;
+    m.search.domain_ns = r.u64("domain_ns")?;
+    let n_recent = r.u32("recent record count")? as usize;
+    if n_recent > RECENT_CAP {
+        return Err(CheckpointError::Invalid(format!(
+            "{n_recent} recent records (ring capacity {RECENT_CAP})"
+        )));
+    }
+    for _ in 0..n_recent {
+        let seq = r.u64("record seq")?;
+        let event = r.str("record event")?.to_string();
+        let stored = r.u8("record stored flag")? != 0;
+        let searches = r.u64("record searches")?;
+        let matches_found = r.u64("record matches_found")?;
+        let matches_reported = r.u64("record matches_reported")?;
+        let nodes = r.u64("record nodes")?;
+        let total_ns = r.u64("record total_ns")?;
+        m.recent.push(ArrivalRecord {
+            seq,
+            event,
+            stored,
+            searches,
+            matches_found,
+            matches_reported,
+            nodes,
+            total_ns,
+        });
+    }
+    Ok(m)
 }
 
 fn read_ingest_stats(r: &mut Reader<'_>) -> Result<IngestStats, PoetError> {
@@ -357,6 +484,14 @@ pub fn save(monitor: &Monitor, pattern_src: &str) -> Vec<u8> {
         put_ingest_stats(&mut buf, g.stats());
     }
 
+    match &monitor.obs {
+        Some(m) => {
+            buf.push(1);
+            put_metrics(&mut buf, m);
+        }
+        None => buf.push(0),
+    }
+
     buf
 }
 
@@ -373,9 +508,9 @@ pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
     let mut r = Reader::new(data);
     r.magic(MAGIC)?;
     let version = r.u16("version")?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(CheckpointError::Format(PoetError::BadHeader(format!(
-            "checkpoint version {version} is not supported (expected {VERSION})"
+            "checkpoint version {version} is not supported (expected 1..={VERSION})"
         ))));
     }
     let pattern_src = r.str("pattern source")?.to_string();
@@ -415,6 +550,9 @@ pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
         node_limit,
         parallelism,
         guard: guard_cfg,
+        // The obs level is stored inside the trailing obs section (when
+        // present), not in the config block; restored below.
+        obs: ObsLevel::Off,
         inject_partition_panic: None,
     };
 
@@ -576,9 +714,28 @@ pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
         guard.stats = read_ingest_stats(&mut r)?;
     }
 
+    if version >= 2 && r.u8("obs section marker")? != 0 {
+        let metrics = read_metrics(&mut r)?;
+        monitor.set_obs_metrics(Some(Box::new(metrics)));
+    }
+
     monitor.stats = stats;
     r.finish()?;
     Ok((monitor, pattern_src))
+}
+
+/// Rewrites a checkpoint with its metrics section cleared (marker 0),
+/// leaving all matching state intact. An `Off`-collected checkpoint and a
+/// `Full`-collected one stripped through this function are byte-identical
+/// — the property the metrics-transparency suite pins.
+///
+/// # Errors
+///
+/// See [`load`]; stripping decodes the checkpoint first.
+pub fn strip_metrics(data: &[u8]) -> Result<Vec<u8>, CheckpointError> {
+    let (mut monitor, pattern_src) = load(data)?;
+    monitor.set_obs_metrics(None);
+    Ok(save(&monitor, &pattern_src))
 }
 
 impl Monitor {
@@ -697,6 +854,71 @@ mod tests {
         assert_eq!(m.guard().unwrap().buffered(), 0);
         assert_eq!(resumed.guard().unwrap().buffered(), 0);
         assert_eq!(m.stats(), resumed.stats());
+    }
+
+    #[test]
+    fn round_trip_preserves_metrics_registry() {
+        let (_poet, events) = workload(40);
+        let config = MonitorConfig {
+            obs: ObsLevel::Full,
+            ..MonitorConfig::default()
+        };
+        let mut m = Monitor::with_config(Pattern::parse(PATTERN).unwrap(), 3, config);
+        for e in &events {
+            m.observe(e);
+        }
+        let before = m.obs_metrics().expect("Full keeps a registry").clone();
+        assert!(before.arrival_hist().count() > 0, "timers should have run");
+        assert!(!before.recent().is_empty(), "ring should have records");
+        let bytes = m.checkpoint(PATTERN);
+        let (resumed, _) = Monitor::restore(&bytes).unwrap();
+        assert_eq!(resumed.config().obs, ObsLevel::Full);
+        assert_eq!(resumed.obs_metrics(), Some(&before));
+        assert_eq!(resumed.stats(), m.stats());
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_load() {
+        let (_poet, events) = workload(30);
+        let mut m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        for e in &events {
+            m.observe(e);
+        }
+        let v2 = m.checkpoint(PATTERN);
+        assert_eq!(
+            *v2.last().unwrap(),
+            0,
+            "obs-off checkpoint ends in marker 0"
+        );
+        // A v1 file is exactly a v2 obs-off file without the trailing
+        // marker byte and with the version field rolled back.
+        let mut v1 = v2[..v2.len() - 1].to_vec();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let (resumed, src) = Monitor::restore(&v1).unwrap();
+        assert_eq!(src, PATTERN);
+        assert_eq!(resumed.stats(), m.stats());
+        assert!(resumed.obs_metrics().is_none());
+    }
+
+    #[test]
+    fn strip_metrics_matches_off_checkpoint_bytes() {
+        let (_poet, events) = workload(40);
+        let mut off = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        let config = MonitorConfig {
+            obs: ObsLevel::Full,
+            ..MonitorConfig::default()
+        };
+        let mut full = Monitor::with_config(Pattern::parse(PATTERN).unwrap(), 3, config);
+        for e in &events {
+            off.observe(e);
+            full.observe(e);
+        }
+        let off_bytes = off.checkpoint(PATTERN);
+        let full_bytes = full.checkpoint(PATTERN);
+        assert_ne!(off_bytes, full_bytes, "Full embeds a metrics section");
+        assert_eq!(strip_metrics(&full_bytes).unwrap(), off_bytes);
+        // Stripping an already-off checkpoint is the identity.
+        assert_eq!(strip_metrics(&off_bytes).unwrap(), off_bytes);
     }
 
     #[test]

@@ -69,13 +69,22 @@ mod pool;
 mod search;
 mod stats;
 
-pub use checkpoint::CheckpointError;
+pub mod obs;
+/// Facade alias for the observability subsystem (metrics registry,
+/// histograms, exporters) — see [`obs`].
+pub use self::obs as ocep_obs;
+
+pub use checkpoint::{strip_metrics, CheckpointError};
 pub use history::LeafHistory;
 pub use ingest::{
     AdmissionGuard, GuardConfig, IngestFault, IngestFaultKind, IngestStats, OverflowPolicy,
 };
 pub use matching::Match;
-pub use monitor::{Monitor, MonitorConfig, SubsetPolicy};
+pub use monitor::{Monitor, MonitorConfig, SubsetPolicy, OBS_TIMING_SAMPLE};
 pub use multi::MonitorSet;
-pub use pool::WorkerPool;
+pub use obs::{
+    ArrivalRecord, Histogram, MetricFamily, MetricKind, MetricSample, MetricValue, Metrics,
+    MetricsSnapshot, ObsLevel, SearchObs, Stage,
+};
+pub use pool::{PoolStats, WorkerPool};
 pub use stats::MonitorStats;

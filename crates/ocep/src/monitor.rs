@@ -3,6 +3,7 @@
 use crate::history::LeafHistory;
 use crate::ingest::{AdmissionGuard, GuardConfig, IngestFault};
 use crate::matching::Match;
+use crate::obs::{ArrivalRecord, Metrics, MetricsSnapshot, ObsLevel, Stage};
 use crate::pool::WorkerPool;
 use crate::search::{Search, SearchScratch, SearchStats};
 use crate::stats::MonitorStats;
@@ -10,6 +11,25 @@ use ocep_pattern::Pattern;
 use ocep_poet::Event;
 use std::collections::HashSet;
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Nanoseconds elapsed since `t0`, saturating.
+fn ns_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One in this many searches runs with full introspection (see
+/// [`Monitor::run_search`]); all plain counters remain exact for every
+/// search regardless.
+const OBS_SEARCH_SAMPLE: u64 = 16;
+
+/// One in this many arrivals takes the `Full`-level wall-clock timers
+/// (arrival + per-stage). An `Instant` read serializes the pipeline, so
+/// timing every stage boundary of every arrival costs more than most of
+/// the stages it measures; deterministic sampling keeps the medians
+/// honest at a sixteenth of that cost. Counters stay exact on every
+/// arrival.
+pub const OBS_TIMING_SAMPLE: u64 = 16;
 
 /// Which matches a [`Monitor`] reports to its caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +80,11 @@ pub struct MonitorConfig {
     /// share index panics instead of searching, exercising the
     /// worker-respawn and inline-fallback paths. `None` in production.
     pub inject_partition_panic: Option<usize>,
+    /// Observability level (default [`ObsLevel::Off`]). `Off` takes no
+    /// timers and allocates nothing; see [`crate::obs`]. Observation
+    /// never changes matching behaviour — the metrics-transparency suite
+    /// pins verdict/subset/checkpoint equality between `Off` and `Full`.
+    pub obs: ObsLevel,
 }
 
 impl Default for MonitorConfig {
@@ -71,6 +96,7 @@ impl Default for MonitorConfig {
             parallelism: 1,
             guard: None,
             inject_partition_panic: None,
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -105,6 +131,9 @@ pub struct Monitor {
     pub(crate) guard: Option<AdmissionGuard>,
     /// Reused output buffer for guard deliveries.
     admit_buf: Vec<Event>,
+    /// Live metrics registry; `None` when [`MonitorConfig::obs`] is
+    /// `Off` so the disabled path costs one pointer-null check.
+    pub(crate) obs: Option<Box<Metrics>>,
 }
 
 impl Monitor {
@@ -131,6 +160,10 @@ impl Monitor {
             pool: None,
             guard: config.guard.map(|g| AdmissionGuard::new(n_traces, g)),
             admit_buf: Vec::new(),
+            obs: config
+                .obs
+                .enabled()
+                .then(|| Box::new(Metrics::new(config.obs))),
         }
     }
 
@@ -159,13 +192,76 @@ impl Monitor {
     /// trigger the backtracking search.
     pub fn observe(&mut self, event: &Event) -> Vec<Match> {
         self.stats.events += 1;
+        // `stats.events % OBS_TIMING_SAMPLE` is now fixed for the whole
+        // arrival: every stage_timing() call below agrees on whether
+        // this arrival is in the timing sample.
+        if self.obs.is_none() {
+            return self.observe_arrival(event);
+        }
+        // Observability wrapper: snapshot the counters, time the whole
+        // arrival, then file a post-mortem record from the deltas. The
+        // matching path below is byte-identical to the Off path.
+        let before = self.stats;
+        let timing = self.stage_timing();
+        let t0 = timing.then(Instant::now);
+        let reported = self.observe_arrival(event);
+        let total_ns = t0.map_or(0, ns_since);
+        let stats = &self.stats;
+        let rec = ArrivalRecord {
+            seq: stats.events,
+            event: String::new(),
+            stored: stats.stored > before.stored,
+            searches: stats.searches - before.searches,
+            matches_found: stats.matches_found - before.matches_found,
+            matches_reported: stats.matches_reported - before.matches_reported,
+            nodes: stats.nodes - before.nodes,
+            total_ns,
+        };
+        if let Some(m) = self.obs.as_deref_mut() {
+            if timing {
+                m.record_arrival(total_ns);
+            }
+            // The event text renders straight into the ring's reused
+            // slot buffer — the per-arrival record never allocates once
+            // the ring is warm.
+            m.push_record_with(
+                rec,
+                format_args!(
+                    "{}@{}:{}",
+                    event.text(),
+                    event.trace().as_usize(),
+                    event.index().get()
+                ),
+            );
+        }
+        reported
+    }
+
+    /// Whether the current arrival takes wall-clock timers. `Full`
+    /// observability times one in [`OBS_TIMING_SAMPLE`] arrivals,
+    /// deterministically keyed on the exact arrival counter (which
+    /// [`Monitor::observe`] bumps first, so the very first arrival is
+    /// always in the sample). Everything that is not a timer — counters,
+    /// the arrival ring, search introspection — ignores this gate.
+    fn stage_timing(&self) -> bool {
+        self.stats.events % OBS_TIMING_SAMPLE == 1
+            && self.obs.as_ref().is_some_and(|m| m.level().timing())
+    }
+
+    /// The arrival path shared by the instrumented and plain variants of
+    /// [`Monitor::observe`].
+    fn observe_arrival(&mut self, event: &Event) -> Vec<Match> {
         if self.guard.is_none() {
             return self.observe_admitted(event);
         }
         let mut guard = self.guard.take().expect("guard presence checked above");
         let mut deliverable = std::mem::take(&mut self.admit_buf);
         deliverable.clear();
+        let tg = self.stage_timing().then(Instant::now);
         guard.admit(event, &mut deliverable);
+        if let (Some(tg), Some(m)) = (tg, self.obs.as_deref_mut()) {
+            m.record_stage(Stage::GuardAdmit, ns_since(tg));
+        }
         let mut reported = Vec::new();
         for e in &deliverable {
             reported.append(&mut self.observe_admitted(e));
@@ -189,7 +285,11 @@ impl Monitor {
         };
         let mut deliverable = std::mem::take(&mut self.admit_buf);
         deliverable.clear();
+        let tg = self.stage_timing().then(Instant::now);
         guard.flush(&mut deliverable);
+        if let (Some(tg), Some(m)) = (tg, self.obs.as_deref_mut()) {
+            m.record_stage(Stage::GuardAdmit, ns_since(tg));
+        }
         let mut reported = Vec::new();
         for e in &deliverable {
             reported.append(&mut self.observe_admitted(e));
@@ -214,7 +314,12 @@ impl Monitor {
 
     /// Observes one *admitted* event: the matcher proper.
     fn observe_admitted(&mut self, event: &Event) -> Vec<Match> {
+        let timing = self.stage_timing();
+        let tr = timing.then(Instant::now);
         let stored = Self::history_mut(&mut self.history).observe(&self.pattern, event);
+        if let (Some(tr), Some(m)) = (tr, self.obs.as_deref_mut()) {
+            m.record_stage(Stage::RouteDedup, ns_since(tr));
+        }
         if !stored {
             return Vec::new();
         }
@@ -228,10 +333,25 @@ impl Monitor {
                 continue;
             }
             self.stats.searches += 1;
+            let ts = timing.then(Instant::now);
             let (matches, sstats) = self.run_search(tl, event);
+            if let (Some(ts), Some(m)) = (ts, self.obs.as_deref_mut()) {
+                m.record_stage(Stage::Search, ns_since(ts));
+            }
             self.stats.absorb_search(&sstats);
+            if let Some(m) = self.obs.as_deref_mut() {
+                m.absorb_search_counters(
+                    sstats.prune_gp_ls,
+                    sstats.prune_intersect,
+                    sstats.domain_ns,
+                );
+                if let Some(o) = &sstats.obs {
+                    m.absorb_search(o);
+                }
+            }
             self.stats.matches_found += matches.len() as u64;
 
+            let tm = timing.then(Instant::now);
             for m in matches {
                 // Suppress event-set duplicates within one arrival (two
                 // seeded searches can find the same match with leaves
@@ -259,6 +379,9 @@ impl Monitor {
                     reported.push(m);
                 }
             }
+            if let (Some(tm), Some(m)) = (tm, self.obs.as_deref_mut()) {
+                m.record_stage(Stage::SubsetMerge, ns_since(tm));
+            }
         }
         reported
     }
@@ -266,6 +389,21 @@ impl Monitor {
     /// Runs one seeded search, sequentially or with the §VI parallel
     /// trace traversal.
     fn run_search(&mut self, tl: ocep_pattern::LeafId, event: &Event) -> (Vec<Match>, SearchStats) {
+        let obs_level = self.obs.as_ref().map_or(ObsLevel::Off, |m| m.level());
+        // Search introspection (the width/backjump/conflict histograms)
+        // is collected from a 1-in-N sample of searches, profiler-style:
+        // an instrumented search allocates a fresh `SearchObs` per
+        // partition plus its lazily-sized histogram buffers, and paying
+        // that on every search dominates the search itself under the
+        // worker pool. Counters (prunes, domains, nodes, `domain_ns`)
+        // ride plain `SearchStats` fields and stay exact for every
+        // search. Seeded from the exact `searches` counter, so sampling
+        // is deterministic and the first search is always covered.
+        let obs_level = if self.stats.searches % OBS_SEARCH_SAMPLE == 1 {
+            obs_level
+        } else {
+            ObsLevel::Off
+        };
         let workers = self.config.parallelism.max(1).min(self.n_traces.max(1));
         let order = self.pattern.eval_order(tl);
         // A partner-pinned first level has a unique candidate: splitting
@@ -287,7 +425,8 @@ impl Monitor {
                 tl,
                 self.config.node_limit,
                 &mut self.scratch,
-            );
+            )
+            .with_obs(obs_level);
             return search.run(event);
         }
 
@@ -320,6 +459,7 @@ impl Monitor {
                     let allowed: Vec<bool> = (0..n_traces).map(|t| t % workers == w).collect();
                     let out = Search::new(&pattern, &history, n_traces, tl, node_limit, scratch)
                         .with_level1_traces(allowed)
+                        .with_obs(obs_level)
                         .run(&event);
                     // Release the shared handles BEFORE announcing the
                     // result: once the dispatcher has drained the channel
@@ -347,6 +487,7 @@ impl Monitor {
             &mut self.scratch,
         )
         .with_level1_traces(allowed)
+        .with_obs(obs_level)
         .run(event);
 
         // Collect into worker-order slots so the merge is deterministic
@@ -379,6 +520,7 @@ impl Monitor {
                 &mut self.scratch,
             )
             .with_level1_traces(allowed)
+            .with_obs(obs_level)
             .run(event);
             *slot = Some(out);
         }
@@ -442,6 +584,284 @@ impl Monitor {
     #[must_use]
     pub fn stats(&self) -> &MonitorStats {
         &self.stats
+    }
+
+    /// The live metrics registry, when [`MonitorConfig::obs`] is not
+    /// `Off`. Checkpointing serializes this; tests introspect it.
+    #[must_use]
+    pub fn obs_metrics(&self) -> Option<&Metrics> {
+        self.obs.as_deref()
+    }
+
+    /// Replaces the live metrics registry (checkpoint restore). Also
+    /// aligns [`MonitorConfig::obs`] with the registry's level so a
+    /// restored monitor keeps collecting consistently.
+    pub(crate) fn set_obs_metrics(&mut self, metrics: Option<Box<Metrics>>) {
+        self.config.obs = metrics.as_ref().map_or(ObsLevel::Off, |m| m.level());
+        self.obs = metrics;
+    }
+
+    /// An exportable snapshot of everything this monitor knows about its
+    /// own behaviour: the [`MonitorStats`] counters, history and pool
+    /// gauges, process-wide clock-op counters (when
+    /// [`ocep_vclock::ops::enable`]d), and — when [`MonitorConfig::obs`]
+    /// is not `Off` — stage/arrival latency histograms, search
+    /// introspection, and the recent-arrival ring.
+    ///
+    /// See `docs/OBSERVABILITY.md` for the metric catalog.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        let st = &self.stats;
+        s.counter(
+            "ocep_events_total",
+            "Events observed (§V-B arrivals).",
+            st.events,
+        );
+        s.counter(
+            "ocep_stored_total",
+            "Events stored into at least one leaf history.",
+            st.stored,
+        );
+        s.counter(
+            "ocep_searches_total",
+            "Terminating-event searches started.",
+            st.searches,
+        );
+        s.counter(
+            "ocep_matches_found_total",
+            "Complete matches found before subset filtering.",
+            st.matches_found,
+        );
+        s.counter(
+            "ocep_matches_reported_total",
+            "Matches reported to the caller.",
+            st.matches_reported,
+        );
+        s.counter(
+            "ocep_search_nodes_total",
+            "Backtracking nodes explored.",
+            st.nodes,
+        );
+        s.counter(
+            "ocep_search_candidates_total",
+            "Candidate events examined.",
+            st.candidates,
+        );
+        s.counter(
+            "ocep_search_domains_total",
+            "Fig-4 domain computations performed.",
+            st.domains,
+        );
+        s.counter(
+            "ocep_search_backjumps_total",
+            "Conflict-directed backjumps taken.",
+            st.backjumps,
+        );
+        s.counter(
+            "ocep_search_jump_bounds_total",
+            "Fig-5 jump bounds applied to fast-forward a cursor.",
+            st.jump_bounds,
+        );
+        s.counter(
+            "ocep_search_deferred_rejections_total",
+            "Complete assignments rejected by deferred checks.",
+            st.deferred_rejections,
+        );
+        s.counter(
+            "ocep_clones_avoided_total",
+            "Event clones skipped by the zero-copy hot path.",
+            st.clones_avoided,
+        );
+        s.counter(
+            "ocep_clone_bytes_avoided_total",
+            "Timestamp-buffer bytes those skipped clones would have copied.",
+            st.clone_bytes_avoided,
+        );
+        s.counter(
+            "ocep_degraded_arrivals_total",
+            "Arrivals that fell back to inline search after a worker panic.",
+            st.degraded_arrivals,
+        );
+
+        let g = &st.ingest;
+        let ing = "ocep_ingest_events_total";
+        let ing_help = "Admission-guard event outcomes.";
+        s.counter_with(ing, ing_help, &[("outcome", "admitted")], g.admitted);
+        s.counter_with(
+            ing,
+            ing_help,
+            &[("outcome", "duplicate")],
+            g.duplicates_dropped,
+        );
+        s.counter_with(ing, ing_help, &[("outcome", "buffered")], g.buffered);
+        s.counter_with(
+            ing,
+            ing_help,
+            &[("outcome", "reordered")],
+            g.reordered_delivered,
+        );
+        s.counter_with(
+            ing,
+            ing_help,
+            &[("outcome", "degraded_delivered")],
+            g.degraded_delivered,
+        );
+        let q = "ocep_ingest_quarantined_total";
+        let q_help = "Events quarantined by the admission guard, by reason.";
+        s.counter_with(
+            q,
+            q_help,
+            &[("reason", "trace_range")],
+            g.quarantined_trace_range,
+        );
+        s.counter_with(
+            q,
+            q_help,
+            &[("reason", "clock_width")],
+            g.quarantined_clock_width,
+        );
+        s.counter_with(
+            q,
+            q_help,
+            &[("reason", "non_monotone")],
+            g.quarantined_non_monotone,
+        );
+        let ov = "ocep_ingest_overflow_total";
+        let ov_help = "Reorder-buffer overflow actions, by policy.";
+        s.counter_with(ov, ov_help, &[("policy", "rejected")], g.overflow_rejected);
+        s.counter_with(ov, ov_help, &[("policy", "dropped")], g.overflow_dropped);
+        s.counter(
+            "ocep_ingest_degraded_flushes_total",
+            "Flushes that abandoned causal order.",
+            g.degraded_flushes,
+        );
+        s.gauge(
+            "ocep_ingest_buffer_peak",
+            "High-water mark of the reorder buffer.",
+            g.buffered_peak,
+        );
+
+        s.gauge(
+            "ocep_history_events",
+            "Events currently stored across all leaf histories (§VI).",
+            self.history_size() as u64,
+        );
+        s.counter(
+            "ocep_history_suppressed_total",
+            "Arrivals suppressed by the §VI dedup rule.",
+            self.suppressed() as u64,
+        );
+        s.gauge(
+            "ocep_history_bytes",
+            "Approximate history memory in bytes.",
+            self.history_bytes() as u64,
+        );
+
+        if let Some(pool) = &self.pool {
+            let ps = pool.stats();
+            s.gauge(
+                "ocep_pool_workers",
+                "Worker threads in the search pool.",
+                pool.size() as u64,
+            );
+            s.counter(
+                "ocep_pool_dispatched_total",
+                "Jobs handed to pool workers.",
+                ps.dispatched,
+            );
+            s.counter(
+                "ocep_pool_completed_total",
+                "Jobs that ran to completion.",
+                ps.completed,
+            );
+            s.gauge(
+                "ocep_pool_queue_depth",
+                "Jobs accepted but not yet finished at snapshot time.",
+                ps.queue_depth,
+            );
+            s.counter(
+                "ocep_pool_panics_total",
+                "Job panics caught and contained by workers.",
+                ps.caught_panics,
+            );
+            s.counter(
+                "ocep_pool_respawns_total",
+                "Workers respawned after a caught panic.",
+                ps.respawned,
+            );
+            for (w, jobs) in ps.jobs_per_worker.iter().enumerate() {
+                s.counter_with(
+                    "ocep_pool_jobs_total",
+                    "Jobs accepted per worker slot.",
+                    &[("worker", &w.to_string())],
+                    *jobs,
+                );
+            }
+        }
+
+        if ocep_vclock::ops::enabled() {
+            let ops = ocep_vclock::ops::snapshot();
+            let n = "ocep_vclock_ops_total";
+            let h = "Process-wide vector-clock operations (not per-monitor).";
+            s.counter_with(n, h, &[("op", "tick")], ops.ticks);
+            s.counter_with(n, h, &[("op", "join")], ops.joins);
+            s.counter_with(n, h, &[("op", "comparison")], ops.comparisons);
+        }
+
+        if let Some(m) = &self.obs {
+            for stage in Stage::ALL {
+                s.histogram_with(
+                    "ocep_stage_ns",
+                    "Per-stage pipeline latency (ns), 1-in-16 sampled arrivals; domain_fig4 is nested inside search.",
+                    &[("stage", stage.name())],
+                    m.stage_hist(stage),
+                );
+            }
+            s.histogram(
+                "ocep_arrival_ns",
+                "End-to-end arrival latency (ns), 1-in-16 sampled arrivals.",
+                m.arrival_hist(),
+            );
+            let so = m.search_obs();
+            for (level, h) in so.domain_width.iter().enumerate() {
+                if h.is_empty() {
+                    continue;
+                }
+                let label = if level == crate::obs::MAX_TRACKED_LEVELS - 1 {
+                    format!("{level}+")
+                } else {
+                    level.to_string()
+                };
+                s.histogram_with(
+                    "ocep_search_domain_width",
+                    "Live Fig-4 domain widths per evaluation level (1-in-16 sampled searches).",
+                    &[("level", &label)],
+                    h,
+                );
+            }
+            s.histogram(
+                "ocep_search_backjump_depth",
+                "Levels conflict-directed backjumps landed on (1-in-16 sampled searches).",
+                &so.backjump_depth,
+            );
+            s.histogram(
+                "ocep_search_conflict_size",
+                "Conflict-set sizes (popcount) of exhausted subtrees (1-in-16 sampled searches).",
+                &so.conflict_size,
+            );
+            let pr = "ocep_search_prunes_total";
+            let pr_help = "Domains emptied by Fig-4 restriction, by cause.";
+            s.counter_with(pr, pr_help, &[("kind", "gp_ls")], so.prune_gp_ls);
+            s.counter_with(pr, pr_help, &[("kind", "intersect")], so.prune_intersect);
+            s.counter(
+                "ocep_search_domain_ns_total",
+                "Wall-clock ns in domain construction + Fig-4 restriction (1-in-64 sampled estimate).",
+                so.domain_ns,
+            );
+            s.recent = m.recent().records();
+        }
+        s
     }
 
     /// Number of events currently stored across all leaf histories (the

@@ -147,6 +147,19 @@ impl MonitorSet {
         }
         total
     }
+
+    /// Aggregates every monitor's [`Monitor::metrics`] snapshot into one
+    /// (counters sum, histograms merge; recent arrivals concatenate,
+    /// bounded). Shared-pool gauges appear once per monitor and sum — an
+    /// aggregate across monitors, not a per-pool reading.
+    #[must_use]
+    pub fn metrics(&self) -> crate::MetricsSnapshot {
+        let mut total = crate::MetricsSnapshot::default();
+        for (_, m) in &self.entries {
+            total.absorb(&m.metrics());
+        }
+        total
+    }
 }
 
 #[cfg(test)]

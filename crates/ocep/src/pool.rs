@@ -58,9 +58,40 @@ pub struct WorkerPool {
     workers: Vec<Mutex<Worker>>,
     caught_panics: Arc<AtomicU64>,
     respawned: AtomicU64,
+    /// Jobs accepted by a worker's channel (per worker slot).
+    jobs_per_worker: Vec<AtomicU64>,
+    dispatched: AtomicU64,
+    completed: Arc<AtomicU64>,
 }
 
-fn spawn_worker(i: usize, panics: Arc<AtomicU64>) -> std::io::Result<Worker> {
+/// Point-in-time utilization counters of a [`WorkerPool`].
+///
+/// Always collected (the pool dispatches once per partition per search,
+/// so the relaxed atomics are far off the hot path) and exported through
+/// [`crate::Monitor::metrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs accepted per worker slot, in slot order.
+    pub jobs_per_worker: Vec<u64>,
+    /// Total jobs handed to workers.
+    pub dispatched: u64,
+    /// Jobs that ran to completion (including ones that panicked and
+    /// were contained).
+    pub completed: u64,
+    /// Jobs accepted but not yet finished — the queue depth at snapshot
+    /// time.
+    pub queue_depth: u64,
+    /// Job panics caught over the pool's lifetime.
+    pub caught_panics: u64,
+    /// Workers respawned after a caught panic.
+    pub respawned: u64,
+}
+
+fn spawn_worker(
+    i: usize,
+    panics: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+) -> std::io::Result<Worker> {
     let (tx, rx) = mpsc::channel::<Job>();
     let handle = std::thread::Builder::new()
         .name(format!("ocep-search-{i}"))
@@ -69,7 +100,10 @@ fn spawn_worker(i: usize, panics: Arc<AtomicU64>) -> std::io::Result<Worker> {
             // are allocated once and reused.
             let mut scratch = SearchScratch::default();
             while let Ok(job) = rx.recv() {
-                if catch_unwind(AssertUnwindSafe(|| job(&mut scratch))).is_err() {
+                let panicked = catch_unwind(AssertUnwindSafe(|| job(&mut scratch))).is_err();
+                // A contained panic still retires the job.
+                completed.fetch_add(1, Ordering::Relaxed);
+                if panicked {
                     // The scratch may be mid-mutation; retire this
                     // worker rather than reuse it. Dropping `rx` is the
                     // death notice: the next send to this slot fails and
@@ -95,10 +129,12 @@ impl WorkerPool {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         let caught_panics = Arc::new(AtomicU64::new(0));
-        let workers = (0..threads.max(1))
+        let completed = Arc::new(AtomicU64::new(0));
+        let threads = threads.max(1);
+        let workers = (0..threads)
             .map(|i| {
                 Mutex::new(
-                    spawn_worker(i, Arc::clone(&caught_panics))
+                    spawn_worker(i, Arc::clone(&caught_panics), Arc::clone(&completed))
                         .expect("failed to spawn search worker"),
                 )
             })
@@ -107,6 +143,9 @@ impl WorkerPool {
             workers,
             caught_panics,
             respawned: AtomicU64::new(0),
+            jobs_per_worker: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            dispatched: AtomicU64::new(0),
+            completed,
         }
     }
 
@@ -128,6 +167,30 @@ impl WorkerPool {
         self.respawned.load(Ordering::SeqCst)
     }
 
+    /// A snapshot of the pool's utilization counters.
+    ///
+    /// `queue_depth` is `dispatched - completed` at snapshot time; a
+    /// worker retired by a contained panic drops any jobs still queued
+    /// on its channel, so the depth can over-count until the monitor's
+    /// inline fallback absorbs the loss.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let dispatched = self.dispatched.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        PoolStats {
+            jobs_per_worker: self
+                .jobs_per_worker
+                .iter()
+                .map(|j| j.load(Ordering::Relaxed))
+                .collect(),
+            dispatched,
+            completed,
+            queue_depth: dispatched.saturating_sub(completed),
+            caught_panics: self.caught_panics(),
+            respawned: self.respawned(),
+        }
+    }
+
     /// Dispatches `job` to worker `w` (targeted, so each worker's scratch
     /// only ever serves one job at a time).
     ///
@@ -143,7 +206,10 @@ impl WorkerPool {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let job = match worker.tx.send(job) {
-            Ok(()) => return true,
+            Ok(()) => {
+                self.count_accept(w);
+                return true;
+            }
             // The worker retired after catching a panic; the send hands
             // the job back so the respawned thread can take it.
             Err(mpsc::SendError(job)) => job,
@@ -151,14 +217,27 @@ impl WorkerPool {
         if let Some(handle) = worker.handle.take() {
             let _ = handle.join();
         }
-        match spawn_worker(w, Arc::clone(&self.caught_panics)) {
+        match spawn_worker(
+            w,
+            Arc::clone(&self.caught_panics),
+            Arc::clone(&self.completed),
+        ) {
             Ok(fresh) => {
                 *worker = fresh;
                 self.respawned.fetch_add(1, Ordering::SeqCst);
-                worker.tx.send(job).is_ok()
+                let accepted = worker.tx.send(job).is_ok();
+                if accepted {
+                    self.count_accept(w);
+                }
+                accepted
             }
             Err(_) => false,
         }
+    }
+
+    fn count_accept(&self, w: usize) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.jobs_per_worker[w].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -285,6 +364,34 @@ mod tests {
         assert_eq!(rx2.recv().unwrap(), "alive");
         assert_eq!(pool.respawned(), 1);
         drop(pool); // best-effort shutdown after a death: no abort
+    }
+
+    #[test]
+    fn pool_stats_track_dispatch_and_completion() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6 {
+            let tx = tx.clone();
+            assert!(pool.execute(
+                i % 2,
+                Box::new(move |_| {
+                    tx.send(()).unwrap();
+                }),
+            ));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 6);
+        // The completion counter bumps after the job body returns; spin
+        // briefly for the last increment.
+        while pool.stats().completed < 6 {
+            std::thread::yield_now();
+        }
+        let s = pool.stats();
+        assert_eq!(s.dispatched, 6);
+        assert_eq!(s.jobs_per_worker, vec![3, 3]);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.caught_panics, 0);
+        assert_eq!(s.respawned, 0);
     }
 
     #[test]

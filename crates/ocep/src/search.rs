@@ -38,13 +38,14 @@
 use crate::domain::{restrict, Domain};
 use crate::history::LeafHistory;
 use crate::matching::Match;
+use crate::obs::{ObsLevel, SearchObs};
 use ocep_pattern::{Bindings, Constraint, LeafId, PairRel, Pattern};
 use ocep_poet::Event;
 use ocep_vclock::{EventSet, TraceId};
 use std::sync::Arc;
 
 /// Statistics of one arrival's search, merged into the monitor totals.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct SearchStats {
     pub nodes: u64,
     pub candidates: u64,
@@ -59,6 +60,21 @@ pub(crate) struct SearchStats {
     /// Heap bytes those avoided clones would have copied pre-Arc: one
     /// `n_traces`-wide `u32` timestamp buffer per restriction.
     pub clone_bytes_avoided: u64,
+    /// Domains emptied by a single GP/LS rule (Fig 4). Carried as a plain
+    /// counter (not inside `obs`) so the recursion's flush points stay
+    /// branch-free adds; the registry picks it up after the search.
+    pub prune_gp_ls: u64,
+    /// Domains emptied by the running intersection (Fig 4).
+    pub prune_intersect: u64,
+    /// Sampled, scaled wall-clock ns in the fused domain + Fig-4 loop
+    /// (see [`DOMAIN_TIME_SAMPLE`]); zero unless timing is enabled.
+    pub domain_ns: u64,
+    /// Search introspection, collected only when the monitor's
+    /// [`ObsLevel`] asks for it (`None` keeps the `Off` path
+    /// allocation-free). Boxed so the common case stays one word; rides
+    /// the existing worker result channel, so pool partitions merge it
+    /// like any other counter.
+    pub obs: Option<Box<SearchObs>>,
 }
 
 impl SearchStats {
@@ -72,6 +88,12 @@ impl SearchStats {
         self.deferred_rejections += other.deferred_rejections;
         self.clones_avoided += other.clones_avoided;
         self.clone_bytes_avoided += other.clone_bytes_avoided;
+        self.prune_gp_ls += other.prune_gp_ls;
+        self.prune_intersect += other.prune_intersect;
+        self.domain_ns += other.domain_ns;
+        if let Some(o) = &other.obs {
+            self.obs.get_or_insert_with(Box::default).merge(o);
+        }
     }
 }
 
@@ -152,7 +174,19 @@ pub(crate) struct Search<'a> {
     /// only iterates the traces marked `true` (each worker thread owns a
     /// disjoint slice of the level-1 subtrees).
     level1_traces: Option<Vec<bool>>,
+    /// [`ObsLevel::Full`] only: take wall-clock timers around the fused
+    /// domain-construction + Fig-4 restriction loop. Sampled 1 in
+    /// [`DOMAIN_TIME_SAMPLE`] computations and scaled, so the timer's
+    /// syscall cost stays off the search's hot path.
+    time_domains: bool,
 }
+
+/// Sampling rate for the per-domain wall-clock timer: one in this many
+/// domain computations is timed and the reading scaled back up, making
+/// `domain_ns` an estimate whose overhead is ~1/64th of timing every
+/// computation (two `Instant` reads per domain would otherwise dominate
+/// the fused Fig-4 loop they are trying to measure).
+const DOMAIN_TIME_SAMPLE: u64 = 64;
 
 impl<'a> Search<'a> {
     pub fn new(
@@ -175,6 +209,7 @@ impl<'a> Search<'a> {
             stats: SearchStats::default(),
             node_limit,
             level1_traces: None,
+            time_domains: false,
         }
     }
 
@@ -183,6 +218,18 @@ impl<'a> Search<'a> {
     /// the level-1 subtrees across worker threads (§VI).
     pub fn with_level1_traces(mut self, allowed: Vec<bool>) -> Self {
         self.level1_traces = Some(allowed);
+        self
+    }
+
+    /// Enables search introspection at the given [`ObsLevel`] (builder
+    /// style). `Off` leaves the search untouched; `Counters` collects
+    /// prune/width/backjump distributions; `Full` also times the fused
+    /// domain + Fig-4 loop.
+    pub fn with_obs(mut self, level: ObsLevel) -> Self {
+        if level.enabled() {
+            self.stats.obs = Some(Box::default());
+            self.time_domains = level.timing();
+        }
         self
     }
 
@@ -246,6 +293,10 @@ impl<'a> Search<'a> {
         // Local tallies for counters that would otherwise need `&mut
         // self` while an assigned event is borrowed.
         let mut avoided: u64 = 0;
+        let obs_on = self.stats.obs.is_some();
+        let mut domain_ns: u64 = 0;
+        let mut prune_gp_ls: u64 = 0;
+        let mut prune_intersect: u64 = 0;
         // Fig 5 bookkeeping. A jump bound may only be emitted when *every*
         // failed trace at this level was emptied by the same earlier
         // level's event alone, each with a derivable bound — otherwise a
@@ -290,6 +341,11 @@ impl<'a> Search<'a> {
             }
             // ---- Fig 4: domain computation with conflict attribution ----
             self.stats.domains += 1;
+            let dom_t = (self.time_domains && self.stats.domains % DOMAIN_TIME_SAMPLE == 1)
+                .then(std::time::Instant::now);
+            // None = domain survived; Some(true) = a single GP/LS rule
+            // emptied it; Some(false) = the intersection emptied it.
+            let mut pruned: Option<bool> = None;
             let mut dom = Domain::full(slice.len());
             let mut contributors: u64 = 0;
             for (p, &other_leaf) in self.order[..pos].iter().enumerate() {
@@ -342,7 +398,8 @@ impl<'a> Search<'a> {
                         None => poisoned = true,
                     }
                     conflicts |= 1 << p;
-                    continue 'traces;
+                    pruned = Some(true);
+                    break;
                 }
                 let next = dom.intersect(individual);
                 if next.is_empty() {
@@ -350,12 +407,34 @@ impl<'a> Search<'a> {
                     // plus this one.
                     conflicts |= contributors | (1 << p);
                     poisoned = true;
-                    continue 'traces;
+                    pruned = Some(false);
+                    break;
                 }
                 if next != dom {
                     contributors |= 1 << p;
                 }
                 dom = next;
+            }
+            if let Some(t0) = dom_t {
+                domain_ns += u64::try_from(t0.elapsed().as_nanos())
+                    .unwrap_or(u64::MAX)
+                    .saturating_mul(DOMAIN_TIME_SAMPLE);
+            }
+            match pruned {
+                Some(true) => {
+                    prune_gp_ls += 1;
+                    continue 'traces;
+                }
+                Some(false) => {
+                    prune_intersect += 1;
+                    continue 'traces;
+                }
+                None => {}
+            }
+            if obs_on {
+                if let Some(o) = self.stats.obs.as_deref_mut() {
+                    o.record_domain_width(pos, dom.len() as u64);
+                }
             }
             // Levels that narrowed this domain excluded candidates; if the
             // remaining ones all fail, those levels share the blame.
@@ -448,6 +527,14 @@ impl<'a> Search<'a> {
                             self.stats.clones_avoided += avoided;
                             self.stats.clone_bytes_avoided += avoided * self.clone_bytes();
                             self.scratch.my_bound[pos] = my_bound;
+                            self.stats.domain_ns += domain_ns;
+                            self.stats.prune_gp_ls += prune_gp_ls;
+                            self.stats.prune_intersect += prune_intersect;
+                            if obs_on {
+                                if let Some(o) = self.stats.obs.as_deref_mut() {
+                                    o.backjump_depth.record(pos as u64);
+                                }
+                            }
                             if found_any {
                                 return Outcome::FoundSome;
                             }
@@ -479,6 +566,14 @@ impl<'a> Search<'a> {
         self.stats.clones_avoided += avoided;
         self.stats.clone_bytes_avoided += avoided * self.clone_bytes();
         self.scratch.my_bound[pos] = my_bound;
+        self.stats.domain_ns += domain_ns;
+        self.stats.prune_gp_ls += prune_gp_ls;
+        self.stats.prune_intersect += prune_intersect;
+        if obs_on && !found_any {
+            if let Some(o) = self.stats.obs.as_deref_mut() {
+                o.conflict_size.record(u64::from(conflicts.count_ones()));
+            }
+        }
         if found_any {
             Outcome::FoundSome
         } else {

@@ -93,6 +93,7 @@ impl VectorClock {
     ///
     /// Panics if `t` is out of range for this clock.
     pub fn tick(&mut self, t: TraceId) -> EventIndex {
+        crate::ops::count_tick();
         let e = &mut self.entries_mut()[t.as_usize()];
         *e += 1;
         EventIndex::new(*e)
@@ -104,6 +105,7 @@ impl VectorClock {
     ///
     /// Panics if the clocks cover different numbers of traces.
     pub fn join(&mut self, other: &VectorClock) {
+        crate::ops::count_join();
         assert_eq!(
             self.entries.len(),
             other.entries.len(),
@@ -119,6 +121,7 @@ impl VectorClock {
     /// path uses the O(1) entry test instead.
     #[must_use]
     pub fn le(&self, other: &VectorClock) -> bool {
+        crate::ops::count_comparison();
         self.entries.len() == other.entries.len()
             && self
                 .entries

@@ -40,11 +40,13 @@
 mod clock;
 pub mod compound;
 mod ids;
+pub mod ops;
 mod stamped;
 
 pub use clock::VectorClock;
 pub use compound::{CompoundRelation, EventSet};
 pub use ids::{EventId, EventIndex, TraceId};
+pub use ops::ClockOpCounts;
 pub use stamped::{ClockAssigner, StampedEvent};
 
 /// The causal relationship between two primitive events.

@@ -1,0 +1,111 @@
+//! Process-wide clock-operation counters.
+//!
+//! Following Zheng & Garg's observation that vector-clock costs should be
+//! *measured* rather than assumed, this module counts the three primitive
+//! clock operations — ticks, joins, and happens-before comparisons —
+//! across the whole process. The counters are gated by a single relaxed
+//! atomic flag so that a disabled process pays one predictable
+//! load-and-branch per operation and no read-modify-write traffic;
+//! enabling is intended for observability runs (`ocep stats`,
+//! `check --metrics`, `ocep-bench --obs`), not steady-state production.
+//!
+//! The counters are process-wide (vector clocks have no per-monitor
+//! handle); consumers report them as gauges and must not expect them to
+//! partition by monitor.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TICKS: AtomicU64 = AtomicU64::new(0);
+static JOINS: AtomicU64 = AtomicU64::new(0);
+static COMPARISONS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide clock-operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClockOpCounts {
+    /// Local-step advances ([`crate::VectorClock::tick`]).
+    pub ticks: u64,
+    /// Message-receive joins ([`crate::VectorClock::join`]).
+    pub joins: u64,
+    /// §III-A happens-before tests
+    /// ([`crate::StampedEvent::happens_before`]) plus full component-wise
+    /// clock comparisons ([`crate::VectorClock::le`]).
+    pub comparisons: u64,
+}
+
+/// Turns clock-operation counting on or off for the whole process.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when clock-operation counting is on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Reads the current counter values.
+#[must_use]
+pub fn snapshot() -> ClockOpCounts {
+    ClockOpCounts {
+        ticks: TICKS.load(Ordering::Relaxed),
+        joins: JOINS.load(Ordering::Relaxed),
+        comparisons: COMPARISONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets every counter to zero (test isolation; the flag is untouched).
+pub fn reset() {
+    TICKS.store(0, Ordering::Relaxed);
+    JOINS.store(0, Ordering::Relaxed);
+    COMPARISONS.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_tick() {
+    if ENABLED.load(Ordering::Relaxed) {
+        TICKS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+pub(crate) fn count_join() {
+    if ENABLED.load(Ordering::Relaxed) {
+        JOINS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+pub(crate) fn count_comparison() {
+    if ENABLED.load(Ordering::Relaxed) {
+        COMPARISONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockAssigner, TraceId};
+
+    /// One test owns the global counters (Rust runs tests of one binary
+    /// concurrently, so everything global lives in a single test).
+    #[test]
+    fn counting_is_gated_and_exact() {
+        enable(false);
+        reset();
+        let mut asn = ClockAssigner::new(2);
+        let _ = asn.local(TraceId::new(0));
+        assert_eq!(snapshot(), ClockOpCounts::default(), "disabled: no counts");
+
+        enable(true);
+        reset();
+        let a = asn.local(TraceId::new(0)); // 1 tick
+        let b = asn.receive(TraceId::new(1), &a); // 1 join + 1 tick
+        let _ = a.causality(&b); // happens-before tests
+        let got = snapshot();
+        enable(false);
+        assert_eq!(got.ticks, 2);
+        assert_eq!(got.joins, 1);
+        assert!(got.comparisons >= 1, "causality() must count comparisons");
+    }
+}

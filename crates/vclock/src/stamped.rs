@@ -78,6 +78,7 @@ impl StampedEvent {
     /// For `a` on trace `i`: `a -> b ⇔ V_a[i] <= V_b[i]` and `a != b`.
     #[must_use]
     pub fn happens_before(&self, other: &StampedEvent) -> bool {
+        crate::ops::count_comparison();
         self.id != other.id && self.index() <= other.clock.entry(self.trace())
     }
 

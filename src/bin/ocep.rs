@@ -12,7 +12,9 @@
 //! ocep fuzz --replay <dir>                     # re-run a dumped failure
 //! ```
 
-use ocep_repro::ocep::{GuardConfig, Monitor, MonitorConfig, OverflowPolicy, SubsetPolicy};
+use ocep_repro::ocep::{
+    GuardConfig, MetricsSnapshot, Monitor, MonitorConfig, ObsLevel, OverflowPolicy, SubsetPolicy,
+};
 use ocep_repro::pattern::{Constraint, Pattern};
 use ocep_repro::poet::dump;
 use ocep_repro::simulator::workloads::{atomicity, message_race, random_walk, replicated_service};
@@ -24,7 +26,10 @@ USAGE:
     ocep validate <pattern-file>
     ocep check <pattern-file> <dump-file> [--per-arrival] [--no-dedup] [--stats]
                [--guard] [--guard-capacity N] [--overflow reject|drop-oldest|flush-degraded]
-    ocep check --resume <ckpt-file> <dump-file> [--stats]
+               [--obs off|counters|full] [--metrics FILE]
+    ocep check --resume <ckpt-file> <dump-file> [--stats] [--metrics FILE]
+    ocep stats <pattern-file> <dump-file> [--obs LEVEL] [--metrics FILE] [monitor flags]
+    ocep stats <ckpt-file>
     ocep checkpoint <pattern-file> <dump-file> <out-ckpt> [--events N]
                [--per-arrival] [--no-dedup] [--guard] [--guard-capacity N] [--overflow P]
     ocep record-demo <deadlock|race|atomicity|ordering> <out-file> [--seed N]
@@ -33,6 +38,7 @@ USAGE:
     ocep analyze <pattern-file> <dump-file>
     ocep slice <dump-file> <out-file> <T0,T3,...>
     ocep fuzz [--seed N] [--cases N] [--smoke] [--dump-dir DIR]
+              [--obs LEVEL] [--metrics FILE]
     ocep fuzz --faults [--seed N] [--cases N] [--smoke]
     ocep fuzz --replay <dir>
 
@@ -52,6 +58,13 @@ reorder buffer is bounded by --guard-capacity with an --overflow policy.
 full matching state; `check --resume` restores it and continues over the
 remainder of the dump, producing the same verdicts as an uninterrupted
 run.
+
+`--obs` selects the observability level (per-stage latency histograms,
+search introspection, recent-arrival ring; see docs/OBSERVABILITY.md).
+`--metrics FILE` writes the final metrics snapshot — Prometheus text
+format, or JSON when FILE ends in .json — and implies `--obs full`.
+`stats` runs a dump at full observability and pretty-prints the snapshot;
+given a single checkpoint file it prints the metrics embedded in it.
 
 `fuzz` generates seeded random (pattern, execution) cases and checks the
 online monitor against the exhaustive oracle and the naive baseline
@@ -87,6 +100,7 @@ fn run() -> Result<i32, String> {
     match args.first().map(String::as_str) {
         Some("validate") => validate(args.get(1).ok_or("missing pattern file")?).map(|()| 0),
         Some("check") => check(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]).map(|()| 0),
         Some("checkpoint") => checkpoint_cmd(&args[1..]).map(|()| 0),
         Some("record-demo") => record_demo(&args[1..]).map(|()| 0),
         Some("info") => info(args.get(1).ok_or("missing dump file")?).map(|()| 0),
@@ -162,14 +176,59 @@ fn validate(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The observability level requested by `--obs` / `--metrics`
+/// (`--metrics` implies full collection when no level was named), and
+/// the export path, if any.
+fn obs_flags(args: &[String]) -> Result<(ObsLevel, Option<String>), String> {
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let mut obs = match flag_val("--obs") {
+        Some(s) => ObsLevel::from_name(s)
+            .ok_or_else(|| format!("bad --obs '{s}' (expected off|counters|full)"))?,
+        None => ObsLevel::Off,
+    };
+    let metrics_path = flag_val("--metrics").cloned();
+    if metrics_path.is_some() && !obs.enabled() {
+        obs = ObsLevel::Full;
+    }
+    if obs.enabled() {
+        // Process-wide vector-clock op counters ride along with any
+        // enabled level (they are gated separately because they are
+        // global, not per-monitor).
+        ocep_repro::vclock::ops::enable(true);
+    }
+    Ok((obs, metrics_path))
+}
+
+/// Writes a metrics snapshot to `path`: the std-only JSON rendering when
+/// the path ends in `.json`, the Prometheus text format otherwise.
+fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> Result<(), String> {
+    let body = if path.ends_with(".json") {
+        format!(
+            "{}\n",
+            ocep_repro::bench::metrics_json::snapshot_to_json(snapshot)
+        )
+    } else {
+        snapshot.to_prometheus()
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write metrics to '{path}': {e}"))?;
+    eprintln!("metrics written to {path}");
+    Ok(())
+}
+
 /// Parses the shared monitor flags (`--per-arrival`, `--no-dedup`,
-/// `--guard`, `--guard-capacity`, `--overflow`) into a [`MonitorConfig`].
+/// `--guard`, `--guard-capacity`, `--overflow`, `--obs`, `--metrics`)
+/// into a [`MonitorConfig`].
 fn monitor_config(args: &[String]) -> Result<MonitorConfig, String> {
     let flag_val = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
     };
+    let (obs, _) = obs_flags(args)?;
     let mut guard_cfg = GuardConfig::default();
     let mut want_guard = args.iter().any(|a| a == "--guard");
     if let Some(cap) = flag_val("--guard-capacity") {
@@ -192,6 +251,7 @@ fn monitor_config(args: &[String]) -> Result<MonitorConfig, String> {
             SubsetPolicy::Representative
         },
         guard: want_guard.then_some(guard_cfg),
+        obs,
         ..MonitorConfig::default()
     })
 }
@@ -209,6 +269,8 @@ fn positionals(args: &[String]) -> Vec<&String> {
         "--limit",
         "--dump-dir",
         "--replay",
+        "--obs",
+        "--metrics",
     ];
     let mut out = Vec::new();
     let mut skip = false;
@@ -228,6 +290,7 @@ fn positionals(args: &[String]) -> Vec<&String> {
 
 fn check(args: &[String]) -> Result<i32, String> {
     let show_stats = args.iter().any(|a| a == "--stats");
+    let (_, metrics_path) = obs_flags(args)?;
     let resume = args
         .iter()
         .position(|a| a == "--resume")
@@ -285,6 +348,9 @@ fn check(args: &[String]) -> Result<i32, String> {
             monitor.suppressed()
         );
     }
+    if let Some(path) = &metrics_path {
+        write_metrics(path, &monitor.metrics())?;
+    }
     let degraded = monitor.ingest_degraded() || monitor.stats().degraded_arrivals > 0;
     if degraded {
         let ingest = monitor.stats().ingest;
@@ -308,6 +374,55 @@ fn check(args: &[String]) -> Result<i32, String> {
     } else {
         0
     })
+}
+
+/// `ocep stats` — observability front door. With a pattern and a dump,
+/// runs the monitor at full (or `--obs`-selected) collection and
+/// pretty-prints the metrics snapshot; with a single checkpoint file,
+/// prints the metrics embedded in it.
+fn stats_cmd(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    if pos.len() == 1 {
+        let path = pos[0];
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read checkpoint '{path}': {e}"))?;
+        let (monitor, _src) = Monitor::restore(&bytes)
+            .map_err(|e| format!("cannot restore checkpoint '{path}': {e}"))?;
+        match monitor.obs_metrics() {
+            Some(m) => println!(
+                "checkpoint metrics (collected at obs level {}):\n\n{}",
+                m.level(),
+                monitor.metrics().render_text()
+            ),
+            None => {
+                println!("checkpoint holds no metrics (collected at obs level off);");
+                println!("counters only:\n\n{}", monitor.metrics().render_text());
+            }
+        }
+        return Ok(());
+    }
+
+    let pattern_path = *pos.first().ok_or("missing pattern file (or checkpoint)")?;
+    let dump_path = *pos.get(1).ok_or("missing dump file")?;
+    let pattern = load_pattern(pattern_path)?;
+    let mut config = monitor_config(args)?;
+    if !config.obs.enabled() {
+        config.obs = ObsLevel::Full;
+        ocep_repro::vclock::ops::enable(true);
+    }
+    let server = dump::reload_from_file(dump_path)
+        .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+    let mut monitor = Monitor::with_config(pattern, server.n_traces(), config);
+    for e in server.store().iter_arrival() {
+        let _ = monitor.observe(e);
+    }
+    let _ = monitor.flush_guard();
+    let snapshot = monitor.metrics();
+    print!("{}", snapshot.render_text());
+    if let (_, Some(path)) = obs_flags(args)? {
+        write_metrics(&path, &snapshot)?;
+    }
+    Ok(())
 }
 
 /// `ocep checkpoint` — run a monitor over (a prefix of) a dump and
@@ -602,12 +717,14 @@ fn fuzz_cmd(args: &[String]) -> Result<i32, String> {
     let dump_dir = flag_val("--dump-dir")
         .map(std::path::PathBuf::from)
         .or_else(|| Some(std::path::PathBuf::from("fuzz-failures")));
+    let (obs, metrics_path) = obs_flags(args)?;
 
     let cfg = conf::FuzzConfig {
         seed,
         cases,
         dump_dir,
         max_failures: 5,
+        obs,
     };
     println!("fuzzing: seed={seed} cases={cases}");
     let mut checked = 0usize;
@@ -645,6 +762,9 @@ fn fuzz_cmd(args: &[String]) -> Result<i32, String> {
             ),
             None => println!("  dump: <not written>"),
         }
+    }
+    if let (Some(path), Some(metrics)) = (&metrics_path, &report.metrics) {
+        write_metrics(path, metrics)?;
     }
     if report.failures.is_empty() {
         println!("all invariants hold");

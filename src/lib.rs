@@ -15,6 +15,8 @@
 //! * [`conformance`] — differential fuzzing harness (`ocep fuzz`):
 //!   seeded pattern/execution generators, oracle cross-checks,
 //!   shrinking, replayable failure dumps.
+//! * [`bench`] — the evaluation harness (§V figures) and the std-only
+//!   JSON serializer backing the metrics exporters.
 //!
 //! # Quickstart
 //!
@@ -55,6 +57,7 @@
 
 pub use ocep_analysis as analysis;
 pub use ocep_baselines as baselines;
+pub use ocep_bench as bench;
 pub use ocep_conformance as conformance;
 pub use ocep_core as ocep;
 pub use ocep_pattern as pattern;

@@ -411,3 +411,177 @@ fn analyze_and_slice_post_mortem_workflow() {
         .unwrap();
     assert!(!bad.status.success());
 }
+
+#[test]
+fn check_exports_metrics_in_both_formats() {
+    let dump = tmp("metrics.poet");
+    let out = ocep()
+        .args([
+            "record-demo",
+            "deadlock",
+            dump.to_str().unwrap(),
+            "--seed",
+            "11",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let pattern = format!("{}.pattern", dump.display());
+
+    // Prometheus text export (any non-.json path).
+    let prom = tmp("metrics.prom");
+    let check = ocep()
+        .args([
+            "check",
+            &pattern,
+            dump.to_str().unwrap(),
+            "--metrics",
+            prom.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        check.status.code() == Some(0) || check.status.code() == Some(1),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(stderr.contains("metrics written to"), "{stderr}");
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(text.contains("# HELP ocep_events_total"), "{text}");
+    assert!(text.contains("# TYPE ocep_events_total counter"), "{text}");
+    assert!(text.contains("# TYPE ocep_arrival_ns histogram"), "{text}");
+    // Every HELP line is unique (no family emitted twice).
+    let mut helps: Vec<&str> = text.lines().filter(|l| l.starts_with("# HELP ")).collect();
+    let total = helps.len();
+    helps.sort_unstable();
+    helps.dedup();
+    assert_eq!(total, helps.len(), "duplicate metric families: {text}");
+
+    // JSON export (path ends in .json) parses as a single object.
+    let json = tmp("metrics.json");
+    let check = ocep()
+        .args([
+            "check",
+            &pattern,
+            dump.to_str().unwrap(),
+            "--metrics",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(check.status.code() == Some(0) || check.status.code() == Some(1));
+    let body = std::fs::read_to_string(&json).unwrap();
+    assert!(
+        body.starts_with('{') && body.trim_end().ends_with('}'),
+        "{body}"
+    );
+    assert!(body.contains("\"ocep_events_total\""), "{body}");
+    assert!(body.contains("\"families\""), "{body}");
+}
+
+#[test]
+fn stats_subcommand_replays_and_reads_checkpoints() {
+    let dump = tmp("stats.poet");
+    let out = ocep()
+        .args([
+            "record-demo",
+            "deadlock",
+            dump.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let pattern = format!("{}.pattern", dump.display());
+
+    // Replay mode: full observability is forced on, timing histograms
+    // show up in the human rendering.
+    let stats = ocep()
+        .args(["stats", &pattern, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        stats.status.success(),
+        "{}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let s_out = String::from_utf8_lossy(&stats.stdout);
+    assert!(s_out.contains("ocep_events_total"), "{s_out}");
+    assert!(s_out.contains("ocep_arrival_ns"), "{s_out}");
+
+    // Checkpoints taken with observability embed the registry; `stats`
+    // on the file reports the level it was collected at.
+    let ckpt = tmp("stats.ckpt");
+    let cp = ocep()
+        .args([
+            "checkpoint",
+            &pattern,
+            dump.to_str().unwrap(),
+            ckpt.to_str().unwrap(),
+            "--obs",
+            "full",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        cp.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cp.stderr)
+    );
+    let from_ckpt = ocep()
+        .args(["stats", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(from_ckpt.status.success());
+    let c_out = String::from_utf8_lossy(&from_ckpt.stdout);
+    assert!(c_out.contains("collected at obs level full"), "{c_out}");
+    assert!(c_out.contains("ocep_events_total"), "{c_out}");
+
+    // A metrics-free checkpoint still renders the work counters.
+    let plain = tmp("stats-plain.ckpt");
+    let cp = ocep()
+        .args([
+            "checkpoint",
+            &pattern,
+            dump.to_str().unwrap(),
+            plain.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(cp.status.success());
+    let from_plain = ocep()
+        .args(["stats", plain.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(from_plain.status.success());
+    let p_out = String::from_utf8_lossy(&from_plain.stdout);
+    assert!(p_out.contains("holds no metrics"), "{p_out}");
+    assert!(p_out.contains("ocep_events_total"), "{p_out}");
+}
+
+#[test]
+fn fuzz_exports_aggregate_metrics() {
+    let path = tmp("fuzz-metrics.prom");
+    let out = ocep()
+        .args([
+            "fuzz",
+            "--seed",
+            "2",
+            "--cases",
+            "10",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("ocep_events_total"), "{text}");
+    assert!(text.contains("# TYPE ocep_stage_ns histogram"), "{text}");
+}
