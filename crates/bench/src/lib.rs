@@ -17,6 +17,7 @@ pub mod figures;
 pub mod json;
 pub mod measure;
 pub mod metrics_json;
+pub mod netbench;
 pub mod stats;
 
 use ocep_core::ObsLevel;

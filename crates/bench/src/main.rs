@@ -27,6 +27,8 @@ EXPERIMENTS:
     ablation-pruning      causal pruning vs naive backtracking
     ablation-dedup        SVI history deduplication effect
     ablation-parallel     SVI parallel trace traversal speedup
+    net                   loopback OCWP serving throughput and accept->admit
+                          latency vs in-process delivery (also: --net)
 
 OPTIONS:
     --events N   approximate events per workload (default 40000)
@@ -54,6 +56,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opts = RunOptions::paper_scale(),
+            "--net" => experiment = Some("net".to_owned()),
             "--guard" => opts.guard = true,
             "--json" => json_mode = true,
             "--obs" => {
@@ -181,6 +184,21 @@ fn run_one(name: &str, opts: &RunOptions) -> Json {
                 ])
             },
         )),
+        "net" => Json::arr([1usize, 64, 256, 1024].into_iter().map(|batch| {
+            let r = ocep_bench::netbench::net(opts, batch);
+            Json::obj([
+                ("batch", Json::from(r.batch)),
+                ("events", Json::from(r.events)),
+                ("inproc_events_per_sec", Json::from(r.inproc_events_per_sec)),
+                ("net_events_per_sec", Json::from(r.net_events_per_sec)),
+                ("ratio", Json::from(r.ratio)),
+                ("p50_accept_admit_ns_lo", Json::from(r.p50_ns.0)),
+                ("p50_accept_admit_ns_hi", Json::from(r.p50_ns.1)),
+                ("p99_accept_admit_ns_lo", Json::from(r.p99_ns.0)),
+                ("p99_accept_admit_ns_hi", Json::from(r.p99_ns.1)),
+                ("verdicts", Json::from(r.verdicts)),
+            ])
+        })),
         "ablation-pattern-len" => series_json("pattern_len", figures::ablation_pattern_len(opts)),
         "ablation-pruning" => Json::arr(figures::ablation_pruning(opts).into_iter().map(
             |(case, ocep_med, naive_med, ocep_cands, naive_cands)| {

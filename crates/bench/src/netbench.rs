@@ -1,0 +1,149 @@
+//! Loopback serving benchmark (`ocep-bench net` / `--net`).
+//!
+//! Streams a deadlock workload through a real OCWP loopback server and
+//! compares sustained throughput against in-process
+//! [`MonitorSet::observe_raw`] delivery of the same arrival sequence.
+//! The interesting number is the ratio: how much of the engine's rate
+//! survives the framing, the TCP hop, and the credit handshake. The
+//! accept→admit histogram (socket read to post-`observe_raw`, in
+//! nanoseconds) gives the latency picture; quantiles are log2 bucket
+//! edges, a factor-of-two band.
+
+use crate::figures::deadlock_params;
+use crate::output;
+use crate::RunOptions;
+use ocep_core::ingest::GuardConfig;
+use ocep_core::MonitorSet;
+use ocep_net::{Client, ServeConfig, Server};
+use ocep_poet::Event;
+use ocep_simulator::workloads::{random_walk, Generated};
+use std::time::Instant;
+
+/// Monitor name used on both sides.
+const MONITOR: &str = "deadlock";
+
+/// One measured loopback-vs-in-process comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct NetRun {
+    /// Events streamed per repetition.
+    pub events: usize,
+    /// Events per `EventBatch` frame (1 means single-event frames).
+    pub batch: usize,
+    /// In-process `observe_raw` throughput, events per second.
+    pub inproc_events_per_sec: f64,
+    /// Loopback OCWP throughput, events per second (client connect
+    /// through server-side drain).
+    pub net_events_per_sec: f64,
+    /// `net_events_per_sec / inproc_events_per_sec`.
+    pub ratio: f64,
+    /// p50 accept→admit latency bucket `[lo, hi)` in nanoseconds.
+    pub p50_ns: (u64, u64),
+    /// p99 accept→admit latency bucket `[lo, hi)` in nanoseconds.
+    pub p99_ns: (u64, u64),
+    /// Verdicts reported by the loopback run (must equal in-process).
+    pub verdicts: usize,
+}
+
+fn build_set(g: &Generated) -> MonitorSet {
+    let mut set = MonitorSet::new(g.n_traces);
+    set.add(MONITOR, g.pattern());
+    set.enable_guard(GuardConfig::default());
+    set
+}
+
+fn inproc_pass(g: &Generated, events: &[Event]) -> (f64, usize) {
+    let mut set = build_set(g);
+    let start = Instant::now();
+    let mut verdicts = 0usize;
+    for e in events {
+        verdicts += set.observe_raw(e).len();
+    }
+    verdicts += set.flush_guard().len();
+    let dt = start.elapsed().as_secs_f64();
+    (events.len() as f64 / dt.max(1e-9), verdicts)
+}
+
+fn net_pass(g: &Generated, events: &[Event], batch: usize) -> NetRun {
+    let set = build_set(g);
+    let server = Server::bind("127.0.0.1:0", set, ServeConfig::default()).expect("loopback bind");
+    let addr = server.addr().to_string();
+    let start = Instant::now();
+    let mut client = Client::connect(&addr, g.n_traces, "bench").expect("loopback connect");
+    if batch <= 1 {
+        for e in events {
+            client.send_event(e).expect("send");
+        }
+    } else {
+        for chunk in events.chunks(batch) {
+            client.send_batch(chunk).expect("send");
+        }
+    }
+    client.shutdown().expect("shutdown");
+    let report = server.join();
+    let dt = start.elapsed().as_secs_f64();
+    let p50 = report.latency.quantile(0.50).unwrap_or((0, 0));
+    let p99 = report.latency.quantile(0.99).unwrap_or((0, 0));
+    NetRun {
+        events: events.len(),
+        batch,
+        inproc_events_per_sec: 0.0,
+        net_events_per_sec: events.len() as f64 / dt.max(1e-9),
+        ratio: 0.0,
+        p50_ns: p50,
+        p99_ns: p99,
+        verdicts: report.verdicts.len(),
+    }
+}
+
+/// Runs the loopback benchmark at one batch size: `opts.reps`
+/// repetitions of both deliveries, keeping the median throughput of
+/// each (the machines this runs on are noisy; medians of whole-run
+/// rates are stable enough to gate on).
+///
+/// # Panics
+///
+/// Panics if the loopback transport fails, or if the served run
+/// reports a different verdict count than in-process delivery — a
+/// throughput number from a diverging server would be meaningless.
+#[must_use]
+pub fn net(opts: &RunOptions, batch: usize) -> NetRun {
+    let g = random_walk::generate(&deadlock_params(10, opts.events, 8, 42));
+    let events: Vec<Event> = g.poet.store().iter_arrival().cloned().collect();
+
+    let mut inproc_rates = Vec::new();
+    let mut inproc_verdicts = 0usize;
+    let mut runs: Vec<NetRun> = Vec::new();
+    for _ in 0..opts.reps.max(1) {
+        let (rate, verdicts) = inproc_pass(&g, &events);
+        inproc_rates.push(rate);
+        inproc_verdicts = verdicts;
+        runs.push(net_pass(&g, &events, batch));
+    }
+    inproc_rates.sort_by(f64::total_cmp);
+    runs.sort_by(|a, b| a.net_events_per_sec.total_cmp(&b.net_events_per_sec));
+    let inproc = inproc_rates[inproc_rates.len() / 2];
+    let mut run = runs[runs.len() / 2];
+    assert_eq!(
+        run.verdicts, inproc_verdicts,
+        "loopback and in-process delivery disagreed on verdict count"
+    );
+    run.inproc_events_per_sec = inproc;
+    run.ratio = run.net_events_per_sec / inproc.max(1e-9);
+
+    if output::human() {
+        println!(
+            "  batch={:<4} in-process {:>10.0} ev/s | loopback {:>10.0} ev/s | ratio {:.3} | \
+             accept→admit p50 [{},{}) ns p99 [{},{}) ns | verdicts {}",
+            run.batch,
+            run.inproc_events_per_sec,
+            run.net_events_per_sec,
+            run.ratio,
+            run.p50_ns.0,
+            run.p50_ns.1,
+            run.p99_ns.0,
+            run.p99_ns.1,
+            run.verdicts,
+        );
+    }
+    run
+}

@@ -48,6 +48,10 @@ pub enum Invariant {
     /// A monitor restored from a checkpoint diverged from the
     /// uninterrupted run over the same stream.
     CheckpointRestore,
+    /// Delivery over the loopback OCWP transport diverged from
+    /// in-process `observe_raw` delivery (verdicts, subsets, or ingest
+    /// statistics).
+    NetTransparency,
 }
 
 impl fmt::Display for Invariant {
@@ -63,6 +67,7 @@ impl fmt::Display for Invariant {
             Invariant::GuardTransparency => "guard-transparency",
             Invariant::QuarantineAccounting => "quarantine-accounting",
             Invariant::CheckpointRestore => "checkpoint-restore",
+            Invariant::NetTransparency => "net-transparency",
         })
     }
 }
@@ -83,6 +88,7 @@ impl Invariant {
             "guard-transparency" => Invariant::GuardTransparency,
             "quarantine-accounting" => Invariant::QuarantineAccounting,
             "checkpoint-restore" => Invariant::CheckpointRestore,
+            "net-transparency" => Invariant::NetTransparency,
             _ => return None,
         })
     }
@@ -438,6 +444,7 @@ mod tests {
             Invariant::GuardTransparency,
             Invariant::QuarantineAccounting,
             Invariant::CheckpointRestore,
+            Invariant::NetTransparency,
         ] {
             assert_eq!(Invariant::from_name(&inv.to_string()), Some(inv));
         }

@@ -35,6 +35,7 @@ mod diff;
 mod faults;
 mod fuzz;
 mod generate;
+mod netdiff;
 mod replay;
 mod shrink;
 
@@ -49,5 +50,6 @@ pub use faults::{
 };
 pub use fuzz::{case_seed, nth_case, run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generate::{gen_case, gen_pattern, GeneratedPattern};
+pub use netdiff::check_net_transparency;
 pub use replay::{load_dump, replay_dump, write_dump, ReplayOutcome};
 pub use shrink::shrink_case;

@@ -1,0 +1,261 @@
+//! Client-side handles: a credit-tracking producer [`Client`] and a
+//! verdict-subscribing [`Tail`].
+
+use crate::wire::{read_frame, write_frame, FaultCode, Frame, Mode, StatsReport, WireError};
+use ocep_poet::Event;
+use std::io::{BufReader, BufWriter, Write as IoWrite};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Read timeout applied to every client socket so a dead server fails a
+/// call instead of hanging it forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn connect(
+    addr: &str,
+    hello: &Frame,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), WireError> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, hello)?;
+    writer.flush()?;
+    Ok((reader, writer))
+}
+
+/// A producer connection: streams events to an `ocep serve` daemon,
+/// honouring the server's Ack-credit window.
+///
+/// Single-threaded by design — sends block when the credit window is
+/// exhausted, which is exactly the backpressure the server asked for.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    credits: u32,
+    faults: Vec<(FaultCode, String)>,
+}
+
+impl Client {
+    /// Connects, handshakes as a producer for an `n_traces`-trace
+    /// computation, and waits for the server's initial credit grant.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a rejected handshake (`Fault` reply), or a
+    /// protocol-confused server.
+    pub fn connect(addr: &str, n_traces: usize, name: &str) -> Result<Client, WireError> {
+        let (reader, writer) = connect(
+            addr,
+            &Frame::Hello {
+                mode: Mode::Producer,
+                n_traces: n_traces as u32,
+                name: name.to_owned(),
+            },
+        )?;
+        let mut client = Client {
+            reader,
+            writer,
+            credits: 0,
+            faults: Vec::new(),
+        };
+        client.wait_for_credit()?;
+        Ok(client)
+    }
+
+    /// Processes inbound frames until at least one credit is available.
+    fn wait_for_credit(&mut self) -> Result<(), WireError> {
+        while self.credits == 0 {
+            match read_frame(&mut self.reader)? {
+                Frame::Ack { credits } => self.credits += credits,
+                Frame::Fault { code, detail } => {
+                    // A handshake rejection is fatal; later faults are
+                    // informational (quarantines) and are collected.
+                    if code == FaultCode::Protocol {
+                        return Err(WireError::Protocol(detail));
+                    }
+                    self.faults.push((code, detail));
+                }
+                Frame::StatsReport(_) => {
+                    // Unsolicited final report: the server is shutting
+                    // down and will grant no further credit.
+                    return Err(WireError::Closed);
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {} while waiting for credit",
+                        other.type_name()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains any frames the server pushed without blocking the socket
+    /// wait — called opportunistically after sends.
+    fn send_data(&mut self, frame: &Frame) -> Result<(), WireError> {
+        self.wait_for_credit()?;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        self.credits -= 1;
+        Ok(())
+    }
+
+    /// Streams one event.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn send_event(&mut self, event: &Event) -> Result<(), WireError> {
+        self.send_data(&Frame::Event(Box::new(event.clone())))
+    }
+
+    /// Streams a batch of events as one frame (one credit, one string
+    /// table — the throughput path).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn send_batch(&mut self, events: &[Event]) -> Result<(), WireError> {
+        self.send_data(&Frame::EventBatch(events.to_vec()))
+    }
+
+    /// Asks the server to deliver everything its guard still buffers
+    /// (the degraded flush).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.send_data(&Frame::Flush)
+    }
+
+    /// Sends a control frame and waits for the server's `StatsReport`
+    /// reply, folding any interleaved acks/faults into local state.
+    fn round_trip(&mut self, frame: &Frame) -> Result<StatsReport, WireError> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        loop {
+            match read_frame(&mut self.reader)? {
+                Frame::Ack { credits } => self.credits += credits,
+                Frame::Fault { code, detail } => self.faults.push((code, detail)),
+                Frame::StatsReport(r) => return Ok(r),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {} while waiting for stats",
+                        other.type_name()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Requests current serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn stats(&mut self) -> Result<StatsReport, WireError> {
+        self.round_trip(&Frame::StatsReq)
+    }
+
+    /// Asks the server to checkpoint all monitors now; returns the
+    /// statistics at checkpoint time.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a `Fault` if the server has no checkpoint
+    /// directory configured or the write failed.
+    pub fn checkpoint(&mut self) -> Result<StatsReport, WireError> {
+        self.round_trip(&Frame::CheckpointReq)
+    }
+
+    /// Requests a graceful shutdown: the server drains its guard,
+    /// checkpoints, replies with a final report, and closes.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn shutdown(mut self) -> Result<StatsReport, WireError> {
+        self.round_trip(&Frame::Shutdown)
+    }
+
+    /// Faults the server has pushed to this connection (ingest
+    /// quarantines, decode rejections), drained.
+    pub fn take_faults(&mut self) -> Vec<(FaultCode, String)> {
+        std::mem::take(&mut self.faults)
+    }
+}
+
+/// A verdict subscription: connects in tail mode and yields the frames
+/// the server streams (verdicts, faults, the final stats report).
+#[derive(Debug)]
+pub struct Tail {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Tail {
+    /// Connects and handshakes as a tail subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a rejected handshake.
+    pub fn connect(addr: &str, name: &str) -> Result<Tail, WireError> {
+        let (mut reader, writer) = connect(
+            addr,
+            &Frame::Hello {
+                mode: Mode::Tail,
+                n_traces: 0,
+                name: name.to_owned(),
+            },
+        )?;
+        // The server completes the handshake with a credit grant.
+        match read_frame(&mut reader)? {
+            Frame::Ack { .. } => {}
+            Frame::Fault { code: _, detail } => return Err(WireError::Protocol(detail)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unexpected {} in tail handshake",
+                    other.type_name()
+                )));
+            }
+        }
+        Ok(Tail { reader, writer })
+    }
+
+    /// Blocks for the next streamed frame. [`WireError::Closed`] when
+    /// the server is gone.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a malformed stream.
+    // Not an `Iterator`: iteration never ends cleanly (a live tail has
+    // no `None`), and the `Result` item would make `for` loops worse
+    // than the explicit loop-and-match every caller writes anyway.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Frame, WireError> {
+        read_frame(&mut self.reader)
+    }
+
+    /// Requests serving statistics over the tail connection; verdicts
+    /// that arrive before the report are returned alongside it.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn stats(&mut self) -> Result<(StatsReport, Vec<Frame>), WireError> {
+        write_frame(&mut self.writer, &Frame::StatsReq)?;
+        self.writer.flush()?;
+        let mut before = Vec::new();
+        loop {
+            match self.next()? {
+                Frame::StatsReport(r) => return Ok((r, before)),
+                f => before.push(f),
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Networked serving layer for the OCEP reproduction.
+//!
+//! The paper's monitor "connects to the POET server in a way that it
+//! receives the arriving events in a linearization of the partial
+//! order" (§V-A); until this crate, that connection was an in-process
+//! channel. `ocep-net` gives it a real transport, std-only
+//! (`std::net` TCP, no external dependencies):
+//!
+//! * [`wire`] — **OCWP v1**, a length-prefixed binary frame protocol
+//!   with the same hardening discipline as the dump/checkpoint formats:
+//!   magic + version, per-frame interned string tables, and decode
+//!   errors that carry byte offsets instead of panicking.
+//! * [`server`] — the serving loop: a TCP acceptor, per-connection
+//!   reader/writer threads, and a single engine thread that owns the
+//!   [`MonitorSet`] and feeds every decoded arrival through the
+//!   admission guard via [`MonitorSet::observe_raw`] — so a remote
+//!   producer gets byte-identical verdicts to in-process delivery, and
+//!   a hostile one is quarantined by exactly the same machinery.
+//! * [`client`] — producer and tail handles used by the `ocep serve`,
+//!   `ocep send`, and `ocep tail` subcommands.
+//!
+//! Backpressure: producers operate under an Ack-credit window (the
+//! server grants `window` credits at handshake and one back per
+//! processed data frame); slow verdict subscribers are governed by a
+//! bounded queue with policies mirroring the guard's three overflow
+//! policies. See `docs/WIRE.md` for the full grammar and failure
+//! semantics.
+//!
+//! [`MonitorSet`]: ocep_core::MonitorSet
+//! [`MonitorSet::observe_raw`]: ocep_core::MonitorSet::observe_raw
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, Tail};
+pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use wire::{FaultCode, Frame, Mode, StatsReport, VerdictFrame, WireError};

@@ -1,0 +1,875 @@
+//! The OCWP v1 wire protocol: length-prefixed binary frames.
+//!
+//! OCWP (*Online Causal Wire Protocol*) carries traced events from
+//! producers to an `ocep serve` daemon and verdicts/statistics back.
+//! It follows the same encoding discipline as the POET dump and OCKP
+//! checkpoint formats: little-endian, magic + version in the handshake,
+//! per-frame interned string tables, and decoding through the
+//! offset-tracking [`Reader`] so a truncated or corrupt frame yields a
+//! diagnostic with a byte offset — never a panic.
+//!
+//! # Frame grammar
+//!
+//! Every frame is a `u32` length prefix followed by exactly that many
+//! body bytes; the body starts with a one-byte frame type:
+//!
+//! ```text
+//! frame       := len:u32 body[len]           (len ≤ MAX_FRAME, len ≥ 1)
+//! body        := type:u8 payload
+//! Hello       := magic[4]="OCWP" version:u16 mode:u8 n_traces:u32 name:str
+//! Event       := events                      (exactly one record)
+//! EventBatch  := events
+//! events      := n_strings:u32 (str)* count:u32 record*
+//! record      := trace:u32 index:u32 kind:u8 ty:u32 text:u32
+//!                pflag:u8 [ptrace:u32 pindex:u32] clock_n:u32 (u32)*
+//! Flush       := ε
+//! CheckpointReq := ε
+//! Stats       := flag:u8 [report]            (0 = request, 1 = report)
+//! report      := admitted:u64 quarantined:u64 duplicates:u64
+//!                degraded:u8 matches:u64 connections:u32 frames:u64
+//! Shutdown    := ε
+//! Ack         := credits:u32
+//! Fault       := code:u8 detail:str
+//! Verdict     := monitor:str n:u32 (trace:u32 index:u32)*
+//! str         := len:u32 utf8[len]
+//! ```
+//!
+//! The `kind` byte uses the dump convention (0 = send, 1 = receive,
+//! 2 = unary). Events travel with their **full Fidge vector clock**: the
+//! wire layer checks only *structure* (framing, UTF-8, table references);
+//! *semantic* validation — clock width, trace range, per-trace
+//! monotonicity — is the [`AdmissionGuard`]'s job on the serving side,
+//! so a malicious producer is quarantined by exactly the same machinery
+//! as a buggy in-process transport.
+//!
+//! [`AdmissionGuard`]: ocep_core::ingest::AdmissionGuard
+
+use ocep_poet::dump::Reader;
+use ocep_poet::{Event, EventKind, PoetError};
+use ocep_vclock::{EventId, EventIndex, StampedEvent, TraceId, VectorClock};
+use std::collections::HashMap;
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::sync::Arc;
+
+/// Handshake magic for OCWP frames.
+pub const MAGIC: &[u8; 4] = b"OCWP";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Largest accepted frame body, in bytes. A frame whose length prefix
+/// exceeds this is rejected *before* allocating, so a corrupt or hostile
+/// length cannot balloon memory.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// What a connecting client intends to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Streams events to the server.
+    Producer,
+    /// Subscribes to the verdict stream.
+    Tail,
+}
+
+impl Mode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Mode::Producer => 0,
+            Mode::Tail => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Mode> {
+        match b {
+            0 => Some(Mode::Producer),
+            1 => Some(Mode::Tail),
+            _ => None,
+        }
+    }
+}
+
+/// Why the server raised a [`Frame::Fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// The frame body failed structural decoding; the offending body was
+    /// quarantined and the connection continues.
+    Decode,
+    /// The length prefix exceeded [`MAX_FRAME`]; the connection is
+    /// closed (framing can no longer be trusted).
+    Oversize,
+    /// A structurally valid frame arrived in the wrong state (e.g. a
+    /// second `Hello`, or an `Event` before any `Hello`).
+    Protocol,
+    /// The admission guard quarantined the event semantically.
+    Ingest,
+    /// This subscriber fell behind and the slow-client policy discarded
+    /// queued verdicts.
+    SlowClient,
+}
+
+impl FaultCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            FaultCode::Decode => 0,
+            FaultCode::Oversize => 1,
+            FaultCode::Protocol => 2,
+            FaultCode::Ingest => 3,
+            FaultCode::SlowClient => 4,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<FaultCode> {
+        match b {
+            0 => Some(FaultCode::Decode),
+            1 => Some(FaultCode::Oversize),
+            2 => Some(FaultCode::Protocol),
+            3 => Some(FaultCode::Ingest),
+            4 => Some(FaultCode::SlowClient),
+            _ => None,
+        }
+    }
+
+    /// Stable label for metrics and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultCode::Decode => "decode",
+            FaultCode::Oversize => "oversize",
+            FaultCode::Protocol => "protocol",
+            FaultCode::Ingest => "ingest",
+            FaultCode::SlowClient => "slow_client",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Aggregate serving statistics, carried by `Stats` report frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Events admitted through the guard.
+    pub admitted: u64,
+    /// Events quarantined by the guard.
+    pub quarantined: u64,
+    /// Duplicate events dropped.
+    pub duplicates: u64,
+    /// True when results are best-effort (events were lost).
+    pub degraded: bool,
+    /// Pattern matches reported so far.
+    pub matches: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u32,
+    /// Data frames processed.
+    pub frames: u64,
+}
+
+/// One reported match: the monitor that fired and the event bound to
+/// each pattern leaf, in leaf order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictFrame {
+    /// Name of the monitor (pattern) that matched.
+    pub monitor: String,
+    /// `(trace, index)` of the event bound to each leaf.
+    pub bindings: Vec<(u32, u32)>,
+}
+
+/// A decoded OCWP frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake: protocol magic/version, intent, the trace
+    /// count the producer believes, and a diagnostic client name.
+    Hello {
+        /// Producer or tail.
+        mode: Mode,
+        /// Trace count of the computation being streamed.
+        n_traces: u32,
+        /// Free-form client name for logs and per-connection metrics.
+        name: String,
+    },
+    /// A single traced event.
+    Event(Box<Event>),
+    /// A batch of traced events sharing one interned string table.
+    EventBatch(Vec<Event>),
+    /// Deliver everything the guard still buffers (degraded flush).
+    Flush,
+    /// Checkpoint all monitors to the server's configured path now.
+    CheckpointReq,
+    /// Request a [`StatsReport`].
+    StatsReq,
+    /// Statistics reply (also sent unsolicited on shutdown).
+    StatsReport(StatsReport),
+    /// Drain, checkpoint, and stop serving.
+    Shutdown,
+    /// Flow-control grant: the peer may send `credits` more data frames.
+    Ack {
+        /// Number of additional data frames permitted.
+        credits: u32,
+    },
+    /// The server rejected or lost something; connection state is
+    /// described by the [`FaultCode`].
+    Fault {
+        /// Machine-readable category.
+        code: FaultCode,
+        /// Human-readable diagnostic (includes byte offsets for decode
+        /// faults).
+        detail: String,
+    },
+    /// One pattern match, streamed to tail subscribers.
+    Verdict(VerdictFrame),
+}
+
+impl Frame {
+    /// Stable label for frame-type metrics.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Event(_) => "event",
+            Frame::EventBatch(_) => "event_batch",
+            Frame::Flush => "flush",
+            Frame::CheckpointReq => "checkpoint_req",
+            Frame::StatsReq => "stats_req",
+            Frame::StatsReport(_) => "stats_report",
+            Frame::Shutdown => "shutdown",
+            Frame::Ack { .. } => "ack",
+            Frame::Fault { .. } => "fault",
+            Frame::Verdict(_) => "verdict",
+        }
+    }
+
+    /// True for frames that consume a flow-control credit.
+    #[must_use]
+    pub fn is_data(&self) -> bool {
+        matches!(self, Frame::Event(_) | Frame::EventBatch(_) | Frame::Flush)
+    }
+}
+
+/// Errors raised by the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// Structural decode failure; carries the byte offset where the
+    /// frame body went bad.
+    Format(PoetError),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversize(u32),
+    /// A valid frame arrived that the protocol state machine forbids.
+    Protocol(String),
+    /// The transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Format(e) => write!(f, "malformed frame: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Oversize(n) => {
+                write!(f, "frame length {n} exceeds maximum {MAX_FRAME}")
+            }
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Format(e) => Some(e),
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PoetError> for WireError {
+    fn from(e: PoetError) -> Self {
+        WireError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+const T_HELLO: u8 = 0;
+const T_EVENT: u8 = 1;
+const T_EVENT_BATCH: u8 = 2;
+const T_FLUSH: u8 = 3;
+const T_CHECKPOINT: u8 = 4;
+const T_STATS: u8 = 5;
+const T_SHUTDOWN: u8 = 6;
+const T_ACK: u8 = 7;
+const T_FAULT: u8 = 8;
+const T_VERDICT: u8 = 9;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_events(buf: &mut Vec<u8>, events: &[Event]) {
+    let mut strings: Vec<&str> = Vec::new();
+    let mut ids: HashMap<&str, u32> = HashMap::new();
+    for e in events {
+        for s in [e.ty(), e.text()] {
+            if !ids.contains_key(s) {
+                ids.insert(s, strings.len() as u32);
+                strings.push(s);
+            }
+        }
+    }
+    buf.extend_from_slice(&(strings.len() as u32).to_le_bytes());
+    for s in &strings {
+        put_str(buf, s);
+    }
+    buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    // Reserve for the common shape (fixed fields + clock) up front so
+    // batch encoding doesn't grow the buffer record by record.
+    let per_record = 22 + 4 * events.first().map_or(0, |e| e.clock().entries().len());
+    buf.reserve(events.len() * per_record);
+    for e in events {
+        buf.extend_from_slice(&e.trace().as_u32().to_le_bytes());
+        buf.extend_from_slice(&e.index().get().to_le_bytes());
+        buf.push(match e.kind() {
+            EventKind::Send => 0,
+            EventKind::Receive => 1,
+            EventKind::Unary => 2,
+        });
+        buf.extend_from_slice(&ids[e.ty()].to_le_bytes());
+        buf.extend_from_slice(&ids[e.text()].to_le_bytes());
+        match e.partner() {
+            Some(p) => {
+                buf.push(1);
+                buf.extend_from_slice(&p.trace().as_u32().to_le_bytes());
+                buf.extend_from_slice(&p.index().get().to_le_bytes());
+            }
+            None => buf.push(0),
+        }
+        let entries = e.clock().entries();
+        buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for v in entries {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Serializes a frame body (without the length prefix).
+#[must_use]
+pub fn encode_body(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match frame {
+        Frame::Hello {
+            mode,
+            n_traces,
+            name,
+        } => {
+            buf.push(T_HELLO);
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&VERSION.to_le_bytes());
+            buf.push(mode.to_u8());
+            buf.extend_from_slice(&n_traces.to_le_bytes());
+            put_str(&mut buf, name);
+        }
+        Frame::Event(e) => {
+            buf.push(T_EVENT);
+            put_events(&mut buf, std::slice::from_ref(e));
+        }
+        Frame::EventBatch(events) => {
+            buf.push(T_EVENT_BATCH);
+            put_events(&mut buf, events);
+        }
+        Frame::Flush => buf.push(T_FLUSH),
+        Frame::CheckpointReq => buf.push(T_CHECKPOINT),
+        Frame::StatsReq => {
+            buf.push(T_STATS);
+            buf.push(0);
+        }
+        Frame::StatsReport(r) => {
+            buf.push(T_STATS);
+            buf.push(1);
+            buf.extend_from_slice(&r.admitted.to_le_bytes());
+            buf.extend_from_slice(&r.quarantined.to_le_bytes());
+            buf.extend_from_slice(&r.duplicates.to_le_bytes());
+            buf.push(u8::from(r.degraded));
+            buf.extend_from_slice(&r.matches.to_le_bytes());
+            buf.extend_from_slice(&r.connections.to_le_bytes());
+            buf.extend_from_slice(&r.frames.to_le_bytes());
+        }
+        Frame::Shutdown => buf.push(T_SHUTDOWN),
+        Frame::Ack { credits } => {
+            buf.push(T_ACK);
+            buf.extend_from_slice(&credits.to_le_bytes());
+        }
+        Frame::Fault { code, detail } => {
+            buf.push(T_FAULT);
+            buf.push(code.to_u8());
+            put_str(&mut buf, detail);
+        }
+        Frame::Verdict(v) => {
+            buf.push(T_VERDICT);
+            put_str(&mut buf, &v.monitor);
+            buf.extend_from_slice(&(v.bindings.len() as u32).to_le_bytes());
+            for (t, i) in &v.bindings {
+                buf.extend_from_slice(&t.to_le_bytes());
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+fn get_events(r: &mut Reader<'_>) -> Result<Vec<Event>, WireError> {
+    let n_strings = r.u32("n_strings")? as usize;
+    let mut strings: Vec<Arc<str>> = Vec::new();
+    for i in 0..n_strings {
+        let s = r.str(&format!("string {i}"))?;
+        strings.push(Arc::from(s));
+    }
+    let count = r.u32("event count")? as usize;
+    let lookup = |strings: &[Arc<str>], id: u32, i: usize, at: usize| {
+        strings.get(id as usize).cloned().ok_or_else(|| {
+            WireError::Format(PoetError::Corrupt(format!(
+                "record {i} names unknown string {id} at byte {at}"
+            )))
+        })
+    };
+    // Capacity hint bounded by the bytes actually present (a record is
+    // at least 18 bytes), so a hostile count cannot over-allocate.
+    let mut events = Vec::with_capacity(count.min(r.remaining() / 18 + 1));
+    for i in 0..count {
+        let trace = TraceId::new(r.u32("record trace")?);
+        let index = EventIndex::new(r.u32("record index")?);
+        let kind_at = r.offset();
+        let kind = match r.u8("record kind")? {
+            0 => EventKind::Send,
+            1 => EventKind::Receive,
+            2 => EventKind::Unary,
+            k => {
+                return Err(WireError::Format(PoetError::Corrupt(format!(
+                    "record {i} has bad kind {k} at byte {kind_at}"
+                ))));
+            }
+        };
+        let ty_at = r.offset();
+        let ty = lookup(&strings, r.u32("type id")?, i, ty_at)?;
+        let text_at = r.offset();
+        let text = lookup(&strings, r.u32("text id")?, i, text_at)?;
+        let pflag_at = r.offset();
+        let partner = match r.u8("partner flag")? {
+            0 => None,
+            1 => {
+                let pt = TraceId::new(r.u32("partner trace")?);
+                let pi = EventIndex::new(r.u32("partner index")?);
+                Some(EventId::new(pt, pi))
+            }
+            b => {
+                return Err(WireError::Format(PoetError::Corrupt(format!(
+                    "record {i} has bad partner flag {b} at byte {pflag_at}"
+                ))));
+            }
+        };
+        let clock_n_at = r.offset();
+        let clock_n = r.u32("clock width")? as usize;
+        // A record's clock can never legitimately exceed the remaining
+        // frame bytes; bound it so a corrupt width cannot over-allocate.
+        if clock_n > r.remaining() / 4 + 1 {
+            return Err(WireError::Format(PoetError::Corrupt(format!(
+                "record {i} claims clock width {clock_n} at byte {clock_n_at}, only {} byte(s) left",
+                r.remaining()
+            ))));
+        }
+        // One bounds-checked read for the whole clock, not one per
+        // entry — this loop dominates decode time at high event rates.
+        let raw = r.bytes(clock_n * 4, "clock entries")?;
+        let entries: Vec<u32> = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+            .collect();
+        let stamp = StampedEvent::new_unchecked(
+            EventId::new(trace, index),
+            VectorClock::from_entries(entries),
+        );
+        events.push(Event::new(stamp, kind, ty, text, partner));
+    }
+    Ok(events)
+}
+
+/// Decodes a frame body (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// [`WireError::Format`] with a byte offset for any structural problem;
+/// never panics, regardless of input.
+pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let ty_at = r.offset();
+    let frame = match r.u8("frame type")? {
+        T_HELLO => {
+            r.magic(MAGIC)?;
+            let version = r.u16("protocol version")?;
+            if version != VERSION {
+                return Err(WireError::Format(PoetError::BadHeader(format!(
+                    "unsupported OCWP version {version}"
+                ))));
+            }
+            let mode_at = r.offset();
+            let mode_b = r.u8("hello mode")?;
+            let mode = Mode::from_u8(mode_b).ok_or_else(|| {
+                WireError::Format(PoetError::Corrupt(format!(
+                    "bad hello mode {mode_b} at byte {mode_at}"
+                )))
+            })?;
+            let n_traces = r.u32("hello n_traces")?;
+            let name = r.str("hello name")?.to_owned();
+            Frame::Hello {
+                mode,
+                n_traces,
+                name,
+            }
+        }
+        T_EVENT => {
+            let mut events = get_events(&mut r)?;
+            if events.len() != 1 {
+                return Err(WireError::Format(PoetError::Corrupt(format!(
+                    "event frame carries {} records, expected exactly 1",
+                    events.len()
+                ))));
+            }
+            Frame::Event(Box::new(events.pop().expect("length checked")))
+        }
+        T_EVENT_BATCH => Frame::EventBatch(get_events(&mut r)?),
+        T_FLUSH => Frame::Flush,
+        T_CHECKPOINT => Frame::CheckpointReq,
+        T_STATS => {
+            let flag_at = r.offset();
+            match r.u8("stats flag")? {
+                0 => Frame::StatsReq,
+                1 => Frame::StatsReport(StatsReport {
+                    admitted: r.u64("stats admitted")?,
+                    quarantined: r.u64("stats quarantined")?,
+                    duplicates: r.u64("stats duplicates")?,
+                    degraded: r.u8("stats degraded")? != 0,
+                    matches: r.u64("stats matches")?,
+                    connections: r.u32("stats connections")?,
+                    frames: r.u64("stats frames")?,
+                }),
+                b => {
+                    return Err(WireError::Format(PoetError::Corrupt(format!(
+                        "bad stats flag {b} at byte {flag_at}"
+                    ))));
+                }
+            }
+        }
+        T_SHUTDOWN => Frame::Shutdown,
+        T_ACK => Frame::Ack {
+            credits: r.u32("ack credits")?,
+        },
+        T_FAULT => {
+            let code_at = r.offset();
+            let code_b = r.u8("fault code")?;
+            let code = FaultCode::from_u8(code_b).ok_or_else(|| {
+                WireError::Format(PoetError::Corrupt(format!(
+                    "bad fault code {code_b} at byte {code_at}"
+                )))
+            })?;
+            let detail = r.str("fault detail")?.to_owned();
+            Frame::Fault { code, detail }
+        }
+        T_VERDICT => {
+            let monitor = r.str("verdict monitor")?.to_owned();
+            let n_at = r.offset();
+            let n = r.u32("verdict binding count")? as usize;
+            if n > r.remaining() / 8 + 1 {
+                return Err(WireError::Format(PoetError::Corrupt(format!(
+                    "verdict claims {n} bindings at byte {n_at}, only {} byte(s) left",
+                    r.remaining()
+                ))));
+            }
+            let mut bindings = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = r.u32("binding trace")?;
+                let i = r.u32("binding index")?;
+                bindings.push((t, i));
+            }
+            Frame::Verdict(VerdictFrame { monitor, bindings })
+        }
+        b => {
+            return Err(WireError::Format(PoetError::Corrupt(format!(
+                "unknown frame type {b} at byte {ty_at}"
+            ))));
+        }
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame, returning the bytes written
+/// (prefix included). Does not flush.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the transport fails.
+pub fn write_frame(w: &mut impl IoWrite, frame: &Frame) -> Result<usize, WireError> {
+    let body = encode_body(frame);
+    debug_assert!(body.len() <= MAX_FRAME, "encoder produced oversize frame");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(4 + body.len())
+}
+
+/// Reads one length-prefixed frame body without decoding it.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on a clean close between frames,
+/// [`WireError::Oversize`] for a hostile length prefix,
+/// [`WireError::Format`] for a zero-length frame, and
+/// [`WireError::Io`] for transport failures (including mid-frame EOF).
+pub fn read_frame_body(r: &mut impl IoRead) -> Result<Vec<u8>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte is a normal close; EOF after a
+    // partial prefix is a truncated stream.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Err(WireError::Closed),
+            Ok(0) => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("stream ended inside a length prefix ({filled}/4 bytes)"),
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(WireError::Format(PoetError::Corrupt(
+            "zero-length frame".into(),
+        )));
+    }
+    if len as usize > MAX_FRAME {
+        return Err(WireError::Oversize(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Reads and decodes one frame.
+///
+/// # Errors
+///
+/// Everything [`read_frame_body`] and [`decode_body`] can raise.
+pub fn read_frame(r: &mut impl IoRead) -> Result<Frame, WireError> {
+    let body = read_frame_body(r)?;
+    decode_body(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::PoetServer;
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let mut poet = PoetServer::new(3);
+        let s = poet.record(t(0), EventKind::Send, "req", "payload");
+        poet.record_receive(t(1), s.id(), "req", "payload");
+        poet.record(t(2), EventKind::Unary, "tick", "");
+        poet.linearization().collect()
+    }
+
+    fn all_frames() -> Vec<Frame> {
+        let events = sample_events();
+        vec![
+            Frame::Hello {
+                mode: Mode::Producer,
+                n_traces: 3,
+                name: "bench-client".into(),
+            },
+            Frame::Hello {
+                mode: Mode::Tail,
+                n_traces: 0,
+                name: String::new(),
+            },
+            Frame::Event(Box::new(events[0].clone())),
+            Frame::EventBatch(events.clone()),
+            Frame::EventBatch(Vec::new()),
+            Frame::Flush,
+            Frame::CheckpointReq,
+            Frame::StatsReq,
+            Frame::StatsReport(StatsReport {
+                admitted: 1,
+                quarantined: 2,
+                duplicates: 3,
+                degraded: true,
+                matches: 4,
+                connections: 5,
+                frames: 6,
+            }),
+            Frame::Shutdown,
+            Frame::Ack { credits: 64 },
+            Frame::Fault {
+                code: FaultCode::Decode,
+                detail: "truncated at byte 9".into(),
+            },
+            Frame::Verdict(VerdictFrame {
+                monitor: "safety".into(),
+                bindings: vec![(0, 1), (2, 7)],
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let body = encode_body(&frame);
+            let back = decode_body(&body)
+                .unwrap_or_else(|e| panic!("decode failed for {}: {e}", frame.type_name()));
+            assert_eq!(back, frame, "round trip mismatch for {}", frame.type_name());
+        }
+    }
+
+    #[test]
+    fn events_keep_clocks_and_partners_across_the_wire() {
+        let events = sample_events();
+        let body = encode_body(&Frame::EventBatch(events.clone()));
+        let Frame::EventBatch(back) = decode_body(&body).unwrap() else {
+            panic!("wrong frame type");
+        };
+        for (orig, got) in events.iter().zip(&back) {
+            assert_eq!(orig.id(), got.id());
+            assert_eq!(orig.clock(), got.clock());
+            assert_eq!(orig.partner(), got.partner());
+            assert_eq!(orig.kind(), got.kind());
+            assert_eq!(orig.ty(), got.ty());
+            assert_eq!(orig.text(), got.text());
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_errors_cleanly() {
+        for frame in all_frames() {
+            let body = encode_body(&frame);
+            for cut in 0..body.len() {
+                assert!(
+                    decode_body(&body[..cut]).is_err(),
+                    "{} prefix of {} bytes was accepted",
+                    frame.type_name(),
+                    cut
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for frame in all_frames() {
+            let mut body = encode_body(&frame);
+            body.push(0xAB);
+            assert!(
+                decode_body(&body).is_err(),
+                "{} with trailing garbage was accepted",
+                frame.type_name()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_errors_carry_byte_offsets() {
+        let body = encode_body(&Frame::EventBatch(sample_events()));
+        let msg = decode_body(&body[..body.len() - 2])
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("byte"), "no offset diagnostic in: {msg}");
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        let err = decode_body(&[200]).unwrap_err();
+        assert!(err.to_string().contains("unknown frame type 200"), "{err}");
+    }
+
+    #[test]
+    fn hello_version_mismatch_is_rejected() {
+        let mut body = encode_body(&Frame::Hello {
+            mode: Mode::Producer,
+            n_traces: 1,
+            name: "x".into(),
+        });
+        body[5] = 99; // version low byte, after type + magic
+        let err = decode_body(&body).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn hostile_clock_width_does_not_allocate() {
+        // Craft a single-record batch whose clock width claims u32::MAX.
+        let mut body = encode_body(&Frame::Event(Box::new(sample_events()[0].clone())));
+        // The clock width is the last 4 + 3*4 bytes from the end for a
+        // 3-entry clock; overwrite it with a huge value.
+        let w = body.len() - 16;
+        body[w..w + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_body(&body).unwrap_err();
+        assert!(
+            err.to_string().contains("clock width"),
+            "hostile width not diagnosed: {err}"
+        );
+    }
+
+    #[test]
+    fn frame_io_round_trips_over_a_buffer() {
+        let mut wire = Vec::new();
+        for frame in all_frames() {
+            write_frame(&mut wire, &frame).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for frame in all_frames() {
+            let got = read_frame(&mut cursor).unwrap();
+            assert_eq!(got, frame);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"garbage");
+        let mut cursor = &wire[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversize(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let wire = 0u32.to_le_bytes();
+        let mut cursor = &wire[..];
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Format(_))));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_io_not_closed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Shutdown).unwrap();
+        wire.truncate(wire.len() - 1);
+        // Reading the truncated body hits EOF inside the frame.
+        let mut cursor = &wire[..];
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+}

@@ -684,63 +684,7 @@ impl Monitor {
             st.degraded_arrivals,
         );
 
-        let g = &st.ingest;
-        let ing = "ocep_ingest_events_total";
-        let ing_help = "Admission-guard event outcomes.";
-        s.counter_with(ing, ing_help, &[("outcome", "admitted")], g.admitted);
-        s.counter_with(
-            ing,
-            ing_help,
-            &[("outcome", "duplicate")],
-            g.duplicates_dropped,
-        );
-        s.counter_with(ing, ing_help, &[("outcome", "buffered")], g.buffered);
-        s.counter_with(
-            ing,
-            ing_help,
-            &[("outcome", "reordered")],
-            g.reordered_delivered,
-        );
-        s.counter_with(
-            ing,
-            ing_help,
-            &[("outcome", "degraded_delivered")],
-            g.degraded_delivered,
-        );
-        let q = "ocep_ingest_quarantined_total";
-        let q_help = "Events quarantined by the admission guard, by reason.";
-        s.counter_with(
-            q,
-            q_help,
-            &[("reason", "trace_range")],
-            g.quarantined_trace_range,
-        );
-        s.counter_with(
-            q,
-            q_help,
-            &[("reason", "clock_width")],
-            g.quarantined_clock_width,
-        );
-        s.counter_with(
-            q,
-            q_help,
-            &[("reason", "non_monotone")],
-            g.quarantined_non_monotone,
-        );
-        let ov = "ocep_ingest_overflow_total";
-        let ov_help = "Reorder-buffer overflow actions, by policy.";
-        s.counter_with(ov, ov_help, &[("policy", "rejected")], g.overflow_rejected);
-        s.counter_with(ov, ov_help, &[("policy", "dropped")], g.overflow_dropped);
-        s.counter(
-            "ocep_ingest_degraded_flushes_total",
-            "Flushes that abandoned causal order.",
-            g.degraded_flushes,
-        );
-        s.gauge(
-            "ocep_ingest_buffer_peak",
-            "High-water mark of the reorder buffer.",
-            g.buffered_peak,
-        );
+        s.record_ingest(&st.ingest);
 
         s.gauge(
             "ocep_history_events",

@@ -1,5 +1,6 @@
 //! Monitoring several patterns over one event stream.
 
+use crate::ingest::{AdmissionGuard, GuardConfig, IngestFault, IngestStats};
 use crate::pool::WorkerPool;
 use crate::{Match, Monitor, MonitorConfig, MonitorStats};
 use ocep_pattern::Pattern;
@@ -51,6 +52,14 @@ pub struct MonitorSet {
     /// One worker pool backing every parallel monitor in the set (see
     /// [`MonitorSet::ensure_pool`]).
     pool: Option<Arc<WorkerPool>>,
+    /// One causal [`AdmissionGuard`] in front of the whole set (see
+    /// [`MonitorSet::observe_raw`]). Per-monitor guards via
+    /// [`MonitorConfig::guard`] still work; a set-level guard validates
+    /// and reorders each raw arrival once instead of once per pattern —
+    /// the configuration a networked deployment uses.
+    guard: Option<AdmissionGuard>,
+    /// Reused output buffer for set-level guard deliveries.
+    admit_buf: Vec<Event>,
 }
 
 impl MonitorSet {
@@ -61,7 +70,18 @@ impl MonitorSet {
             n_traces,
             entries: Vec::new(),
             pool: None,
+            guard: None,
+            admit_buf: Vec::new(),
         }
+    }
+
+    /// Puts a shared causal [`AdmissionGuard`] in front of the whole set.
+    /// Raw arrivals fed to [`MonitorSet::observe_raw`] are validated,
+    /// deduplicated, and causally reordered once, and every delivered
+    /// event fans out to all registered monitors. Replaces any previous
+    /// set-level guard (counters reset).
+    pub fn enable_guard(&mut self, config: GuardConfig) {
+        self.guard = Some(AdmissionGuard::new(self.n_traces, config));
     }
 
     /// Makes sure the set owns a shared [`WorkerPool`] of at least
@@ -115,6 +135,88 @@ impl MonitorSet {
         out
     }
 
+    /// Observes one **raw** arrival — the entry point for untrusted
+    /// transports. With a set-level guard
+    /// ([`MonitorSet::enable_guard`]) the arrival is validated,
+    /// deduplicated, and causally ordered first; one raw arrival may
+    /// yield zero deliveries (buffered, duplicate, or quarantined —
+    /// never a panic) or several (it unblocked buffered successors).
+    /// Without a guard this is exactly [`MonitorSet::observe`].
+    pub fn observe_raw(&mut self, event: &Event) -> Vec<(String, Match)> {
+        let Some(mut guard) = self.guard.take() else {
+            return self.observe(event);
+        };
+        let mut deliverable = std::mem::take(&mut self.admit_buf);
+        deliverable.clear();
+        guard.admit(event, &mut deliverable);
+        let mut out = Vec::new();
+        for e in &deliverable {
+            out.append(&mut self.observe(e));
+        }
+        self.guard = Some(guard);
+        deliverable.clear();
+        self.admit_buf = deliverable;
+        out
+    }
+
+    /// Abandons causal order for events still waiting in the set-level
+    /// guard's reorder buffer: delivers them to every monitor sorted by
+    /// `(trace, index)` and marks the run degraded. Call at end of
+    /// stream (or before a checkpoint). A no-op without a set-level
+    /// guard or with an empty buffer.
+    pub fn flush_guard(&mut self) -> Vec<(String, Match)> {
+        let Some(mut guard) = self.guard.take() else {
+            return Vec::new();
+        };
+        let mut deliverable = std::mem::take(&mut self.admit_buf);
+        deliverable.clear();
+        guard.flush(&mut deliverable);
+        let mut out = Vec::new();
+        for e in &deliverable {
+            out.append(&mut self.observe(e));
+        }
+        self.guard = Some(guard);
+        deliverable.clear();
+        self.admit_buf = deliverable;
+        out
+    }
+
+    /// The set-level guard's ingestion counters (all zero when no guard
+    /// is enabled). Per-monitor guards keep their own counters — see
+    /// [`MonitorSet::total_stats`].
+    #[must_use]
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.guard.as_ref().map(|g| *g.stats()).unwrap_or_default()
+    }
+
+    /// The set-level guard, when one is enabled.
+    #[must_use]
+    pub fn guard(&self) -> Option<&AdmissionGuard> {
+        self.guard.as_ref()
+    }
+
+    /// Drains the set-level guard's structured fault stream (empty
+    /// without a guard).
+    pub fn take_ingest_faults(&mut self) -> Vec<IngestFault> {
+        self.guard
+            .as_mut()
+            .map(AdmissionGuard::take_faults)
+            .unwrap_or_default()
+    }
+
+    /// True when the set-level guard lost or reordered information
+    /// (quarantines, overflow drops, or degraded flushes).
+    #[must_use]
+    pub fn ingest_degraded(&self) -> bool {
+        self.guard.as_ref().is_some_and(|g| g.stats().is_degraded())
+    }
+
+    /// Number of traces in the monitored computation.
+    #[must_use]
+    pub fn n_traces(&self) -> usize {
+        self.n_traces
+    }
+
     /// The monitor registered under `name`.
     #[must_use]
     pub fn monitor(&self, name: &str) -> Option<&Monitor> {
@@ -157,6 +259,11 @@ impl MonitorSet {
         let mut total = crate::MetricsSnapshot::default();
         for (_, m) in &self.entries {
             total.absorb(&m.metrics());
+        }
+        // The set-level guard's counters merge into the same
+        // `ocep_ingest_*` families the per-monitor guards use.
+        if let Some(g) = &self.guard {
+            total.record_ingest(g.stats());
         }
         total
     }
@@ -201,6 +308,89 @@ mod tests {
         poet.record(t(1), EventKind::Unary, "b", "");
         let reports = feed(&mut set, &mut poet);
         assert!(reports.iter().any(|(n, _)| n == "hb"));
+    }
+
+    #[test]
+    fn observe_raw_without_guard_is_observe() {
+        let mut set = MonitorSet::new(1);
+        set.add(
+            "one",
+            Pattern::parse("A := [*, a, *]; pattern := A;").unwrap(),
+        );
+        let mut poet = PoetServer::new(1);
+        poet.record(t(0), EventKind::Unary, "a", "");
+        let reports: Vec<_> = poet
+            .linearization()
+            .flat_map(|e| set.observe_raw(&e))
+            .collect();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(set.ingest_stats(), IngestStats::default());
+        assert!(!set.ingest_degraded());
+    }
+
+    #[test]
+    fn set_guard_reorders_once_for_all_monitors() {
+        let mut set = MonitorSet::new(2);
+        set.add(
+            "hb",
+            Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap(),
+        );
+        set.add(
+            "conc",
+            Pattern::parse("X := [*, a, *]; Y := [*, c, *]; pattern := X || Y;").unwrap(),
+        );
+        set.enable_guard(GuardConfig::default());
+        let mut poet = PoetServer::new(2);
+        let s = poet.record(t(0), EventKind::Send, "a", "");
+        poet.record_receive(t(1), s.id(), "b", "");
+        poet.record(t(1), EventKind::Unary, "c", "");
+        let events: Vec<Event> = poet.linearization().collect();
+        // Deliver the receive before its send plus a duplicate: the
+        // guard must repair both, and each monitor sees the clean order.
+        let mut reports = Vec::new();
+        for e in [&events[1], &events[0], &events[0], &events[2]] {
+            reports.extend(set.observe_raw(e));
+        }
+        assert!(reports.iter().any(|(n, _)| n == "hb"), "{reports:?}");
+        let stats = set.ingest_stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.duplicates_dropped, 1);
+        assert_eq!(stats.reordered_delivered, 1);
+        assert!(!set.ingest_degraded());
+        // Every monitor observed all three deliveries exactly once.
+        for (_, m) in set.iter() {
+            assert_eq!(m.stats().events, 3);
+        }
+    }
+
+    #[test]
+    fn set_guard_flush_and_fault_accounting() {
+        let mut set = MonitorSet::new(2);
+        set.add(
+            "one",
+            Pattern::parse("A := [*, a, *]; pattern := A;").unwrap(),
+        );
+        set.enable_guard(GuardConfig::default());
+        let mut poet = PoetServer::new(2);
+        poet.record(t(0), EventKind::Unary, "x", "");
+        poet.record(t(0), EventKind::Unary, "a", "");
+        let events: Vec<Event> = poet.linearization().collect();
+        // Only the second event arrives: it stays buffered until the
+        // explicit flush abandons causal order.
+        assert!(set.observe_raw(&events[1]).is_empty());
+        assert_eq!(set.ingest_stats().buffered, 1);
+        let flushed = set.flush_guard();
+        assert_eq!(flushed.len(), 1);
+        assert!(set.ingest_degraded());
+        assert_eq!(set.ingest_stats().degraded_flushes, 1);
+        // The set-level counters surface in the aggregated metrics.
+        let snap = set.metrics();
+        assert_eq!(
+            snap.value("ocep_ingest_degraded_flushes_total"),
+            Some(1),
+            "set-level guard counters must export"
+        );
+        assert!(set.take_ingest_faults().is_empty());
     }
 
     #[test]

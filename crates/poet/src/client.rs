@@ -32,6 +32,25 @@ pub struct Subscription {
     rx: mpsc::Receiver<Event>,
 }
 
+/// Result of a non-blocking [`Subscription::poll`].
+///
+/// Distinguishes "nothing buffered *yet*" from "the server hung up and
+/// the stream is fully drained" — a distinction [`Subscription::try_recv`]
+/// cannot make, which is exactly how pollers used to lose final events:
+/// treating its `None` as end-of-stream gives up while events are still
+/// in flight, and treating it as "retry later" spins forever after the
+/// server is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryRecv {
+    /// An event was ready and has been dequeued.
+    Event(Event),
+    /// Nothing buffered right now; the server may still publish more.
+    Empty,
+    /// The server was dropped **and** every buffered event has already
+    /// been returned. Safe to stop polling: nothing was lost.
+    Closed,
+}
+
 impl Subscription {
     pub(crate) fn new(rx: mpsc::Receiver<Event>) -> Self {
         Subscription { rx }
@@ -45,11 +64,28 @@ impl Subscription {
         self.rx.recv().ok()
     }
 
-    /// Receives without blocking. `None` means "nothing available right
-    /// now" — the stream may still produce events later.
+    /// Receives without blocking. `None` conflates "nothing available
+    /// right now" with "stream closed" — use [`Subscription::poll`] when
+    /// the caller needs to know whether to keep polling (a loop that
+    /// stops on `None` races the producer and can drop final events).
     #[must_use]
     pub fn try_recv(&self) -> Option<Event> {
         self.rx.try_recv().ok()
+    }
+
+    /// Receives without blocking, reporting stream state explicitly.
+    ///
+    /// Buffered events are always returned before [`TryRecv::Closed`],
+    /// even if the server has already been dropped, so a poll loop that
+    /// stops only on `Closed` observes every published event regardless
+    /// of drop ordering.
+    #[must_use]
+    pub fn poll(&self) -> TryRecv {
+        match self.rx.try_recv() {
+            Ok(e) => TryRecv::Event(e),
+            Err(mpsc::TryRecvError::Empty) => TryRecv::Empty,
+            Err(mpsc::TryRecvError::Disconnected) => TryRecv::Closed,
+        }
     }
 }
 
@@ -78,6 +114,7 @@ impl Iterator for SubscriptionIter {
 
 #[cfg(test)]
 mod tests {
+    use super::TryRecv;
     use crate::{EventKind, PoetServer};
     use ocep_vclock::TraceId;
 
@@ -108,5 +145,92 @@ mod tests {
         assert!(sub.try_recv().is_none());
         poet.record(TraceId::new(0), EventKind::Unary, "x", "");
         assert!(sub.try_recv().is_some());
+    }
+
+    #[test]
+    fn poll_returns_buffered_events_after_server_drop() {
+        // Regression: a poller must receive events that were still
+        // buffered when the server was dropped — Closed only after the
+        // stream is fully drained, never instead of a final event.
+        let mut poet = PoetServer::new(1);
+        let sub = poet.subscribe();
+        poet.record(TraceId::new(0), EventKind::Unary, "final", "");
+        drop(poet);
+        match sub.poll() {
+            TryRecv::Event(e) => assert_eq!(e.ty(), "final"),
+            other => panic!("final event lost: {other:?}"),
+        }
+        assert_eq!(sub.poll(), TryRecv::Closed);
+    }
+
+    #[test]
+    fn poll_distinguishes_empty_from_closed() {
+        let mut poet = PoetServer::new(1);
+        let sub = poet.subscribe();
+        assert_eq!(sub.poll(), TryRecv::Empty);
+        drop(poet);
+        assert_eq!(sub.poll(), TryRecv::Closed);
+    }
+
+    #[test]
+    fn poll_loop_sees_every_event_under_concurrent_producers() {
+        // Four producer threads race on the server; the consumer polls
+        // concurrently and the server is dropped as soon as the last
+        // producer finishes. With the old two-state try_recv a consumer
+        // could not tell a momentarily-empty queue from end-of-stream
+        // and would either give up early (losing final events) or spin
+        // forever; stopping on Closed must observe all 200 events.
+        use std::sync::{Arc, Barrier, Mutex};
+        const PRODUCERS: u32 = 4;
+        const PER_PRODUCER: usize = 50;
+
+        let poet = Arc::new(Mutex::new(PoetServer::new(PRODUCERS as usize)));
+        let sub = poet.lock().unwrap().subscribe();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match sub.poll() {
+                    TryRecv::Event(e) => got.push(e),
+                    TryRecv::Empty => std::thread::yield_now(),
+                    TryRecv::Closed => break,
+                }
+            }
+            got
+        });
+
+        let barrier = Arc::new(Barrier::new(PRODUCERS as usize));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|t| {
+                let poet = Arc::clone(&poet);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_PRODUCER {
+                        let text = if i + 1 == PER_PRODUCER { "final" } else { "" };
+                        poet.lock()
+                            .unwrap()
+                            .record(TraceId::new(t), EventKind::Unary, "e", text);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Drop the server while the consumer may still be mid-drain.
+        drop(
+            Arc::try_unwrap(poet)
+                .expect("all producers joined")
+                .into_inner()
+                .unwrap(),
+        );
+
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), PRODUCERS as usize * PER_PRODUCER);
+        let finals = got.iter().filter(|e| e.text() == "final").count();
+        assert_eq!(
+            finals, PRODUCERS as usize,
+            "a producer's final event was lost"
+        );
     }
 }

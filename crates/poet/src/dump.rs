@@ -237,42 +237,129 @@ pub fn dump(store: &TraceStore) -> Vec<u8> {
     buf
 }
 
-/// Replays a dump through a fresh server, reconstructing all timestamps.
+/// An incremental dump decoder: yields the replayed [`Event`]s one at a
+/// time instead of materializing the whole server before the first event
+/// is available.
 ///
-/// # Errors
+/// This is the streaming interface a transport uses to put a recorded
+/// dump *on the wire*: each decoded record is immediately replayed
+/// through the internal [`PoetServer`] (re-deriving its vector
+/// timestamp, exactly like [`reload`]) and handed back, so frames can go
+/// out while the rest of the file is still unread. [`reload`] is now a
+/// thin drain of this type, so the two paths cannot diverge.
 ///
-/// Returns [`PoetError`] if the header, string table, or event records are
-/// malformed, or if a receive names a partner that has not been recorded.
-/// Every error carries the byte offset where decoding stopped.
-pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
-    let mut r = Reader::new(data);
-    r.magic(MAGIC)?;
-    let version = r
-        .u16("version")
-        .map_err(|_| PoetError::BadHeader("file shorter than header".into()))?;
-    if version != VERSION {
-        return Err(PoetError::BadHeader(format!(
-            "unsupported version {version}"
-        )));
-    }
-    let n_traces = r.u32("n_traces")? as usize;
-    let n_strings = r.u32("n_strings")? as usize;
-    let mut strings: Vec<std::sync::Arc<str>> = Vec::new();
-    for i in 0..n_strings {
-        let s = r.str(&format!("string {i}"))?;
-        strings.push(std::sync::Arc::from(s));
+/// # Example
+///
+/// ```
+/// use ocep_poet::{dump, EventKind, PoetServer};
+/// use ocep_vclock::TraceId;
+///
+/// let mut poet = PoetServer::new(1);
+/// poet.record(TraceId::new(0), EventKind::Unary, "tick", "");
+/// let bytes = dump::dump(poet.store());
+///
+/// let mut stream = dump::DumpStream::open(&bytes).unwrap();
+/// let first = stream.next_event().unwrap().unwrap();
+/// assert_eq!(first.ty(), "tick");
+/// assert!(stream.next_event().unwrap().is_none());
+/// ```
+#[derive(Debug)]
+pub struct DumpStream<'a> {
+    r: Reader<'a>,
+    server: PoetServer,
+    strings: Vec<std::sync::Arc<str>>,
+    /// Events not yet decoded.
+    remaining: u64,
+    /// Events decoded so far (for diagnostics).
+    decoded: u64,
+    /// Total events the header promised.
+    total: u64,
+}
+
+impl<'a> DumpStream<'a> {
+    /// Parses the header, string table, and event count; event records
+    /// stay unread until [`DumpStream::next_event`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoetError`] on a bad magic, unsupported version, or a
+    /// truncated header/string table (with the byte offset).
+    pub fn open(data: &'a [u8]) -> Result<Self, PoetError> {
+        let mut r = Reader::new(data);
+        r.magic(MAGIC)?;
+        let version = r
+            .u16("version")
+            .map_err(|_| PoetError::BadHeader("file shorter than header".into()))?;
+        if version != VERSION {
+            return Err(PoetError::BadHeader(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let n_traces = r.u32("n_traces")? as usize;
+        let n_strings = r.u32("n_strings")? as usize;
+        let mut strings: Vec<std::sync::Arc<str>> = Vec::new();
+        for i in 0..n_strings {
+            let s = r.str(&format!("string {i}"))?;
+            strings.push(std::sync::Arc::from(s));
+        }
+        let total = r.u64("event count")?;
+        Ok(DumpStream {
+            r,
+            server: PoetServer::new(n_traces),
+            strings,
+            remaining: total,
+            decoded: 0,
+            total,
+        })
     }
 
-    let n_events = r.u64("event count")?;
-    let mut server = PoetServer::new(n_traces);
-    let lookup = |strings: &[std::sync::Arc<str>], id: u32, i: u64, at: usize| {
-        strings.get(id as usize).cloned().ok_or_else(|| {
-            PoetError::Corrupt(format!("event {i} names unknown string {id} at byte {at}"))
-        })
-    };
-    for i in 0..n_events {
+    /// Number of traces in the recorded computation.
+    #[must_use]
+    pub fn n_traces(&self) -> usize {
+        self.server.n_traces()
+    }
+
+    /// Total events the header promises.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when the dump records no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The internal server holding everything replayed so far.
+    #[must_use]
+    pub fn server(&self) -> &PoetServer {
+        &self.server
+    }
+
+    /// Consumes the stream, returning the replayed server.
+    #[must_use]
+    pub fn into_server(self) -> PoetServer {
+        self.server
+    }
+
+    /// Decodes, replays, and returns the next event; `Ok(None)` after
+    /// the last one (at which point trailing garbage is rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoetError`] on malformed records, unknown string or
+    /// partner references, or trailing garbage — always with the byte
+    /// offset, never a panic.
+    pub fn next_event(&mut self) -> Result<Option<Event>, PoetError> {
+        if self.remaining == 0 {
+            self.r.finish()?;
+            return Ok(None);
+        }
+        let i = self.decoded;
+        let r = &mut self.r;
         let trace = TraceId::new(r.u32("event trace")?);
-        if trace.as_usize() >= n_traces {
+        if trace.as_usize() >= self.server.n_traces() {
             return Err(PoetError::Inconsistent(format!(
                 "event {i} names out-of-range trace {trace} (byte {})",
                 r.offset()
@@ -280,15 +367,18 @@ pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
         }
         let kind_at = r.offset();
         let kind = r.u8("event kind")?;
+        let lookup = |strings: &[std::sync::Arc<str>], id: u32, at: usize| {
+            strings.get(id as usize).cloned().ok_or_else(|| {
+                PoetError::Corrupt(format!("event {i} names unknown string {id} at byte {at}"))
+            })
+        };
         let ty_at = r.offset();
-        let ty = lookup(&strings, r.u32("type id")?, i, ty_at)?;
+        let ty = lookup(&self.strings, r.u32("type id")?, ty_at)?;
         let text_at = r.offset();
-        let text = lookup(&strings, r.u32("text id")?, i, text_at)?;
+        let text = lookup(&self.strings, r.u32("text id")?, text_at)?;
         let has_partner = r.u8("partner flag")? == 1;
-        match kind {
-            0 => {
-                server.record(trace, crate::EventKind::Send, ty, text);
-            }
+        let event = match kind {
+            0 => self.server.record(trace, crate::EventKind::Send, ty, text),
             1 => {
                 if !has_partner {
                     return Err(PoetError::Inconsistent(format!(
@@ -299,31 +389,43 @@ pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
                 let pt = TraceId::new(r.u32("partner trace")?);
                 let pi = EventIndex::new(r.u32("partner index")?);
                 let pid = EventId::new(pt, pi);
-                if server.store().get(pid).is_none() {
+                if self.server.store().get(pid).is_none() {
                     return Err(PoetError::Inconsistent(format!(
                         "receive event {i} names unknown partner {pid} (byte {})",
                         r.offset()
                     )));
                 }
-                server.record_receive(trace, pid, ty, text);
+                self.server.record_receive(trace, pid, ty, text)
             }
-            2 => {
-                server.record(trace, crate::EventKind::Unary, ty, text);
-            }
+            2 => self.server.record(trace, crate::EventKind::Unary, ty, text),
             k => {
                 return Err(PoetError::Corrupt(format!(
                     "event {i} has bad kind {k} at byte {kind_at}"
                 )));
             }
-        }
+        };
         if kind != 1 && has_partner {
             // Skip the stray partner field so the stream stays aligned.
             r.u32("partner trace")?;
             r.u32("partner index")?;
         }
+        self.remaining -= 1;
+        self.decoded += 1;
+        Ok(Some(event))
     }
-    r.finish()?;
-    Ok(server)
+}
+
+/// Replays a dump through a fresh server, reconstructing all timestamps.
+///
+/// # Errors
+///
+/// Returns [`PoetError`] if the header, string table, or event records are
+/// malformed, or if a receive names a partner that has not been recorded.
+/// Every error carries the byte offset where decoding stopped.
+pub fn reload(data: &[u8]) -> Result<PoetServer, PoetError> {
+    let mut stream = DumpStream::open(data)?;
+    while stream.next_event()?.is_some() {}
+    Ok(stream.into_server())
 }
 
 /// Writes a dump to `path`.
@@ -393,6 +495,51 @@ mod tests {
         dump_to_file(original.store(), &path).unwrap();
         let reloaded = reload_from_file(&path).unwrap();
         assert!(reloaded.store().content_eq(original.store()));
+    }
+
+    #[test]
+    fn stream_yields_events_incrementally_and_matches_reload() {
+        let original = sample();
+        let bytes = dump(original.store());
+        let mut stream = DumpStream::open(&bytes).unwrap();
+        assert_eq!(stream.n_traces(), 3);
+        assert_eq!(stream.len(), 6);
+        let mut streamed = Vec::new();
+        while let Some(e) = stream.next_event().unwrap() {
+            streamed.push(e);
+        }
+        assert_eq!(streamed.len(), 6);
+        // The streamed events carry re-derived clocks identical to a
+        // full reload's.
+        let reloaded = reload(&bytes).unwrap();
+        for e in &streamed {
+            let r = reloaded.store().get(e.id()).unwrap();
+            assert_eq!(e.clock(), r.clock());
+            assert_eq!(e.ty(), r.ty());
+        }
+        assert!(stream.into_server().store().content_eq(original.store()));
+    }
+
+    #[test]
+    fn stream_next_after_end_keeps_returning_none() {
+        let bytes = dump(sample().store());
+        let mut stream = DumpStream::open(&bytes).unwrap();
+        while stream.next_event().unwrap().is_some() {}
+        assert!(stream.next_event().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_rejects_trailing_garbage_at_the_end() {
+        let mut bytes = dump(sample().store());
+        bytes.extend_from_slice(b"junk");
+        let mut stream = DumpStream::open(&bytes).unwrap();
+        let last = loop {
+            match stream.next_event() {
+                Ok(Some(_)) => {}
+                other => break other,
+            }
+        };
+        assert!(last.is_err(), "trailing garbage was accepted");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod plugin;
 mod server;
 mod store;
 
+pub use client::{Subscription, TryRecv};
 pub use event::{Event, EventKind};
 pub use linearizer::Linearizer;
 pub use server::PoetServer;

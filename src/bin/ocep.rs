@@ -10,6 +10,9 @@
 //! ocep slice <dump-file> <out-file> T0,T3,...  # project onto involved traces
 //! ocep fuzz [--seed N] [--cases N]             # differential conformance fuzzing
 //! ocep fuzz --replay <dir>                     # re-run a dumped failure
+//! ocep serve <pattern-file> --traces N         # OCWP daemon over TCP
+//! ocep send <addr> <dump-file>                 # stream a dump to a daemon
+//! ocep tail <addr> [--once]                    # follow verdicts from a daemon
 //! ```
 
 use ocep_repro::ocep::{
@@ -41,6 +44,12 @@ USAGE:
               [--obs LEVEL] [--metrics FILE]
     ocep fuzz --faults [--seed N] [--cases N] [--smoke]
     ocep fuzz --replay <dir>
+    ocep serve <pattern-file> --traces N [--addr HOST:PORT] [--port-file FILE]
+               [--window N] [--slow-policy reject|drop-oldest|flush-degraded]
+               [--checkpoint DIR] [--metrics FILE] [monitor flags]
+    ocep send <addr> <dump-file> [--batch N] [--name S] [--shutdown]
+    ocep tail <addr> [--once] [--name S]
+    ocep stats --addr HOST:PORT
 
 EXIT CODES:
     0  success; `check` found no pattern match
@@ -83,6 +92,14 @@ A pattern file holds a pattern program, e.g.:
 
 A dump file is the POET trace format written by `record-demo` or by
 `ocep_poet::dump::dump_to_file`.
+
+`serve` runs the monitor as a network daemon speaking the OCWP binary
+protocol (docs/WIRE.md): producers stream events with `send`, consumers
+follow verdicts with `tail`, and `stats --addr` queries a live server.
+The daemon exits on a client `--shutdown`, writing checkpoints to the
+`--checkpoint` directory and reporting with `check`-style exit codes
+(1 match, 2 degraded). `--port-file` records the bound address, which
+is how scripts discover an ephemeral `--addr 127.0.0.1:0` port.
 ";
 
 fn main() {
@@ -108,6 +125,9 @@ fn run() -> Result<i32, String> {
         Some("analyze") => analyze_cmd(&args[1..]).map(|()| 0),
         Some("slice") => slice_cmd(&args[1..]).map(|()| 0),
         Some("fuzz") => fuzz_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("send") => send_cmd(&args[1..]),
+        Some("tail") => tail_cmd(&args[1..]),
         Some("--help" | "-h") => {
             print!("{USAGE}");
             Ok(0)
@@ -271,6 +291,14 @@ fn positionals(args: &[String]) -> Vec<&String> {
         "--replay",
         "--obs",
         "--metrics",
+        "--addr",
+        "--traces",
+        "--port-file",
+        "--window",
+        "--slow-policy",
+        "--checkpoint",
+        "--batch",
+        "--name",
     ];
     let mut out = Vec::new();
     let mut skip = false;
@@ -381,6 +409,24 @@ fn check(args: &[String]) -> Result<i32, String> {
 /// pretty-prints the metrics snapshot; with a single checkpoint file,
 /// prints the metrics embedded in it.
 fn stats_cmd(args: &[String]) -> Result<(), String> {
+    // `stats --addr HOST:PORT` queries a live `ocep serve` daemon.
+    let addr_flag = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1));
+    if let Some(addr) = addr_flag {
+        let mut tail = ocep_repro::net::Tail::connect(addr, "ocep-stats")
+            .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+        let (s, _) = tail
+            .stats()
+            .map_err(|e| format!("stats request to '{addr}' failed: {e}"))?;
+        println!(
+            "server {addr}:\n  admitted      {}\n  quarantined   {}\n  duplicates    {}\n  \
+             matches       {}\n  connections   {}\n  data frames   {}\n  degraded      {}",
+            s.admitted, s.quarantined, s.duplicates, s.matches, s.connections, s.frames, s.degraded
+        );
+        return Ok(());
+    }
     let pos = positionals(args);
     if pos.len() == 1 {
         let path = pos[0];
@@ -790,4 +836,222 @@ fn info(path: &str) -> Result<(), String> {
         println!("  {ty:<24} {count}");
     }
     Ok(())
+}
+
+// ------------------------------------------------------------ networking
+
+/// `ocep serve` — run the monitor set as an OCWP daemon. Blocks until a
+/// producer sends `Shutdown`, then reports with `check`-style exit
+/// codes.
+fn serve_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::net::{ServeConfig, Server};
+    use ocep_repro::ocep::MonitorSet;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let pos = positionals(args);
+    let pattern_path = *pos.first().ok_or("missing pattern file")?;
+    let src = std::fs::read_to_string(pattern_path)
+        .map_err(|e| format!("cannot read pattern file '{pattern_path}': {e}"))?;
+    let pattern = Pattern::parse(&src).map_err(|e| e.to_string())?;
+    let n_traces: usize = flag_val("--traces")
+        .ok_or("serve needs --traces N (the trace count producers must announce)")?
+        .parse()
+        .map_err(|_| "bad --traces value".to_owned())?;
+    let name = std::path::Path::new(pattern_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("pattern")
+        .to_owned();
+
+    let mut mconfig = monitor_config(args)?;
+    // Admission runs once at the set level in front of every monitor;
+    // the per-monitor guard slot stays empty.
+    let guard = mconfig.guard.take().unwrap_or_default();
+    let mut set = MonitorSet::new(n_traces);
+    set.add_with_config(&name, pattern, mconfig);
+    set.enable_guard(guard);
+
+    let mut sconfig = ServeConfig::default();
+    if let Some(w) = flag_val("--window") {
+        sconfig.window = w.parse().map_err(|_| format!("bad --window '{w}'"))?;
+    }
+    if let Some(policy) = flag_val("--slow-policy") {
+        sconfig.slow_policy = OverflowPolicy::from_name(policy).ok_or_else(|| {
+            format!("bad --slow-policy '{policy}' (expected reject|drop-oldest|flush-degraded)")
+        })?;
+    }
+    sconfig.pattern_sources.insert(name.clone(), src);
+    if let Some(dir) = flag_val("--checkpoint") {
+        sconfig.checkpoint_dir = Some(dir.into());
+    }
+
+    let addr = flag_val("--addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".into());
+    let server =
+        Server::bind(&addr, set, sconfig).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    let actual = server.addr().to_string();
+    eprintln!("serving '{name}' ({n_traces} traces) on {actual}");
+    if let Some(port_file) = flag_val("--port-file") {
+        std::fs::write(port_file, format!("{actual}\n"))
+            .map_err(|e| format!("cannot write port file '{port_file}': {e}"))?;
+    }
+
+    let report = server.join();
+    for (monitor, m) in &report.verdicts {
+        println!("match[{monitor}]: {m}");
+    }
+    println!(
+        "\n{} events admitted, {} matches reported, {} connections, {} frames",
+        report.ingest.admitted,
+        report.verdicts.len(),
+        report.stats.connections,
+        report.stats.frames,
+    );
+    for path in &report.checkpoints {
+        eprintln!("checkpoint written to {}", path.display());
+    }
+    if let (_, Some(path)) = obs_flags(args)? {
+        write_metrics(&path, &report.metrics)?;
+    }
+    if report.ingest.is_degraded() {
+        eprintln!(
+            "warning: ingestion degraded ({} quarantined, {} overflow-rejected, \
+             {} overflow-dropped, {} degraded flushes) — verdicts may be incomplete",
+            report.ingest.quarantined(),
+            report.ingest.overflow_rejected,
+            report.ingest.overflow_dropped,
+            report.ingest.degraded_flushes,
+        );
+        return Ok(2);
+    }
+    Ok(if report.verdicts.is_empty() { 0 } else { 1 })
+}
+
+/// `ocep send` — stream a recorded dump to a running daemon as an OCWP
+/// producer. Mirrors `check` exit codes using the server's report.
+fn send_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::net::Client;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let pos = positionals(args);
+    let addr = *pos.first().ok_or("missing server address")?;
+    let dump_path = *pos.get(1).ok_or("missing dump file")?;
+    let batch: usize = match flag_val("--batch") {
+        Some(b) => b.parse().map_err(|_| format!("bad --batch '{b}'"))?,
+        None => 64,
+    };
+    let name = flag_val("--name").map_or("ocep-send", String::as_str);
+
+    let server = dump::reload_from_file(dump_path)
+        .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
+    let events: Vec<_> = server.store().iter_arrival().cloned().collect();
+    let mut client = Client::connect(addr, server.n_traces(), name)
+        .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let stream = |client: &mut Client| -> Result<(), ocep_repro::net::WireError> {
+        if batch <= 1 {
+            for e in &events {
+                client.send_event(e)?;
+            }
+        } else {
+            for chunk in events.chunks(batch) {
+                client.send_batch(chunk)?;
+            }
+        }
+        client.flush()
+    };
+    stream(&mut client).map_err(|e| format!("stream to '{addr}' failed: {e}"))?;
+
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let stats = if shutdown {
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown handshake failed: {e}"))?
+    } else {
+        let s = client
+            .stats()
+            .map_err(|e| format!("stats request failed: {e}"))?;
+        for (code, detail) in client.take_faults() {
+            eprintln!("fault[{code}]: {detail}");
+        }
+        s
+    };
+    println!(
+        "sent {} events to {addr}; server: {} admitted, {} quarantined, {} duplicates, \
+         {} matches{}",
+        events.len(),
+        stats.admitted,
+        stats.quarantined,
+        stats.duplicates,
+        stats.matches,
+        if shutdown { " (server shut down)" } else { "" },
+    );
+    if stats.degraded {
+        eprintln!("warning: server ingestion degraded — verdicts may be incomplete");
+        return Ok(2);
+    }
+    Ok(if stats.matches > 0 { 1 } else { 0 })
+}
+
+/// `ocep tail` — subscribe to a daemon's verdict stream. `--once` exits
+/// after the first match; otherwise runs until the server shuts down.
+fn tail_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::net::{Frame, Tail, WireError};
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let pos = positionals(args);
+    let addr = *pos.first().ok_or("missing server address")?;
+    let once = args.iter().any(|a| a == "--once");
+    let name = flag_val("--name").map_or("ocep-tail", String::as_str);
+
+    let mut tail =
+        Tail::connect(addr, name).map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let mut seen = 0usize;
+    loop {
+        match tail.next() {
+            Ok(Frame::Verdict(v)) => {
+                let cells: Vec<String> = v
+                    .bindings
+                    .iter()
+                    .map(|(t, i)| format!("T{t}@{i}"))
+                    .collect();
+                println!("match[{}]: {}", v.monitor, cells.join(" "));
+                seen += 1;
+                if once {
+                    break;
+                }
+            }
+            Ok(Frame::Fault { code, detail }) => eprintln!("fault[{code}]: {detail}"),
+            Ok(Frame::StatsReport(s)) => {
+                eprintln!(
+                    "server shut down: {} admitted, {} matches",
+                    s.admitted, s.matches
+                );
+                break;
+            }
+            Ok(_) => {}
+            Err(WireError::Closed) => break,
+            // The read timeout just means no verdict arrived yet; keep
+            // following the stream.
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(format!("tail stream from '{addr}' failed: {e}")),
+        }
+    }
+    Ok(if seen > 0 { 1 } else { 0 })
 }

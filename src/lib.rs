@@ -60,6 +60,7 @@ pub use ocep_baselines as baselines;
 pub use ocep_bench as bench;
 pub use ocep_conformance as conformance;
 pub use ocep_core as ocep;
+pub use ocep_net as net;
 pub use ocep_pattern as pattern;
 pub use ocep_poet as poet;
 pub use ocep_simulator as simulator;

@@ -585,3 +585,239 @@ fn fuzz_exports_aggregate_metrics() {
     assert!(text.contains("ocep_events_total"), "{text}");
     assert!(text.contains("# TYPE ocep_stage_ns histogram"), "{text}");
 }
+
+// ------------------------------------------------------------ networking
+
+/// Polls a `--port-file` until the daemon writes its bound address.
+fn wait_port(path: &std::path::Path) -> String {
+    for _ in 0..200 {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            let s = s.trim().to_owned();
+            if !s.is_empty() {
+                return s;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    panic!("server never wrote {}", path.display());
+}
+
+/// Records the deadlock demo dump + pattern under distinct names.
+fn demo_dump(stem: &str) -> (std::path::PathBuf, String) {
+    let dump = tmp(&format!("{stem}.poet"));
+    let out = ocep()
+        .args([
+            "record-demo",
+            "deadlock",
+            dump.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let pattern = format!("{}.pattern", dump.display());
+    (dump, pattern)
+}
+
+#[test]
+fn serve_send_shutdown_round_trip_reports_matches() {
+    let (dump, pattern) = demo_dump("net-roundtrip");
+    let port_file = tmp("net-roundtrip.port");
+    let ckpt_dir = tmp("net-roundtrip-ckpts");
+    let metrics = tmp("net-roundtrip.prom");
+    let _ = std::fs::remove_file(&port_file);
+    let serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--checkpoint",
+            ckpt_dir.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    let send_out = String::from_utf8_lossy(&send.stdout);
+    // The deadlock demo contains violations: exit 1, like `check`.
+    assert_eq!(send.status.code(), Some(1), "{send_out}");
+    assert!(send_out.contains("admitted"), "{send_out}");
+    assert!(send_out.contains("server shut down"), "{send_out}");
+
+    let out = serve.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("match["), "{stdout}");
+    assert!(stdout.contains("events admitted"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint written"), "{stderr}");
+    assert!(ckpt_dir.read_dir().unwrap().next().is_some());
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(prom.contains("ocep_net_connections_total"), "{prom}");
+    assert!(prom.contains("ocep_net_frames_total"), "{prom}");
+}
+
+#[test]
+fn tail_once_sees_a_verdict() {
+    let (dump, pattern) = demo_dump("net-tail");
+    let port_file = tmp("net-tail.port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    let tail = ocep()
+        .args(["tail", &addr, "--once"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Give the tail a moment to subscribe before the events flow.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1));
+
+    let tail_out = tail.wait_with_output().unwrap();
+    // --once exits 1 after printing the first verdict.
+    assert_eq!(tail_out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&tail_out.stdout);
+    assert!(stdout.contains("match["), "{stdout}");
+
+    serve.wait().unwrap();
+}
+
+#[test]
+fn stats_addr_queries_a_live_server() {
+    let (_dump, pattern) = demo_dump("net-stats");
+    let port_file = tmp("net-stats.port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    let stats = ocep().args(["stats", "--addr", &addr]).output().unwrap();
+    assert_eq!(stats.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("admitted      0"), "{stdout}");
+    assert!(stdout.contains("matches       0"), "{stdout}");
+
+    // Clean shutdown via the client library.
+    let client = ocep_repro::net::Client::connect(&addr, 10, "cleanup").unwrap();
+    client.shutdown().unwrap();
+    serve.wait().unwrap();
+}
+
+#[test]
+fn send_rejects_trace_count_mismatch() {
+    let (dump, pattern) = demo_dump("net-mismatch");
+    let port_file = tmp("net-mismatch.port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "3",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    // The demo dump announces 10 traces; the server expects 3 — the
+    // handshake must fail with a usage-style error, not hang or crash.
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&send.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    let client = ocep_repro::net::Client::connect(&addr, 3, "cleanup").unwrap();
+    client.shutdown().unwrap();
+    serve.wait().unwrap();
+}
+
+#[test]
+fn serve_without_matches_exits_zero() {
+    let (dump, _pattern) = demo_dump("net-clean");
+    let pattern = tmp("net-clean-nomatch.ocep");
+    std::fs::write(&pattern, "Z := [*, no_such_event_type, *]; pattern := Z;").unwrap();
+    let port_file = tmp("net-clean.port");
+    let _ = std::fs::remove_file(&port_file);
+    let serve = ocep()
+        .args([
+            "serve",
+            pattern.to_str().unwrap(),
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(0));
+
+    let out = serve.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}

@@ -1,0 +1,64 @@
+//! Network-transparency corpus (tier-1).
+//!
+//! Replays pinned conformance seeds through a loopback OCWP server
+//! (`ocep-net`) and demands verdicts, representative subsets, and
+//! `IngestStats` bit-identical to in-process `observe_raw` delivery.
+//! A TCP hop between POET and the monitor must not change a single
+//! conclusion — the wire-level analogue of linearization invariance.
+
+use ocep_repro::conformance as conf;
+
+/// Pinned master seed; the cases it generates are the corpus.
+const MASTER: u64 = 0x0CE9_2026_0005;
+/// Corpus size (each case is checked with one of three framings).
+const CASES: usize = 100;
+
+#[test]
+fn loopback_delivery_is_bit_identical_on_pinned_seeds() {
+    let mut verdicts = 0usize;
+    for i in 0..CASES {
+        let (case, _) = conf::nth_case(MASTER, i);
+        // Rotate framings so single-event, small-batch, and large-batch
+        // deliveries are all pinned.
+        let batch = match i % 3 {
+            0 => 1,
+            1 => 8,
+            _ => 64,
+        };
+        match conf::check_net_transparency(&case, batch) {
+            Ok(n) => verdicts += n,
+            Err(m) => panic!(
+                "net transparency regressed (master {MASTER:#x}, index {i}, batch {batch}): {m}"
+            ),
+        }
+    }
+    assert!(
+        verdicts > 0,
+        "pinned corpus never produced a verdict; the comparison is vacuous"
+    );
+}
+
+#[test]
+fn regression_seed_corpus_is_net_transparent() {
+    // The tier-1 differential corpus (tests/corpus/seeds.txt) must also
+    // survive the wire: any seed important enough to pin for the engine
+    // is important enough to pin for the transport.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/seeds.txt");
+    let text = std::fs::read_to_string(&path).expect("tests/corpus/seeds.txt exists");
+    let mut checked = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (seed, index) = line.split_once(',').expect("seed,case lines");
+        let seed: u64 = seed.trim().parse().expect("numeric master seed");
+        let index: usize = index.trim().parse().expect("numeric case index");
+        let (case, _) = conf::nth_case(seed, index);
+        if let Err(m) = conf::check_net_transparency(&case, 8) {
+            panic!("corpus case (seed {seed}, index {index}) is not net-transparent: {m}");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "corpus shrank to {checked} cases");
+}

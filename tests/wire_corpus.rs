@@ -1,0 +1,363 @@
+//! Malformed-frame corpus for the OCWP wire codec (tier-1).
+//!
+//! `tests/corpus/wire/` holds committed byte files, each a complete
+//! length-prefixed frame that the decoder must reject with an
+//! offset-carrying diagnostic — never a panic, never an allocation
+//! bounded only by attacker-controlled counts. The corpus entries were
+//! produced by seeded mutation of valid frames and shrunk by hand to
+//! the minimal interesting shape; `regenerate_corpus` (ignored)
+//! rebuilds them deterministically from the encoder.
+//!
+//! A second layer drives the corpus at a **live** loopback server:
+//! every malformed frame must come back as a `Fault` reply while the
+//! connection stays usable — a valid event sent after the garbage must
+//! still be admitted and matched.
+
+use ocep_repro::net::wire::{self, Frame, Mode, MAX_FRAME};
+use ocep_repro::net::{Client, ServeConfig, Server, WireError};
+use ocep_repro::ocep::ingest::GuardConfig;
+use ocep_repro::ocep::MonitorSet;
+use ocep_repro::pattern::Pattern;
+use ocep_repro::poet::{EventKind, PoetServer};
+use ocep_repro::vclock::TraceId;
+use ocep_rng::Rng;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/wire")
+}
+
+/// Wraps a frame body in the u32 length prefix (the on-wire form).
+fn framed(body: &[u8]) -> Vec<u8> {
+    let mut out = (body.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(body);
+    out
+}
+
+/// A deterministic single-record Event frame body to mutate.
+fn sample_event_body() -> Vec<u8> {
+    let mut poet = PoetServer::new(2);
+    let e = poet.record(TraceId::new(0), EventKind::Unary, "door", "open");
+    wire::encode_body(&Frame::Event(Box::new(e)))
+}
+
+/// The committed corpus, rebuilt from scratch. Each entry is a full
+/// length-prefixed frame; names describe the injected defect.
+fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let hello = wire::encode_body(&Frame::Hello {
+        mode: Mode::Producer,
+        n_traces: 2,
+        name: "corpus".into(),
+    });
+    let event = sample_event_body();
+    let mut entries: Vec<(&'static str, Vec<u8>)> = Vec::new();
+
+    let mut bad_magic = hello.clone();
+    bad_magic[1..5].copy_from_slice(b"XXXX");
+    entries.push(("bad_magic.bin", framed(&bad_magic)));
+
+    let mut bad_version = hello.clone();
+    bad_version[5] = 99;
+    entries.push(("bad_version.bin", framed(&bad_version)));
+
+    entries.push(("unknown_type.bin", framed(&[0xEE])));
+
+    let truncated = &event[..event.len() / 2];
+    entries.push(("truncated_event.bin", framed(truncated)));
+
+    let mut trailing = wire::encode_body(&Frame::Flush);
+    trailing.extend_from_slice(b"\xde\xad\xbe");
+    entries.push(("trailing_garbage.bin", framed(&trailing)));
+
+    entries.push(("zero_length.bin", 0u32.to_le_bytes().to_vec()));
+
+    entries.push((
+        "oversize_length.bin",
+        ((MAX_FRAME as u32) + 1).to_le_bytes().to_vec(),
+    ));
+
+    // The clock tail of the single-record body is
+    // [clock_n u32][entry u32][entry u32]; claim a 4-billion-entry
+    // clock to probe the allocation bound.
+    let mut hostile_clock = event.clone();
+    let n_at = hostile_clock.len() - 12;
+    hostile_clock[n_at..n_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    entries.push(("hostile_clock_width.bin", framed(&hostile_clock)));
+
+    // Hand-rolled record whose type id points past the string table.
+    let mut bad_string = vec![1u8]; // T_EVENT
+    bad_string.extend_from_slice(&1u32.to_le_bytes()); // one string
+    bad_string.extend_from_slice(&1u32.to_le_bytes());
+    bad_string.push(b'a');
+    bad_string.extend_from_slice(&1u32.to_le_bytes()); // one record
+    bad_string.extend_from_slice(&0u32.to_le_bytes()); // trace
+    bad_string.extend_from_slice(&0u32.to_le_bytes()); // index
+    bad_string.push(2); // Unary
+    bad_string.extend_from_slice(&7u32.to_le_bytes()); // ty id 7: no such string
+    bad_string.extend_from_slice(&0u32.to_le_bytes()); // text id
+    bad_string.push(0); // no partner
+    bad_string.extend_from_slice(&0u32.to_le_bytes()); // empty clock
+    entries.push(("bad_string_id.bin", framed(&bad_string)));
+
+    // String table entry that is not UTF-8.
+    let mut bad_utf8 = vec![1u8];
+    bad_utf8.extend_from_slice(&1u32.to_le_bytes());
+    bad_utf8.extend_from_slice(&2u32.to_le_bytes());
+    bad_utf8.extend_from_slice(&[0xFF, 0xFE]);
+    entries.push(("bad_utf8.bin", framed(&bad_utf8)));
+
+    // Batch claiming a thousand records with zero record bytes.
+    let mut overcount = vec![2u8]; // T_EVENT_BATCH
+    overcount.extend_from_slice(&0u32.to_le_bytes()); // empty string table
+    overcount.extend_from_slice(&1000u32.to_le_bytes());
+    entries.push(("batch_overcount.bin", framed(&overcount)));
+
+    // Valid record prefix with a kind byte outside {0,1,2}. The kind
+    // byte of the single-record body sits right after the two u32 ids.
+    let mut bad_kind = event.clone();
+    let kind_at = find_record_start(&event) + 8;
+    bad_kind[kind_at] = 7;
+    entries.push(("bad_kind.bin", framed(&bad_kind)));
+
+    // Partner flag outside {0,1}: 13 bytes from the record start
+    // (trace + index + kind + ty + text).
+    let mut bad_pflag = event.clone();
+    bad_pflag[kind_at + 9] = 9;
+    entries.push(("bad_partner_flag.bin", framed(&bad_pflag)));
+
+    entries
+}
+
+/// Byte offset of the first record in `sample_event_body`'s encoding:
+/// type byte, string count, then each length-prefixed string, then the
+/// record count.
+fn find_record_start(body: &[u8]) -> usize {
+    let mut at = 1;
+    let n = u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize;
+    at += 4;
+    for _ in 0..n {
+        let len = u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize;
+        at += 4 + len;
+    }
+    at + 4
+}
+
+/// Rebuilds the committed corpus. Run with
+/// `cargo test --test wire_corpus -- --ignored regenerate` after a
+/// wire-format change, and review the diff.
+#[test]
+#[ignore = "regenerates tests/corpus/wire/; run explicitly"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, bytes) in build_corpus() {
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+}
+
+fn read_corpus() -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus/wire exists")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn committed_corpus_matches_generator() {
+    // The committed bytes and the generator must agree, so a format
+    // change cannot silently orphan the corpus.
+    let want = build_corpus();
+    let have = read_corpus();
+    assert_eq!(have.len(), want.len(), "corpus file count drifted");
+    for (name, bytes) in &want {
+        let found = have.iter().find(|(n, _)| n == name);
+        assert_eq!(
+            found.map(|(_, b)| b.as_slice()),
+            Some(bytes.as_slice()),
+            "{name} drifted from the generator; rerun regenerate_corpus"
+        );
+    }
+}
+
+#[test]
+fn every_corpus_frame_is_rejected_with_a_diagnostic() {
+    for (name, bytes) in read_corpus() {
+        let mut cursor = std::io::Cursor::new(bytes.as_slice());
+        let err = match wire::read_frame(&mut cursor) {
+            Ok(f) => panic!("{name} decoded cleanly to {f:?}"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(!msg.is_empty(), "{name}: empty diagnostic");
+        match &err {
+            WireError::Format(ocep_repro::poet::PoetError::BadHeader(_)) => {}
+            // A zero-length frame has no offset to report: the prefix
+            // itself is the defect.
+            WireError::Format(_) => assert!(
+                msg.contains("byte") || msg.contains("offset") || msg.contains("zero-length"),
+                "{name}: format diagnostic lacks a byte offset: {msg}"
+            ),
+            WireError::Oversize(_) | WireError::Io(_) => {}
+            other => panic!("{name}: unexpected error class {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn seeded_mutations_never_panic_the_decoder() {
+    // Byte-level mutation fuzz: flips, truncations, and extensions of
+    // every frame shape. The decoder must return Ok or Err — anything
+    // that panics or hangs fails the test harness.
+    let mut rng = Rng::seed_from_u64(0x0CE9_317E);
+    let seeds: Vec<Vec<u8>> = vec![
+        wire::encode_body(&Frame::Hello {
+            mode: Mode::Tail,
+            n_traces: 3,
+            name: "fuzz".into(),
+        }),
+        sample_event_body(),
+        wire::encode_body(&Frame::Flush),
+        wire::encode_body(&Frame::Ack { credits: 9 }),
+        wire::encode_body(&Frame::Verdict(ocep_repro::net::VerdictFrame {
+            monitor: "m".into(),
+            bindings: vec![(0, 1), (2, 3)],
+        })),
+    ];
+    for round in 0..2_000 {
+        let base = &seeds[round % seeds.len()];
+        let mut body = base.clone();
+        match rng.gen_range(0u32..3) {
+            0 => {
+                let n = rng.gen_range(1usize..4);
+                for _ in 0..n {
+                    let at = rng.gen_range(0usize..body.len());
+                    body[at] = rng.next_u32() as u8;
+                }
+            }
+            1 => body.truncate(rng.gen_range(0usize..body.len())),
+            _ => {
+                let extra = rng.gen_range(1usize..16);
+                for _ in 0..extra {
+                    body.push(rng.next_u32() as u8);
+                }
+            }
+        }
+        let _ = wire::decode_body(&body);
+    }
+}
+
+#[test]
+fn live_server_quarantines_garbage_and_connection_survives() {
+    let pattern = Pattern::parse("A := [*, open, *]; pattern := A;").unwrap();
+    let mut set = MonitorSet::new(2);
+    set.add("pattern", pattern);
+    set.enable_guard(GuardConfig::default());
+    let server = Server::bind("127.0.0.1:0", set, ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut poet = PoetServer::new(2);
+    let event = poet.record(TraceId::new(0), EventKind::Unary, "open", "door");
+
+    let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    wire::write_frame(
+        &mut sock,
+        &Frame::Hello {
+            mode: Mode::Producer,
+            n_traces: 2,
+            name: "garbage".into(),
+        },
+    )
+    .unwrap();
+
+    // Blast every corpus frame that keeps the connection open (the
+    // oversize prefix is specified to hard-close, tested below).
+    let mut sent = 0usize;
+    for (name, bytes) in read_corpus() {
+        if name == "oversize_length.bin" {
+            continue;
+        }
+        sock.write_all(&bytes).unwrap();
+        sent += 1;
+    }
+    // The connection must still work: a valid event after the garbage.
+    wire::write_frame(&mut sock, &Frame::Event(Box::new(event))).unwrap();
+    wire::write_frame(&mut sock, &Frame::Shutdown).unwrap();
+    sock.flush().unwrap();
+
+    let mut faults = 0usize;
+    let mut acks = 0u64;
+    loop {
+        match wire::read_frame(&mut sock) {
+            Ok(Frame::Fault { detail, .. }) => {
+                assert!(!detail.is_empty());
+                faults += 1;
+            }
+            Ok(Frame::Ack { credits }) => acks += u64::from(credits),
+            Ok(Frame::StatsReport(_)) | Err(WireError::Closed) => break,
+            Ok(other) => panic!("unexpected reply {other:?}"),
+            Err(e) => panic!("reply stream failed: {e}"),
+        }
+    }
+    assert_eq!(faults, sent, "every garbage frame earns exactly one fault");
+    assert!(acks >= 1, "the post-garbage event was never credited");
+
+    let report = server.join();
+    assert_eq!(
+        report.ingest.admitted, 1,
+        "the valid event after the garbage must still be admitted"
+    );
+    assert_eq!(report.verdicts.len(), 1, "and must still produce a match");
+    let text = report.metrics.to_prometheus();
+    assert!(
+        text.contains("ocep_net_decode_faults_total"),
+        "decode faults must surface in metrics:\n{text}"
+    );
+}
+
+#[test]
+fn oversize_prefix_hard_closes_but_other_clients_are_unaffected() {
+    let pattern = Pattern::parse("A := [*, open, *]; pattern := A;").unwrap();
+    let mut set = MonitorSet::new(2);
+    set.add("pattern", pattern);
+    set.enable_guard(GuardConfig::default());
+    let server = Server::bind("127.0.0.1:0", set, ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    // Connection 1: oversize length prefix → Fault then close.
+    let mut bad = std::net::TcpStream::connect(&addr).unwrap();
+    bad.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    bad.write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
+        .unwrap();
+    match wire::read_frame(&mut bad) {
+        Ok(Frame::Fault { .. }) => {}
+        other => panic!("expected a fault for the oversize prefix, got {other:?}"),
+    }
+    // The server must close the connection afterwards.
+    let mut rest = Vec::new();
+    let _ = bad.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "no frames may follow the oversize fault");
+
+    // Connection 2 (after the abuse): normal client still served.
+    let mut poet = PoetServer::new(2);
+    let event = poet.record(TraceId::new(0), EventKind::Unary, "open", "door");
+    let mut client = Client::connect(&addr, 2, "good").unwrap();
+    client.send_event(&event).unwrap();
+    let stats = client.shutdown().unwrap();
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.matches, 1);
+
+    let report = server.join();
+    assert_eq!(report.verdicts.len(), 1);
+}
