@@ -18,6 +18,7 @@ pub mod json;
 pub mod measure;
 pub mod metrics_json;
 pub mod netbench;
+pub mod simbench;
 pub mod stats;
 
 use ocep_core::ObsLevel;

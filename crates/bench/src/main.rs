@@ -29,6 +29,8 @@ EXPERIMENTS:
     ablation-parallel     SVI parallel trace traversal speedup
     net                   loopback OCWP serving throughput and accept->admit
                           latency vs in-process delivery (also: --net)
+    sim                   deterministic whole-system simulator turnover:
+                          simulated events/s and runs/s vs client count
 
 OPTIONS:
     --events N   approximate events per workload (default 40000)
@@ -197,6 +199,17 @@ fn run_one(name: &str, opts: &RunOptions) -> Json {
                 ("p99_accept_admit_ns_lo", Json::from(r.p99_ns.0)),
                 ("p99_accept_admit_ns_hi", Json::from(r.p99_ns.1)),
                 ("verdicts", Json::from(r.verdicts)),
+            ])
+        })),
+        "sim" => Json::arr([4usize, 32, 128].into_iter().map(|clients| {
+            let r = ocep_bench::simbench::sim(opts, clients);
+            Json::obj([
+                ("clients", Json::from(r.clients)),
+                ("events", Json::from(r.events)),
+                ("steps", Json::from(r.steps)),
+                ("verdicts", Json::from(r.verdicts)),
+                ("sim_events_per_sec", Json::from(r.events_per_sec)),
+                ("runs_per_sec", Json::from(r.runs_per_sec)),
             ])
         })),
         "ablation-pattern-len" => series_json("pattern_len", figures::ablation_pattern_len(opts)),

@@ -1,0 +1,84 @@
+//! Deterministic-simulator benchmark (`ocep-bench sim`).
+//!
+//! Measures how fast the whole-system simulator turns over: one
+//! faultless [`ocep_sim::run_sim`] per repetition at increasing client
+//! counts, reporting simulated events per wall-clock second (median of
+//! `opts.reps`). This is the number that bounds how many chaos seeds a
+//! CI sweep can afford — the simulator is only useful if a seed costs
+//! milliseconds, not seconds. Digest equality across repetitions rides
+//! along as a free reproducibility assertion.
+
+use crate::output;
+use crate::RunOptions;
+use ocep_sim::{run_sim, SimConfig};
+use std::time::Instant;
+
+/// One measured simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimRun {
+    /// Simulated producer clients.
+    pub clients: usize,
+    /// Workload events per run.
+    pub events: usize,
+    /// Scheduler steps one run executed.
+    pub steps: u64,
+    /// Verdicts the simulated engine reported.
+    pub verdicts: usize,
+    /// Simulated events per wall-clock second (median of reps).
+    pub events_per_sec: f64,
+    /// Whole runs per wall-clock second (median of reps).
+    pub runs_per_sec: f64,
+}
+
+/// Runs the simulator benchmark at one client count.
+///
+/// # Panics
+///
+/// Panics if any repetition diverges from its oracle or produces a
+/// different digest than the first — a throughput number from a
+/// non-reproducible simulator would be meaningless.
+#[must_use]
+pub fn sim(opts: &RunOptions, clients: usize) -> SimRun {
+    let config = SimConfig {
+        seed: 42,
+        clients,
+        tails: 2,
+        events: opts.events.clamp(64, 1024),
+        ..SimConfig::default()
+    };
+    let mut rates = Vec::new();
+    let mut first = None;
+    for _ in 0..opts.reps.max(1) {
+        let start = Instant::now();
+        let out = run_sim(&config);
+        let dt = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(
+            out.mismatch.is_none(),
+            "benchmark run diverged from its oracle: {:?}",
+            out.mismatch
+        );
+        let digest = out.digest;
+        let prev = first.get_or_insert(out);
+        assert_eq!(prev.digest, digest, "benchmark run was not reproducible");
+        rates.push(config.events as f64 / dt);
+    }
+    rates.sort_by(f64::total_cmp);
+    let median = rates[rates.len() / 2];
+    let out = first.expect("at least one rep");
+    let run = SimRun {
+        clients,
+        events: config.events,
+        steps: out.steps,
+        verdicts: out.fingerprint.verdicts.len(),
+        events_per_sec: median,
+        runs_per_sec: median / config.events as f64,
+    };
+    if output::human() {
+        println!(
+            "  clients={:<4} events={:<5} steps={:<6} verdicts={:<3} | \
+             {:>11.0} sim-ev/s | {:>7.1} runs/s",
+            run.clients, run.events, run.steps, run.verdicts, run.events_per_sec, run.runs_per_sec,
+        );
+    }
+    run
+}

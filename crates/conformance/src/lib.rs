@@ -50,6 +50,6 @@ pub use faults::{
 };
 pub use fuzz::{case_seed, nth_case, run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generate::{gen_case, gen_pattern, GeneratedPattern};
-pub use netdiff::check_net_transparency;
+pub use netdiff::{check_net_transparency, Fingerprint};
 pub use replay::{load_dump, replay_dump, write_dump, ReplayOutcome};
 pub use shrink::shrink_case;

@@ -33,12 +33,67 @@ fn match_ids(m: &Match) -> Vec<(u32, u32)> {
         .collect()
 }
 
-/// Everything a delivery run concludes, reduced to comparable form.
-#[derive(Debug, PartialEq)]
-struct Fingerprint {
-    verdicts: Vec<(String, Vec<(u32, u32)>)>,
-    subset: Vec<Vec<(u32, u32)>>,
-    ingest: IngestStats,
+/// Everything a delivery run concludes, reduced to comparable form:
+/// the verdict sequence, the final representative subset, and the
+/// guard's ingest counters. Two runs are equivalent iff their
+/// fingerprints are equal — the contract both the loopback transport
+/// differential and the deterministic simulator's oracle enforce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Every verdict as `(monitor, leaf-wise (trace, index) bindings)`,
+    /// in report order.
+    pub verdicts: Vec<(String, Vec<(u32, u32)>)>,
+    /// The final representative subset, one coordinate list per match.
+    pub subset: Vec<Vec<(u32, u32)>>,
+    /// Final set-level ingest statistics.
+    pub ingest: IngestStats,
+}
+
+impl Fingerprint {
+    /// Describes the first divergence from `other`, or `None` when the
+    /// fingerprints agree. The description names the section (verdicts,
+    /// subset, ingest) and the first differing position, so a failure
+    /// dump stays readable even when the full sequences are long.
+    #[must_use]
+    pub fn diff(&self, other: &Fingerprint) -> Option<String> {
+        if self.verdicts != other.verdicts {
+            let at = self
+                .verdicts
+                .iter()
+                .zip(&other.verdicts)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.verdicts.len().min(other.verdicts.len()));
+            return Some(format!(
+                "verdicts diverged at {at}: {} vs {} total, {:?} vs {:?}",
+                self.verdicts.len(),
+                other.verdicts.len(),
+                self.verdicts.get(at),
+                other.verdicts.get(at),
+            ));
+        }
+        if self.subset != other.subset {
+            let at = self
+                .subset
+                .iter()
+                .zip(&other.subset)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.subset.len().min(other.subset.len()));
+            return Some(format!(
+                "representative subset diverged at {at}: {} vs {} match(es), {:?} vs {:?}",
+                self.subset.len(),
+                other.subset.len(),
+                self.subset.get(at),
+                other.subset.get(at),
+            ));
+        }
+        if self.ingest != other.ingest {
+            return Some(format!(
+                "ingest stats diverged: {:?} vs {:?}",
+                self.ingest, other.ingest
+            ));
+        }
+        None
+    }
 }
 
 fn build_set(case: &Case) -> Result<MonitorSet, Mismatch> {

@@ -11,6 +11,29 @@ use std::time::Duration;
 /// call instead of hanging it forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// True for the I/O error kinds a peer disappearing produces; these are
+/// folded into [`WireError::Closed`] so callers see one "server is
+/// gone" signal instead of a platform-dependent zoo of io errors.
+fn is_disconnect(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof
+    )
+}
+
+/// Maps disconnect-flavoured io errors to [`WireError::Closed`].
+fn closed_on_disconnect(e: WireError) -> WireError {
+    match e {
+        WireError::Io(io) if is_disconnect(io.kind()) => WireError::Closed,
+        other => other,
+    }
+}
+
 fn connect(
     addr: &str,
     hello: &Frame,
@@ -136,10 +159,12 @@ impl Client {
     /// Sends a control frame and waits for the server's `StatsReport`
     /// reply, folding any interleaved acks/faults into local state.
     fn round_trip(&mut self, frame: &Frame) -> Result<StatsReport, WireError> {
-        write_frame(&mut self.writer, frame)?;
-        self.writer.flush()?;
+        write_frame(&mut self.writer, frame).map_err(closed_on_disconnect)?;
+        self.writer
+            .flush()
+            .map_err(|e| closed_on_disconnect(WireError::Io(e)))?;
         loop {
-            match read_frame(&mut self.reader)? {
+            match read_frame(&mut self.reader).map_err(closed_on_disconnect)? {
                 Frame::Ack { credits } => self.credits += credits,
                 Frame::Fault { code, detail } => self.faults.push((code, detail)),
                 Frame::StatsReport(r) => return Ok(r),
@@ -178,7 +203,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport or protocol failures.
+    /// Transport or protocol failures. A server that is already gone
+    /// (its socket closed or reset underneath us) yields
+    /// [`WireError::Closed`], never a raw io error — so shutting down
+    /// twice, or after the daemon exited, is a clean condition callers
+    /// can match on.
     pub fn shutdown(mut self) -> Result<StatsReport, WireError> {
         self.round_trip(&Frame::Shutdown)
     }
@@ -196,6 +225,7 @@ impl Client {
 pub struct Tail {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    closed: bool,
 }
 
 impl Tail {
@@ -224,7 +254,31 @@ impl Tail {
                 )));
             }
         }
-        Ok(Tail { reader, writer })
+        Ok(Tail {
+            reader,
+            writer,
+            closed: false,
+        })
+    }
+
+    /// Closes the subscription's socket. Idempotent: closing twice —
+    /// or closing after the server already tore the connection down —
+    /// is `Ok(())`, never an io error. Also run by `Drop`, so an
+    /// explicit call is only needed to observe a genuine failure.
+    ///
+    /// # Errors
+    ///
+    /// Io errors other than the peer already being gone.
+    pub fn close(&mut self) -> Result<(), WireError> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        match self.writer.get_ref().shutdown(std::net::Shutdown::Both) {
+            Ok(()) => Ok(()),
+            Err(e) if is_disconnect(e.kind()) => Ok(()),
+            Err(e) => Err(WireError::Io(e)),
+        }
     }
 
     /// Blocks for the next streamed frame. [`WireError::Closed`] when
@@ -257,5 +311,11 @@ impl Tail {
                 f => before.push(f),
             }
         }
+    }
+}
+
+impl Drop for Tail {
+    fn drop(&mut self) {
+        let _ = self.close();
     }
 }

@@ -1,0 +1,820 @@
+//! The transport-free serving engine.
+//!
+//! [`EngineCore`] is the single-owner state machine behind `ocep serve`:
+//! it owns the [`MonitorSet`], speaks OCWP at the frame level, grants
+//! Ack credits, applies the slow-client policy per subscriber, and
+//! assembles the final [`ServeReport`]. It performs **no I/O and reads
+//! no real clock** — connections hand it decoded [`Frame`]s tagged with
+//! a connection id and a receipt timestamp from a [`NetClock`], and
+//! outbound frames leave through per-connection [`OutQueue`]s. The TCP
+//! harness in [`crate::server`] drives it from reader threads over
+//! [`SystemClock`] time; the deterministic simulator (`ocep-sim`)
+//! drives the very same state machine from a virtual-time scheduler
+//! over in-memory queues, which is what makes whole-system chaos runs
+//! reproducible from a seed.
+//!
+//! For oracle-based checking the core can journal its ingestion: with
+//! [`EngineCore::enable_journal`] every event actually delivered to the
+//! set (and every guard flush) is recorded as an [`EngineOp`], the
+//! ground truth a replay harness feeds to an in-process reference
+//! `MonitorSet` to demand bit-identical verdicts.
+
+use crate::wire::{FaultCode, Frame, Mode, StatsReport, VerdictFrame};
+use ocep_core::ingest::OverflowPolicy;
+use ocep_core::{save_set, Histogram, Match, MetricsSnapshot, MonitorSet};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ack-credit window granted to each producer: the number of data
+    /// frames it may have in flight before waiting for an Ack.
+    pub window: u32,
+    /// What to do when a tail subscriber cannot keep up with the
+    /// verdict stream. Mirrors the guard's overflow policies:
+    /// `Reject` drops the newest verdict, `DropOldest` evicts the
+    /// oldest queued one, `FlushDegraded` clears the queue and marks
+    /// the stream degraded with a `Fault` frame.
+    pub slow_policy: OverflowPolicy,
+    /// Bounded per-subscriber outbound queue length.
+    pub subscriber_queue: usize,
+    /// Directory for checkpoint-on-shutdown; `None` disables it.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Pattern source per monitor name, required to write checkpoints.
+    pub pattern_sources: HashMap<String, String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            window: 64,
+            slow_policy: OverflowPolicy::Reject,
+            subscriber_queue: 1024,
+            checkpoint_dir: None,
+            pattern_sources: HashMap::new(),
+        }
+    }
+}
+
+/// One monitor's retained matches as leaf-wise `(trace, index)`
+/// coordinates: outer `Vec` per match, inner per leaf.
+pub type MatchCoords = Vec<Vec<(u32, u32)>>;
+
+/// What the serving loop did, returned by [`crate::server::Server::join`].
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Every `(monitor, match)` verdict, in report order.
+    pub verdicts: Vec<(String, Match)>,
+    /// Final aggregate statistics (also broadcast on shutdown).
+    pub stats: StatsReport,
+    /// Final ingest statistics from the set-level guard.
+    pub ingest: ocep_core::IngestStats,
+    /// Combined monitor + network metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Checkpoint files written during shutdown.
+    pub checkpoints: Vec<PathBuf>,
+    /// Final representative subset per monitor: each match as leaf-wise
+    /// `(trace, index)` pairs, in subset order. Lets callers compare a
+    /// served run against in-process delivery without keeping the set.
+    pub subsets: Vec<(String, MatchCoords)>,
+    /// Accept→admit latency histogram (nanoseconds): socket-read to
+    /// post-`observe_raw` per event. Same samples as the exported
+    /// `ocep_net_accept_admit_ns` metric, in queryable form.
+    pub latency: Histogram,
+}
+
+/// The engine's notion of time: a monotonic nanosecond counter.
+///
+/// The TCP harness uses [`SystemClock`] (real elapsed time); the
+/// deterministic simulator substitutes a virtual clock it advances
+/// itself, so latency accounting — and through it, every byte of the
+/// final report — is a pure function of the seed.
+pub trait NetClock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin; must be monotone.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock [`NetClock`]: nanoseconds since the clock was created.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl NetClock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+/// What a slow-client policy did with one verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowAction {
+    /// The verdict was queued for delivery.
+    Delivered,
+    /// The queue was full under `Reject`: this verdict was discarded.
+    DroppedNewest,
+    /// The queue was full under `DropOldest`: the oldest queued verdict
+    /// was evicted to make room.
+    DroppedOldest,
+    /// The queue was full under `FlushDegraded`: the whole queue was
+    /// discarded, replaced by a `SlowClient` fault plus this verdict.
+    FlushedDegraded,
+}
+
+#[derive(Debug)]
+struct OutState {
+    queue: VecDeque<Frame>,
+    closed: bool,
+}
+
+/// A bounded outbound frame queue shared by the engine (producer side)
+/// and one consumer — a TCP writer thread, or the simulator draining it
+/// in virtual time.
+///
+/// Control frames (acks, faults, stats) are never dropped; only
+/// verdicts are subject to the slow-client policy.
+#[derive(Debug, Clone)]
+pub struct OutQueue {
+    inner: Arc<(Mutex<OutState>, Condvar)>,
+    cap: usize,
+    policy: OverflowPolicy,
+}
+
+impl OutQueue {
+    /// A queue holding at most `cap` frames, applying `policy` to
+    /// verdicts that would overflow it.
+    #[must_use]
+    pub fn new(cap: usize, policy: OverflowPolicy) -> Self {
+        OutQueue {
+            inner: Arc::new((
+                Mutex::new(OutState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                Condvar::new(),
+            )),
+            cap: cap.max(1),
+            policy,
+        }
+    }
+
+    /// Enqueues a control frame (never dropped; ignored after close).
+    pub fn push_control(&self, frame: Frame) {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().unwrap();
+        if !st.closed {
+            st.queue.push_back(frame);
+            cv.notify_one();
+        }
+    }
+
+    /// Enqueues a verdict frame, applying the slow-client policy when
+    /// the queue is full; returns what happened.
+    pub fn push_verdict(&self, frame: Frame) -> SlowAction {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().unwrap();
+        if st.closed {
+            return SlowAction::DroppedNewest;
+        }
+        let action = if st.queue.len() < self.cap {
+            st.queue.push_back(frame);
+            SlowAction::Delivered
+        } else {
+            match self.policy {
+                OverflowPolicy::Reject => SlowAction::DroppedNewest,
+                OverflowPolicy::DropOldest => {
+                    st.queue.pop_front();
+                    st.queue.push_back(frame);
+                    SlowAction::DroppedOldest
+                }
+                OverflowPolicy::FlushDegraded => {
+                    let lost = st.queue.len();
+                    st.queue.clear();
+                    st.queue.push_back(Frame::Fault {
+                        code: FaultCode::SlowClient,
+                        detail: format!(
+                            "subscriber fell behind: {lost} queued verdict(s) discarded"
+                        ),
+                    });
+                    st.queue.push_back(frame);
+                    SlowAction::FlushedDegraded
+                }
+            }
+        };
+        cv.notify_one();
+        action
+    }
+
+    /// Marks the queue closed and wakes any blocked consumer.
+    pub fn close(&self) {
+        let (lock, cv) = &*self.inner;
+        lock.lock().unwrap().closed = true;
+        cv.notify_all();
+    }
+
+    /// Blocks for the next frame; `None` once closed and drained.
+    pub fn pop(&self) -> Option<Frame> {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().unwrap();
+        loop {
+            if let Some(f) = st.queue.pop_front() {
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            st = cv.wait(st).unwrap();
+        }
+    }
+
+    /// Removes and returns the next frame without blocking.
+    pub fn try_pop(&self) -> Option<Frame> {
+        let (lock, _) = &*self.inner;
+        lock.lock().unwrap().queue.pop_front()
+    }
+
+    /// Drains every queued frame without blocking (the simulator's
+    /// consumer path: one drain models one write burst).
+    #[must_use]
+    pub fn drain(&self) -> Vec<Frame> {
+        let (lock, _) = &*self.inner;
+        lock.lock().unwrap().queue.drain(..).collect()
+    }
+
+    /// Number of frames currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let (lock, _) = &*self.inner;
+        lock.lock().unwrap().queue.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One entry of the engine's ingestion journal: exactly what the engine
+/// fed its `MonitorSet`, in order. Replaying a journal through a fresh
+/// set must reproduce the engine's verdicts bit-identically — the
+/// oracle contract the simulator enforces every run.
+#[derive(Debug, Clone)]
+pub enum EngineOp {
+    /// One raw event was passed to `observe_raw`.
+    Deliver(Box<ocep_poet::Event>),
+    /// The guard's reorder buffer was flushed (`Flush` frame or final
+    /// shutdown drain).
+    Flush,
+}
+
+struct Conn {
+    name: String,
+    peer: String,
+    mode: Option<Mode>,
+    out: OutQueue,
+    frames_in: u64,
+    /// Remaining credits the peer holds; engine-side bookkeeping to
+    /// detect window violations.
+    granted: i64,
+}
+
+/// The transport-free serving engine: OCWP frame semantics, credit
+/// windows, slow-client policies, checkpoints, and report assembly over
+/// a [`MonitorSet`] — with time injected through a [`NetClock`] and all
+/// I/O delegated to the caller. See the [module docs](self).
+pub struct EngineCore {
+    set: MonitorSet,
+    config: ServeConfig,
+    clock: Arc<dyn NetClock>,
+    bytes_out: Arc<AtomicU64>,
+    conns: HashMap<u64, Conn>,
+    verdicts: Vec<(String, Match)>,
+    connections_total: u64,
+    data_frames: u64,
+    frames_in: HashMap<&'static str, u64>,
+    frames_out: HashMap<&'static str, u64>,
+    bytes_in: u64,
+    decode_faults: HashMap<&'static str, u64>,
+    slow_actions: HashMap<&'static str, u64>,
+    ingest_fault_frames: u64,
+    latency: Histogram,
+    /// Frame counts of connections that already closed, keyed by the
+    /// connection's self-reported name.
+    finished_conns: Vec<(String, u64)>,
+    journal: Option<Vec<EngineOp>>,
+}
+
+impl std::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("conns", &self.conns.len())
+            .field("verdicts", &self.verdicts.len())
+            .field("data_frames", &self.data_frames)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineCore {
+    /// An engine over `set`, reading time from `clock` and accounting
+    /// outbound bytes into `bytes_out` (shared with whatever performs
+    /// the actual writes).
+    #[must_use]
+    pub fn new(
+        set: MonitorSet,
+        config: ServeConfig,
+        clock: Arc<dyn NetClock>,
+        bytes_out: Arc<AtomicU64>,
+    ) -> EngineCore {
+        EngineCore {
+            set,
+            config,
+            clock,
+            bytes_out,
+            conns: HashMap::new(),
+            verdicts: Vec::new(),
+            connections_total: 0,
+            data_frames: 0,
+            frames_in: HashMap::new(),
+            frames_out: HashMap::new(),
+            bytes_in: 0,
+            decode_faults: HashMap::new(),
+            slow_actions: HashMap::new(),
+            ingest_fault_frames: 0,
+            latency: Histogram::default(),
+            finished_conns: Vec::new(),
+            journal: None,
+        }
+    }
+
+    /// Starts recording every ingested event and guard flush as
+    /// [`EngineOp`]s (see [`EngineCore::take_journal`]).
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Takes the ops journaled since [`EngineCore::enable_journal`] (or
+    /// the last take); empty when journaling is off.
+    pub fn take_journal(&mut self) -> Vec<EngineOp> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    fn journal_op(&mut self, op: EngineOp) {
+        if let Some(j) = &mut self.journal {
+            j.push(op);
+        }
+    }
+
+    /// Registers a newly accepted connection with its outbound queue.
+    pub fn on_accepted(&mut self, conn: u64, peer: String, out: OutQueue) {
+        self.connections_total += 1;
+        self.conns.insert(
+            conn,
+            Conn {
+                name: format!("conn-{conn}"),
+                peer,
+                mode: None,
+                out,
+                frames_in: 0,
+                granted: 0,
+            },
+        );
+    }
+
+    /// Accounts for a frame the transport rejected before decode (the
+    /// reader already replied with a `Fault`).
+    pub fn on_malformed(&mut self, code: FaultCode) {
+        *self.decode_faults.entry(code.name()).or_insert(0) += 1;
+        *self.frames_out.entry("fault").or_insert(0) += 1;
+    }
+
+    /// Unregisters a closed connection and closes its outbound queue.
+    pub fn on_closed(&mut self, conn: u64) {
+        if let Some(c) = self.conns.remove(&conn) {
+            c.out.close();
+            self.finished_conns.push((c.name, c.frames_in));
+        }
+    }
+
+    /// Processes one decoded frame from `conn`, stamped by the caller
+    /// with the receipt time (`clock.now_ns()` at read) and its wire
+    /// size (length prefix included). Returns true when the frame
+    /// requests shutdown — the caller should then invoke
+    /// [`EngineCore::finish`].
+    pub fn on_frame(&mut self, conn: u64, frame: Frame, received_ns: u64, bytes: u64) -> bool {
+        self.bytes_in += bytes;
+        *self.frames_in.entry(frame.type_name()).or_insert(0) += 1;
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.frames_in += 1;
+        }
+        self.handle_frame(conn, frame, received_ns)
+    }
+
+    fn send_control(&mut self, conn: u64, frame: Frame) {
+        *self.frames_out.entry(frame.type_name()).or_insert(0) += 1;
+        if let Some(c) = self.conns.get(&conn) {
+            c.out.push_control(frame);
+        }
+    }
+
+    fn fault(&mut self, conn: u64, code: FaultCode, detail: String) {
+        *self.decode_faults.entry(code.name()).or_insert(0) += 1;
+        self.send_control(conn, Frame::Fault { code, detail });
+    }
+
+    /// Returns true when the frame requests shutdown.
+    fn handle_frame(&mut self, conn: u64, frame: Frame, received_ns: u64) -> bool {
+        let mode = self.conns.get(&conn).and_then(|c| c.mode);
+        match frame {
+            Frame::Hello {
+                mode: hello_mode,
+                n_traces,
+                name,
+            } => {
+                if mode.is_some() {
+                    self.fault(conn, FaultCode::Protocol, "duplicate hello".into());
+                    return false;
+                }
+                if hello_mode == Mode::Producer && n_traces as usize != self.set.n_traces() {
+                    self.fault(
+                        conn,
+                        FaultCode::Protocol,
+                        format!(
+                            "producer announces {n_traces} trace(s), server monitors {}",
+                            self.set.n_traces()
+                        ),
+                    );
+                    return false;
+                }
+                let window = self.config.window;
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.mode = Some(hello_mode);
+                    if !name.is_empty() {
+                        c.name = name;
+                    }
+                    c.granted = i64::from(window);
+                }
+                self.send_control(conn, Frame::Ack { credits: window });
+                false
+            }
+            Frame::Event(_) | Frame::EventBatch(_) | Frame::Flush
+                if mode != Some(Mode::Producer) =>
+            {
+                self.fault(
+                    conn,
+                    FaultCode::Protocol,
+                    format!("{} frame before producer hello", frame.type_name()),
+                );
+                false
+            }
+            Frame::Event(e) => {
+                self.data_frame_start(conn);
+                self.ingest(&[*e], conn, received_ns);
+                self.ack_data(conn);
+                false
+            }
+            Frame::EventBatch(events) => {
+                self.data_frame_start(conn);
+                self.ingest(&events, conn, received_ns);
+                self.ack_data(conn);
+                false
+            }
+            Frame::Flush => {
+                self.data_frame_start(conn);
+                self.journal_op(EngineOp::Flush);
+                let verdicts = self.set.flush_guard();
+                self.publish(verdicts);
+                self.report_ingest_faults(conn);
+                self.ack_data(conn);
+                false
+            }
+            Frame::CheckpointReq => {
+                if let Err(e) = self.write_checkpoints() {
+                    self.fault(conn, FaultCode::Protocol, format!("checkpoint failed: {e}"));
+                } else {
+                    let report = self.stats_report();
+                    self.send_control(conn, Frame::StatsReport(report));
+                }
+                false
+            }
+            Frame::StatsReq => {
+                let report = self.stats_report();
+                self.send_control(conn, Frame::StatsReport(report));
+                false
+            }
+            Frame::Shutdown => true,
+            // Client-to-server frames that make no sense here.
+            Frame::Ack { .. } | Frame::Fault { .. } | Frame::StatsReport(_) | Frame::Verdict(_) => {
+                self.fault(
+                    conn,
+                    FaultCode::Protocol,
+                    format!("unexpected {} frame from client", frame.type_name()),
+                );
+                false
+            }
+        }
+    }
+
+    fn data_frame_start(&mut self, conn: u64) {
+        self.data_frames += 1;
+        let violated = match self.conns.get_mut(&conn) {
+            Some(c) => {
+                c.granted -= 1;
+                c.granted < 0
+            }
+            None => false,
+        };
+        if violated {
+            self.fault(
+                conn,
+                FaultCode::Protocol,
+                "credit window violated (data frame without credit)".into(),
+            );
+        }
+    }
+
+    fn ack_data(&mut self, conn: u64) {
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.granted += 1;
+        }
+        self.send_control(conn, Frame::Ack { credits: 1 });
+    }
+
+    fn ingest(&mut self, events: &[ocep_poet::Event], conn: u64, received_ns: u64) {
+        for e in events {
+            self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
+            let verdicts = self.set.observe_raw(e);
+            let elapsed = self.clock.now_ns().saturating_sub(received_ns);
+            self.latency.record(elapsed);
+            self.publish(verdicts);
+        }
+        self.report_ingest_faults(conn);
+    }
+
+    /// Relays guard quarantines back to the offending producer as
+    /// `Fault` frames — the wire-level visibility of `IngestFault`s.
+    fn report_ingest_faults(&mut self, conn: u64) {
+        let faults = self.set.take_ingest_faults();
+        for f in faults {
+            self.ingest_fault_frames += 1;
+            self.send_control(
+                conn,
+                Frame::Fault {
+                    code: FaultCode::Ingest,
+                    detail: f.to_string(),
+                },
+            );
+        }
+    }
+
+    fn publish(&mut self, verdicts: Vec<(String, Match)>) {
+        for (name, m) in verdicts {
+            let frame = Frame::Verdict(VerdictFrame {
+                monitor: name.clone(),
+                bindings: m
+                    .events()
+                    .iter()
+                    .map(|e| (e.trace().as_u32(), e.index().get()))
+                    .collect(),
+            });
+            let tails: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.mode == Some(Mode::Tail))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in tails {
+                let action = self.conns[&id].out.push_verdict(frame.clone());
+                let label = match action {
+                    SlowAction::Delivered => {
+                        *self.frames_out.entry("verdict").or_insert(0) += 1;
+                        continue;
+                    }
+                    SlowAction::DroppedNewest => "dropped_newest",
+                    SlowAction::DroppedOldest => "dropped_oldest",
+                    SlowAction::FlushedDegraded => "flushed_degraded",
+                };
+                *self.slow_actions.entry(label).or_insert(0) += 1;
+            }
+            self.verdicts.push((name, m));
+        }
+    }
+
+    /// The engine's current aggregate statistics (what `StatsReq` and
+    /// the shutdown broadcast report).
+    #[must_use]
+    pub fn stats_report(&self) -> StatsReport {
+        let g = self.set.ingest_stats();
+        StatsReport {
+            admitted: g.admitted,
+            quarantined: g.quarantined(),
+            duplicates: g.duplicates_dropped,
+            degraded: self.set.ingest_degraded(),
+            matches: self.verdicts.len() as u64,
+            connections: self.connections_total.min(u64::from(u32::MAX)) as u32,
+            frames: self.data_frames,
+        }
+    }
+
+    /// Serializes the whole set (every monitor with a configured pattern
+    /// source, plus the admission guard's reorder state) to one `OCKS`
+    /// blob — the in-memory checkpoint path the simulator's virtual
+    /// disk uses in place of the per-monitor files written on
+    /// `CheckpointReq` and shutdown.
+    #[must_use]
+    pub fn checkpoint_set(&self) -> Vec<u8> {
+        save_set(&self.set, &self.config.pattern_sources)
+    }
+
+    fn write_checkpoints(&self) -> Result<Vec<PathBuf>, std::io::Error> {
+        let Some(dir) = &self.config.checkpoint_dir else {
+            return Ok(Vec::new());
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, m) in self.set.iter() {
+            let Some(src) = self.config.pattern_sources.get(name) else {
+                continue;
+            };
+            let path = dir.join(format!("{name}.ockp"));
+            let bytes = m.checkpoint(src);
+            if std::env::var_os("OCEP_TEST_PARTIAL_CHECKPOINT").is_some() {
+                // Crash-injection hook (tests only): die between the
+                // OCKP header and the body, leaving a torn file exactly
+                // as a power cut mid-write would.
+                std::fs::write(&path, &bytes[..6])?;
+                std::process::exit(121);
+            }
+            std::fs::write(&path, bytes)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Drains the guard, writes checkpoints, broadcasts final stats to
+    /// every open connection, closes their queues, and assembles the
+    /// final report. The caller owns transport teardown (stopping
+    /// acceptors, unblocking sockets).
+    pub fn finish(&mut self) -> ServeReport {
+        // Graceful drain: deliver everything the guard still buffers.
+        self.journal_op(EngineOp::Flush);
+        let verdicts = self.set.flush_guard();
+        self.publish(verdicts);
+        let checkpoints = self.write_checkpoints().unwrap_or_default();
+        let stats = self.stats_report();
+        for (_, c) in self.conns.drain() {
+            *self.frames_out.entry("stats_report").or_insert(0) += 1;
+            c.out.push_control(Frame::StatsReport(stats));
+            c.out.close();
+            self.finished_conns.push((c.name, c.frames_in));
+        }
+        let metrics = self.metrics();
+        let subsets = self
+            .set
+            .iter()
+            .map(|(name, m)| {
+                let matches = m
+                    .subset()
+                    .iter()
+                    .map(|mm| {
+                        mm.events()
+                            .iter()
+                            .map(|e| (e.trace().as_u32(), e.index().get()))
+                            .collect()
+                    })
+                    .collect();
+                (name.to_owned(), matches)
+            })
+            .collect();
+        ServeReport {
+            verdicts: std::mem::take(&mut self.verdicts),
+            stats,
+            ingest: self.set.ingest_stats(),
+            metrics,
+            checkpoints,
+            subsets,
+            latency: std::mem::take(&mut self.latency),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut s = self.set.metrics();
+        s.counter(
+            "ocep_net_connections_total",
+            "Connections accepted over the server lifetime.",
+            self.connections_total,
+        );
+        s.gauge(
+            "ocep_net_open_connections",
+            "Connections currently open.",
+            self.conns.len() as u64,
+        );
+        let mut in_types: Vec<_> = self.frames_in.iter().collect();
+        in_types.sort();
+        for (ty, n) in in_types {
+            s.counter_with(
+                "ocep_net_frames_total",
+                "Frames processed, by direction and type.",
+                &[("dir", "in"), ("type", ty)],
+                *n,
+            );
+        }
+        let mut out_types: Vec<_> = self.frames_out.iter().collect();
+        out_types.sort();
+        for (ty, n) in out_types {
+            s.counter_with(
+                "ocep_net_frames_total",
+                "Frames processed, by direction and type.",
+                &[("dir", "out"), ("type", ty)],
+                *n,
+            );
+        }
+        s.counter_with(
+            "ocep_net_bytes_total",
+            "Wire bytes, by direction (length prefixes included).",
+            &[("dir", "in")],
+            self.bytes_in,
+        );
+        s.counter_with(
+            "ocep_net_bytes_total",
+            "Wire bytes, by direction (length prefixes included).",
+            &[("dir", "out")],
+            self.bytes_out.load(Ordering::Relaxed),
+        );
+        let mut faults: Vec<_> = self.decode_faults.iter().collect();
+        faults.sort();
+        for (kind, n) in faults {
+            s.counter_with(
+                "ocep_net_decode_faults_total",
+                "Frames rejected before admission, by kind.",
+                &[("kind", kind)],
+                *n,
+            );
+        }
+        s.counter(
+            "ocep_net_ingest_fault_frames_total",
+            "Guard quarantines relayed to producers as Fault frames.",
+            self.ingest_fault_frames,
+        );
+        let mut slow: Vec<_> = self.slow_actions.iter().collect();
+        slow.sort();
+        for (action, n) in slow {
+            s.counter_with(
+                "ocep_net_slow_client_total",
+                "Verdicts affected by the slow-client policy, by action.",
+                &[("action", action)],
+                *n,
+            );
+        }
+        if !self.latency.is_empty() {
+            s.histogram(
+                "ocep_net_accept_admit_ns",
+                "Nanoseconds from frame receipt to event admission.",
+                &self.latency,
+            );
+        }
+        for (id, c) in &self.conns {
+            let label = format!("{}#{id}", c.name);
+            s.counter_with(
+                "ocep_net_conn_frames_total",
+                "Frames received per connection.",
+                &[("conn", label.as_str()), ("peer", c.peer.as_str())],
+                c.frames_in,
+            );
+        }
+        for (name, n) in &self.finished_conns {
+            s.counter_with(
+                "ocep_net_conn_frames_total",
+                "Frames received per connection.",
+                &[("conn", name.as_str()), ("peer", "closed")],
+                *n,
+            );
+        }
+        s
+    }
+}

@@ -10,6 +10,11 @@
 //!   with the same hardening discipline as the dump/checkpoint formats:
 //!   magic + version, per-frame interned string tables, and decode
 //!   errors that carry byte offsets instead of panicking.
+//! * [`engine`] — the transport-free serving engine: OCWP frame
+//!   semantics, credit windows, slow-client policies, and report
+//!   assembly behind a clock/connection abstraction, so the same state
+//!   machine runs over real sockets and over the deterministic
+//!   simulator's virtual time.
 //! * [`server`] — the serving loop: a TCP acceptor, per-connection
 //!   reader/writer threads, and a single engine thread that owns the
 //!   [`MonitorSet`] and feeds every decoded arrival through the
@@ -33,9 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod engine;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, Tail};
+pub use engine::{EngineCore, EngineOp, NetClock, OutQueue, SlowAction, SystemClock};
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
-pub use wire::{FaultCode, Frame, Mode, StatsReport, VerdictFrame, WireError};
+pub use wire::{
+    Decoded, FaultCode, Frame, FrameDecoder, Mode, StatsReport, VerdictFrame, WireError,
+};

@@ -1,13 +1,13 @@
 //! The serving loop: multi-client TCP ingestion in front of a
 //! [`MonitorSet`].
 //!
-//! One **engine thread** owns the `MonitorSet` and processes every
-//! decoded frame in arrival order, so a single producer connection sees
-//! exactly the verdicts of in-process delivery (the network-transparency
-//! property the conformance suite pins). Each accepted connection gets a
-//! **reader thread** (frame decode → engine queue) and a **writer
-//! thread** (outbound queue → socket); the engine never blocks on a
-//! slow peer.
+//! One **engine thread** owns an [`EngineCore`] (and through it the
+//! `MonitorSet`) and processes every decoded frame in arrival order, so
+//! a single producer connection sees exactly the verdicts of in-process
+//! delivery (the network-transparency property the conformance suite
+//! pins). Each accepted connection gets a **reader thread** (frame
+//! decode → engine queue) and a **writer thread** (outbound queue →
+//! socket); the engine never blocks on a slow peer.
 //!
 //! Backpressure is two-layered: inbound, the engine queue is bounded, so
 //! readers — and through TCP, producers — stall when the engine falls
@@ -15,191 +15,25 @@
 //! window; outbound, each subscriber has a bounded verdict queue
 //! governed by a slow-client policy mirroring the guard's three
 //! overflow policies.
+//!
+//! All protocol semantics live in [`crate::engine`]; this module is
+//! only the TCP harness — sockets, threads, and the real clock. The
+//! deterministic simulator (`ocep-sim`) drives the same [`EngineCore`]
+//! from a virtual-time scheduler instead.
 
-use crate::wire::{
-    decode_body, read_frame_body, write_frame, FaultCode, Frame, Mode, StatsReport, VerdictFrame,
-    WireError,
-};
-use ocep_core::ingest::OverflowPolicy;
-use ocep_core::{Histogram, Match, MetricsSnapshot, MonitorSet};
-use std::collections::{HashMap, VecDeque};
+use crate::engine::{EngineCore, NetClock, OutQueue, SystemClock};
+use crate::wire::{decode_body, read_frame_body, write_frame, FaultCode, Frame, WireError};
+use ocep_core::MonitorSet;
 use std::io::{BufReader, BufWriter, Write as IoWrite};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc};
+
+pub use crate::engine::{MatchCoords, ServeConfig, ServeReport};
 
 /// How many queued frames the engine accepts before inbound readers
 /// (and, through TCP, their producers) stall.
 const ENGINE_QUEUE: usize = 1024;
-
-/// Serving-loop configuration.
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Ack-credit window granted to each producer: the number of data
-    /// frames it may have in flight before waiting for an Ack.
-    pub window: u32,
-    /// What to do when a tail subscriber cannot keep up with the
-    /// verdict stream. Mirrors the guard's overflow policies:
-    /// `Reject` drops the newest verdict, `DropOldest` evicts the
-    /// oldest queued one, `FlushDegraded` clears the queue and marks
-    /// the stream degraded with a `Fault` frame.
-    pub slow_policy: OverflowPolicy,
-    /// Bounded per-subscriber outbound queue length.
-    pub subscriber_queue: usize,
-    /// Directory for checkpoint-on-shutdown; `None` disables it.
-    pub checkpoint_dir: Option<PathBuf>,
-    /// Pattern source per monitor name, required to write checkpoints.
-    pub pattern_sources: HashMap<String, String>,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            window: 64,
-            slow_policy: OverflowPolicy::Reject,
-            subscriber_queue: 1024,
-            checkpoint_dir: None,
-            pattern_sources: HashMap::new(),
-        }
-    }
-}
-
-/// One monitor's retained matches as leaf-wise `(trace, index)`
-/// coordinates: outer `Vec` per match, inner per leaf.
-pub type MatchCoords = Vec<Vec<(u32, u32)>>;
-
-/// What the serving loop did, returned by [`Server::join`].
-#[derive(Debug)]
-pub struct ServeReport {
-    /// Every `(monitor, match)` verdict, in report order.
-    pub verdicts: Vec<(String, Match)>,
-    /// Final aggregate statistics (also broadcast on shutdown).
-    pub stats: StatsReport,
-    /// Final ingest statistics from the set-level guard.
-    pub ingest: ocep_core::IngestStats,
-    /// Combined monitor + network metrics snapshot.
-    pub metrics: MetricsSnapshot,
-    /// Checkpoint files written during shutdown.
-    pub checkpoints: Vec<PathBuf>,
-    /// Final representative subset per monitor: each match as leaf-wise
-    /// `(trace, index)` pairs, in subset order. Lets callers compare a
-    /// served run against in-process delivery without keeping the set.
-    pub subsets: Vec<(String, MatchCoords)>,
-    /// Accept→admit latency histogram (nanoseconds): socket-read to
-    /// post-`observe_raw` per event. Same samples as the exported
-    /// `ocep_net_accept_admit_ns` metric, in queryable form.
-    pub latency: Histogram,
-}
-
-/// What a slow-client policy did with one verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlowAction {
-    Delivered,
-    DroppedNewest,
-    DroppedOldest,
-    FlushedDegraded,
-}
-
-#[derive(Debug)]
-struct OutState {
-    queue: VecDeque<Frame>,
-    closed: bool,
-}
-
-/// A bounded outbound frame queue shared by the engine (producer side)
-/// and one writer thread (consumer side).
-///
-/// Control frames (acks, faults, stats) are never dropped; only
-/// verdicts are subject to the slow-client policy.
-#[derive(Debug, Clone)]
-struct OutQueue {
-    inner: Arc<(Mutex<OutState>, Condvar)>,
-    cap: usize,
-    policy: OverflowPolicy,
-}
-
-impl OutQueue {
-    fn new(cap: usize, policy: OverflowPolicy) -> Self {
-        OutQueue {
-            inner: Arc::new((
-                Mutex::new(OutState {
-                    queue: VecDeque::new(),
-                    closed: false,
-                }),
-                Condvar::new(),
-            )),
-            cap: cap.max(1),
-            policy,
-        }
-    }
-
-    fn push_control(&self, frame: Frame) {
-        let (lock, cv) = &*self.inner;
-        let mut st = lock.lock().unwrap();
-        if !st.closed {
-            st.queue.push_back(frame);
-            cv.notify_one();
-        }
-    }
-
-    fn push_verdict(&self, frame: Frame) -> SlowAction {
-        let (lock, cv) = &*self.inner;
-        let mut st = lock.lock().unwrap();
-        if st.closed {
-            return SlowAction::DroppedNewest;
-        }
-        let action = if st.queue.len() < self.cap {
-            st.queue.push_back(frame);
-            SlowAction::Delivered
-        } else {
-            match self.policy {
-                OverflowPolicy::Reject => SlowAction::DroppedNewest,
-                OverflowPolicy::DropOldest => {
-                    st.queue.pop_front();
-                    st.queue.push_back(frame);
-                    SlowAction::DroppedOldest
-                }
-                OverflowPolicy::FlushDegraded => {
-                    let lost = st.queue.len();
-                    st.queue.clear();
-                    st.queue.push_back(Frame::Fault {
-                        code: FaultCode::SlowClient,
-                        detail: format!(
-                            "subscriber fell behind: {lost} queued verdict(s) discarded"
-                        ),
-                    });
-                    st.queue.push_back(frame);
-                    SlowAction::FlushedDegraded
-                }
-            }
-        };
-        cv.notify_one();
-        action
-    }
-
-    fn close(&self) {
-        let (lock, cv) = &*self.inner;
-        lock.lock().unwrap().closed = true;
-        cv.notify_all();
-    }
-
-    /// Blocks for the next frame; `None` once closed and drained.
-    fn pop(&self) -> Option<Frame> {
-        let (lock, cv) = &*self.inner;
-        let mut st = lock.lock().unwrap();
-        loop {
-            if let Some(f) = st.queue.pop_front() {
-                return Some(f);
-            }
-            if st.closed {
-                return None;
-            }
-            st = cv.wait(st).unwrap();
-        }
-    }
-}
 
 enum EngineMsg {
     Accepted {
@@ -210,7 +44,7 @@ enum EngineMsg {
     Frame {
         conn: u64,
         frame: Frame,
-        received: Instant,
+        received_ns: u64,
         bytes: u64,
     },
     /// The reader already replied with a `Fault`; the engine only
@@ -223,17 +57,6 @@ enum EngineMsg {
     },
     /// Local shutdown request from a [`ServerHandle`].
     Stop,
-}
-
-struct Conn {
-    name: String,
-    peer: String,
-    mode: Option<Mode>,
-    out: OutQueue,
-    frames_in: u64,
-    /// Remaining credits the peer holds; engine-side bookkeeping to
-    /// detect window violations.
-    granted: i64,
 }
 
 /// A handle for requesting shutdown from another thread (used by tests
@@ -290,21 +113,27 @@ impl Server {
         let (tx, rx) = mpsc::sync_channel::<EngineMsg>(ENGINE_QUEUE);
         let stop = Arc::new(AtomicBool::new(false));
         let bytes_out = Arc::new(AtomicU64::new(0));
+        let clock: Arc<dyn NetClock> = Arc::new(SystemClock::new());
 
         let acceptor = {
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
             let bytes_out = Arc::clone(&bytes_out);
+            let clock = Arc::clone(&clock);
             let config = config.clone();
             std::thread::spawn(move || {
-                accept_loop(&listener, &tx, &stop, &bytes_out, &config);
+                accept_loop(&listener, &tx, &stop, &bytes_out, &clock, &config);
             })
         };
 
         let engine = {
             let stop = Arc::clone(&stop);
             let bytes_out = Arc::clone(&bytes_out);
-            std::thread::spawn(move || Engine::new(set, config, rx, stop, bytes_out, local).run())
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                let core = EngineCore::new(set, config, clock, bytes_out);
+                engine_loop(core, &rx, &stop, local)
+            })
         };
 
         let handle = ServerHandle { tx, addr: local };
@@ -342,11 +171,50 @@ impl Server {
     }
 }
 
+/// Dispatches queued transport messages into the core until shutdown,
+/// then tears the transport down (stop flag + self-connect to unblock
+/// the acceptor) and returns the final report.
+fn engine_loop(
+    mut core: EngineCore,
+    rx: &mpsc::Receiver<EngineMsg>,
+    stop: &AtomicBool,
+    local: SocketAddr,
+) -> ServeReport {
+    let finish = |core: &mut EngineCore| {
+        let report = core.finish();
+        // Unblock the acceptor, which is parked in accept().
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(local);
+        report
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            EngineMsg::Accepted { conn, peer, out } => core.on_accepted(conn, peer, out),
+            EngineMsg::Frame {
+                conn,
+                frame,
+                received_ns,
+                bytes,
+            } => {
+                if core.on_frame(conn, frame, received_ns, bytes) {
+                    return finish(&mut core);
+                }
+            }
+            EngineMsg::Malformed { code } => core.on_malformed(code),
+            EngineMsg::Closed { conn } => core.on_closed(conn),
+            EngineMsg::Stop => return finish(&mut core),
+        }
+    }
+    // All senders gone (acceptor died): shut down what we have.
+    finish(&mut core)
+}
+
 fn accept_loop(
     listener: &TcpListener,
     tx: &mpsc::SyncSender<EngineMsg>,
     stop: &Arc<AtomicBool>,
     bytes_out: &Arc<AtomicU64>,
+    clock: &Arc<dyn NetClock>,
     config: &ServeConfig,
 ) {
     let mut next_id: u64 = 0;
@@ -374,7 +242,7 @@ fn accept_loop(
             break; // engine gone
         }
         spawn_writer(conn, &stream, &out, bytes_out);
-        spawn_reader(conn, stream, tx.clone(), out);
+        spawn_reader(conn, stream, tx.clone(), out, Arc::clone(clock));
     }
 }
 
@@ -410,7 +278,13 @@ fn spawn_writer(conn: u64, stream: &TcpStream, out: &OutQueue, bytes_out: &Arc<A
         .expect("spawn writer");
 }
 
-fn spawn_reader(conn: u64, stream: TcpStream, tx: mpsc::SyncSender<EngineMsg>, out: OutQueue) {
+fn spawn_reader(
+    conn: u64,
+    stream: TcpStream,
+    tx: mpsc::SyncSender<EngineMsg>,
+    out: OutQueue,
+    clock: Arc<dyn NetClock>,
+) {
     std::thread::Builder::new()
         .name(format!("ocwp-reader-{conn}"))
         .spawn(move || {
@@ -442,7 +316,7 @@ fn spawn_reader(conn: u64, stream: TcpStream, tx: mpsc::SyncSender<EngineMsg>, o
                     }
                     Err(_) => break,
                 };
-                let received = Instant::now();
+                let received_ns = clock.now_ns();
                 let bytes = 4 + body.len() as u64;
                 match decode_body(&body) {
                     Ok(frame) => {
@@ -450,7 +324,7 @@ fn spawn_reader(conn: u64, stream: TcpStream, tx: mpsc::SyncSender<EngineMsg>, o
                             .send(EngineMsg::Frame {
                                 conn,
                                 frame,
-                                received,
+                                received_ns,
                                 bytes,
                             })
                             .is_err()
@@ -479,468 +353,4 @@ fn spawn_reader(conn: u64, stream: TcpStream, tx: mpsc::SyncSender<EngineMsg>, o
             let _ = tx.send(EngineMsg::Closed { conn });
         })
         .expect("spawn reader");
-}
-
-struct Engine {
-    set: MonitorSet,
-    config: ServeConfig,
-    rx: mpsc::Receiver<EngineMsg>,
-    stop: Arc<AtomicBool>,
-    bytes_out: Arc<AtomicU64>,
-    local: SocketAddr,
-    conns: HashMap<u64, Conn>,
-    verdicts: Vec<(String, Match)>,
-    connections_total: u64,
-    data_frames: u64,
-    frames_in: HashMap<&'static str, u64>,
-    frames_out: HashMap<&'static str, u64>,
-    bytes_in: u64,
-    decode_faults: HashMap<&'static str, u64>,
-    slow_actions: HashMap<&'static str, u64>,
-    ingest_fault_frames: u64,
-    latency: Histogram,
-    /// Frame counts of connections that already closed, keyed by the
-    /// connection's self-reported name.
-    finished_conns: Vec<(String, u64)>,
-}
-
-impl Engine {
-    fn new(
-        set: MonitorSet,
-        config: ServeConfig,
-        rx: mpsc::Receiver<EngineMsg>,
-        stop: Arc<AtomicBool>,
-        bytes_out: Arc<AtomicU64>,
-        local: SocketAddr,
-    ) -> Engine {
-        Engine {
-            set,
-            config,
-            rx,
-            stop,
-            bytes_out,
-            local,
-            conns: HashMap::new(),
-            verdicts: Vec::new(),
-            connections_total: 0,
-            data_frames: 0,
-            frames_in: HashMap::new(),
-            frames_out: HashMap::new(),
-            bytes_in: 0,
-            decode_faults: HashMap::new(),
-            slow_actions: HashMap::new(),
-            ingest_fault_frames: 0,
-            latency: Histogram::default(),
-            finished_conns: Vec::new(),
-        }
-    }
-
-    fn run(mut self) -> ServeReport {
-        while let Ok(msg) = self.rx.recv() {
-            match msg {
-                EngineMsg::Accepted { conn, peer, out } => {
-                    self.connections_total += 1;
-                    self.conns.insert(
-                        conn,
-                        Conn {
-                            name: format!("conn-{conn}"),
-                            peer,
-                            mode: None,
-                            out,
-                            frames_in: 0,
-                            granted: 0,
-                        },
-                    );
-                }
-                EngineMsg::Frame {
-                    conn,
-                    frame,
-                    received,
-                    bytes,
-                } => {
-                    self.bytes_in += bytes;
-                    *self.frames_in.entry(frame.type_name()).or_insert(0) += 1;
-                    if let Some(c) = self.conns.get_mut(&conn) {
-                        c.frames_in += 1;
-                    }
-                    let shutdown = self.handle_frame(conn, frame, received);
-                    if shutdown {
-                        return self.shutdown();
-                    }
-                }
-                EngineMsg::Malformed { code } => {
-                    *self.decode_faults.entry(code.name()).or_insert(0) += 1;
-                    *self.frames_out.entry("fault").or_insert(0) += 1;
-                }
-                EngineMsg::Closed { conn } => {
-                    if let Some(c) = self.conns.remove(&conn) {
-                        c.out.close();
-                        self.finished_conns.push((c.name, c.frames_in));
-                    }
-                }
-                EngineMsg::Stop => return self.shutdown(),
-            }
-        }
-        // All senders gone (acceptor died): shut down what we have.
-        self.shutdown()
-    }
-
-    fn send_control(&mut self, conn: u64, frame: Frame) {
-        *self.frames_out.entry(frame.type_name()).or_insert(0) += 1;
-        if let Some(c) = self.conns.get(&conn) {
-            c.out.push_control(frame);
-        }
-    }
-
-    fn fault(&mut self, conn: u64, code: FaultCode, detail: String) {
-        *self.decode_faults.entry(code.name()).or_insert(0) += 1;
-        self.send_control(conn, Frame::Fault { code, detail });
-    }
-
-    /// Returns true when the frame requests shutdown.
-    fn handle_frame(&mut self, conn: u64, frame: Frame, received: Instant) -> bool {
-        let mode = self.conns.get(&conn).and_then(|c| c.mode);
-        match frame {
-            Frame::Hello {
-                mode: hello_mode,
-                n_traces,
-                name,
-            } => {
-                if mode.is_some() {
-                    self.fault(conn, FaultCode::Protocol, "duplicate hello".into());
-                    return false;
-                }
-                if hello_mode == Mode::Producer && n_traces as usize != self.set.n_traces() {
-                    self.fault(
-                        conn,
-                        FaultCode::Protocol,
-                        format!(
-                            "producer announces {n_traces} trace(s), server monitors {}",
-                            self.set.n_traces()
-                        ),
-                    );
-                    return false;
-                }
-                let window = self.config.window;
-                if let Some(c) = self.conns.get_mut(&conn) {
-                    c.mode = Some(hello_mode);
-                    if !name.is_empty() {
-                        c.name = name;
-                    }
-                    c.granted = i64::from(window);
-                }
-                self.send_control(conn, Frame::Ack { credits: window });
-                false
-            }
-            Frame::Event(_) | Frame::EventBatch(_) | Frame::Flush
-                if mode != Some(Mode::Producer) =>
-            {
-                self.fault(
-                    conn,
-                    FaultCode::Protocol,
-                    format!("{} frame before producer hello", frame.type_name()),
-                );
-                false
-            }
-            Frame::Event(e) => {
-                self.data_frame_start(conn);
-                self.ingest(&[*e], conn, received);
-                self.ack_data(conn);
-                false
-            }
-            Frame::EventBatch(events) => {
-                self.data_frame_start(conn);
-                self.ingest(&events, conn, received);
-                self.ack_data(conn);
-                false
-            }
-            Frame::Flush => {
-                self.data_frame_start(conn);
-                let verdicts = self.set.flush_guard();
-                self.publish(verdicts);
-                self.report_ingest_faults(conn);
-                self.ack_data(conn);
-                false
-            }
-            Frame::CheckpointReq => {
-                if let Err(e) = self.write_checkpoints() {
-                    self.fault(conn, FaultCode::Protocol, format!("checkpoint failed: {e}"));
-                } else {
-                    let report = self.stats_report();
-                    self.send_control(conn, Frame::StatsReport(report));
-                }
-                false
-            }
-            Frame::StatsReq => {
-                let report = self.stats_report();
-                self.send_control(conn, Frame::StatsReport(report));
-                false
-            }
-            Frame::Shutdown => true,
-            // Client-to-server frames that make no sense here.
-            Frame::Ack { .. } | Frame::Fault { .. } | Frame::StatsReport(_) | Frame::Verdict(_) => {
-                self.fault(
-                    conn,
-                    FaultCode::Protocol,
-                    format!("unexpected {} frame from client", frame.type_name()),
-                );
-                false
-            }
-        }
-    }
-
-    fn data_frame_start(&mut self, conn: u64) {
-        self.data_frames += 1;
-        let violated = match self.conns.get_mut(&conn) {
-            Some(c) => {
-                c.granted -= 1;
-                c.granted < 0
-            }
-            None => false,
-        };
-        if violated {
-            self.fault(
-                conn,
-                FaultCode::Protocol,
-                "credit window violated (data frame without credit)".into(),
-            );
-        }
-    }
-
-    fn ack_data(&mut self, conn: u64) {
-        if let Some(c) = self.conns.get_mut(&conn) {
-            c.granted += 1;
-        }
-        self.send_control(conn, Frame::Ack { credits: 1 });
-    }
-
-    fn ingest(&mut self, events: &[ocep_poet::Event], conn: u64, received: Instant) {
-        for e in events {
-            let verdicts = self.set.observe_raw(e);
-            let elapsed = received.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-            self.latency.record(elapsed);
-            self.publish(verdicts);
-        }
-        self.report_ingest_faults(conn);
-    }
-
-    /// Relays guard quarantines back to the offending producer as
-    /// `Fault` frames — the wire-level visibility of `IngestFault`s.
-    fn report_ingest_faults(&mut self, conn: u64) {
-        let faults = self.set.take_ingest_faults();
-        for f in faults {
-            self.ingest_fault_frames += 1;
-            self.send_control(
-                conn,
-                Frame::Fault {
-                    code: FaultCode::Ingest,
-                    detail: f.to_string(),
-                },
-            );
-        }
-    }
-
-    fn publish(&mut self, verdicts: Vec<(String, Match)>) {
-        for (name, m) in verdicts {
-            let frame = Frame::Verdict(VerdictFrame {
-                monitor: name.clone(),
-                bindings: m
-                    .events()
-                    .iter()
-                    .map(|e| (e.trace().as_u32(), e.index().get()))
-                    .collect(),
-            });
-            let tails: Vec<u64> = self
-                .conns
-                .iter()
-                .filter(|(_, c)| c.mode == Some(Mode::Tail))
-                .map(|(id, _)| *id)
-                .collect();
-            for id in tails {
-                let action = self.conns[&id].out.push_verdict(frame.clone());
-                let label = match action {
-                    SlowAction::Delivered => {
-                        *self.frames_out.entry("verdict").or_insert(0) += 1;
-                        continue;
-                    }
-                    SlowAction::DroppedNewest => "dropped_newest",
-                    SlowAction::DroppedOldest => "dropped_oldest",
-                    SlowAction::FlushedDegraded => "flushed_degraded",
-                };
-                *self.slow_actions.entry(label).or_insert(0) += 1;
-            }
-            self.verdicts.push((name, m));
-        }
-    }
-
-    fn stats_report(&self) -> StatsReport {
-        let g = self.set.ingest_stats();
-        StatsReport {
-            admitted: g.admitted,
-            quarantined: g.quarantined(),
-            duplicates: g.duplicates_dropped,
-            degraded: self.set.ingest_degraded(),
-            matches: self.verdicts.len() as u64,
-            connections: self.connections_total.min(u64::from(u32::MAX)) as u32,
-            frames: self.data_frames,
-        }
-    }
-
-    fn write_checkpoints(&self) -> Result<Vec<PathBuf>, std::io::Error> {
-        let Some(dir) = &self.config.checkpoint_dir else {
-            return Ok(Vec::new());
-        };
-        std::fs::create_dir_all(dir)?;
-        let mut written = Vec::new();
-        for (name, m) in self.set.iter() {
-            let Some(src) = self.config.pattern_sources.get(name) else {
-                continue;
-            };
-            let path = dir.join(format!("{name}.ockp"));
-            std::fs::write(&path, m.checkpoint(src))?;
-            written.push(path);
-        }
-        Ok(written)
-    }
-
-    fn shutdown(mut self) -> ServeReport {
-        // Graceful drain: deliver everything the guard still buffers.
-        let verdicts = self.set.flush_guard();
-        self.publish(verdicts);
-        let checkpoints = self.write_checkpoints().unwrap_or_default();
-        let stats = self.stats_report();
-        for (_, c) in self.conns.drain() {
-            *self.frames_out.entry("stats_report").or_insert(0) += 1;
-            c.out.push_control(Frame::StatsReport(stats));
-            c.out.close();
-            self.finished_conns.push((c.name, c.frames_in));
-        }
-        // Unblock the acceptor, which is parked in accept().
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.local);
-
-        let metrics = self.metrics();
-        let subsets = self
-            .set
-            .iter()
-            .map(|(name, m)| {
-                let matches = m
-                    .subset()
-                    .iter()
-                    .map(|mm| {
-                        mm.events()
-                            .iter()
-                            .map(|e| (e.trace().as_u32(), e.index().get()))
-                            .collect()
-                    })
-                    .collect();
-                (name.to_owned(), matches)
-            })
-            .collect();
-        ServeReport {
-            verdicts: std::mem::take(&mut self.verdicts),
-            stats,
-            ingest: self.set.ingest_stats(),
-            metrics,
-            checkpoints,
-            subsets,
-            latency: std::mem::take(&mut self.latency),
-        }
-    }
-
-    fn metrics(&self) -> MetricsSnapshot {
-        let mut s = self.set.metrics();
-        s.counter(
-            "ocep_net_connections_total",
-            "Connections accepted over the server lifetime.",
-            self.connections_total,
-        );
-        s.gauge(
-            "ocep_net_open_connections",
-            "Connections currently open.",
-            self.conns.len() as u64,
-        );
-        let mut in_types: Vec<_> = self.frames_in.iter().collect();
-        in_types.sort();
-        for (ty, n) in in_types {
-            s.counter_with(
-                "ocep_net_frames_total",
-                "Frames processed, by direction and type.",
-                &[("dir", "in"), ("type", ty)],
-                *n,
-            );
-        }
-        let mut out_types: Vec<_> = self.frames_out.iter().collect();
-        out_types.sort();
-        for (ty, n) in out_types {
-            s.counter_with(
-                "ocep_net_frames_total",
-                "Frames processed, by direction and type.",
-                &[("dir", "out"), ("type", ty)],
-                *n,
-            );
-        }
-        s.counter_with(
-            "ocep_net_bytes_total",
-            "Wire bytes, by direction (length prefixes included).",
-            &[("dir", "in")],
-            self.bytes_in,
-        );
-        s.counter_with(
-            "ocep_net_bytes_total",
-            "Wire bytes, by direction (length prefixes included).",
-            &[("dir", "out")],
-            self.bytes_out.load(Ordering::Relaxed),
-        );
-        let mut faults: Vec<_> = self.decode_faults.iter().collect();
-        faults.sort();
-        for (kind, n) in faults {
-            s.counter_with(
-                "ocep_net_decode_faults_total",
-                "Frames rejected before admission, by kind.",
-                &[("kind", kind)],
-                *n,
-            );
-        }
-        s.counter(
-            "ocep_net_ingest_fault_frames_total",
-            "Guard quarantines relayed to producers as Fault frames.",
-            self.ingest_fault_frames,
-        );
-        let mut slow: Vec<_> = self.slow_actions.iter().collect();
-        slow.sort();
-        for (action, n) in slow {
-            s.counter_with(
-                "ocep_net_slow_client_total",
-                "Verdicts affected by the slow-client policy, by action.",
-                &[("action", action)],
-                *n,
-            );
-        }
-        if !self.latency.is_empty() {
-            s.histogram(
-                "ocep_net_accept_admit_ns",
-                "Nanoseconds from frame receipt to event admission.",
-                &self.latency,
-            );
-        }
-        for (id, c) in &self.conns {
-            let label = format!("{}#{id}", c.name);
-            s.counter_with(
-                "ocep_net_conn_frames_total",
-                "Frames received per connection.",
-                &[("conn", label.as_str()), ("peer", c.peer.as_str())],
-                c.frames_in,
-            );
-        }
-        for (name, n) in &self.finished_conns {
-            s.counter_with(
-                "ocep_net_conn_frames_total",
-                "Frames received per connection.",
-                &[("conn", name.as_str()), ("peer", "closed")],
-                *n,
-            );
-        }
-        s
-    }
 }

@@ -675,6 +675,144 @@ pub fn read_frame(r: &mut impl IoRead) -> Result<Frame, WireError> {
     decode_body(&body)
 }
 
+/// One unit produced by a [`FrameDecoder`] — the push-based mirror of
+/// what the server's reader thread does with each wire condition.
+#[derive(Debug)]
+pub enum Decoded {
+    /// A well-formed frame; `bytes` is its wire size (prefix included).
+    Frame {
+        /// The decoded frame.
+        frame: Frame,
+        /// Wire bytes consumed by this frame, length prefix included.
+        bytes: u64,
+    },
+    /// A recoverable stream fault: the frame was rejected but the
+    /// length prefix kept the stream aligned (zero-length frame, or a
+    /// body that failed to decode). The reader thread answers these
+    /// with a `Fault` frame and keeps reading.
+    Quarantined {
+        /// The fault code the reader would send back.
+        code: FaultCode,
+        /// The diagnostic detail, byte-identical to the TCP reader's.
+        detail: String,
+    },
+    /// Framing can no longer be trusted (hostile length prefix). The
+    /// reader thread faults and closes; the decoder is poisoned and
+    /// yields nothing further.
+    Fatal {
+        /// The fault code the reader would send back.
+        code: FaultCode,
+        /// The diagnostic detail, byte-identical to the TCP reader's.
+        detail: String,
+    },
+}
+
+/// An incremental, push-based OCWP decoder over an in-memory byte
+/// stream: feed it arbitrary chunks with [`FrameDecoder::push`], pull
+/// complete decode outcomes with [`FrameDecoder::next`].
+///
+/// Its outcomes mirror the server's reader thread **exactly** — same
+/// quarantine-versus-fatal split, same diagnostic strings — which is
+/// what lets the deterministic simulator run the real serving engine
+/// over simulated transports without a socket: one `Decoded` maps to
+/// one engine message (`Frame`/`Malformed`), and a `Fatal` outcome maps
+/// to the reader breaking its connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw wire bytes (ignored once the decoder is poisoned).
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        // Compact lazily so a long-lived connection doesn't grow the
+        // buffer without bound.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Decodes the next complete unit, or `None` when more bytes are
+    /// needed (or the decoder is poisoned).
+    ///
+    /// Deliberately named like `Iterator::next` — the call shape is the
+    /// same — but not implemented as the trait: `None` here means "feed
+    /// me more bytes via [`FrameDecoder::push`]", not end-of-stream, so
+    /// `for`-loop semantics would be a trap.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Decoded> {
+        if self.poisoned || self.pending().len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.pending()[..4].try_into().expect("4 bytes checked"));
+        if len == 0 {
+            self.pos += 4;
+            return Some(Decoded::Quarantined {
+                code: FaultCode::Decode,
+                detail: PoetError::Corrupt("zero-length frame".into()).to_string(),
+            });
+        }
+        if len as usize > MAX_FRAME {
+            self.poisoned = true;
+            return Some(Decoded::Fatal {
+                code: FaultCode::Oversize,
+                detail: format!("frame length {len} exceeds maximum"),
+            });
+        }
+        if self.pending().len() < 4 + len as usize {
+            return None;
+        }
+        let body = &self.pending()[4..4 + len as usize];
+        let outcome = match decode_body(body) {
+            Ok(frame) => Decoded::Frame {
+                frame,
+                bytes: 4 + u64::from(len),
+            },
+            // The length prefix was sound, so the stream stays
+            // aligned: quarantine this body only.
+            Err(e) => Decoded::Quarantined {
+                code: FaultCode::Decode,
+                detail: e.to_string(),
+            },
+        };
+        self.pos += 4 + len as usize;
+        Some(outcome)
+    }
+
+    /// True once a fatal framing error occurred; a real reader would
+    /// have closed the connection at this point.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes buffered but not yet consumed by a decode outcome.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.pending().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,5 +1009,99 @@ mod tests {
         // Reading the truncated body hits EOF inside the frame.
         let mut cursor = &wire[..];
         assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn decoder_round_trips_every_frame_in_one_byte_chunks() {
+        let mut wire = Vec::new();
+        for frame in all_frames() {
+            write_frame(&mut wire, &frame).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b));
+            while let Some(d) = dec.next() {
+                match d {
+                    Decoded::Frame { frame, bytes } => {
+                        assert!(bytes >= 5);
+                        got.push(frame);
+                    }
+                    other => panic!("clean stream produced {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got, all_frames());
+        assert_eq!(dec.buffered(), 0);
+        assert!(!dec.is_poisoned());
+    }
+
+    #[test]
+    fn decoder_quarantines_zero_length_and_stays_aligned() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        write_frame(&mut wire, &Frame::Shutdown).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        match dec.next().unwrap() {
+            Decoded::Quarantined { code, detail } => {
+                assert_eq!(code, FaultCode::Decode);
+                assert!(detail.contains("zero-length frame"), "{detail}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(matches!(
+            dec.next().unwrap(),
+            Decoded::Frame {
+                frame: Frame::Shutdown,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decoder_quarantines_bad_body_and_stays_aligned() {
+        // A sound length prefix over a garbage body: the frame is
+        // rejected but the next frame still decodes.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        wire.extend_from_slice(&[0xfe, 0xca, 0xfe]);
+        write_frame(&mut wire, &Frame::Flush).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(matches!(
+            dec.next().unwrap(),
+            Decoded::Quarantined {
+                code: FaultCode::Decode,
+                ..
+            }
+        ));
+        assert!(matches!(
+            dec.next().unwrap(),
+            Decoded::Frame {
+                frame: Frame::Flush,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decoder_poisons_on_oversize_prefix() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        write_frame(&mut wire, &Frame::Shutdown).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        match dec.next().unwrap() {
+            Decoded::Fatal { code, detail } => {
+                assert_eq!(code, FaultCode::Oversize);
+                assert!(detail.contains("exceeds maximum"), "{detail}");
+            }
+            other => panic!("expected fatal, got {other:?}"),
+        }
+        assert!(dec.is_poisoned());
+        assert!(dec.next().is_none(), "poisoned decoder yields nothing");
+        dec.push(b"more");
+        assert!(dec.next().is_none());
     }
 }

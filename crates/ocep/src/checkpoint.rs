@@ -54,6 +54,7 @@ use crate::history::LeafHistory;
 use crate::ingest::{GuardConfig, IngestStats, OverflowPolicy};
 use crate::matching::Match;
 use crate::monitor::{Monitor, MonitorConfig, SubsetPolicy};
+use crate::multi::MonitorSet;
 use crate::obs::{ArrivalRecord, Histogram, Metrics, ObsLevel, HIST_BUCKETS, RECENT_CAP};
 use crate::stats::MonitorStats;
 use ocep_pattern::Pattern;
@@ -759,6 +760,247 @@ impl Monitor {
     }
 }
 
+// ---------------------------------------------------------------------
+// Set-level checkpoints (the serve daemon's unit of crash recovery).
+// ---------------------------------------------------------------------
+
+const SET_MAGIC: &[u8; 4] = b"OCKS";
+const SET_VERSION: u16 = 1;
+
+fn put_event(buf: &mut Vec<u8>, e: &Event) {
+    put_u32(buf, e.trace().as_u32());
+    put_u32(buf, e.index().get());
+    buf.push(match e.kind() {
+        EventKind::Send => 0,
+        EventKind::Receive => 1,
+        EventKind::Unary => 2,
+    });
+    put_str(buf, e.ty());
+    put_str(buf, e.text());
+    match e.partner() {
+        Some(p) => {
+            buf.push(1);
+            put_u32(buf, p.trace().as_u32());
+            put_u32(buf, p.index().get());
+        }
+        None => buf.push(0),
+    }
+    let entries = e.clock().entries();
+    put_u32(buf, entries.len() as u32);
+    for &v in entries {
+        put_u32(buf, v);
+    }
+}
+
+fn read_event(r: &mut Reader<'_>, n_traces: usize) -> Result<Event, CheckpointError> {
+    let at = r.offset();
+    let trace = r.u32("event trace")?;
+    let index = r.u32("event index")?;
+    let kind = match r.u8("event kind")? {
+        0 => EventKind::Send,
+        1 => EventKind::Receive,
+        2 => EventKind::Unary,
+        k => {
+            return Err(CheckpointError::Format(PoetError::Corrupt(format!(
+                "bad kind {k} for buffered event at byte {at}"
+            ))))
+        }
+    };
+    let ty: Arc<str> = Arc::from(r.str("event ty")?);
+    let text: Arc<str> = Arc::from(r.str("event text")?);
+    let partner = if r.u8("partner flag")? != 0 {
+        let pt = r.u32("partner trace")?;
+        let pi = r.u32("partner index")?;
+        if pt as usize >= n_traces || pi == 0 {
+            return Err(CheckpointError::Invalid(format!(
+                "buffered event partner T{pt}:{pi} out of range"
+            )));
+        }
+        Some(EventId::new(TraceId::new(pt), EventIndex::new(pi)))
+    } else {
+        None
+    };
+    let clock_len = r.u32("clock length")? as usize;
+    if clock_len != n_traces {
+        return Err(CheckpointError::Invalid(format!(
+            "buffered event clock has {clock_len} entries over {n_traces} traces"
+        )));
+    }
+    let mut entries = Vec::with_capacity(clock_len);
+    for _ in 0..clock_len {
+        entries.push(r.u32("clock entry")?);
+    }
+    if (trace as usize) >= n_traces || index == 0 || entries[trace as usize] != index {
+        return Err(CheckpointError::Invalid(format!(
+            "buffered event (T{trace}:{index}) violates the Fidge convention"
+        )));
+    }
+    let id = EventId::new(TraceId::new(trace), EventIndex::new(index));
+    let stamp = StampedEvent::new(id, VectorClock::from_entries(entries));
+    Ok(Event::new(stamp, kind, ty, text, partner))
+}
+
+/// Serializes a whole [`MonitorSet`] — every registered monitor plus the
+/// set-level admission guard's reorder state and counters — to one
+/// `OCKS` blob. This is the serve daemon's unit of crash recovery: a set
+/// restored from it and fed the remainder of the stream produces
+/// bit-identical verdicts, subsets, and `IngestStats` to one that never
+/// stopped.
+///
+/// `sources` maps monitor names to the pattern source each is
+/// monitoring (the per-monitor [`save`] format embeds the source so
+/// restore can rebuild the pattern). Monitors without an entry are
+/// skipped, mirroring the serve daemon's per-file checkpoint policy.
+///
+/// ```text
+/// magic     [u8;4] = b"OCKS", version u16 = 1
+/// n_traces  u32
+/// monitors  u32 count; per monitor: name str, u32-len-prefixed
+///           OCKP blob (see [`save`])
+/// guard     u8 flag; iff 1: capacity u64, overflow u8,
+///           admitted u32×n_traces, u32 buffered + inline events
+///           (trace u32, index u32, kind u8, ty str, text str,
+///           partner u8 [trace u32, index u32], clock u32 len +
+///           u32×len), 12 × u64 ingest stats
+/// ```
+#[must_use]
+pub fn save_set(set: &MonitorSet, sources: &HashMap<String, String>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SET_MAGIC);
+    buf.extend_from_slice(&SET_VERSION.to_le_bytes());
+    put_u32(&mut buf, set.n_traces() as u32);
+
+    let saved: Vec<(&str, Vec<u8>)> = set
+        .iter()
+        .filter_map(|(name, m)| sources.get(name).map(|src| (name, save(m, src))))
+        .collect();
+    put_u32(&mut buf, saved.len() as u32);
+    for (name, blob) in &saved {
+        put_str(&mut buf, name);
+        put_u32(&mut buf, blob.len() as u32);
+        buf.extend_from_slice(blob);
+    }
+
+    match set.guard() {
+        Some(g) => {
+            buf.push(1);
+            put_u64(&mut buf, g.config.capacity as u64);
+            buf.push(match g.config.overflow {
+                OverflowPolicy::Reject => 0,
+                OverflowPolicy::DropOldest => 1,
+                OverflowPolicy::FlushDegraded => 2,
+            });
+            for &v in &g.admitted {
+                put_u32(&mut buf, v);
+            }
+            put_u32(&mut buf, g.buffer.len() as u32);
+            for e in &g.buffer {
+                put_event(&mut buf, e);
+            }
+            put_ingest_stats(&mut buf, g.stats());
+        }
+        None => buf.push(0),
+    }
+
+    buf
+}
+
+/// Decodes [`save_set`] bytes back into a live [`MonitorSet`], returning
+/// it with the `(name, pattern_src)` pairs that were embedded (so a
+/// resuming daemon can cross-check them against its configuration).
+///
+/// # Errors
+///
+/// [`CheckpointError::Format`] on malformed bytes (with a byte offset),
+/// [`CheckpointError::Invalid`] on well-formed bytes describing an
+/// inconsistent set. Never panics.
+pub fn load_set(data: &[u8]) -> Result<(MonitorSet, Vec<(String, String)>), CheckpointError> {
+    let mut r = Reader::new(data);
+    r.magic(SET_MAGIC)?;
+    let version = r.u16("set version")?;
+    if version == 0 || version > SET_VERSION {
+        return Err(CheckpointError::Format(PoetError::BadHeader(format!(
+            "set checkpoint version {version} is not supported (expected 1..={SET_VERSION})"
+        ))));
+    }
+    let n_traces = r.u32("set n_traces")? as usize;
+    let n_monitors = r.u32("monitor count")? as usize;
+
+    let mut set = MonitorSet::new(n_traces);
+    let mut sources = Vec::with_capacity(n_monitors.min(256));
+    for i in 0..n_monitors {
+        let name = r.str("monitor name")?.to_string();
+        let blob_len = r.u32("monitor blob length")? as usize;
+        let blob = r.bytes(blob_len, "monitor blob")?;
+        let (monitor, src) = load(blob).map_err(|e| match e {
+            CheckpointError::Format(f) => {
+                CheckpointError::Invalid(format!("monitor {i} ({name}) blob is malformed: {f}"))
+            }
+            other => other,
+        })?;
+        if monitor.history.n_traces() != n_traces {
+            return Err(CheckpointError::Invalid(format!(
+                "monitor {i} ({name}) spans {} traces in a {n_traces}-trace set",
+                monitor.history.n_traces()
+            )));
+        }
+        set.insert_restored(name.clone(), monitor);
+        sources.push((name, src));
+    }
+
+    if r.u8("set guard flag")? != 0 {
+        let capacity = r.u64("set guard capacity")? as usize;
+        let overflow = match r.u8("set guard overflow policy")? {
+            0 => OverflowPolicy::Reject,
+            1 => OverflowPolicy::DropOldest,
+            2 => OverflowPolicy::FlushDegraded,
+            k => {
+                return Err(CheckpointError::Invalid(format!(
+                    "unknown overflow policy {k}"
+                )))
+            }
+        };
+        let mut guard =
+            crate::ingest::AdmissionGuard::new(n_traces, GuardConfig { capacity, overflow });
+        for t in 0..n_traces {
+            guard.admitted[t] = r.u32("set guard admitted counter")?;
+        }
+        let buffered = r.u32("set guard buffer length")? as usize;
+        for _ in 0..buffered {
+            let e = read_event(&mut r, n_traces)?;
+            guard.buffered_ids.insert(e.id());
+            guard.buffer.push(e);
+        }
+        guard.stats = read_ingest_stats(&mut r)?;
+        set.install_guard(guard);
+    }
+
+    r.finish()?;
+    Ok((set, sources))
+}
+
+impl MonitorSet {
+    /// Serializes this whole set (see [`save_set`]). `sources` maps
+    /// monitor names to the pattern source each is monitoring; monitors
+    /// without an entry are skipped.
+    #[must_use]
+    pub fn checkpoint_set(&self, sources: &HashMap<String, String>) -> Vec<u8> {
+        save_set(self, sources)
+    }
+
+    /// Restores a set from [`MonitorSet::checkpoint_set`] bytes; returns
+    /// it with the embedded `(name, pattern_src)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// See [`load_set`].
+    pub fn restore_set(
+        data: &[u8],
+    ) -> Result<(MonitorSet, Vec<(String, String)>), CheckpointError> {
+        load_set(data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -979,6 +1221,125 @@ mod tests {
         bytes2[4] = 99; // version
         assert!(matches!(
             Monitor::restore(&bytes2),
+            Err(CheckpointError::Format(PoetError::BadHeader(_)))
+        ));
+    }
+
+    const PATTERN2: &str = "X := [*, c, *]; Y := [*, a, *]; pattern := X -> Y;";
+
+    fn set_sources() -> HashMap<String, String> {
+        let mut sources = HashMap::new();
+        sources.insert("first".to_string(), PATTERN.to_string());
+        sources.insert("second".to_string(), PATTERN2.to_string());
+        sources
+    }
+
+    fn guarded_set() -> MonitorSet {
+        let mut set = MonitorSet::new(3);
+        set.add("first", Pattern::parse(PATTERN).unwrap());
+        set.add("second", Pattern::parse(PATTERN2).unwrap());
+        set.enable_guard(GuardConfig::default());
+        set
+    }
+
+    fn set_verdict_names(out: &[(String, Match)]) -> Vec<String> {
+        out.iter().map(|(n, m)| format!("{n}:{m}")).collect()
+    }
+
+    fn set_subsets(set: &MonitorSet) -> Vec<Vec<Vec<EventId>>> {
+        set.iter().map(|(_, m)| subset_ids(m)).collect()
+    }
+
+    #[test]
+    fn set_round_trip_preserves_state_and_future_verdicts() {
+        let (_poet, events) = workload(40);
+        let mut straight = guarded_set();
+        let mut first_half = guarded_set();
+        // Hold back events[0] so the guard buffer is non-empty at the
+        // checkpoint: the set-level reorder state must survive too.
+        let cut = events.len() / 2;
+        for e in &events[1..cut] {
+            straight.observe_raw(e);
+            first_half.observe_raw(e);
+        }
+        assert!(
+            first_half.guard().unwrap().buffered() > 0,
+            "workload should leave a gap"
+        );
+
+        let sources = set_sources();
+        let bytes = first_half.checkpoint_set(&sources);
+        let (mut resumed, embedded) = MonitorSet::restore_set(&bytes).unwrap();
+        assert_eq!(
+            embedded,
+            vec![
+                ("first".to_string(), PATTERN.to_string()),
+                ("second".to_string(), PATTERN2.to_string()),
+            ]
+        );
+        assert_eq!(resumed.n_traces(), 3);
+        assert_eq!(resumed.ingest_stats(), first_half.ingest_stats());
+        assert_eq!(set_subsets(&resumed), set_subsets(&first_half));
+
+        // Deliver the straggler plus the rest; both paths must agree.
+        let mut tail_events: Vec<&Event> = vec![&events[0]];
+        tail_events.extend(&events[cut..]);
+        for e in tail_events {
+            let a = set_verdict_names(&straight.observe_raw(e));
+            let b = set_verdict_names(&resumed.observe_raw(e));
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            set_verdict_names(&straight.flush_guard()),
+            set_verdict_names(&resumed.flush_guard())
+        );
+        assert_eq!(straight.ingest_stats(), resumed.ingest_stats());
+        assert_eq!(set_subsets(&straight), set_subsets(&resumed));
+        // Checkpointing both ends of the run must agree byte-for-byte.
+        assert_eq!(
+            straight.checkpoint_set(&sources),
+            resumed.checkpoint_set(&sources)
+        );
+    }
+
+    #[test]
+    fn set_checkpoint_skips_unsourced_monitors() {
+        let (_poet, events) = workload(10);
+        let mut set = guarded_set();
+        for e in &events {
+            set.observe_raw(e);
+        }
+        let mut sources = set_sources();
+        sources.remove("second");
+        let bytes = set.checkpoint_set(&sources);
+        let (resumed, embedded) = MonitorSet::restore_set(&bytes).unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(embedded, vec![("first".to_string(), PATTERN.to_string())]);
+    }
+
+    #[test]
+    fn set_checkpoint_corruption_never_panics() {
+        let (_poet, events) = workload(16);
+        let mut set = guarded_set();
+        for e in &events[1..] {
+            set.observe_raw(e);
+        }
+        let bytes = set.checkpoint_set(&set_sources());
+        for cut in [0, 3, 5, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(MonitorSet::restore_set(&bytes[..cut]).is_err());
+        }
+        for pos in (6..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0xff;
+            let _ = MonitorSet::restore_set(&bad);
+        }
+        let mut junk = bytes.clone();
+        junk.extend_from_slice(b"junk");
+        assert!(MonitorSet::restore_set(&junk).is_err());
+        let mut wrong_magic = bytes;
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            MonitorSet::restore_set(&wrong_magic),
             Err(CheckpointError::Format(PoetError::BadHeader(_)))
         ));
     }

@@ -74,7 +74,7 @@ pub mod obs;
 /// histograms, exporters) — see [`obs`].
 pub use self::obs as ocep_obs;
 
-pub use checkpoint::{strip_metrics, CheckpointError};
+pub use checkpoint::{load_set, save_set, strip_metrics, CheckpointError};
 pub use history::LeafHistory;
 pub use ingest::{
     AdmissionGuard, GuardConfig, IngestFault, IngestFaultKind, IngestStats, OverflowPolicy,

@@ -217,6 +217,21 @@ impl MonitorSet {
         self.n_traces
     }
 
+    /// Installs an already-built monitor under `name` — the restore path
+    /// used by [`crate::checkpoint::load_set`].
+    pub(crate) fn insert_restored(&mut self, name: String, mut monitor: Monitor) {
+        if let Some(pool) = &self.pool {
+            monitor.set_pool(Arc::clone(pool));
+        }
+        self.entries.push((name, monitor));
+    }
+
+    /// Installs an already-populated set-level guard — the restore path
+    /// used by [`crate::checkpoint::load_set`].
+    pub(crate) fn install_guard(&mut self, guard: AdmissionGuard) {
+        self.guard = Some(guard);
+    }
+
     /// The monitor registered under `name`.
     #[must_use]
     pub fn monitor(&self, name: &str) -> Option<&Monitor> {

@@ -10,6 +10,8 @@
 //! ocep slice <dump-file> <out-file> T0,T3,...  # project onto involved traces
 //! ocep fuzz [--seed N] [--cases N]             # differential conformance fuzzing
 //! ocep fuzz --replay <dir>                     # re-run a dumped failure
+//! ocep sim [--seed N] [--seeds N] [--faults]   # deterministic whole-system simulation
+//! ocep sim --replay <dir>                      # re-run a dumped sim failure
 //! ocep serve <pattern-file> --traces N         # OCWP daemon over TCP
 //! ocep send <addr> <dump-file>                 # stream a dump to a daemon
 //! ocep tail <addr> [--once]                    # follow verdicts from a daemon
@@ -44,6 +46,9 @@ USAGE:
               [--obs LEVEL] [--metrics FILE]
     ocep fuzz --faults [--seed N] [--cases N] [--smoke]
     ocep fuzz --replay <dir>
+    ocep sim [--seed N] [--seeds N] [--clients N] [--tails N] [--events N]
+             [--faults] [--crashes N] [--sabotage] [--dump-dir DIR]
+    ocep sim --replay <dir>
     ocep serve <pattern-file> --traces N [--addr HOST:PORT] [--port-file FILE]
                [--window N] [--slow-policy reject|drop-oldest|flush-degraded]
                [--checkpoint DIR] [--metrics FILE] [monitor flags]
@@ -83,6 +88,20 @@ re-runs one deterministically. `fuzz --faults` additionally perturbs
 each stream with seeded duplicates, reorders, drops, and corrupt-clock
 events, and checks the guarded monitor differentially against the clean
 run. `--smoke` is the fixed-size CI run.
+
+`sim` drives the whole serve stack — the real `EngineCore` behind
+`ocep serve` — inside a seeded discrete-event simulator in virtual time
+(docs/SIMULATION.md): N scripted clients over simulated transports,
+optional wire faults (`--faults`: corruption, duplication, reorder,
+partitions, slow tails exercising every slow-client policy), and
+`--crashes N` mid-stream daemon crash/restart cycles recovered from the
+engine's own checkpoint bytes. Every run is executed twice and must be
+bit-reproducible, and its journal is replayed through an in-process
+oracle that must agree bit-for-bit on verdicts, subsets, ingest
+accounting, and checkpoint bytes. `--seeds N` sweeps N consecutive
+seeds from `--seed`; a failing seed is shrunk to a minimal config and
+dumped under `--dump-dir` for `sim --replay`. `--sabotage` drops one
+journaled delivery to prove the oracle catches divergence.
 
 A pattern file holds a pattern program, e.g.:
 
@@ -125,6 +144,7 @@ fn run() -> Result<i32, String> {
         Some("analyze") => analyze_cmd(&args[1..]).map(|()| 0),
         Some("slice") => slice_cmd(&args[1..]).map(|()| 0),
         Some("fuzz") => fuzz_cmd(&args[1..]),
+        Some("sim") => sim_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("send") => send_cmd(&args[1..]),
         Some("tail") => tail_cmd(&args[1..]),
@@ -285,7 +305,11 @@ fn positionals(args: &[String]) -> Vec<&String> {
         "--resume",
         "--events",
         "--seed",
+        "--seeds",
         "--cases",
+        "--clients",
+        "--tails",
+        "--crashes",
         "--limit",
         "--dump-dir",
         "--replay",
@@ -820,6 +844,139 @@ fn fuzz_cmd(args: &[String]) -> Result<i32, String> {
     }
 }
 
+fn sim_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::sim;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let parse = |name: &str, default: usize| -> Result<usize, String> {
+        flag_val(name)
+            .map(|s| s.parse().map_err(|_| format!("bad {name} '{s}'")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+
+    if let Some(dir) = flag_val("--replay") {
+        let replay = sim::replay_dump(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot replay '{dir}': {e}"))?;
+        println!(
+            "replay: seed={:#x} clients={} tails={} events={} crashes={} faults={:?}",
+            replay.config.seed,
+            replay.config.clients,
+            replay.config.tails,
+            replay.config.events,
+            replay.config.crashes,
+            replay.config.faults,
+        );
+        match &replay.outcome.mismatch {
+            Some(m) => println!("replay: mismatch reproduced: {m}"),
+            None => println!("replay: run agreed with its oracle"),
+        }
+        if replay.reproduced {
+            println!("verdict: REPRODUCED");
+            return Ok(0);
+        }
+        println!("verdict: NOT reproduced");
+        return Ok(1);
+    }
+
+    let base_seed: u64 = flag_val("--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(0);
+    let seeds = parse("--seeds", 1)?.max(1);
+    let faults = if args.iter().any(|a| a == "--faults") {
+        sim::FaultToggles::all()
+    } else {
+        sim::FaultToggles::default()
+    };
+    let template = sim::SimConfig {
+        seed: base_seed,
+        clients: parse("--clients", 4)?,
+        tails: parse("--tails", 2)?,
+        events: parse("--events", 96)?,
+        faults,
+        crashes: parse("--crashes", 0)?,
+        sabotage: args.iter().any(|a| a == "--sabotage"),
+    };
+    let dump_dir = flag_val("--dump-dir").map(std::path::PathBuf::from);
+
+    println!(
+        "simulating: seeds {base_seed}..{} clients={} tails={} events={} crashes={} faults={}",
+        base_seed + seeds as u64,
+        template.clients,
+        template.tails,
+        template.events,
+        template.crashes,
+        if template.faults.any() { "on" } else { "off" },
+    );
+    let mut failures = 0usize;
+    for i in 0..seeds as u64 {
+        let config = sim::SimConfig {
+            seed: base_seed + i,
+            ..template.clone()
+        };
+        let out = sim::run_sim(&config);
+        let again = sim::run_sim(&config);
+        if out.digest != again.digest {
+            return Err(format!(
+                "seed {:#x}: NOT bit-reproducible ({:#018x} vs {:#018x}) — \
+                 the simulator itself is broken",
+                config.seed, out.digest, again.digest
+            ));
+        }
+        match &out.mismatch {
+            None => println!(
+                "seed {:#x}: ok digest={:#018x} steps={} verdicts={} crashes={} \
+                 injected[corrupt={} dup={} reorder={} partition={} reconnect={} stall={}]",
+                config.seed,
+                out.digest,
+                out.steps,
+                out.fingerprint.verdicts.len(),
+                out.crashes,
+                out.injected.corrupted,
+                out.injected.duplicated,
+                out.injected.reordered,
+                out.injected.partitions,
+                out.injected.reconnects,
+                out.injected.stalls,
+            ),
+            Some(m) => {
+                failures += 1;
+                println!("seed {:#x}: MISMATCH {m}", config.seed);
+                let shrunk = sim::shrink_config(&config);
+                println!(
+                    "  shrunk to clients={} tails={} events={} crashes={} faults={:?}",
+                    shrunk.clients, shrunk.tails, shrunk.events, shrunk.crashes, shrunk.faults
+                );
+                if let Some(dir) = &dump_dir {
+                    let failure = sim::SimFailure {
+                        config: shrunk,
+                        mismatch: m.clone(),
+                    };
+                    let dump = sim::write_dump(dir, &failure)
+                        .map_err(|e| format!("cannot write dump under '{}': {e}", dir.display()))?;
+                    println!(
+                        "  dump: {} (re-run: ocep sim --replay {})",
+                        dump.display(),
+                        dump.display()
+                    );
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("all {seeds} seed(s) bit-reproducible and oracle-exact");
+        Ok(0)
+    } else {
+        println!("{failures}/{seeds} seed(s) diverged from the oracle");
+        Ok(1)
+    }
+}
+
 fn info(path: &str) -> Result<(), String> {
     let server =
         dump::reload_from_file(path).map_err(|e| format!("cannot reload '{path}': {e}"))?;
@@ -1018,6 +1175,9 @@ fn tail_cmd(args: &[String]) -> Result<i32, String> {
 
     let mut tail =
         Tail::connect(addr, name).map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    // Readiness marker: scripts (and our own tests) wait for this line
+    // before streaming events, so no verdict can race the subscription.
+    eprintln!("subscribed to {addr}");
     let mut seen = 0usize;
     loop {
         match tail.next() {

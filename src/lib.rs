@@ -15,6 +15,10 @@
 //! * [`conformance`] — differential fuzzing harness (`ocep fuzz`):
 //!   seeded pattern/execution generators, oracle cross-checks,
 //!   shrinking, replayable failure dumps.
+//! * [`sim`] — deterministic whole-system simulator (`ocep sim`,
+//!   VOPR-style): drives the real serving engine over simulated
+//!   transports in virtual time under seeded faults and crash/restart,
+//!   with a journal-replay oracle demanding bit-identical conclusions.
 //! * [`bench`] — the evaluation harness (§V figures) and the std-only
 //!   JSON serializer backing the metrics exporters.
 //!
@@ -63,5 +67,6 @@ pub use ocep_core as ocep;
 pub use ocep_net as net;
 pub use ocep_pattern as pattern;
 pub use ocep_poet as poet;
+pub use ocep_sim as sim;
 pub use ocep_simulator as simulator;
 pub use ocep_vclock as vclock;

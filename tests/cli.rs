@@ -3,6 +3,8 @@
 
 use std::process::Command;
 
+mod common;
+
 fn ocep() -> Command {
     Command::new(env!("CARGO_BIN_EXE_ocep"))
 }
@@ -590,16 +592,17 @@ fn fuzz_exports_aggregate_metrics() {
 
 /// Polls a `--port-file` until the daemon writes its bound address.
 fn wait_port(path: &std::path::Path) -> String {
-    for _ in 0..200 {
-        if let Ok(s) = std::fs::read_to_string(path) {
-            let s = s.trim().to_owned();
-            if !s.is_empty() {
-                return s;
-            }
-        }
-        std::thread::sleep(std::time::Duration::from_millis(50));
-    }
-    panic!("server never wrote {}", path.display());
+    common::wait_for(
+        std::time::Duration::from_secs(10),
+        std::time::Duration::from_millis(10),
+        || {
+            std::fs::read_to_string(path)
+                .ok()
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+        },
+    )
+    .unwrap_or_else(|| panic!("server never wrote {}", path.display()))
 }
 
 /// Records the deadlock demo dump + pattern under distinct names.
@@ -693,14 +696,29 @@ fn tail_once_sees_a_verdict() {
         .unwrap();
     let addr = wait_port(&port_file);
 
-    let tail = ocep()
+    let mut tail = ocep()
         .args(["tail", &addr, "--once"])
         .stdout(std::process::Stdio::piped())
-        .stderr(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
         .spawn()
         .unwrap();
-    // Give the tail a moment to subscribe before the events flow.
-    std::thread::sleep(std::time::Duration::from_millis(300));
+    // Wait for the tail's readiness line so no verdict can race the
+    // subscription (bounded, unlike a fixed sleep).
+    {
+        use std::io::BufRead;
+        let stderr = tail.stderr.take().unwrap();
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let subscribed = common::wait_for(
+            std::time::Duration::from_secs(10),
+            std::time::Duration::from_millis(1),
+            || match lines.next() {
+                Some(Ok(line)) if line.contains("subscribed to") => Some(true),
+                Some(_) => None,
+                None => Some(false),
+            },
+        );
+        assert_eq!(subscribed, Some(true), "tail never reported subscribing");
+    }
 
     let send = ocep()
         .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
@@ -820,4 +838,68 @@ fn serve_without_matches_exits_zero() {
 
     let out = serve.wait_with_output().unwrap();
     assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn crash_during_checkpoint_leaves_a_rejected_torn_file() {
+    let (dump, pattern) = demo_dump("net-torn");
+    let port_file = tmp("net-torn.port");
+    let ckpt_dir = tmp("net-torn-ckpts");
+    let _ = std::fs::remove_file(&port_file);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--checkpoint",
+            ckpt_dir.to_str().unwrap(),
+        ])
+        // Crash-injection hook: the daemon dies between the OCKP header
+        // and the body, exactly as a power cut mid-write would.
+        .env("OCEP_TEST_PARTIAL_CHECKPOINT", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    // The daemon dies before acknowledging the shutdown, so the
+    // producer sees a transport error, not a clean stats report.
+    assert_eq!(send.status.code(), Some(3), "{send:?}");
+
+    let out = serve.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(121), "hook exit code");
+
+    // The torn file exists (header only) and restore must reject it
+    // with a clean error — never a panic, never silent acceptance.
+    let torn = ckpt_dir
+        .read_dir()
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "ockp"))
+        .expect("the crash left a checkpoint file behind");
+    assert_eq!(std::fs::metadata(&torn).unwrap().len(), 6, "torn prefix");
+    let resume = ocep()
+        .args([
+            "check",
+            "--resume",
+            torn.to_str().unwrap(),
+            dump.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(resume.status.code(), Some(3), "{resume:?}");
+    let stderr = String::from_utf8_lossy(&resume.stderr);
+    assert!(stderr.contains("cannot restore checkpoint"), "{stderr}");
 }

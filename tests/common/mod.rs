@@ -1,0 +1,27 @@
+//! Helpers shared by the integration-test binaries.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use std::time::{Duration, Instant};
+
+/// Polls `f` every `poll` until it yields `Some`, for at most
+/// `deadline` wall-clock time. Returns `None` only on deadline
+/// exhaustion — the bounded replacement for bare `sleep` in tests that
+/// wait on another process or thread: it resolves as soon as the
+/// condition holds instead of a worst-case fixed pause, and it fails
+/// with a real deadline instead of flaking when the machine is slow.
+pub fn wait_for<T>(
+    deadline: Duration,
+    poll: Duration,
+    mut f: impl FnMut() -> Option<T>,
+) -> Option<T> {
+    let start = Instant::now();
+    loop {
+        if let Some(v) = f() {
+            return Some(v);
+        }
+        if start.elapsed() >= deadline {
+            return None;
+        }
+        std::thread::sleep(poll);
+    }
+}
