@@ -1,0 +1,190 @@
+//! Vector-clock kernel microbenchmarks (`ocep-bench clocks`).
+//!
+//! Every causal decision the matcher makes funnels through a handful of
+//! clock primitives: the dominance test behind happens-before, the
+//! entrywise join behind receive stamping, and (since the interned
+//! pool) the clone-vs-intern choice on the ingest path. This experiment
+//! times each primitive in isolation over varying trace counts, pitting
+//! the chunked kernels against the scalar reference loops and a pool
+//! intern hit against a fresh clock allocation — the numbers that
+//! justify (or indict) the chunked-kernel layer without the noise of a
+//! whole monitoring run.
+
+use crate::output;
+use ocep_rng::Rng;
+use ocep_vclock::{kernels, ClockPool, TraceId, VectorClock};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One row: every primitive timed at a fixed clock width.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockRun {
+    /// Clock width (number of traces).
+    pub traces: usize,
+    /// Chunked dominance test, nanoseconds per call.
+    pub le_ns: f64,
+    /// Scalar-reference dominance test, nanoseconds per call.
+    pub le_scalar_ns: f64,
+    /// Chunked entrywise join, nanoseconds per call.
+    pub join_ns: f64,
+    /// Scalar-reference entrywise join, nanoseconds per call.
+    pub join_scalar_ns: f64,
+    /// Pool intern of a value-equal clock (hit path), nanoseconds.
+    pub intern_hit_ns: f64,
+    /// Fresh clock built from the same entries, nanoseconds.
+    pub fresh_ns: f64,
+}
+
+/// Seeded pairs of width-`n` clocks: mostly-comparable values with a
+/// sprinkle of concurrent ones, the mix a dominance test sees live.
+fn seeded_pairs(n: usize, count: usize, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..64)).collect();
+            let mut b = a.clone();
+            for slot in &mut b {
+                if rng.gen_bool(0.25) {
+                    *slot += rng.gen_range(0u32..4);
+                }
+            }
+            if rng.gen_bool(0.2) {
+                (b, a)
+            } else {
+                (a, b)
+            }
+        })
+        .collect()
+}
+
+/// Times `f` over `rounds` sweeps of the pair set; returns ns per call.
+fn time_pairs<F: FnMut(&[u32], &[u32]) -> bool>(
+    pairs: &[(Vec<u32>, Vec<u32>)],
+    rounds: usize,
+    mut f: F,
+) -> f64 {
+    // Warmup sweep, untimed.
+    for (a, b) in pairs {
+        black_box(f(a, b));
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for (a, b) in pairs {
+            black_box(f(a, b));
+        }
+    }
+    start.elapsed().as_nanos() as f64 / (rounds * pairs.len()) as f64
+}
+
+/// Benchmarks every primitive at clock width `n`.
+#[must_use]
+pub fn clocks_at(n: usize) -> ClockRun {
+    const PAIRS: usize = 256;
+    let pairs = seeded_pairs(n, PAIRS, 0xC10C_0000 + n as u64);
+    // Keep each measurement around a few million lane-ops regardless of
+    // width so rows take comparable wall time.
+    let rounds = (8_000_000 / (n.max(8) * PAIRS)).max(4);
+
+    let le_ns = time_pairs(&pairs, rounds, kernels::le);
+    let le_scalar_ns = time_pairs(&pairs, rounds, kernels::le_scalar);
+
+    let mut dst = vec![0u32; n];
+    let join_ns = time_pairs(&pairs, rounds, |a, b| {
+        dst.copy_from_slice(a);
+        kernels::join_into(&mut dst, b);
+        dst[0] == 0
+    });
+    let join_scalar_ns = time_pairs(&pairs, rounds, |a, b| {
+        dst.copy_from_slice(a);
+        kernels::join_scalar(&mut dst, b);
+        dst[0] == 0
+    });
+
+    // Intern hit vs fresh allocation: the ingest-path choice when a
+    // duplicate delivery carries a clock the pool has already seen.
+    let t0 = TraceId::new(0);
+    let entries: Vec<u32> = (0..n as u32).collect();
+    let mut pool = ClockPool::new(n.max(1));
+    let _ = pool.intern(t0, VectorClock::from_entries(entries.clone()));
+    let iters = (rounds * PAIRS).max(1024);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let c = VectorClock::from_entries(entries.clone());
+        black_box(pool.intern(t0, c));
+    }
+    let hit_with_alloc = start.elapsed().as_nanos() as f64 / iters as f64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(VectorClock::from_entries(entries.clone()));
+    }
+    let fresh_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    // The hit loop above also pays one fresh build per iteration (the
+    // candidate being interned); subtract it so the column is the
+    // intern step itself.
+    let intern_hit_ns = (hit_with_alloc - fresh_ns).max(0.0);
+
+    ClockRun {
+        traces: n,
+        le_ns,
+        le_scalar_ns,
+        join_ns,
+        join_scalar_ns,
+        intern_hit_ns,
+        fresh_ns,
+    }
+}
+
+/// Runs the sweep over the standard trace counts and prints the table.
+#[must_use]
+pub fn clocks() -> Vec<ClockRun> {
+    let runs: Vec<ClockRun> = [10usize, 50, 200, 1000]
+        .iter()
+        .map(|&n| clocks_at(n))
+        .collect();
+    if output::human() {
+        crate::hprintln!("\n=== Clock kernels (ns/op) ===");
+        crate::hprintln!(
+            "{:>8} {:>8} {:>10} {:>8} {:>12} {:>11} {:>9}",
+            "traces",
+            "le",
+            "le_scalar",
+            "join",
+            "join_scalar",
+            "intern_hit",
+            "fresh"
+        );
+        for r in &runs {
+            crate::hprintln!(
+                "{:>8} {:>8.1} {:>10.1} {:>8.1} {:>12.1} {:>11.1} {:>9.1}",
+                r.traces,
+                r.le_ns,
+                r.le_scalar_ns,
+                r.join_ns,
+                r.join_scalar_ns,
+                r.intern_hit_ns,
+                r.fresh_ns
+            );
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_small_row_produces_finite_numbers() {
+        let r = clocks_at(8);
+        for v in [
+            r.le_ns,
+            r.le_scalar_ns,
+            r.join_ns,
+            r.join_scalar_ns,
+            r.intern_hit_ns,
+            r.fresh_ns,
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "bad measurement {v}");
+        }
+    }
+}

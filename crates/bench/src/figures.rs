@@ -28,6 +28,12 @@ fn pooled_samples<F>(opts: &RunOptions, mut generate: F) -> Vec<f64>
 where
     F: FnMut(u64) -> Generated,
 {
+    // One discarded warmup pass: the very first measured search of a
+    // process otherwise pays the cold costs (page faults, lazy
+    // allocator arenas, branch-predictor training) and shows up as a
+    // single ~4 ms outlier in the max column of the smallest series.
+    let warm = generate(0);
+    let _ = measure_monitor(&warm, figure_config(opts));
     let mut samples = Vec::new();
     for rep in 0..opts.reps {
         let g = generate(rep);

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clockbench;
 pub mod figures;
 pub mod json;
 pub mod measure;

@@ -29,6 +29,8 @@ EXPERIMENTS:
     ablation-parallel     SVI parallel trace traversal speedup
     net                   loopback OCWP serving throughput and accept->admit
                           latency vs in-process delivery (also: --net)
+    clocks                vector-clock kernel microbenchmarks: chunked vs
+                          scalar dominance/join, interned vs fresh clocks
     sim                   deterministic whole-system simulator turnover:
                           simulated events/s and runs/s vs client count
 
@@ -199,6 +201,17 @@ fn run_one(name: &str, opts: &RunOptions) -> Json {
                 ("p99_accept_admit_ns_lo", Json::from(r.p99_ns.0)),
                 ("p99_accept_admit_ns_hi", Json::from(r.p99_ns.1)),
                 ("verdicts", Json::from(r.verdicts)),
+            ])
+        })),
+        "clocks" => Json::arr(ocep_bench::clockbench::clocks().into_iter().map(|r| {
+            Json::obj([
+                ("traces", Json::from(r.traces)),
+                ("le_ns", Json::from(r.le_ns)),
+                ("le_scalar_ns", Json::from(r.le_scalar_ns)),
+                ("join_ns", Json::from(r.join_ns)),
+                ("join_scalar_ns", Json::from(r.join_scalar_ns)),
+                ("intern_hit_ns", Json::from(r.intern_hit_ns)),
+                ("fresh_ns", Json::from(r.fresh_ns)),
             ])
         })),
         "sim" => Json::arr([4usize, 32, 128].into_iter().map(|clients| {

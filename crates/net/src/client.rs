@@ -1,7 +1,9 @@
 //! Client-side handles: a credit-tracking producer [`Client`] and a
 //! verdict-subscribing [`Tail`].
 
-use crate::wire::{read_frame, write_frame, FaultCode, Frame, Mode, StatsReport, WireError};
+use crate::wire::{
+    read_frame, write_frame, write_frame_delta, FaultCode, Frame, Mode, StatsReport, WireError,
+};
 use ocep_poet::Event;
 use std::io::{BufReader, BufWriter, Write as IoWrite};
 use std::net::TcpStream;
@@ -137,13 +139,22 @@ impl Client {
     }
 
     /// Streams a batch of events as one frame (one credit, one string
-    /// table — the throughput path).
+    /// table — the throughput path). Clocks travel delta-encoded
+    /// (`EventBatchD`): each record diffs against the previous clock on
+    /// its trace within the frame, with full clocks as the per-record
+    /// fallback, cutting wire bytes from O(n_traces) to O(changes) per
+    /// event. The server reconstructs full clocks, so verdicts are
+    /// bit-identical to [`Client::send_event`] delivery.
     ///
     /// # Errors
     ///
     /// Transport or protocol failures.
     pub fn send_batch(&mut self, events: &[Event]) -> Result<(), WireError> {
-        self.send_data(&Frame::EventBatch(events.to_vec()))
+        self.wait_for_credit()?;
+        write_frame_delta(&mut self.writer, &Frame::EventBatch(events.to_vec()))?;
+        self.writer.flush()?;
+        self.credits -= 1;
+        Ok(())
     }
 
     /// Asks the server to deliver everything its guard still buffers

@@ -319,6 +319,11 @@ pub struct EngineCore {
     slow_actions: HashMap<&'static str, u64>,
     ingest_fault_frames: u64,
     latency: Histogram,
+    /// Per-trace interned-clock pool: decoded events whose clocks equal
+    /// the last clock seen on their trace (duplicate deliveries,
+    /// resends after a reconnect) adopt the cached pointer-equal buffer
+    /// instead of keeping their own allocation. Value-wise a no-op.
+    pool: ocep_vclock::ClockPool,
     /// Frame counts of connections that already closed, keyed by the
     /// connection's self-reported name.
     finished_conns: Vec<(String, u64)>,
@@ -346,6 +351,7 @@ impl EngineCore {
         clock: Arc<dyn NetClock>,
         bytes_out: Arc<AtomicU64>,
     ) -> EngineCore {
+        let pool = ocep_vclock::ClockPool::new(set.n_traces());
         EngineCore {
             set,
             config,
@@ -362,6 +368,7 @@ impl EngineCore {
             slow_actions: HashMap::new(),
             ingest_fault_frames: 0,
             latency: Histogram::default(),
+            pool,
             finished_conns: Vec::new(),
             journal: None,
         }
@@ -500,7 +507,7 @@ impl EngineCore {
             }
             Frame::EventBatch(events) => {
                 self.data_frame_start(conn);
-                self.ingest(&events, conn, received_ns);
+                self.ingest_batch(events, conn, received_ns);
                 self.ack_data(conn);
                 false
             }
@@ -567,12 +574,38 @@ impl EngineCore {
 
     fn ingest(&mut self, events: &[ocep_poet::Event], conn: u64, received_ns: u64) {
         for e in events {
+            let mut e = e.clone();
+            e.intern_clock(&mut self.pool);
             self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
-            let verdicts = self.set.observe_raw(e);
+            let verdicts = self.set.observe_raw(&e);
             let elapsed = self.clock.now_ns().saturating_sub(received_ns);
             self.latency.record(elapsed);
             self.publish(verdicts);
         }
+        self.report_ingest_faults(conn);
+    }
+
+    /// Batched ingest for `EventBatch` frames. Each event's clock is
+    /// interned through the per-trace pool first (a value-wise no-op
+    /// that collapses duplicate deliveries to pointer-equal buffers),
+    /// one [`EngineOp::Deliver`] is journaled per raw event, and the
+    /// whole frame is admitted through
+    /// [`MonitorSet::observe_raw_batch`] — so the journal, verdict
+    /// order, guard counters, and latency sample count are all
+    /// bit-identical to running [`EngineCore::ingest`] per event, while
+    /// the guard checkout and delivery-buffer swap happen once per
+    /// frame.
+    fn ingest_batch(&mut self, mut events: Vec<ocep_poet::Event>, conn: u64, received_ns: u64) {
+        for e in &mut events {
+            e.intern_clock(&mut self.pool);
+            self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
+        }
+        let verdicts = self.set.observe_raw_batch(&events);
+        let elapsed = self.clock.now_ns().saturating_sub(received_ns);
+        for _ in &events {
+            self.latency.record(elapsed);
+        }
+        self.publish(verdicts);
         self.report_ingest_faults(conn);
     }
 

@@ -19,9 +19,14 @@
 //! Hello       := magic[4]="OCWP" version:u16 mode:u8 n_traces:u32 name:str
 //! Event       := events                      (exactly one record)
 //! EventBatch  := events
+//! EventBatchD := n_strings:u32 (str)* count:u32 drecord*
 //! events      := n_strings:u32 (str)* count:u32 record*
 //! record      := trace:u32 index:u32 kind:u8 ty:u32 text:u32
 //!                pflag:u8 [ptrace:u32 pindex:u32] clock_n:u32 (u32)*
+//! drecord     := trace:u32 index:u32 kind:u8 ty:u32 text:u32
+//!                pflag:u8 [ptrace:u32 pindex:u32] cflag:u8 clock
+//! clock       := cflag=0: clock_n:u32 (u32)*
+//!              | cflag=1: n_changed:u32 (col:u32 val:u32)*
 //! Flush       := ε
 //! CheckpointReq := ε
 //! Stats       := flag:u8 [report]            (0 = request, 1 = report)
@@ -35,12 +40,27 @@
 //! ```
 //!
 //! The `kind` byte uses the dump convention (0 = send, 1 = receive,
-//! 2 = unary). Events travel with their **full Fidge vector clock**: the
-//! wire layer checks only *structure* (framing, UTF-8, table references);
-//! *semantic* validation — clock width, trace range, per-trace
-//! monotonicity — is the [`AdmissionGuard`]'s job on the serving side,
-//! so a malicious producer is quarantined by exactly the same machinery
-//! as a buggy in-process transport.
+//! 2 = unary). In a plain `EventBatch` every record travels with its
+//! **full Fidge vector clock**. `EventBatchD` is the compact form:
+//! each record's clock is either full (`cflag=0`) or a sparse diff
+//! (`cflag=1`) against the previous record's *reconstructed* clock on
+//! the same trace **within the same frame** — consecutive timestamps on
+//! a trace differ in very few entries (Vaidya/Kulkarni), so a delta is
+//! typically a handful of `(col, val)` pairs instead of `n_traces`
+//! words. Encoders must emit a full clock for the first record of each
+//! trace in a frame (there is no cross-frame base) and whenever the
+//! delta would not be smaller; decoders reconstruct full clocks, so
+//! both forms decode to the same [`Frame::EventBatch`] and everything
+//! downstream is oblivious to the wire form. A delta with no base,
+//! an out-of-range or non-ascending column, or a hostile count is a
+//! structural decode error with a byte offset — never a panic.
+//!
+//! The wire layer checks only *structure* (framing, UTF-8, table
+//! references, delta well-formedness); *semantic* validation — clock
+//! width, trace range, per-trace monotonicity — is the
+//! [`AdmissionGuard`]'s job on the serving side, so a malicious
+//! producer is quarantined by exactly the same machinery as a buggy
+//! in-process transport.
 //!
 //! [`AdmissionGuard`]: ocep_core::ingest::AdmissionGuard
 
@@ -308,6 +328,7 @@ const T_SHUTDOWN: u8 = 6;
 const T_ACK: u8 = 7;
 const T_FAULT: u8 = 8;
 const T_VERDICT: u8 = 9;
+const T_EVENT_BATCH_D: u8 = 10;
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -315,6 +336,14 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
 }
 
 fn put_events(buf: &mut Vec<u8>, events: &[Event]) {
+    put_events_impl(buf, events, false);
+}
+
+fn put_events_delta(buf: &mut Vec<u8>, events: &[Event]) {
+    put_events_impl(buf, events, true);
+}
+
+fn put_events_impl(buf: &mut Vec<u8>, events: &[Event], delta: bool) {
     let mut strings: Vec<&str> = Vec::new();
     let mut ids: HashMap<&str, u32> = HashMap::new();
     for e in events {
@@ -331,9 +360,15 @@ fn put_events(buf: &mut Vec<u8>, events: &[Event]) {
     }
     buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
     // Reserve for the common shape (fixed fields + clock) up front so
-    // batch encoding doesn't grow the buffer record by record.
-    let per_record = 22 + 4 * events.first().map_or(0, |e| e.clock().entries().len());
+    // batch encoding doesn't grow the buffer record by record. Delta
+    // records are never larger than full ones, so this reserve also
+    // covers the delta form.
+    let per_record = 23 + 4 * events.first().map_or(0, |e| e.clock().entries().len());
     buf.reserve(events.len() * per_record);
+    // Delta base: the clock of the previous event on each trace within
+    // this frame (what the decoder will have reconstructed).
+    let mut last: HashMap<TraceId, &VectorClock> = HashMap::new();
+    let mut changed: Vec<(u32, u32)> = Vec::new();
     for e in events {
         buf.extend_from_slice(&e.trace().as_u32().to_le_bytes());
         buf.extend_from_slice(&e.index().get().to_le_bytes());
@@ -353,9 +388,42 @@ fn put_events(buf: &mut Vec<u8>, events: &[Event]) {
             None => buf.push(0),
         }
         let entries = e.clock().entries();
-        buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-        for v in entries {
-            buf.extend_from_slice(&v.to_le_bytes());
+        if delta {
+            // Delta against the previous clock on this trace when it
+            // exists, matches in width, and the diff is actually
+            // smaller (8 bytes per changed entry vs 4 per full entry);
+            // full clock otherwise — including always for the first
+            // record per trace.
+            changed.clear();
+            let use_delta = match last.get(&e.trace()) {
+                Some(base) if base.len() == entries.len() => {
+                    ocep_vclock::kernels::for_each_changed(base.entries(), entries, |i, v| {
+                        changed.push((i as u32, v));
+                    });
+                    8 * changed.len() < 4 * entries.len()
+                }
+                _ => false,
+            };
+            if use_delta {
+                buf.push(1);
+                buf.extend_from_slice(&(changed.len() as u32).to_le_bytes());
+                for (col, val) in &changed {
+                    buf.extend_from_slice(&col.to_le_bytes());
+                    buf.extend_from_slice(&val.to_le_bytes());
+                }
+            } else {
+                buf.push(0);
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for v in entries {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            last.insert(e.trace(), e.clock());
+        } else {
+            buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for v in entries {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
         }
     }
 }
@@ -425,7 +493,102 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
     buf
 }
 
+/// Serializes a frame body using the compact delta clock encoding for
+/// [`Frame::EventBatch`] (`EventBatchD`, type 10); every other frame is
+/// byte-identical to [`encode_body`]. Decoders accept both forms since
+/// protocol revision 7 with no negotiation: the encoding is chosen per
+/// frame by the sender, and [`decode_body`] reconstructs full clocks
+/// either way.
+#[must_use]
+pub fn encode_body_delta(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::EventBatch(events) => {
+            let mut buf = Vec::new();
+            buf.push(T_EVENT_BATCH_D);
+            put_events_delta(&mut buf, events);
+            buf
+        }
+        other => encode_body(other),
+    }
+}
+
 fn get_events(r: &mut Reader<'_>) -> Result<Vec<Event>, WireError> {
+    get_events_impl(r, false)
+}
+
+fn get_events_delta(r: &mut Reader<'_>) -> Result<Vec<Event>, WireError> {
+    get_events_impl(r, true)
+}
+
+/// Decodes the full clock tail of a record: `clock_n:u32 (u32)*`.
+fn get_full_clock(r: &mut Reader<'_>, i: usize) -> Result<VectorClock, WireError> {
+    let clock_n_at = r.offset();
+    let clock_n = r.u32("clock width")? as usize;
+    // A record's clock can never legitimately exceed the remaining
+    // frame bytes; bound it so a corrupt width cannot over-allocate.
+    if clock_n > r.remaining() / 4 + 1 {
+        return Err(WireError::Format(PoetError::Corrupt(format!(
+            "record {i} claims clock width {clock_n} at byte {clock_n_at}, only {} byte(s) left",
+            r.remaining()
+        ))));
+    }
+    // One bounds-checked read for the whole clock, not one per
+    // entry — this loop dominates decode time at high event rates.
+    let raw = r.bytes(clock_n * 4, "clock entries")?;
+    let entries: Vec<u32> = raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+        .collect();
+    Ok(VectorClock::from_entries(entries))
+}
+
+/// Decodes the delta clock tail of a `drecord`: reconstructs the full
+/// clock by applying `(col, val)` changes to `base` (the previous
+/// reconstructed clock on the same trace within this frame).
+fn get_delta_clock(
+    r: &mut Reader<'_>,
+    i: usize,
+    trace: TraceId,
+    base: Option<&VectorClock>,
+) -> Result<VectorClock, WireError> {
+    let n_at = r.offset();
+    let n_changed = r.u32("delta count")? as usize;
+    if n_changed > r.remaining() / 8 + 1 {
+        return Err(WireError::Format(PoetError::Corrupt(format!(
+            "record {i} claims {n_changed} delta entries at byte {n_at}, only {} byte(s) left",
+            r.remaining()
+        ))));
+    }
+    let Some(base) = base else {
+        return Err(WireError::Format(PoetError::Corrupt(format!(
+            "record {i} is a clock delta with no base for trace {} at byte {n_at}",
+            trace.as_u32()
+        ))));
+    };
+    let mut entries = base.entries().to_vec();
+    let mut prev_col: Option<u32> = None;
+    for k in 0..n_changed {
+        let col_at = r.offset();
+        let col = r.u32("delta column")?;
+        let val = r.u32("delta value")?;
+        if prev_col.is_some_and(|p| col <= p) {
+            return Err(WireError::Format(PoetError::Corrupt(format!(
+                "record {i} delta entry {k} column {col} not ascending at byte {col_at}"
+            ))));
+        }
+        prev_col = Some(col);
+        let Some(slot) = entries.get_mut(col as usize) else {
+            return Err(WireError::Format(PoetError::Corrupt(format!(
+                "record {i} delta column {col} exceeds clock width {} at byte {col_at}",
+                entries.len()
+            ))));
+        };
+        *slot = val;
+    }
+    Ok(VectorClock::from_entries(entries))
+}
+
+fn get_events_impl(r: &mut Reader<'_>, delta: bool) -> Result<Vec<Event>, WireError> {
     let n_strings = r.u32("n_strings")? as usize;
     let mut strings: Vec<Arc<str>> = Vec::new();
     for i in 0..n_strings {
@@ -443,6 +606,10 @@ fn get_events(r: &mut Reader<'_>) -> Result<Vec<Event>, WireError> {
     // Capacity hint bounded by the bytes actually present (a record is
     // at least 18 bytes), so a hostile count cannot over-allocate.
     let mut events = Vec::with_capacity(count.min(r.remaining() / 18 + 1));
+    // Delta frames: last reconstructed clock per trace, the base the
+    // next delta on that trace applies to. A HashMap (not a dense
+    // table) because record trace ids are untrusted u32s.
+    let mut bases: HashMap<TraceId, VectorClock> = HashMap::new();
     for i in 0..count {
         let trace = TraceId::new(r.u32("record trace")?);
         let index = EventIndex::new(r.u32("record index")?);
@@ -475,27 +642,23 @@ fn get_events(r: &mut Reader<'_>) -> Result<Vec<Event>, WireError> {
                 ))));
             }
         };
-        let clock_n_at = r.offset();
-        let clock_n = r.u32("clock width")? as usize;
-        // A record's clock can never legitimately exceed the remaining
-        // frame bytes; bound it so a corrupt width cannot over-allocate.
-        if clock_n > r.remaining() / 4 + 1 {
-            return Err(WireError::Format(PoetError::Corrupt(format!(
-                "record {i} claims clock width {clock_n} at byte {clock_n_at}, only {} byte(s) left",
-                r.remaining()
-            ))));
-        }
-        // One bounds-checked read for the whole clock, not one per
-        // entry — this loop dominates decode time at high event rates.
-        let raw = r.bytes(clock_n * 4, "clock entries")?;
-        let entries: Vec<u32> = raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
-            .collect();
-        let stamp = StampedEvent::new_unchecked(
-            EventId::new(trace, index),
-            VectorClock::from_entries(entries),
-        );
+        let clock = if delta {
+            let cflag_at = r.offset();
+            let clock = match r.u8("clock flag")? {
+                0 => get_full_clock(r, i)?,
+                1 => get_delta_clock(r, i, trace, bases.get(&trace))?,
+                b => {
+                    return Err(WireError::Format(PoetError::Corrupt(format!(
+                        "record {i} has bad clock flag {b} at byte {cflag_at}"
+                    ))));
+                }
+            };
+            bases.insert(trace, clock.clone());
+            clock
+        } else {
+            get_full_clock(r, i)?
+        };
+        let stamp = StampedEvent::new_unchecked(EventId::new(trace, index), clock);
         events.push(Event::new(stamp, kind, ty, text, partner));
     }
     Ok(events)
@@ -545,6 +708,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             Frame::Event(Box::new(events.pop().expect("length checked")))
         }
         T_EVENT_BATCH => Frame::EventBatch(get_events(&mut r)?),
+        T_EVENT_BATCH_D => Frame::EventBatch(get_events_delta(&mut r)?),
         T_FLUSH => Frame::Flush,
         T_CHECKPOINT => Frame::CheckpointReq,
         T_STATS => {
@@ -617,7 +781,21 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
 ///
 /// [`WireError::Io`] when the transport fails.
 pub fn write_frame(w: &mut impl IoWrite, frame: &Frame) -> Result<usize, WireError> {
-    let body = encode_body(frame);
+    write_body(w, encode_body(frame))
+}
+
+/// Like [`write_frame`] but event batches use the compact delta clock
+/// encoding ([`encode_body_delta`]); used by the client's throughput
+/// path. Returns the bytes written (prefix included).
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the transport fails.
+pub fn write_frame_delta(w: &mut impl IoWrite, frame: &Frame) -> Result<usize, WireError> {
+    write_body(w, encode_body_delta(frame))
+}
+
+fn write_body(w: &mut impl IoWrite, body: Vec<u8>) -> Result<usize, WireError> {
     debug_assert!(body.len() <= MAX_FRAME, "encoder produced oversize frame");
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)?;
@@ -1034,6 +1212,216 @@ mod tests {
         assert_eq!(got, all_frames());
         assert_eq!(dec.buffered(), 0);
         assert!(!dec.is_poisoned());
+    }
+
+    /// A seeded causal workload: `n_events` events over `n_traces`
+    /// traces with a mix of local steps and cross-trace receives, so
+    /// consecutive clocks per trace differ in 1–2 entries (the shape
+    /// the delta encoding exists for).
+    fn seeded_batch(seed: u64, n_traces: u32, n_events: usize) -> Vec<Event> {
+        let mut rng = ocep_rng::Rng::seed_from_u64(seed);
+        let mut poet = PoetServer::new(n_traces as usize);
+        let mut out: Vec<Event> = Vec::new();
+        for _ in 0..n_events {
+            let tr = t(rng.gen_range(0u32..n_traces));
+            let e = if !out.is_empty() && rng.gen_range(0u32..3) == 0 {
+                let s = &out[rng.gen_range(0usize..out.len())];
+                if s.trace() == tr || s.kind() != EventKind::Send {
+                    poet.record(tr, EventKind::Unary, "step", "")
+                } else {
+                    poet.record_receive(tr, s.id(), "msg", "recv")
+                }
+            } else {
+                let kind = if rng.gen_range(0u32..2) == 0 {
+                    EventKind::Send
+                } else {
+                    EventKind::Unary
+                };
+                poet.record(tr, kind, "msg", "x")
+            };
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn delta_batches_round_trip_bit_identically_to_full_encoding() {
+        for seed in 0..25u64 {
+            for n_traces in [1u32, 3, 8, 50] {
+                let events = seeded_batch(seed, n_traces, 120);
+                let frame = Frame::EventBatch(events);
+                let full = encode_body(&frame);
+                let delta = encode_body_delta(&frame);
+                let from_full = decode_body(&full).expect("full decodes");
+                let from_delta = decode_body(&delta)
+                    .unwrap_or_else(|e| panic!("delta decode failed (seed {seed}): {e}"));
+                assert_eq!(from_full, frame, "full round trip (seed {seed})");
+                assert_eq!(
+                    from_delta, frame,
+                    "delta round trip diverged (seed {seed}, {n_traces} traces)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_smaller_for_wide_clocks() {
+        let frame = Frame::EventBatch(seeded_batch(7, 50, 256));
+        let full = encode_body(&frame).len();
+        let delta = encode_body_delta(&frame).len();
+        assert!(
+            delta * 2 < full,
+            "delta batch should be well under half the full size at 50 traces: {delta} vs {full}"
+        );
+    }
+
+    #[test]
+    fn non_batch_frames_are_unchanged_by_the_delta_encoder() {
+        for frame in all_frames() {
+            if matches!(frame, Frame::EventBatch(_)) {
+                continue;
+            }
+            assert_eq!(
+                encode_body_delta(&frame),
+                encode_body(&frame),
+                "{} must be byte-identical under the delta encoder",
+                frame.type_name()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_truncation_at_every_offset_errors_cleanly() {
+        let body = encode_body_delta(&Frame::EventBatch(seeded_batch(3, 4, 40)));
+        for cut in 0..body.len() {
+            assert!(
+                decode_body(&body[..cut]).is_err(),
+                "delta prefix of {cut} bytes was accepted"
+            );
+        }
+        let mut garbage = body;
+        garbage.push(0xAB);
+        assert!(decode_body(&garbage).is_err(), "trailing garbage accepted");
+    }
+
+    /// Hand-rolls a one-string `EventBatchD` body whose single record's
+    /// clock tail is `tail` (bytes after the partner flag).
+    fn drecord_body(tail: &[u8]) -> Vec<u8> {
+        let mut b = vec![T_EVENT_BATCH_D];
+        b.extend_from_slice(&1u32.to_le_bytes()); // one string
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.push(b'a');
+        b.extend_from_slice(&1u32.to_le_bytes()); // one record
+        b.extend_from_slice(&0u32.to_le_bytes()); // trace
+        b.extend_from_slice(&1u32.to_le_bytes()); // index
+        b.push(2); // Unary
+        b.extend_from_slice(&0u32.to_le_bytes()); // ty id
+        b.extend_from_slice(&0u32.to_le_bytes()); // text id
+        b.push(0); // no partner
+        b.extend_from_slice(tail);
+        b
+    }
+
+    #[test]
+    fn delta_with_no_base_is_diagnosed() {
+        // cflag=1, zero changes — but no prior record on trace 0.
+        let mut tail = vec![1u8];
+        tail.extend_from_slice(&0u32.to_le_bytes());
+        let err = decode_body(&drecord_body(&tail)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no base"), "{msg}");
+        assert!(msg.contains("byte"), "no offset: {msg}");
+    }
+
+    #[test]
+    fn bad_clock_flag_is_diagnosed() {
+        let mut tail = vec![9u8];
+        tail.extend_from_slice(&0u32.to_le_bytes());
+        let err = decode_body(&drecord_body(&tail)).unwrap_err();
+        assert!(err.to_string().contains("bad clock flag 9"), "{err}");
+    }
+
+    #[test]
+    fn hostile_delta_count_does_not_allocate() {
+        let mut tail = vec![1u8];
+        tail.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_body(&drecord_body(&tail)).unwrap_err();
+        assert!(err.to_string().contains("delta entries"), "{err}");
+    }
+
+    /// Two-record body on one trace: record 0 carries a full width-2
+    /// clock, record 1 a delta with caller-chosen `(col, val)` pairs.
+    fn two_record_delta_body(changes: &[(u32, u32)]) -> Vec<u8> {
+        let mut b = vec![T_EVENT_BATCH_D];
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.push(b'a');
+        b.extend_from_slice(&2u32.to_le_bytes()); // two records
+        for (idx, full) in [(1u32, true), (2u32, false)] {
+            b.extend_from_slice(&0u32.to_le_bytes()); // trace
+            b.extend_from_slice(&idx.to_le_bytes()); // index
+            b.push(2); // Unary
+            b.extend_from_slice(&0u32.to_le_bytes()); // ty id
+            b.extend_from_slice(&0u32.to_le_bytes()); // text id
+            b.push(0); // no partner
+            if full {
+                b.push(0);
+                b.extend_from_slice(&2u32.to_le_bytes()); // width 2
+                b.extend_from_slice(&1u32.to_le_bytes());
+                b.extend_from_slice(&0u32.to_le_bytes());
+            } else {
+                b.push(1);
+                b.extend_from_slice(&(changes.len() as u32).to_le_bytes());
+                for (col, val) in changes {
+                    b.extend_from_slice(&col.to_le_bytes());
+                    b.extend_from_slice(&val.to_le_bytes());
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn delta_column_out_of_range_is_diagnosed() {
+        let err = decode_body(&two_record_delta_body(&[(7, 9)])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("column 7 exceeds clock width 2"), "{msg}");
+    }
+
+    #[test]
+    fn delta_columns_must_ascend() {
+        let err = decode_body(&two_record_delta_body(&[(1, 3), (0, 2)])).unwrap_err();
+        assert!(err.to_string().contains("not ascending"), "{err}");
+        let err = decode_body(&two_record_delta_body(&[(0, 3), (0, 2)])).unwrap_err();
+        assert!(err.to_string().contains("not ascending"), "{err}");
+    }
+
+    #[test]
+    fn well_formed_hand_rolled_delta_reconstructs() {
+        let Frame::EventBatch(events) =
+            decode_body(&two_record_delta_body(&[(0, 2)])).expect("valid delta")
+        else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].clock().entries(), &[1, 0]);
+        assert_eq!(events[1].clock().entries(), &[2, 0]);
+    }
+
+    #[test]
+    fn frame_decoder_handles_delta_batches() {
+        let frame = Frame::EventBatch(seeded_batch(11, 6, 64));
+        let mut wire = Vec::new();
+        write_frame_delta(&mut wire, &frame).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        match dec.next().unwrap() {
+            Decoded::Frame { frame: got, bytes } => {
+                assert_eq!(got, frame);
+                assert_eq!(bytes as usize, wire.len());
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
     }
 
     #[test]

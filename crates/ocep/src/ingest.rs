@@ -475,6 +475,26 @@ impl AdmissionGuard {
         self.stats.buffered_peak = self.stats.buffered_peak.max(self.buffer.len() as u64);
     }
 
+    /// Processes a whole batch of raw arrivals through the same state
+    /// machine as per-event [`AdmissionGuard::admit`] — validation,
+    /// deduplication, and causal reordering are applied to every event
+    /// in batch order, so verdicts, delivery order, counters, and the
+    /// fault log are bit-identical to calling `admit` once per event.
+    ///
+    /// What the batch form buys is amortization, not different
+    /// semantics: `out` is grown once for the whole frame instead of
+    /// re-checked per push, and callers (the monitor set, the serve
+    /// engine) check the guard out and swap their reuse buffers once
+    /// per batch instead of once per event. The common clean batch —
+    /// in-order, no duplicates, empty buffer — runs entirely on the
+    /// two-comparison fast path of `admit` with no buffer scans.
+    pub fn admit_batch(&mut self, events: &[Event], out: &mut Vec<Event>) {
+        out.reserve(events.len());
+        for event in events {
+            self.admit(event, out);
+        }
+    }
+
     /// Abandons causal order for everything still buffered: delivers the
     /// buffer sorted by `(trace, index)` (so per-trace order at least is
     /// preserved) and marks the run degraded. Used by the
@@ -860,5 +880,133 @@ mod tests {
         );
         assert_eq!(guard.take_faults().len(), MAX_FAULT_LOG);
         assert_eq!(guard.faults_dropped(), 50);
+    }
+
+    /// A seeded multi-trace execution with cross-trace messages, in
+    /// arrival order — the workload the batch-equivalence sweeps run on.
+    fn seeded_events(seed: u64, n_traces: u32, n_events: usize) -> Vec<Event> {
+        let mut rng = ocep_rng::Rng::seed_from_u64(seed);
+        let mut poet = PoetServer::new(n_traces as usize);
+        let mut sends: Vec<(TraceId, EventId)> = Vec::new();
+        for _ in 0..n_events {
+            let tr = t(rng.gen_range(0..n_traces));
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let s = poet.record(tr, EventKind::Send, "s", "");
+                    sends.push((tr, s.id()));
+                }
+                1 if sends.iter().any(|(st, _)| *st != tr) => {
+                    let candidates: Vec<EventId> = sends
+                        .iter()
+                        .filter(|(st, _)| *st != tr)
+                        .map(|(_, id)| *id)
+                        .collect();
+                    let pick = *rng.choose(&candidates).unwrap();
+                    poet.record_receive(tr, pick, "r", "");
+                }
+                _ => {
+                    poet.record(tr, EventKind::Unary, "u", "");
+                }
+            }
+        }
+        poet.store().iter_arrival().cloned().collect()
+    }
+
+    /// Applies a pinned-seed transport fault plan: adjacent + windowed
+    /// reorder, duplicated deliveries, and a sprinkling of malformed
+    /// events (wrong clock width, out-of-range trace) that must be
+    /// quarantined identically by both admission paths.
+    fn apply_fault_plan(events: &[Event], rng: &mut ocep_rng::Rng) -> Vec<Event> {
+        let mut stream: Vec<Event> = events.to_vec();
+        // Windowed reorder: displace events a few slots back.
+        let mut i = 0;
+        while i + 1 < stream.len() {
+            if rng.gen_bool(0.3) {
+                let j = (i + rng.gen_range(1..4usize)).min(stream.len() - 1);
+                stream.swap(i, j);
+            }
+            i += 1;
+        }
+        // Duplicates: re-deliver random earlier events.
+        for _ in 0..events.len() / 5 {
+            let src = rng.gen_range(0..stream.len());
+            let dst = rng.gen_range(0..stream.len() + 1);
+            let dup = stream[src].clone();
+            stream.insert(dst, dup);
+        }
+        // Malformed arrivals that must be quarantined.
+        for _ in 0..3 {
+            let bad = Event::new(
+                StampedEvent::new_unchecked(
+                    EventId::new(t(rng.gen_range(90..99u32)), EventIndex::new(1)),
+                    VectorClock::from_entries(vec![0]),
+                ),
+                EventKind::Unary,
+                "bad",
+                "",
+                None,
+            );
+            let dst = rng.gen_range(0..stream.len() + 1);
+            stream.insert(dst, bad);
+        }
+        stream
+    }
+
+    fn fault_key(f: &IngestFault) -> (IngestFaultKind, Option<EventId>, String) {
+        (f.kind, f.event, f.detail.clone())
+    }
+
+    /// `admit_batch` must be observationally identical to per-event
+    /// `admit`: same delivered events in the same order, same counters,
+    /// same fault log — for every batch partition of the same stream,
+    /// under reorder/duplicate/corruption fault plans, across overflow
+    /// policies. This is the contract that lets the serve engine switch
+    /// `EventBatch` frames to the batch path without perturbing the
+    /// deterministic-simulation oracle.
+    #[test]
+    fn admit_batch_is_bit_identical_to_per_event_admit() {
+        let policies = [
+            OverflowPolicy::Reject,
+            OverflowPolicy::DropOldest,
+            OverflowPolicy::FlushDegraded,
+        ];
+        for seed in 0..12u64 {
+            let events = seeded_events(0xBA7C_0000 + seed, 2 + (seed % 7) as u32, 80);
+            let mut rng = ocep_rng::Rng::seed_from_u64(0xFA_0017 + seed);
+            let stream = apply_fault_plan(&events, &mut rng);
+            for policy in policies {
+                // Small capacity so overflow policies actually trigger.
+                let config = GuardConfig {
+                    capacity: 8,
+                    overflow: policy,
+                };
+                let mut reference = AdmissionGuard::new(7, config);
+                let mut ref_out = Vec::new();
+                for e in &stream {
+                    reference.admit(e, &mut ref_out);
+                }
+                for batch_size in [1usize, 7, 64, stream.len()] {
+                    let mut batched = AdmissionGuard::new(7, config);
+                    let mut out = Vec::new();
+                    for chunk in stream.chunks(batch_size) {
+                        batched.admit_batch(chunk, &mut out);
+                    }
+                    assert_eq!(
+                        out, ref_out,
+                        "delivery diverged (seed {seed}, {policy}, batch {batch_size})"
+                    );
+                    assert_eq!(
+                        batched.stats(),
+                        reference.stats(),
+                        "stats diverged (seed {seed}, {policy}, batch {batch_size})"
+                    );
+                    assert_eq!(
+                        batched.faults.iter().map(fault_key).collect::<Vec<_>>(),
+                        reference.faults.iter().map(fault_key).collect::<Vec<_>>(),
+                        "fault log diverged (seed {seed}, {policy}, batch {batch_size})"
+                    );
+                }
+            }
+        }
     }
 }

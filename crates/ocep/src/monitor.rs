@@ -751,6 +751,8 @@ impl Monitor {
             s.counter_with(n, h, &[("op", "tick")], ops.ticks);
             s.counter_with(n, h, &[("op", "join")], ops.joins);
             s.counter_with(n, h, &[("op", "comparison")], ops.comparisons);
+            s.counter_with(n, h, &[("op", "pool_hit")], ops.pool_hits);
+            s.counter_with(n, h, &[("op", "pool_miss")], ops.pool_misses);
         }
 
         if let Some(m) = &self.obs {

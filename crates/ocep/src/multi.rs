@@ -159,6 +159,34 @@ impl MonitorSet {
         out
     }
 
+    /// Observes a whole batch of **raw** arrivals — the per-frame entry
+    /// point for batched transports. Equivalent to calling
+    /// [`MonitorSet::observe_raw`] once per event (verdicts, guard
+    /// counters, and fault log are bit-identical, in the same order),
+    /// but the guard is checked out and the delivery buffer swapped
+    /// once per batch instead of once per event, and the batch is
+    /// admitted through [`AdmissionGuard::admit_batch`].
+    pub fn observe_raw_batch(&mut self, events: &[Event]) -> Vec<(String, Match)> {
+        let Some(mut guard) = self.guard.take() else {
+            let mut out = Vec::new();
+            for e in events {
+                out.append(&mut self.observe(e));
+            }
+            return out;
+        };
+        let mut deliverable = std::mem::take(&mut self.admit_buf);
+        deliverable.clear();
+        guard.admit_batch(events, &mut deliverable);
+        let mut out = Vec::new();
+        for e in &deliverable {
+            out.append(&mut self.observe(e));
+        }
+        self.guard = Some(guard);
+        deliverable.clear();
+        self.admit_buf = deliverable;
+        out
+    }
+
     /// Abandons causal order for events still waiting in the set-level
     /// guard's reorder buffer: delivers them to every monitor sorted by
     /// `(trace, index)` and marks the run degraded. Call at end of
@@ -406,6 +434,58 @@ mod tests {
             "set-level guard counters must export"
         );
         assert!(set.take_ingest_faults().is_empty());
+    }
+
+    /// `observe_raw_batch` must yield exactly the concatenation of
+    /// per-event `observe_raw` results — same verdicts in the same
+    /// order, same guard counters, same per-monitor stats — with and
+    /// without a set-level guard.
+    #[test]
+    fn observe_raw_batch_matches_per_event_observe_raw() {
+        let build = |guard: bool| {
+            let mut set = MonitorSet::new(2);
+            set.add(
+                "hb",
+                Pattern::parse("A := [*, a, *]; B := [*, b, *]; pattern := A -> B;").unwrap(),
+            );
+            set.add(
+                "conc",
+                Pattern::parse("X := [*, a, *]; Y := [*, c, *]; pattern := X || Y;").unwrap(),
+            );
+            if guard {
+                set.enable_guard(GuardConfig::default());
+            }
+            set
+        };
+        let mut poet = PoetServer::new(2);
+        let s = poet.record(t(0), EventKind::Send, "a", "");
+        poet.record_receive(t(1), s.id(), "b", "");
+        poet.record(t(1), EventKind::Unary, "c", "");
+        let events: Vec<Event> = poet.linearization().collect();
+        // Receive before send, a duplicate, then the tail — the guard
+        // repairs it; without a guard both paths just fan out as-is.
+        let stream = [
+            events[1].clone(),
+            events[0].clone(),
+            events[0].clone(),
+            events[2].clone(),
+        ];
+        for guard in [true, false] {
+            let mut per_event = build(guard);
+            let mut reference = Vec::new();
+            for e in &stream {
+                reference.extend(per_event.observe_raw(e));
+            }
+            let mut batched = build(guard);
+            let got = batched.observe_raw_batch(&stream);
+            let names =
+                |v: &[(String, Match)]| v.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+            assert_eq!(names(&got), names(&reference), "guard={guard}");
+            assert_eq!(batched.ingest_stats(), per_event.ingest_stats());
+            for ((_, a), (_, b)) in batched.iter().zip(per_event.iter()) {
+                assert_eq!(a.stats().events, b.stats().events);
+            }
+        }
     }
 
     #[test]

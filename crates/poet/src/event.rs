@@ -136,6 +136,13 @@ impl Event {
         self.partner
     }
 
+    /// Interns this event's clock through `pool` (keyed by trace), so
+    /// value-equal clocks — duplicate deliveries, resends after a
+    /// reconnect — share one pointer-equal buffer. Value-wise a no-op.
+    pub fn intern_clock(&mut self, pool: &mut ocep_vclock::ClockPool) {
+        self.stamp.intern_clock(pool);
+    }
+
     /// Shared handle to the type string (used by stores to avoid copies).
     #[must_use]
     pub fn ty_arc(&self) -> Arc<str> {

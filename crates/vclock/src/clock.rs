@@ -111,9 +111,10 @@ impl VectorClock {
             other.entries.len(),
             "cannot join clocks of different widths"
         );
-        for (mine, theirs) in self.entries_mut().iter_mut().zip(other.entries.iter()) {
-            *mine = (*mine).max(*theirs);
+        if self.shares_buffer(other) {
+            return; // joining with an alias of self is the identity
         }
+        crate::kernels::join_into(self.entries_mut(), &other.entries);
     }
 
     /// Component-wise `self <= other` (the classic partial order on
@@ -123,11 +124,7 @@ impl VectorClock {
     pub fn le(&self, other: &VectorClock) -> bool {
         crate::ops::count_comparison();
         self.entries.len() == other.entries.len()
-            && self
-                .entries
-                .iter()
-                .zip(other.entries.iter())
-                .all(|(a, b)| a <= b)
+            && crate::kernels::le(&self.entries, &other.entries)
     }
 
     /// Raw entries, indexed by trace.

@@ -34,19 +34,26 @@
 //! assert_eq!(other.causality(&recv), Causality::Concurrent);
 //! ```
 
-#![forbid(unsafe_code)]
+// The `simd` feature's SSE2 kernels are the single sanctioned use of
+// `unsafe` in this crate (scoped allow in `kernels::sse2`); every other
+// build forbids it outright.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod clock;
 pub mod compound;
 mod ids;
+pub mod kernels;
 pub mod ops;
+mod pool;
 mod stamped;
 
 pub use clock::VectorClock;
 pub use compound::{CompoundRelation, EventSet};
 pub use ids::{EventId, EventIndex, TraceId};
 pub use ops::ClockOpCounts;
+pub use pool::ClockPool;
 pub use stamped::{ClockAssigner, StampedEvent};
 
 /// The causal relationship between two primitive events.

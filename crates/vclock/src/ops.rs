@@ -19,6 +19,8 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static TICKS: AtomicU64 = AtomicU64::new(0);
 static JOINS: AtomicU64 = AtomicU64::new(0);
 static COMPARISONS: AtomicU64 = AtomicU64::new(0);
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide clock-operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +33,11 @@ pub struct ClockOpCounts {
     /// ([`crate::StampedEvent::happens_before`]) plus full component-wise
     /// clock comparisons ([`crate::VectorClock::le`]).
     pub comparisons: u64,
+    /// [`crate::ClockPool::intern`] calls that returned the cached,
+    /// pointer-equal clock.
+    pub pool_hits: u64,
+    /// [`crate::ClockPool::intern`] calls that replaced the cache.
+    pub pool_misses: u64,
 }
 
 /// Turns clock-operation counting on or off for the whole process.
@@ -51,6 +58,8 @@ pub fn snapshot() -> ClockOpCounts {
         ticks: TICKS.load(Ordering::Relaxed),
         joins: JOINS.load(Ordering::Relaxed),
         comparisons: COMPARISONS.load(Ordering::Relaxed),
+        pool_hits: POOL_HITS.load(Ordering::Relaxed),
+        pool_misses: POOL_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -59,6 +68,8 @@ pub fn reset() {
     TICKS.store(0, Ordering::Relaxed);
     JOINS.store(0, Ordering::Relaxed);
     COMPARISONS.store(0, Ordering::Relaxed);
+    POOL_HITS.store(0, Ordering::Relaxed);
+    POOL_MISSES.store(0, Ordering::Relaxed);
 }
 
 #[inline]
@@ -82,6 +93,20 @@ pub(crate) fn count_comparison() {
     }
 }
 
+#[inline]
+pub(crate) fn count_pool_hit() {
+    if ENABLED.load(Ordering::Relaxed) {
+        POOL_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+pub(crate) fn count_pool_miss() {
+    if ENABLED.load(Ordering::Relaxed) {
+        POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,10 +127,15 @@ mod tests {
         let a = asn.local(TraceId::new(0)); // 1 tick
         let b = asn.receive(TraceId::new(1), &a); // 1 join + 1 tick
         let _ = a.causality(&b); // happens-before tests
+        let mut pool = crate::ClockPool::new(2);
+        let _ = pool.intern(TraceId::new(0), a.clock().clone()); // miss
+        let _ = pool.intern(TraceId::new(0), a.clock().clone()); // hit
         let got = snapshot();
         enable(false);
         assert_eq!(got.ticks, 2);
         assert_eq!(got.joins, 1);
         assert!(got.comparisons >= 1, "causality() must count comparisons");
+        assert_eq!(got.pool_hits, 1);
+        assert_eq!(got.pool_misses, 1);
     }
 }

@@ -102,6 +102,18 @@ impl StampedEvent {
         }
     }
 
+    /// Interns this event's clock through `pool` (keyed by the event's
+    /// trace): if an equal clock is cached there, the event adopts the
+    /// cached, pointer-equal buffer. Value-wise a no-op; events whose
+    /// trace is outside the pool's range are left untouched (range
+    /// enforcement belongs to the admission guard, not here).
+    pub fn intern_clock(&mut self, pool: &mut crate::ClockPool) {
+        if self.trace().as_usize() < pool.n_traces() {
+            let clock = std::mem::replace(&mut self.clock, VectorClock::new(0));
+            self.clock = pool.intern(self.trace(), clock);
+        }
+    }
+
     /// The *greatest predecessor* of this event on trace `t` (§IV-C): the
     /// index of the most recent event on `t` that happens before this
     /// event, or [`EventIndex::ZERO`] if none does. On the event's own

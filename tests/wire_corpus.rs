@@ -126,7 +126,87 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
     bad_pflag[kind_at + 9] = 9;
     entries.push(("bad_partner_flag.bin", framed(&bad_pflag)));
 
+    // --- Delta-encoded batches (T_EVENT_BATCH_D): every way the
+    // sparse clock tail can lie. ---
+
+    // Delta record with no prior full clock on its trace.
+    let mut no_base = vec![1u8]; // cflag: delta
+    no_base.extend_from_slice(&1u32.to_le_bytes()); // one change
+    no_base.extend_from_slice(&0u32.to_le_bytes()); // column 0
+    no_base.extend_from_slice(&1u32.to_le_bytes()); // value 1
+    entries.push(("delta_no_base.bin", framed(&delta_batch_body(1, &no_base))));
+
+    // Clock flag outside {0,1}.
+    entries.push(("delta_bad_flag.bin", framed(&delta_batch_body(2, &[7]))));
+
+    // Delta claiming 4 billion changed columns with no bytes behind it.
+    let mut hostile = vec![1u8];
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+    entries.push((
+        "delta_hostile_count.bin",
+        framed(&delta_batch_body(2, &hostile)),
+    ));
+
+    // Delta column past the width of the base clock.
+    let mut col_oob = vec![1u8];
+    col_oob.extend_from_slice(&1u32.to_le_bytes());
+    col_oob.extend_from_slice(&9u32.to_le_bytes()); // column 9, width 2
+    col_oob.extend_from_slice(&5u32.to_le_bytes());
+    entries.push((
+        "delta_column_out_of_range.bin",
+        framed(&delta_batch_body(2, &col_oob)),
+    ));
+
+    // Delta columns out of ascending order.
+    let mut descend = vec![1u8];
+    descend.extend_from_slice(&2u32.to_le_bytes());
+    descend.extend_from_slice(&1u32.to_le_bytes());
+    descend.extend_from_slice(&5u32.to_le_bytes());
+    descend.extend_from_slice(&0u32.to_le_bytes());
+    descend.extend_from_slice(&6u32.to_le_bytes());
+    entries.push((
+        "delta_columns_descend.bin",
+        framed(&delta_batch_body(2, &descend)),
+    ));
+
+    // Delta truncated mid-pair: promises two changes, carries one.
+    let mut cut = vec![1u8];
+    cut.extend_from_slice(&2u32.to_le_bytes());
+    cut.extend_from_slice(&0u32.to_le_bytes());
+    cut.extend_from_slice(&3u32.to_le_bytes());
+    entries.push(("delta_truncated.bin", framed(&delta_batch_body(2, &cut))));
+
     entries
+}
+
+/// Hand-rolled delta-batch body (`T_EVENT_BATCH_D` = 10). With
+/// `records == 2` the first record carries a full width-2 clock `[1, 0]`
+/// on trace 0 (establishing the delta base) and the second record's
+/// clock tail is `last_clock_tail` verbatim; with `records == 1` the
+/// single record gets `last_clock_tail` directly — no base exists.
+fn delta_batch_body(records: u32, last_clock_tail: &[u8]) -> Vec<u8> {
+    let mut b = vec![10u8]; // T_EVENT_BATCH_D
+    b.extend_from_slice(&1u32.to_le_bytes()); // one string
+    b.extend_from_slice(&1u32.to_le_bytes());
+    b.push(b'a');
+    b.extend_from_slice(&records.to_le_bytes());
+    for i in 0..records {
+        b.extend_from_slice(&0u32.to_le_bytes()); // trace
+        b.extend_from_slice(&(i + 1).to_le_bytes()); // index
+        b.push(2); // Unary
+        b.extend_from_slice(&0u32.to_le_bytes()); // ty id
+        b.extend_from_slice(&0u32.to_le_bytes()); // text id
+        b.push(0); // no partner
+        if i + 1 < records {
+            b.push(0); // full clock [1, 0]
+            b.extend_from_slice(&2u32.to_le_bytes());
+            b.extend_from_slice(&1u32.to_le_bytes());
+            b.extend_from_slice(&0u32.to_le_bytes());
+        } else {
+            b.extend_from_slice(last_clock_tail);
+        }
+    }
+    b
 }
 
 /// Byte offset of the first record in `sample_event_body`'s encoding:
