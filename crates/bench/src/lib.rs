@@ -21,6 +21,7 @@ pub mod metrics_json;
 pub mod netbench;
 pub mod simbench;
 pub mod stats;
+pub mod walbench;
 
 use ocep_core::ObsLevel;
 

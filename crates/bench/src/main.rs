@@ -33,6 +33,9 @@ EXPERIMENTS:
                           scalar dominance/join, interned vs fresh clocks
     sim                   deterministic whole-system simulator turnover:
                           simulated events/s and runs/s vs client count
+    wal                   durable-log microbenchmarks: append records/s per
+                          durability mode, recovery ms per 100k records, and
+                          batch-WAL vs no-WAL ingest medians
 
 OPTIONS:
     --events N   approximate events per workload (default 40000)
@@ -225,6 +228,33 @@ fn run_one(name: &str, opts: &RunOptions) -> Json {
                 ("runs_per_sec", Json::from(r.runs_per_sec)),
             ])
         })),
+        "wal" => {
+            let b = ocep_bench::walbench::wal(opts);
+            Json::obj([
+                (
+                    "appends",
+                    Json::arr(b.appends.into_iter().map(|a| {
+                        Json::obj([
+                            ("durability", Json::from(a.durability)),
+                            ("records", Json::from(a.records)),
+                            ("payload_bytes", Json::from(a.payload_bytes)),
+                            ("records_per_sec", Json::from(a.records_per_sec)),
+                        ])
+                    })),
+                ),
+                ("recovery_records", Json::from(b.recovery_records)),
+                ("recovery_ms_per_100k", Json::from(b.recovery_ms_per_100k)),
+                (
+                    "ingest",
+                    Json::obj([
+                        ("events", Json::from(b.ingest.events)),
+                        ("off_median_us", Json::from(b.ingest.off_median_us)),
+                        ("wal_median_us", Json::from(b.ingest.wal_median_us)),
+                        ("ratio", Json::from(b.ingest.ratio)),
+                    ]),
+                ),
+            ])
+        }
         "ablation-pattern-len" => series_json("pattern_len", figures::ablation_pattern_len(opts)),
         "ablation-pruning" => Json::arr(figures::ablation_pruning(opts).into_iter().map(
             |(case, ocep_med, naive_med, ocep_cands, naive_cands)| {

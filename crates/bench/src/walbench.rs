@@ -1,0 +1,262 @@
+//! Durable-log microbenchmarks (`ocep-bench wal`).
+//!
+//! Three numbers matter for the write-ahead log:
+//!
+//! * **Append throughput** per durability mode — records/s for `none`
+//!   (OS-buffered), `batch` (group-commit fsync), and `strict` (fsync
+//!   per append). The payloads are real deliver records from the
+//!   deadlock workload, so the bytes-per-record are representative.
+//! * **Recovery speed** — how long a restart spends scanning and
+//!   hash-verifying the log, normalized to milliseconds per 100k
+//!   records.
+//! * **Ingest overhead** — fig6-style per-event medians for the
+//!   deadlock workload delivered through `observe_raw` with a
+//!   batch-durability WAL append in front of every event versus no WAL
+//!   at all. The acceptance gate is batch ≤ 1.15× the no-WAL median.
+
+use crate::figures::deadlock_params;
+use crate::output;
+use crate::stats::BoxPlot;
+use crate::RunOptions;
+use ocep_core::{Monitor, MonitorConfig};
+use ocep_net::wire::put_event_body;
+use ocep_poet::Event;
+use ocep_simulator::workloads::{random_walk, Generated};
+use ocep_wal::{Durability, Wal, WalOptions, REC_DELIVER};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One append-throughput measurement at a fixed durability mode.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendRun {
+    /// Durability mode name (`none`, `batch`, `strict`).
+    pub durability: &'static str,
+    /// Records appended per repetition.
+    pub records: usize,
+    /// Payload bytes per record (a real deliver record).
+    pub payload_bytes: usize,
+    /// Median append throughput, records per second.
+    pub records_per_sec: f64,
+}
+
+/// The WAL ingest-overhead comparison (fig6-style medians).
+#[derive(Debug, Clone, Copy)]
+pub struct IngestRun {
+    /// Events delivered per pass.
+    pub events: usize,
+    /// fig6 per-search-event median with no WAL, microseconds (min of
+    /// medians across repetitions — the noise-robust statistic).
+    pub off_median_us: f64,
+    /// fig6 per-search-event median with a batch-durability WAL append
+    /// before every delivery, microseconds (min of medians).
+    pub wal_median_us: f64,
+    /// `wal_median_us / off_median_us` — gated at ≤ 1.15 locally.
+    pub ratio: f64,
+}
+
+/// Full `ocep-bench wal` result set.
+#[derive(Debug, Clone)]
+pub struct WalBench {
+    /// Append throughput per durability mode.
+    pub appends: Vec<AppendRun>,
+    /// Records in the recovery-scan log.
+    pub recovery_records: usize,
+    /// Median recovery (open + scan + hash-verify) time, normalized to
+    /// milliseconds per 100k records.
+    pub recovery_ms_per_100k: f64,
+    /// Ingest overhead comparison.
+    pub ingest: IngestRun,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ocep-walbench-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A representative deliver-record payload: the session name prefix
+/// plus the event's wire body, the same shape the serve path logs.
+fn deliver_payload(e: &Event) -> Vec<u8> {
+    let session = b"bench";
+    let mut payload = Vec::with_capacity(32 + 4 * e.clock().len());
+    payload.extend_from_slice(&(session.len() as u32).to_le_bytes());
+    payload.extend_from_slice(session);
+    put_event_body(&mut payload, e);
+    payload
+}
+
+fn opts_for(durability: Durability) -> WalOptions {
+    WalOptions {
+        durability,
+        ..WalOptions::default()
+    }
+}
+
+/// Appends `records` copies of `payload` to a fresh log and returns the
+/// whole-run throughput in records per second.
+fn append_pass(durability: Durability, payload: &[u8], records: usize) -> f64 {
+    let dir = scratch_dir("append");
+    let (mut w, _) = Wal::open(&dir, opts_for(durability)).expect("open scratch wal");
+    let start = Instant::now();
+    for _ in 0..records {
+        w.append(REC_DELIVER, payload).expect("append");
+    }
+    w.sync().expect("sync");
+    let dt = start.elapsed().as_secs_f64();
+    drop(w);
+    let _ = std::fs::remove_dir_all(&dir);
+    records as f64 / dt.max(1e-9)
+}
+
+/// Measures recovery: writes `records` records once, then times
+/// `Wal::open` (scan + hash-verify + tail repair) `reps` times.
+fn recovery_pass(payload: &[u8], records: usize, reps: u64) -> f64 {
+    let dir = scratch_dir("recover");
+    {
+        let (mut w, _) = Wal::open(&dir, opts_for(Durability::None)).expect("open scratch wal");
+        for _ in 0..records {
+            w.append(REC_DELIVER, payload).expect("append");
+        }
+        w.sync().expect("sync");
+    }
+    let mut times = Vec::new();
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let (w, recovery) = Wal::open(&dir, opts_for(Durability::None)).expect("recover");
+        let dt = start.elapsed().as_secs_f64();
+        assert!(
+            recovery.records.len() >= records,
+            "recovery lost records: {} < {records}",
+            recovery.records.len()
+        );
+        drop(w);
+        times.push(dt);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    times.sort_by(f64::total_cmp);
+    let median_s = times[times.len() / 2];
+    median_s * 1e3 * (100_000.0 / records as f64)
+}
+
+/// One fig6-style pass over the workload: every arrival is timed, and
+/// the samples kept are the arrivals that triggered a search — the
+/// paper's detection-time metric. With `wal`, a batch-durability log
+/// append (payload encode included) sits inside the timed window before
+/// every delivery, the serve path's write ordering. Returns the median
+/// per-search-event time in microseconds.
+fn ingest_pass(g: &Generated, events: &[Event], wal: bool) -> f64 {
+    let mut monitor = Monitor::with_config(g.pattern(), g.n_traces, MonitorConfig::default());
+    let dir = scratch_dir("ingest");
+    let mut w = wal.then(|| {
+        Wal::open(&dir, opts_for(Durability::Batch))
+            .expect("open scratch wal")
+            .0
+    });
+    let mut samples = Vec::new();
+    for e in events {
+        let searches_before = monitor.stats().searches;
+        let t0 = Instant::now();
+        if let Some(w) = w.as_mut() {
+            let payload = deliver_payload(e);
+            w.append(REC_DELIVER, &payload).expect("append");
+        }
+        let _ = monitor.observe(e);
+        let dt = t0.elapsed();
+        if monitor.stats().searches > searches_before {
+            samples.push(dt.as_secs_f64() * 1e6);
+        }
+    }
+    if let Some(w) = w.as_mut() {
+        w.flush_os().expect("flush");
+    }
+    drop(w);
+    let _ = std::fs::remove_dir_all(&dir);
+    BoxPlot::from_samples(&samples).median
+}
+
+/// Runs the full WAL benchmark.
+///
+/// # Panics
+///
+/// Panics if the scratch log cannot be created or a recovery scan loses
+/// records — a throughput number from a broken log would be
+/// meaningless.
+#[must_use]
+pub fn wal(opts: &RunOptions) -> WalBench {
+    let g = random_walk::generate(&deadlock_params(10, opts.events, 8, 42));
+    let events: Vec<Event> = g.poet.store().iter_arrival().cloned().collect();
+    let payload = deliver_payload(&events[0]);
+
+    // Append throughput. Strict fsyncs every record, so it gets a
+    // smaller record count to keep the run bounded.
+    let modes: [(&str, Durability, usize); 3] = [
+        ("none", Durability::None, opts.events),
+        ("batch", Durability::Batch, opts.events),
+        ("strict", Durability::Strict, (opts.events / 20).max(200)),
+    ];
+    let mut appends = Vec::new();
+    for (name, durability, records) in modes {
+        let mut rates: Vec<f64> = (0..opts.reps.max(1))
+            .map(|_| append_pass(durability, &payload, records))
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        appends.push(AppendRun {
+            durability: name,
+            records,
+            payload_bytes: payload.len(),
+            records_per_sec: rates[rates.len() / 2],
+        });
+    }
+
+    // Recovery scan speed over a log the size of one workload.
+    let recovery_records = opts.events;
+    let recovery_ms_per_100k = recovery_pass(&payload, recovery_records, opts.reps);
+
+    // Ingest overhead: interleave the two sides and keep each side's
+    // best median (min-of-medians defeats cross-run machine noise, the
+    // same convention as the pr4 overhead gate).
+    let mut off_medians = Vec::new();
+    let mut wal_medians = Vec::new();
+    for _ in 0..opts.reps.max(1) {
+        off_medians.push(ingest_pass(&g, &events, false));
+        wal_medians.push(ingest_pass(&g, &events, true));
+    }
+    let off = off_medians.iter().copied().fold(f64::INFINITY, f64::min);
+    let with_wal = wal_medians.iter().copied().fold(f64::INFINITY, f64::min);
+    let ingest = IngestRun {
+        events: events.len(),
+        off_median_us: off,
+        wal_median_us: with_wal,
+        ratio: with_wal / off.max(1e-9),
+    };
+
+    let bench = WalBench {
+        appends,
+        recovery_records,
+        recovery_ms_per_100k,
+        ingest,
+    };
+    if output::human() {
+        for a in &bench.appends {
+            println!(
+                "  append {:<6} {:>10.0} rec/s  ({} records × {} B)",
+                a.durability, a.records_per_sec, a.records, a.payload_bytes
+            );
+        }
+        println!(
+            "  recovery scan    {:>8.1} ms per 100k records  ({} records)",
+            bench.recovery_ms_per_100k, bench.recovery_records
+        );
+        println!(
+            "  ingest median    off {:.3} us | batch-wal {:.3} us | ratio {:.3}",
+            bench.ingest.off_median_us, bench.ingest.wal_median_us, bench.ingest.ratio
+        );
+    }
+    bench
+}

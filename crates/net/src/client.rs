@@ -61,6 +61,7 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     credits: u32,
     faults: Vec<(FaultCode, String)>,
+    resume_from: u64,
 }
 
 impl Client {
@@ -85,9 +86,19 @@ impl Client {
             writer,
             credits: 0,
             faults: Vec::new(),
+            resume_from: 0,
         };
         client.wait_for_credit()?;
         Ok(client)
+    }
+
+    /// How many events of this named session the server already holds
+    /// durably (from a `Resume` frame during the handshake; 0 when the
+    /// server runs without a durable log). A resuming sender must skip
+    /// exactly this prefix of its stream instead of re-sending it.
+    #[must_use]
+    pub fn resume_from(&self) -> u64 {
+        self.resume_from
     }
 
     /// Processes inbound frames until at least one credit is available.
@@ -95,6 +106,7 @@ impl Client {
         while self.credits == 0 {
             match read_frame(&mut self.reader)? {
                 Frame::Ack { credits } => self.credits += credits,
+                Frame::Resume { durable } => self.resume_from = durable,
                 Frame::Fault { code, detail } => {
                     // A handshake rejection is fatal; later faults are
                     // informational (quarantines) and are collected.
@@ -246,7 +258,19 @@ impl Tail {
     ///
     /// Transport failures or a rejected handshake.
     pub fn connect(addr: &str, name: &str) -> Result<Tail, WireError> {
-        let (mut reader, writer) = connect(
+        Tail::connect_from(addr, name, None)
+    }
+
+    /// Like [`Tail::connect`], but additionally requests the retained
+    /// verdict backlog at log sequence numbers `>= from` (durable-log
+    /// servers only): the backlog arrives as [`Frame::VerdictAt`]
+    /// frames before the live stream continues with plain verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a rejected handshake.
+    pub fn connect_from(addr: &str, name: &str, from: Option<u64>) -> Result<Tail, WireError> {
+        let (mut reader, mut writer) = connect(
             addr,
             &Frame::Hello {
                 mode: Mode::Tail,
@@ -254,6 +278,10 @@ impl Tail {
                 name: name.to_owned(),
             },
         )?;
+        if let Some(from) = from {
+            write_frame(&mut writer, &Frame::TailFrom { from })?;
+            writer.flush()?;
+        }
         // The server completes the handshake with a credit grant.
         match read_frame(&mut reader)? {
             Frame::Ack { .. } => {}

@@ -19,9 +19,16 @@
 //! ground truth a replay harness feeds to an in-process reference
 //! `MonitorSet` to demand bit-identical verdicts.
 
-use crate::wire::{FaultCode, Frame, Mode, StatsReport, VerdictFrame};
+use crate::wire::{
+    decode_body, encode_body, put_str, FaultCode, Frame, Mode, StatsReport, VerdictFrame,
+};
 use ocep_core::ingest::OverflowPolicy;
-use ocep_core::{save_set, Histogram, Match, MetricsSnapshot, MonitorSet};
+use ocep_core::{
+    load_set_at, save_set, save_set_at, Histogram, Match, MetricsSnapshot, MonitorSet,
+};
+use ocep_wal::{
+    Durability, Record, Wal, WalOptions, REC_CHECKPOINT, REC_DELIVER, REC_FLUSH, REC_WATERMARK,
+};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +53,21 @@ pub struct ServeConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Pattern source per monitor name, required to write checkpoints.
     pub pattern_sources: HashMap<String, String>,
+    /// Directory for the durable event log; `None` serves non-durably.
+    /// When set, every admitted delivery is appended (hash-chained)
+    /// before it reaches the set, recovery replays the log on startup,
+    /// and producers with named sessions resume at their acknowledged
+    /// log offset instead of re-sending.
+    pub wal_dir: Option<PathBuf>,
+    /// Group-commit fsync policy for the event log.
+    pub durability: Durability,
+    /// Write a checkpoint every this many ingested events (0 disables
+    /// the periodic trigger; graceful drain always checkpoints).
+    pub checkpoint_every: u64,
+    /// Bounded-memory history GC: periodically truncate leaf-history
+    /// prefixes dominated by the guard's low-watermark clock, recording
+    /// the watermark in the log so replay re-applies it.
+    pub history_gc: bool,
 }
 
 impl Default for ServeConfig {
@@ -56,9 +78,21 @@ impl Default for ServeConfig {
             subscriber_queue: 1024,
             checkpoint_dir: None,
             pattern_sources: HashMap::new(),
+            wal_dir: None,
+            durability: Durability::Batch,
+            checkpoint_every: 0,
+            history_gc: false,
         }
     }
 }
+
+/// Matches GC'd history is cut back to per (leaf, trace) cell: a small
+/// hysteresis so truncation never races the search frontier.
+const GC_KEEP_RECENT: usize = 64;
+
+/// History-GC cadence (events) when `history_gc` is on but no periodic
+/// checkpoint interval is configured.
+const GC_DEFAULT_EVERY: u64 = 4096;
 
 /// One monitor's retained matches as leaf-wise `(trace, index)`
 /// coordinates: outer `Vec` per match, inner per leaf.
@@ -77,6 +111,11 @@ pub struct ServeReport {
     pub metrics: MetricsSnapshot,
     /// Checkpoint files written during shutdown.
     pub checkpoints: Vec<PathBuf>,
+    /// Log sequence number of the last durable-log record (0 when the
+    /// server ran without a WAL).
+    pub wal_last_lsn: u64,
+    /// Events replayed from the durable log during startup recovery.
+    pub recovered_events: u64,
     /// Final representative subset per monitor: each match as leaf-wise
     /// `(trace, index)` pairs, in subset order. Lets callers compare a
     /// served run against in-process delivery without keeping the set.
@@ -328,6 +367,29 @@ pub struct EngineCore {
     /// connection's self-reported name.
     finished_conns: Vec<(String, u64)>,
     journal: Option<Vec<EngineOp>>,
+    /// The durable event log, opened by [`EngineCore::recover_wal`];
+    /// `None` when serving non-durably (or after an append failure
+    /// degraded the log).
+    wal: Option<Wal>,
+    /// LSN of the event record that fired each entry of `verdicts`,
+    /// parallel to it; 0 without a WAL.
+    verdict_lsns: Vec<u64>,
+    /// LSN of the most recently appended record.
+    last_lsn: u64,
+    /// Durable event count per named producer session (recovered from
+    /// the log, then maintained live) — what `Resume` reports.
+    durable_sessions: HashMap<String, u64>,
+    events_since_checkpoint: u64,
+    events_since_gc: u64,
+    /// Events replayed from the log during recovery.
+    recovered_events: u64,
+    /// History events released by the GC watermark rule.
+    gc_released: u64,
+    wal_append_errors: u64,
+    /// Fault-injection hook (simulator sabotage): silently drop the
+    /// next deliver append, leaving a gap the conformance oracle must
+    /// flag.
+    wal_drop_next: bool,
 }
 
 impl std::fmt::Debug for EngineCore {
@@ -371,6 +433,16 @@ impl EngineCore {
             pool,
             finished_conns: Vec::new(),
             journal: None,
+            wal: None,
+            verdict_lsns: Vec::new(),
+            last_lsn: 0,
+            durable_sessions: HashMap::new(),
+            events_since_checkpoint: 0,
+            events_since_gc: 0,
+            recovered_events: 0,
+            gc_released: 0,
+            wal_append_errors: 0,
+            wal_drop_next: false,
         }
     }
 
@@ -395,6 +467,285 @@ impl EngineCore {
         if let Some(j) = &mut self.journal {
             j.push(op);
         }
+    }
+
+    /// Arms the simulator's sabotage hook: the next deliver append is
+    /// silently dropped from the log. The live state machine still
+    /// observes the event, so a subsequent crash-recovery diverges from
+    /// the oracle — which must flag it.
+    pub fn sabotage_drop_next_append(&mut self) {
+        self.wal_drop_next = true;
+    }
+
+    /// LSN of the most recently appended log record (0 without a WAL).
+    #[must_use]
+    pub fn wal_last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    /// Hands buffered log appends to the kernel. Must run before any
+    /// frame an observer could treat as an acknowledgement leaves the
+    /// engine: once a client sees an ack, the corresponding records have
+    /// to survive a SIGKILL, and kernel-visible is exactly that line.
+    /// A flush failure degrades to non-durable serving like an append
+    /// failure does.
+    fn wal_flush_os(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.flush_os().is_err() {
+                self.wal_append_errors += 1;
+                self.wal = None;
+            }
+        }
+    }
+
+    /// Appends one record to the durable log, updating `last_lsn`. An
+    /// append failure degrades the server to non-durable serving (the
+    /// log is dropped, the error counted) rather than killing ingest.
+    fn wal_append(&mut self, rtype: u8, payload: &[u8]) -> Option<u64> {
+        let wal = self.wal.as_mut()?;
+        match wal.append(rtype, payload) {
+            Ok(lsn) => {
+                self.last_lsn = lsn;
+                Some(lsn)
+            }
+            Err(_) => {
+                self.wal_append_errors += 1;
+                self.wal = None;
+                None
+            }
+        }
+    }
+
+    /// Appends a deliver record `[session:str][Event frame body]` for an
+    /// event about to enter the set, crediting the producer session's
+    /// durable count.
+    fn wal_append_deliver(&mut self, conn: u64, e: &ocep_poet::Event) {
+        if self.wal.is_none() {
+            return;
+        }
+        if self.wal_drop_next {
+            self.wal_drop_next = false;
+            return;
+        }
+        let session = self
+            .conns
+            .get(&conn)
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
+        let mut payload = Vec::with_capacity(32 + 4 * e.clock().len());
+        put_str(&mut payload, &session);
+        crate::wire::put_event_body(&mut payload, e);
+        if self.wal_append(REC_DELIVER, &payload).is_some() {
+            *self.durable_sessions.entry(session).or_insert(0) += 1;
+        }
+    }
+
+    /// Post-ingest housekeeping: the periodic checkpoint trigger and
+    /// the history-GC cadence.
+    fn after_ingest(&mut self, n: u64) {
+        if self.config.checkpoint_every > 0 {
+            self.events_since_checkpoint += n;
+            if self.events_since_checkpoint >= self.config.checkpoint_every {
+                self.events_since_checkpoint = 0;
+                let _ = self.checkpoint_now();
+                return; // checkpoint_now already ran GC if enabled
+            }
+        }
+        if self.config.history_gc {
+            self.events_since_gc += n;
+            let every = if self.config.checkpoint_every > 0 {
+                self.config.checkpoint_every
+            } else {
+                GC_DEFAULT_EVERY
+            };
+            if self.events_since_gc >= every {
+                self.events_since_gc = 0;
+                self.gc_now();
+            }
+        }
+    }
+
+    /// Runs the watermark truncation rule and records the watermark in
+    /// the log so point-in-time replay re-applies it at the same stream
+    /// position.
+    fn gc_now(&mut self) {
+        let Some(watermark) = self.set.admitted_watermark() else {
+            return;
+        };
+        let released = self.set.gc_histories(&watermark, GC_KEEP_RECENT);
+        self.gc_released += released as u64;
+        if self.wal.is_some() {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(GC_KEEP_RECENT as u32).to_le_bytes());
+            payload.extend_from_slice(&(watermark.len() as u32).to_le_bytes());
+            for v in &watermark {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            self.wal_append(REC_WATERMARK, &payload);
+        }
+    }
+
+    /// Writes a full checkpoint: the history-GC pass first (smaller
+    /// state), then a log-anchored `OCKS` record in the WAL, then the
+    /// per-monitor `.ockp` files when a checkpoint directory is
+    /// configured.
+    fn checkpoint_now(&mut self) -> Result<Vec<PathBuf>, std::io::Error> {
+        if self.config.history_gc {
+            self.events_since_gc = 0;
+            self.gc_now();
+        }
+        self.append_wal_checkpoint();
+        self.write_checkpoints()
+    }
+
+    /// Appends a `REC_CHECKPOINT` record: the set-level `OCKS` blob plus
+    /// every verdict reported so far (monitor, firing LSN, bound events)
+    /// so a recovered server can reprint its full verdict history and
+    /// serve `tail --from`. Synced regardless of durability mode — a
+    /// checkpoint that may vanish anchors nothing.
+    fn append_wal_checkpoint(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let ocks = save_set_at(&self.set, &self.config.pattern_sources, self.last_lsn);
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(ocks.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&ocks);
+        payload.extend_from_slice(&(self.verdicts.len() as u32).to_le_bytes());
+        for ((name, m), lsn) in self.verdicts.iter().zip(&self.verdict_lsns) {
+            payload.extend_from_slice(&lsn.to_le_bytes());
+            put_str(&mut payload, name);
+            let body = encode_body(&Frame::EventBatch(m.events().to_vec()));
+            payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&body);
+        }
+        if self.wal_append(REC_CHECKPOINT, &payload).is_some() {
+            if let Some(wal) = &mut self.wal {
+                let _ = wal.sync();
+            }
+        }
+    }
+
+    /// Opens the configured durable log and rebuilds serving state from
+    /// it: loads the newest log-anchored checkpoint (set state plus the
+    /// verdict history at its firing LSNs), replays every record after
+    /// it through the set, recounts per-session durable offsets, and
+    /// installs the log for appending. Call once, before processing any
+    /// frame. No-op (`Ok(false)`) when no `wal_dir` is configured.
+    ///
+    /// # Errors
+    ///
+    /// A corrupt log (anything the repair scan cannot attribute to a
+    /// torn tail) or an undecodable record — each diagnosed with its
+    /// segment and byte offset, never a panic.
+    pub fn recover_wal(&mut self) -> Result<bool, String> {
+        let Some(dir) = self.config.wal_dir.clone() else {
+            return Ok(false);
+        };
+        let opts = WalOptions {
+            durability: self.config.durability,
+            ..WalOptions::default()
+        };
+        let (wal, recovery) = Wal::open(&dir, opts).map_err(|e| e.to_string())?;
+        self.replay_records(&recovery.records)?;
+        self.last_lsn = recovery.records.last().map_or(0, |r| r.lsn);
+        self.wal = Some(wal);
+        Ok(true)
+    }
+
+    /// Rebuilds set state, verdict history, and session offsets from a
+    /// scanned record sequence (see [`EngineCore::recover_wal`]).
+    fn replay_records(&mut self, records: &[Record]) -> Result<(), String> {
+        // Durable session offsets count every deliver in the log —
+        // including pre-checkpoint ones — because producers number
+        // their session events from the start of the stream.
+        for rec in records {
+            if rec.rtype == REC_DELIVER {
+                let (session, _) = decode_deliver(&rec.payload)
+                    .map_err(|e| format!("log record at lsn {}: {e}", rec.lsn))?;
+                *self.durable_sessions.entry(session).or_insert(0) += 1;
+            }
+        }
+        let start = match records.iter().rposition(|r| r.rtype == REC_CHECKPOINT) {
+            Some(i) => {
+                self.load_checkpoint_record(&records[i].payload)
+                    .map_err(|e| format!("log checkpoint at lsn {}: {e}", records[i].lsn))?;
+                i + 1
+            }
+            None => 0,
+        };
+        for rec in &records[start..] {
+            match rec.rtype {
+                REC_DELIVER => {
+                    let (_, mut e) = decode_deliver(&rec.payload)
+                        .map_err(|err| format!("log record at lsn {}: {err}", rec.lsn))?;
+                    e.intern_clock(&mut self.pool);
+                    self.last_lsn = rec.lsn;
+                    let verdicts = self.set.observe_raw(&e);
+                    for (name, m) in verdicts {
+                        self.verdicts.push((name, m));
+                        self.verdict_lsns.push(rec.lsn);
+                    }
+                    self.recovered_events += 1;
+                }
+                REC_FLUSH => {
+                    self.last_lsn = rec.lsn;
+                    let verdicts = self.set.flush_guard();
+                    for (name, m) in verdicts {
+                        self.verdicts.push((name, m));
+                        self.verdict_lsns.push(rec.lsn);
+                    }
+                }
+                REC_WATERMARK => {
+                    let (keep, watermark) = decode_watermark(&rec.payload)
+                        .map_err(|e| format!("log watermark at lsn {}: {e}", rec.lsn))?;
+                    self.gc_released += self.set.gc_histories(&watermark, keep) as u64;
+                }
+                _ => {} // an older checkpoint before `start`, or unknown
+            }
+        }
+        // Replay happens with no connections: quarantines recorded by
+        // the guard stay in its stats, but there is no producer to
+        // relay them to.
+        let _ = self.set.take_ingest_faults();
+        Ok(())
+    }
+
+    /// Restores the set and verdict history from a `REC_CHECKPOINT`
+    /// payload.
+    fn load_checkpoint_record(&mut self, payload: &[u8]) -> Result<(), String> {
+        let mut r = ocep_poet::dump::Reader::new(payload);
+        let ocks_len = r.u32("ocks length").map_err(|e| e.to_string())? as usize;
+        let ocks = r.bytes(ocks_len, "ocks blob").map_err(|e| e.to_string())?;
+        let (set, _sources, _lsn) = load_set_at(ocks).map_err(|e| e.to_string())?;
+        self.set = set;
+        let n = r.u32("verdict count").map_err(|e| e.to_string())? as usize;
+        for i in 0..n {
+            let lsn = r.u64("verdict lsn").map_err(|e| e.to_string())?;
+            let name = r
+                .str(&format!("verdict {i} monitor"))
+                .map_err(|e| e.to_string())?
+                .to_owned();
+            let body_len = r
+                .u32(&format!("verdict {i} body length"))
+                .map_err(|e| e.to_string())? as usize;
+            let body = r
+                .bytes(body_len, "verdict events")
+                .map_err(|e| e.to_string())?;
+            let Frame::EventBatch(events) = decode_body(body).map_err(|e| e.to_string())? else {
+                return Err(format!("verdict {i} payload is not an event batch"));
+            };
+            let pattern = self
+                .set
+                .monitor(&name)
+                .ok_or_else(|| format!("checkpointed verdict names unknown monitor {name}"))?
+                .pattern_arc();
+            let m = Match::from_bound_events(pattern, events)?;
+            self.verdicts.push((name, m));
+            self.verdict_lsns.push(lsn);
+        }
+        r.finish().map_err(|e| e.to_string())?;
+        Ok(())
     }
 
     /// Registers a newly accepted connection with its outbound queue.
@@ -443,6 +794,11 @@ impl EngineCore {
     }
 
     fn send_control(&mut self, conn: u64, frame: Frame) {
+        // No control frame (ack, stats, resume) may outrun the log: the
+        // writer thread can put this frame on the wire immediately, so
+        // the records it implicitly acknowledges must already be in the
+        // kernel by the time it is queued.
+        self.wal_flush_os();
         *self.frames_out.entry(frame.type_name()).or_insert(0) += 1;
         if let Some(c) = self.conns.get(&conn) {
             c.out.push_control(frame);
@@ -479,12 +835,22 @@ impl EngineCore {
                     return false;
                 }
                 let window = self.config.window;
+                let mut resume = None;
                 if let Some(c) = self.conns.get_mut(&conn) {
                     c.mode = Some(hello_mode);
                     if !name.is_empty() {
                         c.name = name;
                     }
                     c.granted = i64::from(window);
+                    if hello_mode == Mode::Producer && self.wal.is_some() {
+                        resume = Some(self.durable_sessions.get(&c.name).copied().unwrap_or(0));
+                    }
+                }
+                // Durable serving: tell the producer how much of its
+                // named session already survived in the log, *before*
+                // the credit grant, so it never re-sends that prefix.
+                if let Some(durable) = resume {
+                    self.send_control(conn, Frame::Resume { durable });
                 }
                 self.send_control(conn, Frame::Ack { credits: window });
                 false
@@ -514,6 +880,7 @@ impl EngineCore {
             Frame::Flush => {
                 self.data_frame_start(conn);
                 self.journal_op(EngineOp::Flush);
+                self.wal_append(REC_FLUSH, &[]);
                 let verdicts = self.set.flush_guard();
                 self.publish(verdicts);
                 self.report_ingest_faults(conn);
@@ -521,11 +888,46 @@ impl EngineCore {
                 false
             }
             Frame::CheckpointReq => {
-                if let Err(e) = self.write_checkpoints() {
+                if let Err(e) = self.checkpoint_now() {
                     self.fault(conn, FaultCode::Protocol, format!("checkpoint failed: {e}"));
                 } else {
                     let report = self.stats_report();
                     self.send_control(conn, Frame::StatsReport(report));
+                }
+                false
+            }
+            Frame::TailFrom { from } => {
+                if mode != Some(Mode::Tail) {
+                    self.fault(
+                        conn,
+                        FaultCode::Protocol,
+                        "tail_from frame before tail hello".into(),
+                    );
+                    return false;
+                }
+                // Replay the retained verdict backlog at LSNs >= from
+                // as control frames (never dropped — the subscriber
+                // asked for exactly this history), then the live
+                // verdict stream continues as usual.
+                let backlog: Vec<Frame> = self
+                    .verdicts
+                    .iter()
+                    .zip(&self.verdict_lsns)
+                    .filter(|&(_, &lsn)| lsn >= from)
+                    .map(|((name, m), &lsn)| Frame::VerdictAt {
+                        lsn,
+                        verdict: VerdictFrame {
+                            monitor: name.clone(),
+                            bindings: m
+                                .events()
+                                .iter()
+                                .map(|e| (e.trace().as_u32(), e.index().get()))
+                                .collect(),
+                        },
+                    })
+                    .collect();
+                for f in backlog {
+                    self.send_control(conn, f);
                 }
                 false
             }
@@ -536,7 +938,12 @@ impl EngineCore {
             }
             Frame::Shutdown => true,
             // Client-to-server frames that make no sense here.
-            Frame::Ack { .. } | Frame::Fault { .. } | Frame::StatsReport(_) | Frame::Verdict(_) => {
+            Frame::Ack { .. }
+            | Frame::Fault { .. }
+            | Frame::StatsReport(_)
+            | Frame::Verdict(_)
+            | Frame::Resume { .. }
+            | Frame::VerdictAt { .. } => {
                 self.fault(
                     conn,
                     FaultCode::Protocol,
@@ -577,12 +984,14 @@ impl EngineCore {
             let mut e = e.clone();
             e.intern_clock(&mut self.pool);
             self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
+            self.wal_append_deliver(conn, &e);
             let verdicts = self.set.observe_raw(&e);
             let elapsed = self.clock.now_ns().saturating_sub(received_ns);
             self.latency.record(elapsed);
             self.publish(verdicts);
         }
         self.report_ingest_faults(conn);
+        self.after_ingest(events.len() as u64);
     }
 
     /// Batched ingest for `EventBatch` frames. Each event's clock is
@@ -600,6 +1009,9 @@ impl EngineCore {
             e.intern_clock(&mut self.pool);
             self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
         }
+        for e in &events {
+            self.wal_append_deliver(conn, e);
+        }
         let verdicts = self.set.observe_raw_batch(&events);
         let elapsed = self.clock.now_ns().saturating_sub(received_ns);
         for _ in &events {
@@ -607,6 +1019,7 @@ impl EngineCore {
         }
         self.publish(verdicts);
         self.report_ingest_faults(conn);
+        self.after_ingest(events.len() as u64);
     }
 
     /// Relays guard quarantines back to the offending producer as
@@ -626,6 +1039,12 @@ impl EngineCore {
     }
 
     fn publish(&mut self, verdicts: Vec<(String, Match)>) {
+        if !verdicts.is_empty() {
+            // A verdict visible to a tail implies its deliveries are
+            // recoverable: flush so a SIGKILL after the broadcast still
+            // replays to the same conclusion.
+            self.wal_flush_os();
+        }
         for (name, m) in verdicts {
             let frame = Frame::Verdict(VerdictFrame {
                 monitor: name.clone(),
@@ -655,6 +1074,7 @@ impl EngineCore {
                 *self.slow_actions.entry(label).or_insert(0) += 1;
             }
             self.verdicts.push((name, m));
+            self.verdict_lsns.push(self.last_lsn);
         }
     }
 
@@ -695,7 +1115,7 @@ impl EngineCore {
                 continue;
             };
             let path = dir.join(format!("{name}.ockp"));
-            let bytes = m.checkpoint(src);
+            let bytes = ocep_core::save_at(m, src, self.last_lsn);
             if std::env::var_os("OCEP_TEST_PARTIAL_CHECKPOINT").is_some() {
                 // Crash-injection hook (tests only): die between the
                 // OCKP header and the body, leaving a torn file exactly
@@ -716,9 +1136,14 @@ impl EngineCore {
     pub fn finish(&mut self) -> ServeReport {
         // Graceful drain: deliver everything the guard still buffers.
         self.journal_op(EngineOp::Flush);
+        self.wal_append(REC_FLUSH, &[]);
         let verdicts = self.set.flush_guard();
         self.publish(verdicts);
+        self.append_wal_checkpoint();
         let checkpoints = self.write_checkpoints().unwrap_or_default();
+        if let Some(wal) = &mut self.wal {
+            let _ = wal.sync();
+        }
         let stats = self.stats_report();
         for (_, c) in self.conns.drain() {
             *self.frames_out.entry("stats_report").or_insert(0) += 1;
@@ -750,6 +1175,8 @@ impl EngineCore {
             ingest: self.set.ingest_stats(),
             metrics,
             checkpoints,
+            wal_last_lsn: self.last_lsn,
+            recovered_events: self.recovered_events,
             subsets,
             latency: std::mem::take(&mut self.latency),
         }
@@ -814,6 +1241,30 @@ impl EngineCore {
             "Guard quarantines relayed to producers as Fault frames.",
             self.ingest_fault_frames,
         );
+        if self.config.wal_dir.is_some() {
+            s.gauge(
+                "ocep_wal_last_lsn",
+                "Log sequence number of the newest durable-log record.",
+                self.last_lsn,
+            );
+            s.counter(
+                "ocep_wal_recovered_events_total",
+                "Events replayed from the durable log at startup.",
+                self.recovered_events,
+            );
+            s.counter(
+                "ocep_wal_append_errors_total",
+                "Durable-log append failures (the log degrades to off).",
+                self.wal_append_errors,
+            );
+        }
+        if self.config.history_gc {
+            s.counter(
+                "ocep_history_gc_released_total",
+                "History events released by the watermark truncation rule.",
+                self.gc_released,
+            );
+        }
         let mut slow: Vec<_> = self.slow_actions.iter().collect();
         slow.sort();
         for (action, n) in slow {
@@ -850,4 +1301,52 @@ impl EngineCore {
         }
         s
     }
+}
+
+/// Decodes a `REC_DELIVER` payload: `[session:str][Event frame body]`.
+///
+/// # Errors
+///
+/// A structural diagnostic with a byte offset; never panics.
+pub fn decode_deliver(payload: &[u8]) -> Result<(String, ocep_poet::Event), String> {
+    let mut r = ocep_poet::dump::Reader::new(payload);
+    let session = r
+        .str("deliver session")
+        .map_err(|e| e.to_string())?
+        .to_owned();
+    let n = r.remaining();
+    let body = r
+        .bytes(n, "deliver event frame")
+        .map_err(|e| e.to_string())?;
+    match decode_body(body).map_err(|e| e.to_string())? {
+        Frame::Event(e) => Ok((session, *e)),
+        other => Err(format!(
+            "deliver payload carries a {} frame, expected event",
+            other.type_name()
+        )),
+    }
+}
+
+/// Decodes a `REC_WATERMARK` payload: `keep:u32 n:u32 (u32)*`.
+///
+/// # Errors
+///
+/// A structural diagnostic with a byte offset; never panics.
+pub fn decode_watermark(payload: &[u8]) -> Result<(usize, Vec<u32>), String> {
+    let mut r = ocep_poet::dump::Reader::new(payload);
+    let keep = r.u32("watermark keep").map_err(|e| e.to_string())? as usize;
+    let n_at = r.offset();
+    let n = r.u32("watermark width").map_err(|e| e.to_string())? as usize;
+    if n > r.remaining() / 4 + 1 {
+        return Err(format!(
+            "watermark claims width {n} at byte {n_at}, only {} byte(s) left",
+            r.remaining()
+        ));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(r.u32("watermark entry").map_err(|e| e.to_string())?);
+    }
+    r.finish().map_err(|e| e.to_string())?;
+    Ok((keep, entries))
 }

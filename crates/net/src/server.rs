@@ -106,7 +106,10 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure. When a durable log is configured
+    /// (`wal_dir`), recovery runs here — before any frame is accepted —
+    /// and a corrupt log surfaces as `InvalidData` with the segment and
+    /// byte offset of the first bad record.
     pub fn bind(addr: &str, set: MonitorSet, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -114,6 +117,15 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let bytes_out = Arc::new(AtomicU64::new(0));
         let clock: Arc<dyn NetClock> = Arc::new(SystemClock::new());
+
+        let mut core = EngineCore::new(
+            set,
+            config.clone(),
+            Arc::clone(&clock),
+            Arc::clone(&bytes_out),
+        );
+        core.recover_wal()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
 
         let acceptor = {
             let tx = tx.clone();
@@ -128,12 +140,7 @@ impl Server {
 
         let engine = {
             let stop = Arc::clone(&stop);
-            let bytes_out = Arc::clone(&bytes_out);
-            let clock = Arc::clone(&clock);
-            std::thread::spawn(move || {
-                let core = EngineCore::new(set, config, clock, bytes_out);
-                engine_loop(core, &rx, &stop, local)
-            })
+            std::thread::spawn(move || engine_loop(core, &rx, &stop, local))
         };
 
         let handle = ServerHandle { tx, addr: local };

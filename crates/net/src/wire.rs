@@ -36,8 +36,23 @@
 //! Ack         := credits:u32
 //! Fault       := code:u8 detail:str
 //! Verdict     := monitor:str n:u32 (trace:u32 index:u32)*
+//! Resume      := durable:u64
+//! TailFrom    := from:u64
+//! VerdictAt   := lsn:u64 monitor:str n:u32 (trace:u32 index:u32)*
 //! str         := len:u32 utf8[len]
 //! ```
+//!
+//! `Resume`, `TailFrom`, and `VerdictAt` exist for durable-log serving
+//! (protocol revision 8, no negotiation — servers without a WAL simply
+//! never send them). A WAL-backed server answers a producer `Hello`
+//! with `Resume { durable }` *before* the window `Ack`: `durable` is
+//! the number of events from that named session already fsynced into
+//! the log, and the producer skips re-sending exactly that prefix. A
+//! tail sends `TailFrom { from }` after its `Hello` to request the
+//! retained verdict backlog at log sequence numbers `>= from`; the
+//! server replays it as `VerdictAt` frames (each verdict tagged with
+//! the LSN of the event that fired it) before switching to live
+//! `Verdict` frames.
 //!
 //! The `kind` byte uses the dump convention (0 = send, 1 = receive,
 //! 2 = unary). In a plain `EventBatch` every record travels with its
@@ -238,6 +253,27 @@ pub enum Frame {
     },
     /// One pattern match, streamed to tail subscribers.
     Verdict(VerdictFrame),
+    /// Durable-log session resume (server → producer, before the first
+    /// `Ack`): this many events from the producer's named session are
+    /// already durable in the server's log and must not be re-sent.
+    Resume {
+        /// Events from this session already persisted.
+        durable: u64,
+    },
+    /// Tail request for the retained verdict backlog starting at a log
+    /// sequence number (client → server, after the tail `Hello`).
+    TailFrom {
+        /// Replay verdicts whose firing LSN is `>= from`.
+        from: u64,
+    },
+    /// One replayed pattern match tagged with the log sequence number
+    /// of the event that fired it (server → tail, backlog replay).
+    VerdictAt {
+        /// LSN of the `Deliver` record that produced this match.
+        lsn: u64,
+        /// The match itself, as in [`Frame::Verdict`].
+        verdict: VerdictFrame,
+    },
 }
 
 impl Frame {
@@ -256,6 +292,9 @@ impl Frame {
             Frame::Ack { .. } => "ack",
             Frame::Fault { .. } => "fault",
             Frame::Verdict(_) => "verdict",
+            Frame::Resume { .. } => "resume",
+            Frame::TailFrom { .. } => "tail_from",
+            Frame::VerdictAt { .. } => "verdict_at",
         }
     }
 
@@ -329,8 +368,11 @@ const T_ACK: u8 = 7;
 const T_FAULT: u8 = 8;
 const T_VERDICT: u8 = 9;
 const T_EVENT_BATCH_D: u8 = 10;
+const T_RESUME: u8 = 11;
+const T_TAIL_FROM: u8 = 12;
+const T_VERDICT_AT: u8 = 13;
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
 }
@@ -428,6 +470,49 @@ fn put_events_impl(buf: &mut Vec<u8>, events: &[Event], delta: bool) {
     }
 }
 
+/// Appends a single-event `Frame::Event` body (tag included) to `buf`
+/// directly from a borrowed event. Byte-identical to
+/// `encode_body(&Frame::Event(..))` but without cloning the event or
+/// boxing a frame — the WAL deliver-record hot path logs every admitted
+/// event through this.
+pub fn put_event_body(buf: &mut Vec<u8>, e: &Event) {
+    buf.push(T_EVENT);
+    // Inlined single-event form of `put_events`: the two-entry string
+    // table is written directly (ty first, then text unless equal),
+    // skipping the interning map a general batch needs.
+    let same = e.ty() == e.text();
+    let n_strings: u32 = if same { 1 } else { 2 };
+    buf.extend_from_slice(&n_strings.to_le_bytes());
+    put_str(buf, e.ty());
+    if !same {
+        put_str(buf, e.text());
+    }
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.extend_from_slice(&e.trace().as_u32().to_le_bytes());
+    buf.extend_from_slice(&e.index().get().to_le_bytes());
+    buf.push(match e.kind() {
+        EventKind::Send => 0,
+        EventKind::Receive => 1,
+        EventKind::Unary => 2,
+    });
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let text_id: u32 = u32::from(!same);
+    buf.extend_from_slice(&text_id.to_le_bytes());
+    match e.partner() {
+        Some(p) => {
+            buf.push(1);
+            buf.extend_from_slice(&p.trace().as_u32().to_le_bytes());
+            buf.extend_from_slice(&p.index().get().to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+    let entries = e.clock().entries();
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for v in entries {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
 /// Serializes a frame body (without the length prefix).
 #[must_use]
 pub fn encode_body(frame: &Frame) -> Vec<u8> {
@@ -482,15 +567,32 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
         }
         Frame::Verdict(v) => {
             buf.push(T_VERDICT);
-            put_str(&mut buf, &v.monitor);
-            buf.extend_from_slice(&(v.bindings.len() as u32).to_le_bytes());
-            for (t, i) in &v.bindings {
-                buf.extend_from_slice(&t.to_le_bytes());
-                buf.extend_from_slice(&i.to_le_bytes());
-            }
+            put_verdict(&mut buf, v);
+        }
+        Frame::Resume { durable } => {
+            buf.push(T_RESUME);
+            buf.extend_from_slice(&durable.to_le_bytes());
+        }
+        Frame::TailFrom { from } => {
+            buf.push(T_TAIL_FROM);
+            buf.extend_from_slice(&from.to_le_bytes());
+        }
+        Frame::VerdictAt { lsn, verdict } => {
+            buf.push(T_VERDICT_AT);
+            buf.extend_from_slice(&lsn.to_le_bytes());
+            put_verdict(&mut buf, verdict);
         }
     }
     buf
+}
+
+fn put_verdict(buf: &mut Vec<u8>, v: &VerdictFrame) {
+    put_str(buf, &v.monitor);
+    buf.extend_from_slice(&(v.bindings.len() as u32).to_le_bytes());
+    for (t, i) in &v.bindings {
+        buf.extend_from_slice(&t.to_le_bytes());
+        buf.extend_from_slice(&i.to_le_bytes());
+    }
 }
 
 /// Serializes a frame body using the compact delta clock encoding for
@@ -664,6 +766,25 @@ fn get_events_impl(r: &mut Reader<'_>, delta: bool) -> Result<Vec<Event>, WireEr
     Ok(events)
 }
 
+fn get_verdict(r: &mut Reader<'_>) -> Result<VerdictFrame, WireError> {
+    let monitor = r.str("verdict monitor")?.to_owned();
+    let n_at = r.offset();
+    let n = r.u32("verdict binding count")? as usize;
+    if n > r.remaining() / 8 + 1 {
+        return Err(WireError::Format(PoetError::Corrupt(format!(
+            "verdict claims {n} bindings at byte {n_at}, only {} byte(s) left",
+            r.remaining()
+        ))));
+    }
+    let mut bindings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = r.u32("binding trace")?;
+        let i = r.u32("binding index")?;
+        bindings.push((t, i));
+    }
+    Ok(VerdictFrame { monitor, bindings })
+}
+
 /// Decodes a frame body (the bytes after the length prefix).
 ///
 /// # Errors
@@ -746,24 +867,17 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             let detail = r.str("fault detail")?.to_owned();
             Frame::Fault { code, detail }
         }
-        T_VERDICT => {
-            let monitor = r.str("verdict monitor")?.to_owned();
-            let n_at = r.offset();
-            let n = r.u32("verdict binding count")? as usize;
-            if n > r.remaining() / 8 + 1 {
-                return Err(WireError::Format(PoetError::Corrupt(format!(
-                    "verdict claims {n} bindings at byte {n_at}, only {} byte(s) left",
-                    r.remaining()
-                ))));
-            }
-            let mut bindings = Vec::with_capacity(n);
-            for _ in 0..n {
-                let t = r.u32("binding trace")?;
-                let i = r.u32("binding index")?;
-                bindings.push((t, i));
-            }
-            Frame::Verdict(VerdictFrame { monitor, bindings })
-        }
+        T_VERDICT => Frame::Verdict(get_verdict(&mut r)?),
+        T_RESUME => Frame::Resume {
+            durable: r.u64("resume durable count")?,
+        },
+        T_TAIL_FROM => Frame::TailFrom {
+            from: r.u64("tail-from lsn")?,
+        },
+        T_VERDICT_AT => Frame::VerdictAt {
+            lsn: r.u64("verdict lsn")?,
+            verdict: get_verdict(&mut r)?,
+        },
         b => {
             return Err(WireError::Format(PoetError::Corrupt(format!(
                 "unknown frame type {b} at byte {ty_at}"
@@ -1008,6 +1122,16 @@ mod tests {
         poet.linearization().collect()
     }
 
+    #[test]
+    fn put_event_body_matches_general_encoder() {
+        for e in sample_events() {
+            let general = encode_body(&Frame::Event(Box::new(e.clone())));
+            let mut fast = Vec::new();
+            put_event_body(&mut fast, &e);
+            assert_eq!(fast, general, "single-event fast path drifted");
+        }
+    }
+
     fn all_frames() -> Vec<Frame> {
         let events = sample_events();
         vec![
@@ -1046,6 +1170,15 @@ mod tests {
                 monitor: "safety".into(),
                 bindings: vec![(0, 1), (2, 7)],
             }),
+            Frame::Resume { durable: 9001 },
+            Frame::TailFrom { from: 42 },
+            Frame::VerdictAt {
+                lsn: u64::MAX - 3,
+                verdict: VerdictFrame {
+                    monitor: "safety".into(),
+                    bindings: vec![(1, 4)],
+                },
+            },
         ]
     }
 

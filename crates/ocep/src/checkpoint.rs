@@ -47,6 +47,11 @@
 //! block — so an `Off` checkpoint and a metrics-stripped one (see
 //! [`strip_metrics`]) are byte-identical.
 //!
+//! Version 3 appends a trailing `wal_lsn u64`: the durable-log position
+//! this checkpoint is anchored at (see `docs/DURABILITY.md`). A recovery
+//! replays the log strictly after that LSN. Version 1/2 checkpoints load
+//! with `wal_lsn = 0`, and [`save`] (which has no log) writes 0.
+//!
 //! The guard's capped fault *log* is deliberately not checkpointed (the
 //! counters are); a restored monitor starts with an empty log.
 
@@ -65,7 +70,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"OCKP";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 
 /// Why a checkpoint failed to decode.
 #[derive(Debug)]
@@ -352,9 +357,18 @@ fn read_ingest_stats(r: &mut Reader<'_>) -> Result<IngestStats, PoetError> {
 }
 
 /// Serializes `monitor` (monitoring the pattern whose source text is
-/// `pattern_src`) to the checkpoint format.
+/// `pattern_src`) to the checkpoint format, anchored at `wal_lsn = 0`
+/// (for checkpoints taken outside a durable log).
 #[must_use]
 pub fn save(monitor: &Monitor, pattern_src: &str) -> Vec<u8> {
+    save_at(monitor, pattern_src, 0)
+}
+
+/// Serializes `monitor` anchored at log position `wal_lsn`: a recovery
+/// restores the checkpoint and replays the durable log strictly after
+/// that LSN.
+#[must_use]
+pub fn save_at(monitor: &Monitor, pattern_src: &str, wal_lsn: u64) -> Vec<u8> {
     let n_traces = monitor.history.n_traces();
     let n_leaves = monitor.pattern().n_leaves();
 
@@ -493,6 +507,8 @@ pub fn save(monitor: &Monitor, pattern_src: &str) -> Vec<u8> {
         None => buf.push(0),
     }
 
+    put_u64(&mut buf, wal_lsn);
+
     buf
 }
 
@@ -506,6 +522,16 @@ pub fn save(monitor: &Monitor, pattern_src: &str) -> Vec<u8> {
 /// [`CheckpointError::Invalid`] on well-formed bytes that describe an
 /// inconsistent monitor. Never panics.
 pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
+    load_at(data).map(|(m, src, _)| (m, src))
+}
+
+/// Like [`load`], but also returns the `wal_lsn` the checkpoint is
+/// anchored at (0 for pre-v3 checkpoints and log-less saves).
+///
+/// # Errors
+///
+/// See [`load`].
+pub fn load_at(data: &[u8]) -> Result<(Monitor, String, u64), CheckpointError> {
     let mut r = Reader::new(data);
     r.magic(MAGIC)?;
     let version = r.u16("version")?;
@@ -720,9 +746,11 @@ pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
         monitor.set_obs_metrics(Some(Box::new(metrics)));
     }
 
+    let wal_lsn = if version >= 3 { r.u64("wal lsn")? } else { 0 };
+
     monitor.stats = stats;
     r.finish()?;
-    Ok((monitor, pattern_src))
+    Ok((monitor, pattern_src, wal_lsn))
 }
 
 /// Rewrites a checkpoint with its metrics section cleared (marker 0),
@@ -734,9 +762,9 @@ pub fn load(data: &[u8]) -> Result<(Monitor, String), CheckpointError> {
 ///
 /// See [`load`]; stripping decodes the checkpoint first.
 pub fn strip_metrics(data: &[u8]) -> Result<Vec<u8>, CheckpointError> {
-    let (mut monitor, pattern_src) = load(data)?;
+    let (mut monitor, pattern_src, wal_lsn) = load_at(data)?;
     monitor.set_obs_metrics(None);
-    Ok(save(&monitor, &pattern_src))
+    Ok(save_at(&monitor, &pattern_src, wal_lsn))
 }
 
 impl Monitor {
@@ -765,7 +793,7 @@ impl Monitor {
 // ---------------------------------------------------------------------
 
 const SET_MAGIC: &[u8; 4] = b"OCKS";
-const SET_VERSION: u16 = 1;
+const SET_VERSION: u16 = 2;
 
 fn put_event(buf: &mut Vec<u8>, e: &Event) {
     put_u32(buf, e.trace().as_u32());
@@ -853,7 +881,7 @@ fn read_event(r: &mut Reader<'_>, n_traces: usize) -> Result<Event, CheckpointEr
 /// skipped, mirroring the serve daemon's per-file checkpoint policy.
 ///
 /// ```text
-/// magic     [u8;4] = b"OCKS", version u16 = 1
+/// magic     [u8;4] = b"OCKS", version u16 = 2
 /// n_traces  u32
 /// monitors  u32 count; per monitor: name str, u32-len-prefixed
 ///           OCKP blob (see [`save`])
@@ -862,9 +890,18 @@ fn read_event(r: &mut Reader<'_>, n_traces: usize) -> Result<Event, CheckpointEr
 ///           (trace u32, index u32, kind u8, ty str, text str,
 ///           partner u8 [trace u32, index u32], clock u32 len +
 ///           u32×len), 12 × u64 ingest stats
+/// wal_lsn   u64 (version ≥ 2) — durable-log anchor; 0 when log-less
 /// ```
 #[must_use]
 pub fn save_set(set: &MonitorSet, sources: &HashMap<String, String>) -> Vec<u8> {
+    save_set_at(set, sources, 0)
+}
+
+/// Like [`save_set`], anchored at durable-log position `wal_lsn`: a
+/// recovery restores the set and replays the log strictly after that
+/// LSN.
+#[must_use]
+pub fn save_set_at(set: &MonitorSet, sources: &HashMap<String, String>, wal_lsn: u64) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(SET_MAGIC);
     buf.extend_from_slice(&SET_VERSION.to_le_bytes());
@@ -902,6 +939,8 @@ pub fn save_set(set: &MonitorSet, sources: &HashMap<String, String>) -> Vec<u8> 
         None => buf.push(0),
     }
 
+    put_u64(&mut buf, wal_lsn);
+
     buf
 }
 
@@ -915,6 +954,20 @@ pub fn save_set(set: &MonitorSet, sources: &HashMap<String, String>) -> Vec<u8> 
 /// [`CheckpointError::Invalid`] on well-formed bytes describing an
 /// inconsistent set. Never panics.
 pub fn load_set(data: &[u8]) -> Result<(MonitorSet, Vec<(String, String)>), CheckpointError> {
+    load_set_at(data).map(|(set, sources, _)| (set, sources))
+}
+
+/// A restored set, its embedded `(name, pattern_src)` pairs, and the
+/// checkpoint's `wal_lsn` log anchor.
+pub type LoadedSet = (MonitorSet, Vec<(String, String)>, u64);
+
+/// Like [`load_set`], but also returns the `wal_lsn` anchor (0 for
+/// version-1 checkpoints and log-less saves).
+///
+/// # Errors
+///
+/// See [`load_set`].
+pub fn load_set_at(data: &[u8]) -> Result<LoadedSet, CheckpointError> {
     let mut r = Reader::new(data);
     r.magic(SET_MAGIC)?;
     let version = r.u16("set version")?;
@@ -975,8 +1028,14 @@ pub fn load_set(data: &[u8]) -> Result<(MonitorSet, Vec<(String, String)>), Chec
         set.install_guard(guard);
     }
 
+    let wal_lsn = if version >= 2 {
+        r.u64("set wal lsn")?
+    } else {
+        0
+    };
+
     r.finish()?;
-    Ok((set, sources))
+    Ok((set, sources, wal_lsn))
 }
 
 impl MonitorSet {
@@ -1120,26 +1179,56 @@ mod tests {
     }
 
     #[test]
-    fn version_1_checkpoints_still_load() {
+    fn version_1_and_2_checkpoints_still_load() {
         let (_poet, events) = workload(30);
         let mut m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
         for e in &events {
             m.observe(e);
         }
-        let v2 = m.checkpoint(PATTERN);
+        let v3 = m.checkpoint(PATTERN);
         assert_eq!(
-            *v2.last().unwrap(),
-            0,
-            "obs-off checkpoint ends in marker 0"
+            v3[v3.len() - 9..],
+            [0u8; 9],
+            "obs-off log-less checkpoint ends in marker 0 + wal_lsn 0"
         );
-        // A v1 file is exactly a v2 obs-off file without the trailing
-        // marker byte and with the version field rolled back.
-        let mut v1 = v2[..v2.len() - 1].to_vec();
+        // A v2 file is exactly a v3 obs-off file without the trailing
+        // wal_lsn; a v1 file additionally drops the obs marker byte.
+        let mut v2 = v3[..v3.len() - 8].to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let (resumed, src) = Monitor::restore(&v2).unwrap();
+        assert_eq!(src, PATTERN);
+        assert_eq!(resumed.stats(), m.stats());
+        assert!(resumed.obs_metrics().is_none());
+        let mut v1 = v3[..v3.len() - 9].to_vec();
         v1[4..6].copy_from_slice(&1u16.to_le_bytes());
         let (resumed, src) = Monitor::restore(&v1).unwrap();
         assert_eq!(src, PATTERN);
         assert_eq!(resumed.stats(), m.stats());
         assert!(resumed.obs_metrics().is_none());
+    }
+
+    #[test]
+    fn wal_lsn_anchor_round_trips() {
+        let (_poet, events) = workload(20);
+        let mut m = Monitor::new(Pattern::parse(PATTERN).unwrap(), 3);
+        for e in &events {
+            m.observe(e);
+        }
+        let bytes = save_at(&m, PATTERN, 0xdead_beef);
+        let (_, _, lsn) = load_at(&bytes).unwrap();
+        assert_eq!(lsn, 0xdead_beef);
+        // Stripping metrics preserves the anchor.
+        let (_, _, lsn) = load_at(&strip_metrics(&bytes).unwrap()).unwrap();
+        assert_eq!(lsn, 0xdead_beef);
+
+        let mut set = guarded_set();
+        for e in &events[1..] {
+            set.observe_raw(e);
+        }
+        let set_bytes = save_set_at(&set, &set_sources(), 42);
+        let (restored, _, lsn) = load_set_at(&set_bytes).unwrap();
+        assert_eq!(lsn, 42);
+        assert_eq!(restored.ingest_stats(), set.ingest_stats());
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub mod obs;
 /// histograms, exporters) — see [`obs`].
 pub use self::obs as ocep_obs;
 
-pub use checkpoint::{load_set, save_set, strip_metrics, CheckpointError};
+pub use checkpoint::{
+    load, load_at, load_set, load_set_at, save, save_at, save_set, save_set_at, strip_metrics,
+    CheckpointError,
+};
 pub use history::LeafHistory;
 pub use ingest::{
     AdmissionGuard, GuardConfig, IngestFault, IngestFaultKind, IngestStats, OverflowPolicy,

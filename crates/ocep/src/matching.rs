@@ -37,6 +37,25 @@ impl Match {
         Match { pattern, events }
     }
 
+    /// Reassembles a match from externally persisted parts (the serving
+    /// layer's durable-log recovery): `events` must be the bound events
+    /// in leaf order.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the event count does not equal the pattern's
+    /// leaf count.
+    pub fn from_bound_events(pattern: Arc<Pattern>, events: Vec<Event>) -> Result<Self, String> {
+        if events.len() != pattern.n_leaves() {
+            return Err(format!(
+                "{} bound events for a {}-leaf pattern",
+                events.len(),
+                pattern.n_leaves()
+            ));
+        }
+        Ok(Match::new(pattern, events))
+    }
+
     /// The event bound to `leaf`.
     ///
     /// # Panics

@@ -111,6 +111,8 @@ fn meta_lines(failure: &SimFailure) -> String {
         ("seed", c.seed.to_string()),
         ("stall", c.faults.stall.to_string()),
         ("tails", c.tails.to_string()),
+        ("wal", c.wal.to_string()),
+        ("wal_sabotage", c.wal_sabotage.to_string()),
     ];
     kv.sort();
     let mut out = String::new();
@@ -171,6 +173,8 @@ pub fn load_dump(dir: &Path) -> Result<SimFailure, String> {
             "partition" => config.faults.partition = parse_bool(v)?,
             "stall" => config.faults.stall = parse_bool(v)?,
             "sabotage" => config.sabotage = parse_bool(v)?,
+            "wal" => config.wal = parse_bool(v)?,
+            "wal_sabotage" => config.wal_sabotage = parse_bool(v)?,
             "mismatch" => mismatch = v.to_string(),
             _ => {}
         }
@@ -223,6 +227,8 @@ mod tests {
                 },
                 crashes: 2,
                 sabotage: false,
+                wal: true,
+                wal_sabotage: false,
             },
             mismatch: "engine vs oracle: verdicts diverged\nat 3".into(),
         };
@@ -248,6 +254,8 @@ mod tests {
             faults: FaultToggles::all(),
             crashes: 1,
             sabotage: true,
+            wal: false,
+            wal_sabotage: false,
         };
         let out = run_sim(&config);
         let mismatch = out.mismatch.expect("sabotage must mismatch");

@@ -96,6 +96,15 @@ pub struct SimConfig {
     /// Test-only oracle sabotage: drop the last journaled delivery so
     /// the comparison must fail (exercises shrink/dump/replay).
     pub sabotage: bool,
+    /// Serve through an on-disk durable log: crashes become SIGKILL-like
+    /// (no checkpoint, no drain) and each restart recovers by replaying
+    /// the log from a seed-keyed temp directory.
+    pub wal: bool,
+    /// Test-only log sabotage: silently drop one admitted delivery's log
+    /// append, so after a crash the recovered engine is missing an event
+    /// the oracle has — the comparison must flag it. Implies `wal` and
+    /// at least one crash.
+    pub wal_sabotage: bool,
 }
 
 impl Default for SimConfig {
@@ -108,6 +117,8 @@ impl Default for SimConfig {
             faults: FaultToggles::default(),
             crashes: 0,
             sabotage: false,
+            wal: false,
+            wal_sabotage: false,
         }
     }
 }
@@ -161,6 +172,11 @@ enum SimOp {
     Checkpoint(Vec<u8>),
     /// The engine restarted from these bytes; the oracle follows.
     Restore(Vec<u8>),
+    /// The engine was killed and recovered from its on-disk log. The
+    /// oracle does nothing: recovery must reconstruct exactly the state
+    /// the cumulative journal implies, so its verdicts and guard state
+    /// carry straight through — any loss shows up in the final diff.
+    WalRestart,
 }
 
 impl From<EngineOp> for SimOp {
@@ -647,9 +663,6 @@ impl World {
         for op in self.core.take_journal() {
             self.ops.push(op.into());
         }
-        let bytes = self.core.checkpoint_set();
-        self.disk = bytes.clone();
-        self.ops.push(SimOp::Checkpoint(bytes));
         // The daemon dies: every connection queue closes with it.
         for p in &self.producers {
             p.out.close();
@@ -657,20 +670,48 @@ impl World {
         for t in &self.tails {
             t.out.close();
         }
-        let (set, sources) = match load_set(&self.disk) {
-            Ok(x) => x,
-            Err(e) => {
-                self.failure = Some(format!("restart failed to restore checkpoint: {e:?}"));
+        if self.cfg.wal {
+            // SIGKILL semantics: no checkpoint, no graceful drain — the
+            // on-disk log is the only thing that survives. The new
+            // incarnation rebuilds everything by replaying it.
+            let Some(set) = build_set(&self.case) else {
+                self.failure = Some("restart: pattern failed to parse".into());
+                return;
+            };
+            let dynclock: Arc<dyn NetClock> = Arc::clone(&self.clock) as Arc<dyn NetClock>;
+            // Replace (and thereby drop) the dying incarnation before
+            // the replacement scans the log directory.
+            self.core = EngineCore::new(
+                set,
+                self.serve.clone(),
+                dynclock,
+                Arc::clone(&self.bytes_out),
+            );
+            if let Err(e) = self.core.recover_wal() {
+                self.failure = Some(format!("restart failed to recover log: {e}"));
                 return;
             }
-        };
-        let mut serve = self.serve.clone();
-        serve.pattern_sources = sources.into_iter().collect();
-        let dynclock: Arc<dyn NetClock> = Arc::clone(&self.clock) as Arc<dyn NetClock>;
-        let mut core = EngineCore::new(set, serve, dynclock, Arc::clone(&self.bytes_out));
-        core.enable_journal();
-        self.core = core;
-        self.ops.push(SimOp::Restore(self.disk.clone()));
+            self.core.enable_journal();
+            self.ops.push(SimOp::WalRestart);
+        } else {
+            let bytes = self.core.checkpoint_set();
+            self.disk = bytes.clone();
+            self.ops.push(SimOp::Checkpoint(bytes));
+            let (set, sources) = match load_set(&self.disk) {
+                Ok(x) => x,
+                Err(e) => {
+                    self.failure = Some(format!("restart failed to restore checkpoint: {e:?}"));
+                    return;
+                }
+            };
+            let mut serve = self.serve.clone();
+            serve.pattern_sources = sources.into_iter().collect();
+            let dynclock: Arc<dyn NetClock> = Arc::clone(&self.clock) as Arc<dyn NetClock>;
+            let mut core = EngineCore::new(set, serve, dynclock, Arc::clone(&self.bytes_out));
+            core.enable_journal();
+            self.core = core;
+            self.ops.push(SimOp::Restore(self.disk.clone()));
+        }
         self.incarnation += 1;
         let now = self.clock.now_ns();
         for id in 0..self.producers.len() {
@@ -752,6 +793,10 @@ fn replay_oracle(
                 set = s;
                 verdicts.clear();
             }
+            // Log recovery reconstructs the pre-crash state exactly
+            // (verdict history included), so the oracle's cumulative
+            // state already *is* the recovered engine's state.
+            SimOp::WalRestart => {}
         }
     }
     Ok((set, verdicts))
@@ -850,6 +895,27 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
     let mut cfg = config.clone();
     cfg.clients = cfg.clients.max(1);
     cfg.events = cfg.events.max(1);
+    if cfg.wal_sabotage {
+        // A dropped log record is only observable through a recovery
+        // that misses it.
+        cfg.wal = true;
+        cfg.crashes = cfg.crashes.max(1);
+    }
+
+    // Each run gets a private on-disk log directory (the simulator is
+    // deterministic in virtual time, but the log must not be shared
+    // between concurrent runs of the same seed).
+    static WAL_RUN: AtomicU64 = AtomicU64::new(0);
+    let wal_dir = cfg.wal.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "ocep-sim-wal-{}-{:016x}-{}",
+            std::process::id(),
+            cfg.seed,
+            WAL_RUN.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
 
     let (case, _) = nth_case(cfg.seed, 0);
     let events = workload(&case, cfg.events);
@@ -880,11 +946,22 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
         subscriber_queue: if cfg.faults.stall { 4 } else { 1024 },
         checkpoint_dir: None,
         pattern_sources: sources.clone(),
+        wal_dir: wal_dir.clone(),
+        ..ServeConfig::default()
     };
     let clock = Arc::new(VirtualClock::new());
     let bytes_out = Arc::new(AtomicU64::new(0));
     let dynclock: Arc<dyn NetClock> = Arc::clone(&clock) as Arc<dyn NetClock>;
     let mut core = EngineCore::new(set, serve.clone(), dynclock, Arc::clone(&bytes_out));
+    let mut init_failure = None;
+    if cfg.wal {
+        if let Err(e) = core.recover_wal() {
+            init_failure = Some(format!("initial log open failed: {e}"));
+        }
+        if cfg.wal_sabotage {
+            core.sabotage_drop_next_append();
+        }
+    }
     core.enable_journal();
 
     let slices: Vec<Vec<Event>> = (0..cfg.clients)
@@ -919,7 +996,7 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
         crashes_done: 0,
         disk: Vec::new(),
         counts: FaultCounts::default(),
-        failure: None,
+        failure: init_failure,
         slices,
         incarnation: 0,
         steps: 0,
@@ -975,7 +1052,10 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
         .map(|k| ((k as u64 + 1) * total_data / (crashes_requested as u64 + 1)).max(1))
         .collect();
 
-    while let Some((t, step)) = world.sched.pop() {
+    while world.failure.is_none() {
+        let Some((t, step)) = world.sched.pop() else {
+            break;
+        };
         world.steps += 1;
         if world.steps > STEP_LIMIT {
             world.failure = Some("step limit exceeded (livelock?)".into());
@@ -1053,6 +1133,9 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
         &world.counts,
         world.disk.len(),
     );
+    if let Some(dir) = &wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     SimOutcome {
         fingerprint: engine_fp,
         stats: report.stats,
@@ -1077,6 +1160,8 @@ mod tests {
             faults: FaultToggles::all(),
             crashes: 1,
             sabotage: false,
+            wal: false,
+            wal_sabotage: false,
         }
     }
 
@@ -1126,6 +1211,39 @@ mod tests {
         assert!(
             c.corrupted + c.duplicated + c.reordered + c.partitions + c.stalls > 0,
             "chaos config injected nothing: {c:?}"
+        );
+    }
+
+    #[test]
+    fn wal_crash_recovery_is_oracle_exact() {
+        let mut cfg = chaos(13);
+        cfg.wal = true;
+        cfg.crashes = 2;
+        let out = run_sim(&cfg);
+        assert_eq!(out.mismatch, None, "{:?}", out.mismatch);
+        assert!(out.crashes >= 1, "no crash threshold fired");
+    }
+
+    #[test]
+    fn wal_run_is_bit_reproducible() {
+        let mut cfg = chaos(17);
+        cfg.wal = true;
+        cfg.crashes = 1;
+        let a = run_sim(&cfg);
+        let b = run_sim(&cfg);
+        assert_eq!(a.mismatch, None, "{:?}", a.mismatch);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn wal_sabotage_forces_a_mismatch() {
+        let mut cfg = chaos(19);
+        cfg.wal_sabotage = true;
+        let out = run_sim(&cfg);
+        assert!(
+            out.mismatch.is_some(),
+            "a dropped log record went unnoticed through crash recovery"
         );
     }
 

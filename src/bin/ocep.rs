@@ -15,6 +15,7 @@
 //! ocep serve <pattern-file> --traces N         # OCWP daemon over TCP
 //! ocep send <addr> <dump-file>                 # stream a dump to a daemon
 //! ocep tail <addr> [--once]                    # follow verdicts from a daemon
+//! ocep replay <pattern-file> <wal-dir>         # match a pattern over a durable log
 //! ```
 
 use ocep_repro::ocep::{
@@ -48,12 +49,16 @@ USAGE:
     ocep fuzz --replay <dir>
     ocep sim [--seed N] [--seeds N] [--clients N] [--tails N] [--events N]
              [--faults] [--crashes N] [--sabotage] [--dump-dir DIR]
+             [--wal] [--wal-sabotage]
     ocep sim --replay <dir>
     ocep serve <pattern-file> --traces N [--addr HOST:PORT] [--port-file FILE]
                [--window N] [--slow-policy reject|drop-oldest|flush-degraded]
-               [--checkpoint DIR] [--metrics FILE] [monitor flags]
+               [--checkpoint DIR] [--checkpoint-every N] [--metrics FILE]
+               [--wal DIR] [--durability none|batch|strict] [--history-gc]
+               [monitor flags]
     ocep send <addr> <dump-file> [--batch N] [--name S] [--shutdown]
-    ocep tail <addr> [--once] [--name S]
+    ocep tail <addr> [--once] [--name S] [--from LSN]
+    ocep replay <pattern-file> <wal-dir> [--traces N]
     ocep stats --addr HOST:PORT
 
 EXIT CODES:
@@ -101,7 +106,11 @@ oracle that must agree bit-for-bit on verdicts, subsets, ingest
 accounting, and checkpoint bytes. `--seeds N` sweeps N consecutive
 seeds from `--seed`; a failing seed is shrunk to a minimal config and
 dumped under `--dump-dir` for `sim --replay`. `--sabotage` drops one
-journaled delivery to prove the oracle catches divergence.
+journaled delivery to prove the oracle catches divergence. `--wal`
+serves through an on-disk durable log: crashes become SIGKILL-like (no
+checkpoint, no drain) and each restart recovers by replaying the log;
+`--wal-sabotage` silently drops one log append to prove the oracle
+catches a recovery that lost an event.
 
 A pattern file holds a pattern program, e.g.:
 
@@ -119,6 +128,20 @@ The daemon exits on a client `--shutdown`, writing checkpoints to the
 `--checkpoint` directory and reporting with `check`-style exit codes
 (1 match, 2 degraded). `--port-file` records the bound address, which
 is how scripts discover an ephemeral `--addr 127.0.0.1:0` port.
+`--checkpoint-every N` additionally checkpoints every N ingested
+events, not only on graceful drain.
+
+`serve --wal DIR` makes serving crash-safe (docs/DURABILITY.md): every
+admitted delivery is appended to a hash-chained segmented log before it
+reaches the monitors, fsynced per `--durability` (none|batch|strict;
+default batch = group commit). On restart the daemon verifies the log,
+truncates a torn tail at the first bad record, replays from the newest
+log-anchored checkpoint, and resumes named `send` sessions at their
+durable offset so clients never re-send. `--history-gc` bounds resident
+leaf-history memory by truncating watermark-dominated prefixes,
+recording each watermark in the log. `tail --from LSN` replays the
+retained verdict backlog from a log offset; `replay` matches a pattern
+file — even one the server never ran — over a log after the fact.
 ";
 
 fn main() {
@@ -148,6 +171,7 @@ fn run() -> Result<i32, String> {
         Some("serve") => serve_cmd(&args[1..]),
         Some("send") => send_cmd(&args[1..]),
         Some("tail") => tail_cmd(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
         Some("--help" | "-h") => {
             print!("{USAGE}");
             Ok(0)
@@ -321,8 +345,12 @@ fn positionals(args: &[String]) -> Vec<&String> {
         "--window",
         "--slow-policy",
         "--checkpoint",
+        "--checkpoint-every",
         "--batch",
         "--name",
+        "--wal",
+        "--durability",
+        "--from",
     ];
     let mut out = Vec::new();
     let mut skip = false;
@@ -901,6 +929,8 @@ fn sim_cmd(args: &[String]) -> Result<i32, String> {
         faults,
         crashes: parse("--crashes", 0)?,
         sabotage: args.iter().any(|a| a == "--sabotage"),
+        wal: args.iter().any(|a| a == "--wal"),
+        wal_sabotage: args.iter().any(|a| a == "--wal-sabotage"),
     };
     let dump_dir = flag_val("--dump-dir").map(std::path::PathBuf::from);
 
@@ -1045,6 +1075,19 @@ fn serve_cmd(args: &[String]) -> Result<i32, String> {
     if let Some(dir) = flag_val("--checkpoint") {
         sconfig.checkpoint_dir = Some(dir.into());
     }
+    if let Some(dir) = flag_val("--wal") {
+        sconfig.wal_dir = Some(dir.into());
+    }
+    if let Some(mode) = flag_val("--durability") {
+        sconfig.durability = ocep_repro::wal::Durability::from_name(mode)
+            .ok_or_else(|| format!("bad --durability '{mode}' (expected none|batch|strict)"))?;
+    }
+    if let Some(every) = flag_val("--checkpoint-every") {
+        sconfig.checkpoint_every = every
+            .parse()
+            .map_err(|_| format!("bad --checkpoint-every '{every}'"))?;
+    }
+    sconfig.history_gc = args.iter().any(|a| a == "--history-gc");
 
     let addr = flag_val("--addr")
         .cloned()
@@ -1059,6 +1102,12 @@ fn serve_cmd(args: &[String]) -> Result<i32, String> {
     }
 
     let report = server.join();
+    if report.recovered_events > 0 {
+        eprintln!(
+            "recovered {} durable events from the log (last lsn {})",
+            report.recovered_events, report.wal_last_lsn
+        );
+    }
     for (monitor, m) in &report.verdicts {
         println!("match[{monitor}]: {m}");
     }
@@ -1110,12 +1159,22 @@ fn send_cmd(args: &[String]) -> Result<i32, String> {
 
     let server = dump::reload_from_file(dump_path)
         .map_err(|e| format!("cannot reload '{dump_path}': {e}"))?;
-    let events: Vec<_> = server.store().iter_arrival().cloned().collect();
+    let all_events: Vec<_> = server.store().iter_arrival().cloned().collect();
     let mut client = Client::connect(addr, server.n_traces(), name)
         .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    // A durable-log server tells a named session how much of its stream
+    // already survived a crash; re-sending that prefix would be wasted
+    // wire bytes (the guard would dedup it all anyway).
+    let skip = usize::try_from(client.resume_from())
+        .unwrap_or(usize::MAX)
+        .min(all_events.len());
+    if skip > 0 {
+        eprintln!("session '{name}' resumed: {skip} events already durable at {addr}, skipping");
+    }
+    let events = &all_events[skip..];
     let stream = |client: &mut Client| -> Result<(), ocep_repro::net::WireError> {
         if batch <= 1 {
-            for e in &events {
+            for e in events {
                 client.send_event(e)?;
             }
         } else {
@@ -1172,9 +1231,13 @@ fn tail_cmd(args: &[String]) -> Result<i32, String> {
     let addr = *pos.first().ok_or("missing server address")?;
     let once = args.iter().any(|a| a == "--once");
     let name = flag_val("--name").map_or("ocep-tail", String::as_str);
+    let from: Option<u64> = match flag_val("--from") {
+        Some(f) => Some(f.parse().map_err(|_| format!("bad --from '{f}'"))?),
+        None => None,
+    };
 
-    let mut tail =
-        Tail::connect(addr, name).map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let mut tail = Tail::connect_from(addr, name, from)
+        .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
     // Readiness marker: scripts (and our own tests) wait for this line
     // before streaming events, so no verdict can race the subscription.
     eprintln!("subscribed to {addr}");
@@ -1188,6 +1251,20 @@ fn tail_cmd(args: &[String]) -> Result<i32, String> {
                     .map(|(t, i)| format!("T{t}@{i}"))
                     .collect();
                 println!("match[{}]: {}", v.monitor, cells.join(" "));
+                seen += 1;
+                if once {
+                    break;
+                }
+            }
+            Ok(Frame::VerdictAt { lsn, verdict: v }) => {
+                // Backlog replayed from the durable log: same line shape
+                // as a live verdict, annotated with its log position.
+                let cells: Vec<String> = v
+                    .bindings
+                    .iter()
+                    .map(|(t, i)| format!("T{t}@{i}"))
+                    .collect();
+                println!("match[{}]@{}: {}", v.monitor, lsn, cells.join(" "));
                 seen += 1;
                 if once {
                     break;
@@ -1214,4 +1291,105 @@ fn tail_cmd(args: &[String]) -> Result<i32, String> {
         }
     }
     Ok(if seen > 0 { 1 } else { 0 })
+}
+
+/// `ocep replay` — run a pattern over a durable event log after the
+/// fact. The pattern need not be the one the server was running when
+/// the log was written: the log records raw admitted deliveries, so any
+/// pattern can be compiled against history. Reads the log read-only
+/// (tolerating a torn tail, which is reported on stderr) and feeds
+/// every delivery through the same admission-guard path as `serve`.
+fn replay_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::net::engine::{decode_deliver, decode_watermark};
+    use ocep_repro::ocep::MonitorSet;
+    use ocep_repro::wal;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let pos = positionals(args);
+    let pattern_path = *pos.first().ok_or("missing pattern file")?;
+    let dir = *pos.get(1).ok_or("missing log directory")?;
+    let pattern = load_pattern(pattern_path)?;
+    let name = std::path::Path::new(pattern_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("pattern")
+        .to_owned();
+
+    let recovery = wal::scan(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot read log '{dir}': {e}"))?;
+    if let Some(torn) = &recovery.torn {
+        eprintln!("warning: {torn} — replaying the intact prefix only");
+    }
+
+    // The log stores raw events, so the trace count can be read off the
+    // first delivery's clock; `--traces` overrides (e.g. for an empty log).
+    let mut n_traces: Option<usize> = match flag_val("--traces") {
+        Some(t) => Some(t.parse().map_err(|_| format!("bad --traces '{t}'"))?),
+        None => None,
+    };
+    if n_traces.is_none() {
+        for rec in &recovery.records {
+            if rec.rtype == wal::REC_DELIVER {
+                let (_, e) = decode_deliver(&rec.payload)
+                    .map_err(|e| format!("log record {} undecodable: {e}", rec.lsn))?;
+                n_traces = Some(e.clock().len());
+                break;
+            }
+        }
+    }
+    let n_traces = n_traces.ok_or("log holds no deliveries; pass --traces N")?;
+
+    let mut mconfig = monitor_config(args)?;
+    let guard = mconfig.guard.take().unwrap_or_default();
+    let mut set = MonitorSet::new(n_traces);
+    set.add_with_config(&name, pattern, mconfig);
+    set.enable_guard(guard);
+
+    let mut reported = 0usize;
+    let mut delivered = 0u64;
+    for rec in &recovery.records {
+        let verdicts = match rec.rtype {
+            wal::REC_DELIVER => {
+                let (_, e) = decode_deliver(&rec.payload)
+                    .map_err(|e| format!("log record {} undecodable: {e}", rec.lsn))?;
+                delivered += 1;
+                set.observe_raw(&e)
+            }
+            wal::REC_FLUSH => set.flush_guard(),
+            wal::REC_WATERMARK => {
+                // Replaying the server's GC decisions keeps replay memory
+                // bounded by the same watermark rule; verdicts are
+                // unaffected (the guard admits in the same order).
+                let (keep, watermark) = decode_watermark(&rec.payload)
+                    .map_err(|e| format!("log record {} undecodable: {e}", rec.lsn))?;
+                set.gc_histories(&watermark, keep);
+                Vec::new()
+            }
+            // Checkpoints anchor *serve* restarts; a from-scratch replay
+            // recomputes everything, so they carry no new information.
+            _ => Vec::new(),
+        };
+        for (monitor, m) in verdicts {
+            println!("match[{monitor}]: {m}");
+            reported += 1;
+        }
+    }
+    for (monitor, m) in set.flush_guard() {
+        println!("match[{monitor}]: {m}");
+        reported += 1;
+    }
+    let stats = set.ingest_stats();
+    println!(
+        "\nreplayed {} deliveries ({} records, {} segments) from '{dir}': \
+         {} admitted, {reported} matches",
+        delivered,
+        recovery.records.len(),
+        recovery.segments,
+        stats.admitted,
+    );
+    Ok(if reported > 0 { 1 } else { 0 })
 }

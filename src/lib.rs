@@ -70,3 +70,4 @@ pub use ocep_poet as poet;
 pub use ocep_sim as sim;
 pub use ocep_simulator as simulator;
 pub use ocep_vclock as vclock;
+pub use ocep_wal as wal;

@@ -903,3 +903,308 @@ fn crash_during_checkpoint_leaves_a_rejected_torn_file() {
     let stderr = String::from_utf8_lossy(&resume.stderr);
     assert!(stderr.contains("cannot restore checkpoint"), "{stderr}");
 }
+
+// ------------------------------------------------------- durable log
+
+/// The `match[...]` lines of a serve/replay stdout, in order.
+fn match_lines(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| l.starts_with("match["))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// SIGKILL mid-stream, restart from the same log directory, re-send the
+/// same named session: the recovered daemon must reach bit-identical
+/// verdicts to an uninterrupted run, and the resuming client must not
+/// re-send a single event.
+#[test]
+fn wal_serve_survives_sigkill_with_no_resends() {
+    let (dump, pattern) = demo_dump("net-wal-crash");
+
+    // Baseline: the same workload served without any crash.
+    let port_file = tmp("net-wal-base.port");
+    let _ = std::fs::remove_file(&port_file);
+    let serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1));
+    let base = serve.wait_with_output().unwrap();
+    let base_out = String::from_utf8_lossy(&base.stdout);
+    let base_matches = match_lines(&base_out);
+    assert!(!base_matches.is_empty(), "{base_out}");
+    // Connection/frame counts legitimately differ across a restart, so
+    // pin only the admission and verdict counts from the summary line.
+    let admitted_prefix = |out: &str| -> String {
+        let line = out
+            .lines()
+            .find(|l| l.contains("events admitted"))
+            .expect("summary line")
+            .to_owned();
+        let cut = line.find("matches reported").expect("summary shape");
+        line[..cut + "matches reported".len()].to_owned()
+    };
+    let base_admitted = admitted_prefix(&base_out);
+
+    // Crash run: serve with a durable log, stream the whole dump, then
+    // SIGKILL the daemon with no chance to drain or checkpoint.
+    let wal_dir = tmp("net-wal-crash-log");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let port_file = tmp("net-wal-crash.port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut victim = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--wal",
+            wal_dir.to_str().unwrap(),
+            "--durability",
+            "batch",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+    let send = ocep()
+        .args([
+            "send",
+            &addr,
+            dump.to_str().unwrap(),
+            "--name",
+            "crash-session",
+        ])
+        .output()
+        .unwrap();
+    // The stats round trip confirms every event was processed (and
+    // therefore logged) before the kill.
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+    victim.kill().unwrap();
+    victim.wait().unwrap();
+
+    // Restart from the log; the same named session must resume past its
+    // durable prefix and send nothing.
+    let port_file = tmp("net-wal-restart.port");
+    let _ = std::fs::remove_file(&port_file);
+    let serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--wal",
+            wal_dir.to_str().unwrap(),
+            "--durability",
+            "batch",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+    let send = ocep()
+        .args([
+            "send",
+            &addr,
+            dump.to_str().unwrap(),
+            "--name",
+            "crash-session",
+            "--shutdown",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+    let send_out = String::from_utf8_lossy(&send.stdout);
+    let send_err = String::from_utf8_lossy(&send.stderr);
+    assert!(send_out.contains("sent 0 events"), "{send_out}");
+    assert!(send_out.contains(" 0 duplicates"), "{send_out}");
+    assert!(send_err.contains("resumed"), "{send_err}");
+
+    let out = serve.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("recovered"), "{stderr}");
+    // Bit-identical conclusions: same verdicts, same admission count.
+    assert_eq!(match_lines(&stdout), base_matches, "{stdout}");
+    assert_eq!(
+        admitted_prefix(&stdout),
+        base_admitted,
+        "{stdout}\nvs\n{base_admitted}"
+    );
+}
+
+#[test]
+fn checkpoint_every_writes_periodic_checkpoints() {
+    let (dump, pattern) = demo_dump("net-ckpt-every");
+    let port_file = tmp("net-ckpt-every.port");
+    let ckpt_dir = tmp("net-ckpt-every-ckpts");
+    let _ = std::fs::remove_file(&port_file);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--checkpoint",
+            ckpt_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    // No shutdown: the checkpoint on disk after this send can only come
+    // from the periodic trigger, not the graceful drain.
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+    assert!(
+        ckpt_dir.read_dir().unwrap().next().is_some(),
+        "no periodic checkpoint was written"
+    );
+
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+    serve.wait().unwrap();
+}
+
+#[test]
+fn replay_reruns_a_pattern_over_the_log() {
+    let (dump, pattern) = demo_dump("net-replay");
+    let wal_dir = tmp("net-replay-log");
+    let port_file = tmp("net-replay.port");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_file(&port_file);
+    let serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--wal",
+            wal_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+    let out = serve.wait_with_output().unwrap();
+    let serve_matches = match_lines(&String::from_utf8_lossy(&out.stdout));
+    assert!(!serve_matches.is_empty());
+
+    // Replaying the same pattern over the log reaches the same verdicts.
+    let replay = ocep()
+        .args(["replay", &pattern, wal_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(replay.status.code(), Some(1), "{replay:?}");
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert_eq!(match_lines(&stdout), serve_matches, "{stdout}");
+    assert!(stdout.contains("replayed"), "{stdout}");
+}
+
+#[test]
+fn tail_from_zero_replays_the_verdict_backlog() {
+    let (dump, pattern) = demo_dump("net-tail-from");
+    let wal_dir = tmp("net-tail-from-log");
+    let port_file = tmp("net-tail-from.port");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_file(&port_file);
+    let mut serve = ocep()
+        .args([
+            "serve",
+            &pattern,
+            "--traces",
+            "10",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--wal",
+            wal_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_port(&port_file);
+
+    // Stream everything first: the verdicts fire with no tail attached.
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+
+    // A late subscriber asking from log offset 0 still sees them.
+    let tail = ocep()
+        .args(["tail", &addr, "--from", "0", "--once"])
+        .output()
+        .unwrap();
+    assert_eq!(tail.status.code(), Some(1), "{tail:?}");
+    let stdout = String::from_utf8_lossy(&tail.stdout);
+    assert!(stdout.contains("match["), "{stdout}");
+    assert!(
+        stdout.contains("]@"),
+        "backlog verdict lacks its lsn: {stdout}"
+    );
+
+    let send = ocep()
+        .args(["send", &addr, dump.to_str().unwrap(), "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(send.status.code(), Some(1), "{send:?}");
+    serve.wait().unwrap();
+}

@@ -1,0 +1,118 @@
+//! Bounded-memory history GC transparency (PR 8).
+//!
+//! With GC enabled, peak resident leaf-history size on a long pinned
+//! stream must stay bounded while verdicts remain bit-identical to a
+//! GC-off run — the acceptance criterion for the durable-log PR's
+//! watermark truncation rule.
+
+use ocep_repro::ocep::{GuardConfig, MonitorSet};
+use ocep_repro::pattern::Pattern;
+use ocep_repro::poet::{Event, EventKind, PoetServer};
+use ocep_repro::vclock::TraceId;
+
+const PATTERN: &str = "A := [*, ping, *]; B := [*, pong, *]; pattern := A -> B;";
+
+/// A long two-trace stream of ping sends / pong receives: every event is
+/// a message endpoint, so the §VI dedup never collapses it and GC-off
+/// history grows linearly with the stream.
+fn pinned_stream(rounds: usize) -> Vec<Event> {
+    let mut poet = PoetServer::new(2);
+    for i in 0..rounds {
+        let from = TraceId::new((i % 2) as u32);
+        let to = TraceId::new(((i + 1) % 2) as u32);
+        let s = poet.record(from, EventKind::Send, "ping", "m");
+        poet.record_receive(to, s.id(), "pong", "m");
+    }
+    poet.linearization().collect()
+}
+
+fn build_set() -> MonitorSet {
+    let mut set = MonitorSet::new(2);
+    set.add("pings", Pattern::parse(PATTERN).unwrap());
+    set.enable_guard(GuardConfig::default());
+    set
+}
+
+#[test]
+fn gc_bounds_history_and_preserves_verdicts() {
+    const ROUNDS: usize = 600;
+    const GC_EVERY: usize = 100;
+    const KEEP_RECENT: usize = 16;
+
+    let events = pinned_stream(ROUNDS);
+
+    let mut plain = build_set();
+    let mut plain_verdicts = Vec::new();
+    for e in &events {
+        for (name, m) in plain.observe_raw(e) {
+            plain_verdicts.push(format!("{name}: {m}"));
+        }
+    }
+    let plain_peak: usize = plain.iter().map(|(_, m)| m.history_size()).sum();
+
+    let mut gc = build_set();
+    let mut gc_verdicts = Vec::new();
+    let mut gc_peak = 0usize;
+    let mut released = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        for (name, m) in gc.observe_raw(e) {
+            gc_verdicts.push(format!("{name}: {m}"));
+        }
+        gc_peak = gc_peak.max(gc.iter().map(|(_, m)| m.history_size()).sum());
+        if (i + 1) % GC_EVERY == 0 {
+            let watermark = gc.admitted_watermark().expect("guard enabled");
+            released += gc.gc_histories(&watermark, KEEP_RECENT);
+        }
+    }
+
+    assert_eq!(
+        gc_verdicts, plain_verdicts,
+        "GC must be verdict-transparent on the pinned stream"
+    );
+    assert!(released > 0, "the stream must actually trigger truncation");
+    // GC-off history grows with the stream; GC-on stays near the
+    // keep-recent floor plus one GC window.
+    assert!(
+        plain_peak >= ROUNDS,
+        "GC-off history should grow linearly (got {plain_peak})"
+    );
+    assert!(
+        gc_peak <= 2 * (GC_EVERY + 2 * KEEP_RECENT),
+        "GC-on peak {gc_peak} should be bounded by the GC window"
+    );
+    // The resident-size gauge reflects the release.
+    let final_gc: usize = gc.iter().map(|(_, m)| m.history_size()).sum();
+    let final_plain: usize = plain.iter().map(|(_, m)| m.history_size()).sum();
+    assert!(final_gc < final_plain / 4, "{final_gc} vs {final_plain}");
+}
+
+#[test]
+fn gc_never_truncates_lim_witness_leaves() {
+    // X ~> Y: X's history is the "no occurrence causally between"
+    // witness set; GC must leave it alone even when covered+dominated.
+    let src = "X := [*, ping, *]; Y := [*, pong, *]; pattern := X ~> Y;";
+    let mut set = MonitorSet::new(2);
+    set.add("lim", Pattern::parse(src).unwrap());
+    set.enable_guard(GuardConfig::default());
+    let events = pinned_stream(100);
+    let mut verdicts_gc = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        for (_, m) in set.observe_raw(e) {
+            verdicts_gc.push(m.to_string());
+        }
+        if (i + 1) % 20 == 0 {
+            let watermark = set.admitted_watermark().unwrap();
+            set.gc_histories(&watermark, 4);
+        }
+    }
+    let mut plain = MonitorSet::new(2);
+    plain.add("lim", Pattern::parse(src).unwrap());
+    plain.enable_guard(GuardConfig::default());
+    let mut verdicts_plain = Vec::new();
+    for e in &events {
+        for (_, m) in plain.observe_raw(e) {
+            verdicts_plain.push(m.to_string());
+        }
+    }
+    assert_eq!(verdicts_gc, verdicts_plain);
+}

@@ -23,6 +23,19 @@ fn corpus_config(seed: u64) -> SimConfig {
         faults: FaultToggles::all(),
         crashes: 1,
         sabotage: false,
+        wal: false,
+        wal_sabotage: false,
+    }
+}
+
+/// A `wal <seed>` corpus line: the same chaos run served through the
+/// on-disk durable log, with SIGKILL-style crashes recovered by log
+/// replay instead of checkpoint restore.
+fn wal_corpus_config(seed: u64) -> SimConfig {
+    SimConfig {
+        crashes: 2,
+        wal: true,
+        ..corpus_config(seed)
     }
 }
 
@@ -54,8 +67,11 @@ fn pinned_sim_seeds_stay_oracle_exact() {
         if line.is_empty() {
             continue;
         }
-        let seed: u64 = line.parse().expect("numeric seed per line");
-        let config = corpus_config(seed);
+        let config = match line.strip_prefix("wal ") {
+            Some(rest) => wal_corpus_config(rest.trim().parse().expect("numeric wal seed")),
+            None => corpus_config(line.parse().expect("numeric seed per line")),
+        };
+        let seed = config.seed;
         let out = run_sim(&config);
         assert!(
             out.mismatch.is_none(),
