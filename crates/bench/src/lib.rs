@@ -19,6 +19,7 @@ pub mod json;
 pub mod measure;
 pub mod metrics_json;
 pub mod netbench;
+pub mod shardbench;
 pub mod simbench;
 pub mod stats;
 pub mod walbench;

@@ -36,6 +36,9 @@ EXPERIMENTS:
     wal                   durable-log microbenchmarks: append records/s per
                           durability mode, recovery ms per 100k records, and
                           batch-WAL vs no-WAL ingest medians
+    shards                N-shard engine scaling: threaded ShardGroup ingest
+                          throughput at shards 1/2/4 over a multi-tenant
+                          pattern registry, ratio vs the 1-shard run
 
 OPTIONS:
     --events N   approximate events per workload (default 40000)
@@ -226,6 +229,16 @@ fn run_one(name: &str, opts: &RunOptions) -> Json {
                 ("verdicts", Json::from(r.verdicts)),
                 ("sim_events_per_sec", Json::from(r.events_per_sec)),
                 ("runs_per_sec", Json::from(r.runs_per_sec)),
+            ])
+        })),
+        "shards" => Json::arr(ocep_bench::shardbench::shards(opts).into_iter().map(|r| {
+            Json::obj([
+                ("shards", Json::from(r.shards)),
+                ("events", Json::from(r.events)),
+                ("patterns", Json::from(r.patterns)),
+                ("events_per_sec", Json::from(r.events_per_sec)),
+                ("verdicts", Json::from(r.verdicts)),
+                ("ratio_vs_single", Json::from(r.ratio_vs_single)),
             ])
         })),
         "wal" => {

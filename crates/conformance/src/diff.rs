@@ -52,6 +52,10 @@ pub enum Invariant {
     /// in-process `observe_raw` delivery (verdicts, subsets, or ingest
     /// statistics).
     NetTransparency,
+    /// Delivery through the N-shard engine core diverged from
+    /// in-process `observe_raw` delivery (merged verdict order,
+    /// subsets, ingest statistics, or checkpoint bytes).
+    ShardTransparency,
 }
 
 impl fmt::Display for Invariant {
@@ -68,6 +72,7 @@ impl fmt::Display for Invariant {
             Invariant::QuarantineAccounting => "quarantine-accounting",
             Invariant::CheckpointRestore => "checkpoint-restore",
             Invariant::NetTransparency => "net-transparency",
+            Invariant::ShardTransparency => "shard-transparency",
         })
     }
 }
@@ -89,6 +94,7 @@ impl Invariant {
             "quarantine-accounting" => Invariant::QuarantineAccounting,
             "checkpoint-restore" => Invariant::CheckpointRestore,
             "net-transparency" => Invariant::NetTransparency,
+            "shard-transparency" => Invariant::ShardTransparency,
             _ => return None,
         })
     }
@@ -445,6 +451,7 @@ mod tests {
             Invariant::QuarantineAccounting,
             Invariant::CheckpointRestore,
             Invariant::NetTransparency,
+            Invariant::ShardTransparency,
         ] {
             assert_eq!(Invariant::from_name(&inv.to_string()), Some(inv));
         }

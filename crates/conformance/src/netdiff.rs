@@ -16,8 +16,9 @@ use ocep_net::{Client, ServeConfig, Server};
 use ocep_pattern::Pattern;
 use ocep_poet::Event;
 
-/// Single monitor name used by both deliveries.
-const MONITOR: &str = "pattern";
+/// Single monitor name used by both deliveries (shared with the
+/// sharded differential in [`crate::sharddiff`]).
+pub(crate) const MONITOR: &str = "pattern";
 
 fn err(detail: String) -> Mismatch {
     Mismatch {
@@ -26,7 +27,7 @@ fn err(detail: String) -> Mismatch {
     }
 }
 
-fn match_ids(m: &Match) -> Vec<(u32, u32)> {
+pub(crate) fn match_ids(m: &Match) -> Vec<(u32, u32)> {
     m.events()
         .iter()
         .map(|e| (e.trace().as_u32(), e.index().get()))
@@ -96,7 +97,7 @@ impl Fingerprint {
     }
 }
 
-fn build_set(case: &Case) -> Result<MonitorSet, Mismatch> {
+pub(crate) fn build_set(case: &Case) -> Result<MonitorSet, Mismatch> {
     let pattern = Pattern::parse(&case.pattern_src).map_err(|e| Mismatch {
         invariant: Invariant::PatternParse,
         detail: format!("{e:?}"),

@@ -235,11 +235,90 @@ impl Client {
         self.round_trip(&Frame::Shutdown)
     }
 
+    /// Sends a tenant-scoped frame and waits for the server's
+    /// `Registered` acknowledgement, folding interleaved acks/faults
+    /// into local state. Per-pattern rejections (duplicate name,
+    /// unparsable source) arrive as faults — check
+    /// [`Client::take_faults`] after the call.
+    fn registration_round_trip(&mut self, frame: &Frame) -> Result<u32, WireError> {
+        write_frame(&mut self.writer, frame).map_err(closed_on_disconnect)?;
+        self.writer
+            .flush()
+            .map_err(|e| closed_on_disconnect(WireError::Io(e)))?;
+        loop {
+            match read_frame(&mut self.reader).map_err(closed_on_disconnect)? {
+                Frame::Ack { credits } => self.credits += credits,
+                Frame::Fault { code, detail } => self.faults.push((code, detail)),
+                Frame::Registered { patterns, .. } => return Ok(patterns),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {} while waiting for registration ack",
+                        other.type_name()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Registers `(name, pattern_source)` pairs for `tenant`; the
+    /// server monitors each as `{tenant}/{name}`. Returns the tenant's
+    /// live pattern count after the operation. Individual rejections
+    /// (duplicate or unparsable patterns) surface as faults in
+    /// [`Client::take_faults`], not as an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn register(
+        &mut self,
+        tenant: &str,
+        patterns: &[(String, String)],
+    ) -> Result<u32, WireError> {
+        self.registration_round_trip(&Frame::Register {
+            tenant: tenant.to_owned(),
+            patterns: patterns.to_vec(),
+        })
+    }
+
+    /// Unregisters previously registered pattern names for `tenant`.
+    /// Returns the tenant's remaining live pattern count; unknown names
+    /// surface as faults in [`Client::take_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn unregister(&mut self, tenant: &str, patterns: &[String]) -> Result<u32, WireError> {
+        self.registration_round_trip(&Frame::Unregister {
+            tenant: tenant.to_owned(),
+            patterns: patterns.to_vec(),
+        })
+    }
+
     /// Faults the server has pushed to this connection (ingest
     /// quarantines, decode rejections), drained.
     pub fn take_faults(&mut self) -> Vec<(FaultCode, String)> {
         std::mem::take(&mut self.faults)
     }
+}
+
+/// One-shot helper: connects as producer session `{tenant}-register`,
+/// registers `patterns` for `tenant`, and returns the tenant's live
+/// pattern count plus any per-pattern rejection faults.
+///
+/// # Errors
+///
+/// Transport or protocol failures (individual pattern rejections are
+/// returned, not raised).
+pub fn register_patterns(
+    addr: &str,
+    n_traces: usize,
+    tenant: &str,
+    patterns: &[(String, String)],
+) -> Result<(u32, Vec<(FaultCode, String)>), WireError> {
+    let mut client = Client::connect(addr, n_traces, &format!("{tenant}-register"))?;
+    let live = client.register(tenant, patterns)?;
+    let faults = client.take_faults();
+    Ok((live, faults))
 }
 
 /// A verdict subscription: connects in tail mode and yields the frames
@@ -270,6 +349,31 @@ impl Tail {
     ///
     /// Transport failures or a rejected handshake.
     pub fn connect_from(addr: &str, name: &str, from: Option<u64>) -> Result<Tail, WireError> {
+        Tail::connect_scoped(addr, name, from, None)
+    }
+
+    /// Like [`Tail::connect_from`], but scoped to one tenant's verdicts
+    /// (`{tenant}/...` monitors only). The scope applies to both the
+    /// backlog and the live stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a rejected handshake.
+    pub fn connect_tenant(
+        addr: &str,
+        name: &str,
+        tenant: &str,
+        from: Option<u64>,
+    ) -> Result<Tail, WireError> {
+        Tail::connect_scoped(addr, name, from, Some(tenant))
+    }
+
+    fn connect_scoped(
+        addr: &str,
+        name: &str,
+        from: Option<u64>,
+        tenant: Option<&str>,
+    ) -> Result<Tail, WireError> {
         let (mut reader, mut writer) = connect(
             addr,
             &Frame::Hello {
@@ -278,6 +382,17 @@ impl Tail {
                 name: name.to_owned(),
             },
         )?;
+        // Scope before requesting the backlog so the filter applies to
+        // the `VerdictAt` replay too.
+        if let Some(tenant) = tenant {
+            write_frame(
+                &mut writer,
+                &Frame::TailTenant {
+                    tenant: tenant.to_owned(),
+                },
+            )?;
+            writer.flush()?;
+        }
         if let Some(from) = from {
             write_frame(&mut writer, &Frame::TailFrom { from })?;
             writer.flush()?;
@@ -291,6 +406,20 @@ impl Tail {
                     "unexpected {} in tail handshake",
                     other.type_name()
                 )));
+            }
+        }
+        // A tenant scope is acknowledged with `Registered`; consume it
+        // here so the verdict stream starts clean.
+        if tenant.is_some() {
+            match read_frame(&mut reader)? {
+                Frame::Registered { .. } => {}
+                Frame::Fault { code: _, detail } => return Err(WireError::Protocol(detail)),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected {} in tenant-tail handshake",
+                        other.type_name()
+                    )));
+                }
             }
         }
         Ok(Tail {

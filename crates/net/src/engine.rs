@@ -19,15 +19,19 @@
 //! ground truth a replay harness feeds to an in-process reference
 //! `MonitorSet` to demand bit-identical verdicts.
 
+use crate::shard::ShardGroup;
 use crate::wire::{
     decode_body, encode_body, put_str, FaultCode, Frame, Mode, StatsReport, VerdictFrame,
 };
-use ocep_core::ingest::OverflowPolicy;
+use ocep_core::ingest::{IngestFault, OverflowPolicy};
 use ocep_core::{
-    load_set_at, save_set, save_set_at, Histogram, Match, MetricsSnapshot, MonitorSet,
+    load_set_at, save_set, save_set_at, Histogram, Match, MetricsSnapshot, MonitorConfig,
+    MonitorSet,
 };
+use ocep_pattern::Pattern;
 use ocep_wal::{
-    Durability, Record, Wal, WalOptions, REC_CHECKPOINT, REC_DELIVER, REC_FLUSH, REC_WATERMARK,
+    Durability, Record, Wal, WalOptions, REC_CHECKPOINT, REC_DELIVER, REC_FLUSH, REC_REGISTER,
+    REC_UNREGISTER, REC_WATERMARK,
 };
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -68,6 +72,13 @@ pub struct ServeConfig {
     /// prefixes dominated by the guard's low-watermark clock, recording
     /// the watermark in the log so replay re-applies it.
     pub history_gc: bool,
+    /// Number of engine shards. `0` (the default) keeps the classic
+    /// single-engine core; `N > 0` partitions the monitors across `N`
+    /// shards routed by `fnv1a64(name) % N`, each with its own
+    /// admission-guard replica, durable log (`wal-shard-{i}` under
+    /// `wal_dir`), and checkpoints — bit-identical to the single engine
+    /// by construction (see `docs/SHARDING.md`).
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +93,7 @@ impl Default for ServeConfig {
             durability: Durability::Batch,
             checkpoint_every: 0,
             history_gc: false,
+            shards: 0,
         }
     }
 }
@@ -336,6 +348,18 @@ struct Conn {
     /// Remaining credits the peer holds; engine-side bookkeeping to
     /// detect window violations.
     granted: i64,
+    /// Tenant scope for a tail subscriber: when set, only verdicts of
+    /// monitors named `{tenant}/...` reach this connection.
+    tenant_filter: Option<String>,
+}
+
+/// The engine's matcher backend: the classic single [`MonitorSet`], or
+/// the N-shard group behind it. Selected once at construction from
+/// [`ServeConfig::shards`]; every observable output is bit-identical
+/// between the two (the shard-transparency suite's contract).
+enum Backend {
+    Single(MonitorSet),
+    Sharded(ShardGroup),
 }
 
 /// The transport-free serving engine: OCWP frame semantics, credit
@@ -343,7 +367,7 @@ struct Conn {
 /// a [`MonitorSet`] — with time injected through a [`NetClock`] and all
 /// I/O delegated to the caller. See the [module docs](self).
 pub struct EngineCore {
-    set: MonitorSet,
+    backend: Backend,
     config: ServeConfig,
     clock: Arc<dyn NetClock>,
     bytes_out: Arc<AtomicU64>,
@@ -390,6 +414,26 @@ pub struct EngineCore {
     /// next deliver append, leaving a gap the conformance oracle must
     /// flag.
     wal_drop_next: bool,
+    /// Test hook (`OCEP_TEST_SHARD_RESTART="i@frames"`): kill and
+    /// restart shard `i` once `frames` data frames have been processed.
+    shard_restart_hook: Option<(usize, u64)>,
+    shard_restarted: bool,
+    /// Shards killed and rebuilt over the server lifetime (exported as
+    /// `ocep_net_shard_restarts_total`).
+    shard_restarts: u64,
+    /// True once [`EngineCore::recover_wal`] opened the per-shard logs
+    /// (the sharded counterpart of `wal.is_some()`).
+    sharded_wal: bool,
+}
+
+/// True when `monitor` is in `filter`'s tenant scope (no filter admits
+/// everything; a filter admits exactly the `{tenant}/...` namespace).
+fn tenant_matches(filter: Option<&str>, monitor: &str) -> bool {
+    filter.is_none_or(|t| {
+        monitor
+            .strip_prefix(t)
+            .is_some_and(|rest| rest.starts_with('/'))
+    })
 }
 
 impl std::fmt::Debug for EngineCore {
@@ -414,8 +458,21 @@ impl EngineCore {
         bytes_out: Arc<AtomicU64>,
     ) -> EngineCore {
         let pool = ocep_vclock::ClockPool::new(set.n_traces());
+        let backend = if config.shards > 0 {
+            Backend::Sharded(ShardGroup::new(set, config.shards, &config.pattern_sources))
+        } else {
+            Backend::Single(set)
+        };
+        // Test hook: "i@frames" kills and restarts shard i once that
+        // many data frames have been processed.
+        let shard_restart_hook = std::env::var("OCEP_TEST_SHARD_RESTART")
+            .ok()
+            .and_then(|spec| {
+                let (i, at) = spec.split_once('@')?;
+                Some((i.trim().parse().ok()?, at.trim().parse().ok()?))
+            });
         EngineCore {
-            set,
+            backend,
             config,
             clock,
             bytes_out,
@@ -443,6 +500,169 @@ impl EngineCore {
             gc_released: 0,
             wal_append_errors: 0,
             wal_drop_next: false,
+            shard_restart_hook,
+            shard_restarted: false,
+            shard_restarts: 0,
+            sharded_wal: false,
+        }
+    }
+
+    /// Number of engine shards (0 in the classic single-engine core).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 0,
+            Backend::Sharded(g) => g.n_shards(),
+        }
+    }
+
+    fn is_sharded(&self) -> bool {
+        matches!(self.backend, Backend::Sharded(_))
+    }
+
+    fn sharded(&mut self) -> &mut ShardGroup {
+        match &mut self.backend {
+            Backend::Sharded(g) => g,
+            Backend::Single(_) => unreachable!("sharded() on a single-engine core"),
+        }
+    }
+
+    fn single(&mut self) -> &mut MonitorSet {
+        match &mut self.backend {
+            Backend::Single(set) => set,
+            Backend::Sharded(_) => unreachable!("single() on a sharded core"),
+        }
+    }
+
+    fn n_traces(&self) -> usize {
+        match &self.backend {
+            Backend::Single(set) => set.n_traces(),
+            Backend::Sharded(g) => g.n_traces(),
+        }
+    }
+
+    /// True when serving durably (a single-engine WAL, or recovered
+    /// per-shard logs).
+    fn has_wal(&self) -> bool {
+        self.wal.is_some() || self.sharded_wal
+    }
+
+    fn durable_count(&self, session: &str) -> u64 {
+        match &self.backend {
+            Backend::Single(_) => self.durable_sessions.get(session).copied().unwrap_or(0),
+            Backend::Sharded(g) => g.durable(session),
+        }
+    }
+
+    fn monitor_exists(&self, name: &str) -> bool {
+        match &self.backend {
+            Backend::Single(set) => set.monitor(name).is_some(),
+            Backend::Sharded(g) => g.is_live(name),
+        }
+    }
+
+    /// Live monitor count in `tenant`'s namespace (the `Registered`
+    /// acknowledgement payload).
+    fn tenant_live(&self, tenant: &str) -> u32 {
+        let count = |names: &mut dyn Iterator<Item = &str>| {
+            names.filter(|n| tenant_matches(Some(tenant), n)).count() as u32
+        };
+        match &self.backend {
+            Backend::Single(set) => count(&mut set.iter().map(|(n, _)| n)),
+            Backend::Sharded(g) => {
+                let names = g.names();
+                count(&mut names.iter().map(String::as_str))
+            }
+        }
+    }
+
+    fn conn_name(&self, conn: u64) -> String {
+        self.conns
+            .get(&conn)
+            .map(|c| c.name.clone())
+            .unwrap_or_default()
+    }
+
+    /// Spawns the per-shard engine threads (no-op on a single-engine
+    /// core or when threads already run). The TCP server calls this
+    /// after recovery; the simulator never does — it drives the shards
+    /// inline for determinism.
+    pub fn start_shard_threads(&mut self) {
+        if let Backend::Sharded(g) = &mut self.backend {
+            g.start_threads();
+        }
+    }
+
+    /// Kills and rebuilds shard `i` (see [`ShardGroup::restart_shard`]):
+    /// with per-shard logs the shard replays its own `wal-shard-{i}`;
+    /// without, it restarts blank and resyncs its delivery counter from
+    /// a neighbour.
+    ///
+    /// # Errors
+    ///
+    /// Not a sharded engine, or the shard could not be rebuilt.
+    pub fn restart_shard(&mut self, i: usize) -> Result<(), String> {
+        let root = if self.sharded_wal {
+            self.config.wal_dir.clone()
+        } else {
+            None
+        };
+        let durability = self.config.durability;
+        match &mut self.backend {
+            Backend::Sharded(g) => {
+                g.restart_shard(i, root.as_deref(), durability)?;
+                self.shard_restarts += 1;
+                Ok(())
+            }
+            Backend::Single(_) => Err("not a sharded engine".into()),
+        }
+    }
+
+    /// Serializes shard `i`'s state to a blob for the simulator's
+    /// virtual disk (empty on a single-engine core). Inline mode only.
+    #[must_use]
+    pub fn shard_checkpoint(&self, i: usize) -> Vec<u8> {
+        match &self.backend {
+            Backend::Sharded(g) => g.shard_checkpoint(i),
+            Backend::Single(_) => Vec::new(),
+        }
+    }
+
+    /// Restores shard `i` from a [`EngineCore::shard_checkpoint`] blob.
+    ///
+    /// # Errors
+    ///
+    /// Not a sharded engine, or an undecodable blob.
+    pub fn restore_shard(&mut self, i: usize, blob: &[u8]) -> Result<(), String> {
+        match &mut self.backend {
+            Backend::Sharded(g) => g.restore_shard(i, blob),
+            Backend::Single(_) => Err("not a sharded engine".into()),
+        }
+    }
+
+    /// Replays one event into shard `i` only (crash catch-up after
+    /// [`EngineCore::restore_shard`]); its verdicts are discarded — the
+    /// group already reported them live.
+    pub fn shard_replay(&mut self, i: usize, event: &ocep_poet::Event) {
+        if let Backend::Sharded(g) = &mut self.backend {
+            g.shard_replay(i, event);
+        }
+    }
+
+    /// Replays one guard flush into shard `i` only (see
+    /// [`EngineCore::shard_replay`]).
+    pub fn shard_replay_flush(&mut self, i: usize) {
+        if let Backend::Sharded(g) = &mut self.backend {
+            g.shard_replay_flush(i);
+        }
+    }
+
+    /// Arms the shard-transparency sabotage hook: the next data frame
+    /// skips the shard owning the first live monitor, which must break
+    /// bit-identity with the single-engine oracle.
+    pub fn sabotage_misroute_next(&mut self) {
+        if let Backend::Sharded(g) = &mut self.backend {
+            g.sabotage_misroute_next();
         }
     }
 
@@ -490,6 +710,10 @@ impl EngineCore {
     /// A flush failure degrades to non-durable serving like an append
     /// failure does.
     fn wal_flush_os(&mut self) {
+        if let Backend::Sharded(g) = &mut self.backend {
+            g.flush_os();
+            return;
+        }
         if let Some(wal) = self.wal.as_mut() {
             if wal.flush_os().is_err() {
                 self.wal_append_errors += 1;
@@ -569,10 +793,16 @@ impl EngineCore {
     /// the log so point-in-time replay re-applies it at the same stream
     /// position.
     fn gc_now(&mut self) {
-        let Some(watermark) = self.set.admitted_watermark() else {
+        if self.is_sharded() {
+            // Each shard runs the watermark rule against its own guard
+            // replica and logs the watermark in its own stream.
+            self.gc_released += self.sharded().gc(GC_KEEP_RECENT) as u64;
+            return;
+        }
+        let Some(watermark) = self.single().admitted_watermark() else {
             return;
         };
-        let released = self.set.gc_histories(&watermark, GC_KEEP_RECENT);
+        let released = self.single().gc_histories(&watermark, GC_KEEP_RECENT);
         self.gc_released += released as u64;
         if self.wal.is_some() {
             let mut payload = Vec::new();
@@ -594,6 +824,13 @@ impl EngineCore {
             self.events_since_gc = 0;
             self.gc_now();
         }
+        if self.is_sharded() {
+            let dir = self.config.checkpoint_dir.clone();
+            return self
+                .sharded()
+                .checkpoint(dir.as_deref())
+                .map_err(std::io::Error::other);
+        }
         self.append_wal_checkpoint();
         self.write_checkpoints()
     }
@@ -607,7 +844,10 @@ impl EngineCore {
         if self.wal.is_none() {
             return;
         }
-        let ocks = save_set_at(&self.set, &self.config.pattern_sources, self.last_lsn);
+        let Backend::Single(set) = &self.backend else {
+            return; // sharded checkpoints live in the per-shard logs
+        };
+        let ocks = save_set_at(set, &self.config.pattern_sources, self.last_lsn);
         let mut payload = Vec::new();
         payload.extend_from_slice(&(ocks.len() as u32).to_le_bytes());
         payload.extend_from_slice(&ocks);
@@ -642,6 +882,18 @@ impl EngineCore {
         let Some(dir) = self.config.wal_dir.clone() else {
             return Ok(false);
         };
+        if self.is_sharded() {
+            let durability = self.config.durability;
+            let rec = self.sharded().recover(&dir, durability)?;
+            for (name, m, lsn) in rec.verdicts {
+                self.verdicts.push((name, m));
+                self.verdict_lsns.push(lsn);
+            }
+            self.recovered_events = rec.recovered_events;
+            self.last_lsn = rec.last_lsn;
+            self.sharded_wal = true;
+            return Ok(true);
+        }
         let opts = WalOptions {
             durability: self.config.durability,
             ..WalOptions::default()
@@ -681,7 +933,7 @@ impl EngineCore {
                         .map_err(|err| format!("log record at lsn {}: {err}", rec.lsn))?;
                     e.intern_clock(&mut self.pool);
                     self.last_lsn = rec.lsn;
-                    let verdicts = self.set.observe_raw(&e);
+                    let verdicts = self.single().observe_raw(&e);
                     for (name, m) in verdicts {
                         self.verdicts.push((name, m));
                         self.verdict_lsns.push(rec.lsn);
@@ -690,7 +942,7 @@ impl EngineCore {
                 }
                 REC_FLUSH => {
                     self.last_lsn = rec.lsn;
-                    let verdicts = self.set.flush_guard();
+                    let verdicts = self.single().flush_guard();
                     for (name, m) in verdicts {
                         self.verdicts.push((name, m));
                         self.verdict_lsns.push(rec.lsn);
@@ -699,7 +951,28 @@ impl EngineCore {
                 REC_WATERMARK => {
                     let (keep, watermark) = decode_watermark(&rec.payload)
                         .map_err(|e| format!("log watermark at lsn {}: {e}", rec.lsn))?;
-                    self.gc_released += self.set.gc_histories(&watermark, keep) as u64;
+                    self.gc_released += self.single().gc_histories(&watermark, keep) as u64;
+                }
+                REC_REGISTER => {
+                    self.last_lsn = rec.lsn;
+                    let (name, source) = crate::shard::decode_register(&rec.payload)
+                        .map_err(|e| format!("log register at lsn {}: {e}", rec.lsn))?;
+                    // Skip-if-present: a checkpoint written after this
+                    // registration already restored the monitor with its
+                    // accumulated history.
+                    if self.single().monitor(&name).is_none() {
+                        let pattern = Pattern::parse(&source)
+                            .map_err(|e| format!("log register at lsn {}: {e}", rec.lsn))?;
+                        self.single().add(name.clone(), pattern);
+                    }
+                    self.config.pattern_sources.insert(name, source);
+                }
+                REC_UNREGISTER => {
+                    self.last_lsn = rec.lsn;
+                    let name = crate::shard::decode_unregister(&rec.payload)
+                        .map_err(|e| format!("log unregister at lsn {}: {e}", rec.lsn))?;
+                    self.single().remove(&name);
+                    self.config.pattern_sources.remove(&name);
                 }
                 _ => {} // an older checkpoint before `start`, or unknown
             }
@@ -707,7 +980,7 @@ impl EngineCore {
         // Replay happens with no connections: quarantines recorded by
         // the guard stay in its stats, but there is no producer to
         // relay them to.
-        let _ = self.set.take_ingest_faults();
+        let _ = self.single().take_ingest_faults();
         Ok(())
     }
 
@@ -717,8 +990,14 @@ impl EngineCore {
         let mut r = ocep_poet::dump::Reader::new(payload);
         let ocks_len = r.u32("ocks length").map_err(|e| e.to_string())? as usize;
         let ocks = r.bytes(ocks_len, "ocks blob").map_err(|e| e.to_string())?;
-        let (set, _sources, _lsn) = load_set_at(ocks).map_err(|e| e.to_string())?;
-        self.set = set;
+        let (set, sources, _lsn) = load_set_at(ocks).map_err(|e| e.to_string())?;
+        self.backend = Backend::Single(set);
+        // Checkpointed sources cover monitors registered over the wire
+        // after startup — without them a post-recovery checkpoint could
+        // not serialize those monitors.
+        for (name, src) in sources {
+            self.config.pattern_sources.entry(name).or_insert(src);
+        }
         let n = r.u32("verdict count").map_err(|e| e.to_string())? as usize;
         for i in 0..n {
             let lsn = r.u64("verdict lsn").map_err(|e| e.to_string())?;
@@ -735,11 +1014,13 @@ impl EngineCore {
             let Frame::EventBatch(events) = decode_body(body).map_err(|e| e.to_string())? else {
                 return Err(format!("verdict {i} payload is not an event batch"));
             };
-            let pattern = self
-                .set
-                .monitor(&name)
-                .ok_or_else(|| format!("checkpointed verdict names unknown monitor {name}"))?
-                .pattern_arc();
+            // A verdict can outlive its monitor (unregistered after it
+            // fired); without the pattern its bindings cannot be
+            // rebuilt, so the historic entry is dropped.
+            let Some(monitor) = self.single().monitor(&name) else {
+                continue;
+            };
+            let pattern = monitor.pattern_arc();
             let m = Match::from_bound_events(pattern, events)?;
             self.verdicts.push((name, m));
             self.verdict_lsns.push(lsn);
@@ -760,6 +1041,7 @@ impl EngineCore {
                 out,
                 frames_in: 0,
                 granted: 0,
+                tenant_filter: None,
             },
         );
     }
@@ -790,7 +1072,16 @@ impl EngineCore {
         if let Some(c) = self.conns.get_mut(&conn) {
             c.frames_in += 1;
         }
-        self.handle_frame(conn, frame, received_ns)
+        let shutdown = self.handle_frame(conn, frame, received_ns);
+        if let Some((shard, at)) = self.shard_restart_hook {
+            if !self.shard_restarted && self.is_sharded() && self.data_frames >= at {
+                self.shard_restarted = true;
+                if let Err(e) = self.restart_shard(shard) {
+                    self.fault(conn, FaultCode::Protocol, format!("shard restart: {e}"));
+                }
+            }
+        }
+        shutdown
     }
 
     fn send_control(&mut self, conn: u64, frame: Frame) {
@@ -823,29 +1114,31 @@ impl EngineCore {
                     self.fault(conn, FaultCode::Protocol, "duplicate hello".into());
                     return false;
                 }
-                if hello_mode == Mode::Producer && n_traces as usize != self.set.n_traces() {
+                if hello_mode == Mode::Producer && n_traces as usize != self.n_traces() {
                     self.fault(
                         conn,
                         FaultCode::Protocol,
                         format!(
                             "producer announces {n_traces} trace(s), server monitors {}",
-                            self.set.n_traces()
+                            self.n_traces()
                         ),
                     );
                     return false;
                 }
                 let window = self.config.window;
-                let mut resume = None;
                 if let Some(c) = self.conns.get_mut(&conn) {
                     c.mode = Some(hello_mode);
                     if !name.is_empty() {
                         c.name = name;
                     }
                     c.granted = i64::from(window);
-                    if hello_mode == Mode::Producer && self.wal.is_some() {
-                        resume = Some(self.durable_sessions.get(&c.name).copied().unwrap_or(0));
-                    }
                 }
+                let resume = if hello_mode == Mode::Producer && self.has_wal() {
+                    let session = self.conn_name(conn);
+                    Some(self.durable_count(&session))
+                } else {
+                    None
+                };
                 // Durable serving: tell the producer how much of its
                 // named session already survived in the log, *before*
                 // the credit grant, so it never re-sends that prefix.
@@ -880,10 +1173,17 @@ impl EngineCore {
             Frame::Flush => {
                 self.data_frame_start(conn);
                 self.journal_op(EngineOp::Flush);
-                self.wal_append(REC_FLUSH, &[]);
-                let verdicts = self.set.flush_guard();
-                self.publish(verdicts);
-                self.report_ingest_faults(conn);
+                if self.is_sharded() {
+                    let out = self.sharded().flush();
+                    self.last_lsn = out.last_lsn;
+                    self.publish(out.verdicts);
+                    self.relay_faults(conn, out.faults);
+                } else {
+                    self.wal_append(REC_FLUSH, &[]);
+                    let verdicts = self.single().flush_guard();
+                    self.publish(verdicts);
+                    self.report_ingest_faults(conn);
+                }
                 self.ack_data(conn);
                 false
             }
@@ -908,12 +1208,16 @@ impl EngineCore {
                 // Replay the retained verdict backlog at LSNs >= from
                 // as control frames (never dropped — the subscriber
                 // asked for exactly this history), then the live
-                // verdict stream continues as usual.
+                // verdict stream continues as usual. A tenant-scoped
+                // tail only sees its own namespace.
+                let filter = self.conns.get(&conn).and_then(|c| c.tenant_filter.clone());
                 let backlog: Vec<Frame> = self
                     .verdicts
                     .iter()
                     .zip(&self.verdict_lsns)
-                    .filter(|&(_, &lsn)| lsn >= from)
+                    .filter(|&((name, _), &lsn)| {
+                        lsn >= from && tenant_matches(filter.as_deref(), name)
+                    })
                     .map(|((name, m), &lsn)| Frame::VerdictAt {
                         lsn,
                         verdict: VerdictFrame {
@@ -937,13 +1241,135 @@ impl EngineCore {
                 false
             }
             Frame::Shutdown => true,
+            Frame::Register { tenant, patterns } => {
+                if mode.is_none() {
+                    self.fault(
+                        conn,
+                        FaultCode::Protocol,
+                        "register frame before hello".into(),
+                    );
+                    return false;
+                }
+                for (pname, source) in patterns {
+                    let full = format!("{tenant}/{pname}");
+                    if self.monitor_exists(&full) {
+                        self.fault(
+                            conn,
+                            FaultCode::Protocol,
+                            format!("pattern {full} is already registered"),
+                        );
+                        continue;
+                    }
+                    let result = match &mut self.backend {
+                        Backend::Sharded(g) => g.register(&full, &source, MonitorConfig::default()),
+                        Backend::Single(set) => match Pattern::parse(&source) {
+                            Ok(p) => {
+                                set.add(full.clone(), p);
+                                Ok(())
+                            }
+                            Err(e) => Err(e.to_string()),
+                        },
+                    };
+                    match result {
+                        Ok(()) => {
+                            self.config
+                                .pattern_sources
+                                .insert(full.clone(), source.clone());
+                            if !self.is_sharded() {
+                                // The shard group logs registrations in
+                                // every shard's stream itself; the
+                                // single engine logs them here.
+                                let mut payload = Vec::new();
+                                put_str(&mut payload, &full);
+                                put_str(&mut payload, &source);
+                                self.wal_append(REC_REGISTER, &payload);
+                            }
+                        }
+                        Err(e) => {
+                            self.fault(conn, FaultCode::Protocol, format!("pattern {full}: {e}"));
+                        }
+                    }
+                }
+                let live = self.tenant_live(&tenant);
+                self.send_control(
+                    conn,
+                    Frame::Registered {
+                        tenant,
+                        patterns: live,
+                    },
+                );
+                false
+            }
+            Frame::Unregister { tenant, patterns } => {
+                if mode.is_none() {
+                    self.fault(
+                        conn,
+                        FaultCode::Protocol,
+                        "unregister frame before hello".into(),
+                    );
+                    return false;
+                }
+                for pname in patterns {
+                    let full = format!("{tenant}/{pname}");
+                    let removed = match &mut self.backend {
+                        Backend::Sharded(g) => g.unregister(&full),
+                        Backend::Single(set) => set.remove(&full),
+                    };
+                    if removed {
+                        self.config.pattern_sources.remove(&full);
+                        if !self.is_sharded() {
+                            let mut payload = Vec::new();
+                            put_str(&mut payload, &full);
+                            self.wal_append(REC_UNREGISTER, &payload);
+                        }
+                    } else {
+                        self.fault(
+                            conn,
+                            FaultCode::Protocol,
+                            format!("pattern {full} is not registered"),
+                        );
+                    }
+                }
+                let live = self.tenant_live(&tenant);
+                self.send_control(
+                    conn,
+                    Frame::Registered {
+                        tenant,
+                        patterns: live,
+                    },
+                );
+                false
+            }
+            Frame::TailTenant { tenant } => {
+                if mode != Some(Mode::Tail) {
+                    self.fault(
+                        conn,
+                        FaultCode::Protocol,
+                        "tail_tenant frame before tail hello".into(),
+                    );
+                    return false;
+                }
+                let live = self.tenant_live(&tenant);
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.tenant_filter = Some(tenant.clone());
+                }
+                self.send_control(
+                    conn,
+                    Frame::Registered {
+                        tenant,
+                        patterns: live,
+                    },
+                );
+                false
+            }
             // Client-to-server frames that make no sense here.
             Frame::Ack { .. }
             | Frame::Fault { .. }
             | Frame::StatsReport(_)
             | Frame::Verdict(_)
             | Frame::Resume { .. }
-            | Frame::VerdictAt { .. } => {
+            | Frame::VerdictAt { .. }
+            | Frame::Registered { .. } => {
                 self.fault(
                     conn,
                     FaultCode::Protocol,
@@ -980,12 +1406,28 @@ impl EngineCore {
     }
 
     fn ingest(&mut self, events: &[ocep_poet::Event], conn: u64, received_ns: u64) {
+        if self.is_sharded() {
+            let session = self.conn_name(conn);
+            for e in events {
+                let mut e = e.clone();
+                e.intern_clock(&mut self.pool);
+                self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
+                let out = self.sharded().deliver(&session, &e);
+                let elapsed = self.clock.now_ns().saturating_sub(received_ns);
+                self.latency.record(elapsed);
+                self.last_lsn = out.last_lsn;
+                self.publish(out.verdicts);
+                self.relay_faults(conn, out.faults);
+            }
+            self.after_ingest(events.len() as u64);
+            return;
+        }
         for e in events {
             let mut e = e.clone();
             e.intern_clock(&mut self.pool);
             self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
             self.wal_append_deliver(conn, &e);
-            let verdicts = self.set.observe_raw(&e);
+            let verdicts = self.single().observe_raw(&e);
             let elapsed = self.clock.now_ns().saturating_sub(received_ns);
             self.latency.record(elapsed);
             self.publish(verdicts);
@@ -1009,23 +1451,43 @@ impl EngineCore {
             e.intern_clock(&mut self.pool);
             self.journal_op(EngineOp::Deliver(Box::new(e.clone())));
         }
+        let n = events.len() as u64;
+        if self.is_sharded() {
+            let session = self.conn_name(conn);
+            let out = self.sharded().deliver_batch(&session, events);
+            let elapsed = self.clock.now_ns().saturating_sub(received_ns);
+            for _ in 0..n {
+                self.latency.record(elapsed);
+            }
+            self.last_lsn = out.last_lsn;
+            self.publish(out.verdicts);
+            self.relay_faults(conn, out.faults);
+            self.after_ingest(n);
+            return;
+        }
         for e in &events {
             self.wal_append_deliver(conn, e);
         }
-        let verdicts = self.set.observe_raw_batch(&events);
+        let verdicts = self.single().observe_raw_batch(&events);
         let elapsed = self.clock.now_ns().saturating_sub(received_ns);
         for _ in &events {
             self.latency.record(elapsed);
         }
         self.publish(verdicts);
         self.report_ingest_faults(conn);
-        self.after_ingest(events.len() as u64);
+        self.after_ingest(n);
     }
 
     /// Relays guard quarantines back to the offending producer as
     /// `Fault` frames — the wire-level visibility of `IngestFault`s.
     fn report_ingest_faults(&mut self, conn: u64) {
-        let faults = self.set.take_ingest_faults();
+        let faults = self.single().take_ingest_faults();
+        self.relay_faults(conn, faults);
+    }
+
+    /// Relays already-drained guard faults (the sharded deliver path
+    /// returns them in [`DeliverOut`]) to the offending producer.
+    fn relay_faults(&mut self, conn: u64, faults: Vec<IngestFault>) {
         for f in faults {
             self.ingest_fault_frames += 1;
             self.send_control(
@@ -1057,7 +1519,9 @@ impl EngineCore {
             let tails: Vec<u64> = self
                 .conns
                 .iter()
-                .filter(|(_, c)| c.mode == Some(Mode::Tail))
+                .filter(|(_, c)| {
+                    c.mode == Some(Mode::Tail) && tenant_matches(c.tenant_filter.as_deref(), &name)
+                })
                 .map(|(id, _)| *id)
                 .collect();
             for id in tails {
@@ -1082,12 +1546,15 @@ impl EngineCore {
     /// the shutdown broadcast report).
     #[must_use]
     pub fn stats_report(&self) -> StatsReport {
-        let g = self.set.ingest_stats();
+        let (g, degraded) = match &self.backend {
+            Backend::Single(set) => (set.ingest_stats(), set.ingest_degraded()),
+            Backend::Sharded(gr) => (gr.ingest_stats(), gr.ingest_degraded()),
+        };
         StatsReport {
             admitted: g.admitted,
             quarantined: g.quarantined(),
             duplicates: g.duplicates_dropped,
-            degraded: self.set.ingest_degraded(),
+            degraded,
             matches: self.verdicts.len() as u64,
             connections: self.connections_total.min(u64::from(u32::MAX)) as u32,
             frames: self.data_frames,
@@ -1098,23 +1565,35 @@ impl EngineCore {
     /// source, plus the admission guard's reorder state) to one `OCKS`
     /// blob — the in-memory checkpoint path the simulator's virtual
     /// disk uses in place of the per-monitor files written on
-    /// `CheckpointReq` and shutdown.
+    /// `CheckpointReq` and shutdown. Empty on a sharded core, whose
+    /// checkpoints are per shard ([`EngineCore::shard_checkpoint`]).
     #[must_use]
     pub fn checkpoint_set(&self) -> Vec<u8> {
-        save_set(&self.set, &self.config.pattern_sources)
+        match &self.backend {
+            Backend::Single(set) => save_set(set, &self.config.pattern_sources),
+            Backend::Sharded(_) => Vec::new(),
+        }
     }
 
     fn write_checkpoints(&self) -> Result<Vec<PathBuf>, std::io::Error> {
         let Some(dir) = &self.config.checkpoint_dir else {
             return Ok(Vec::new());
         };
+        let Backend::Single(set) = &self.backend else {
+            return Ok(Vec::new()); // sharded: ShardGroup::checkpoint writes them
+        };
         std::fs::create_dir_all(dir)?;
         let mut written = Vec::new();
-        for (name, m) in self.set.iter() {
+        for (name, m) in set.iter() {
             let Some(src) = self.config.pattern_sources.get(name) else {
                 continue;
             };
             let path = dir.join(format!("{name}.ockp"));
+            if let Some(parent) = path.parent() {
+                // Tenant monitors are named `{tenant}/{pattern}`, so a
+                // checkpoint file can live one directory down.
+                std::fs::create_dir_all(parent)?;
+            }
             let bytes = ocep_core::save_at(m, src, self.last_lsn);
             if std::env::var_os("OCEP_TEST_PARTIAL_CHECKPOINT").is_some() {
                 // Crash-injection hook (tests only): die between the
@@ -1136,14 +1615,28 @@ impl EngineCore {
     pub fn finish(&mut self) -> ServeReport {
         // Graceful drain: deliver everything the guard still buffers.
         self.journal_op(EngineOp::Flush);
-        self.wal_append(REC_FLUSH, &[]);
-        let verdicts = self.set.flush_guard();
-        self.publish(verdicts);
-        self.append_wal_checkpoint();
-        let checkpoints = self.write_checkpoints().unwrap_or_default();
-        if let Some(wal) = &mut self.wal {
-            let _ = wal.sync();
-        }
+        let checkpoints = if self.is_sharded() {
+            let out = self.sharded().flush();
+            self.last_lsn = out.last_lsn;
+            self.publish(out.verdicts);
+            // Seal the shard threads so the report can borrow monitors
+            // directly; checkpoints then run inline (synced per shard).
+            self.sharded().seal();
+            let dir = self.config.checkpoint_dir.clone();
+            self.sharded()
+                .checkpoint(dir.as_deref())
+                .unwrap_or_default()
+        } else {
+            self.wal_append(REC_FLUSH, &[]);
+            let verdicts = self.single().flush_guard();
+            self.publish(verdicts);
+            self.append_wal_checkpoint();
+            let checkpoints = self.write_checkpoints().unwrap_or_default();
+            if let Some(wal) = &mut self.wal {
+                let _ = wal.sync();
+            }
+            checkpoints
+        };
         let stats = self.stats_report();
         for (_, c) in self.conns.drain() {
             *self.frames_out.entry("stats_report").or_insert(0) += 1;
@@ -1152,27 +1645,36 @@ impl EngineCore {
             self.finished_conns.push((c.name, c.frames_in));
         }
         let metrics = self.metrics();
-        let subsets = self
-            .set
-            .iter()
-            .map(|(name, m)| {
-                let matches = m
-                    .subset()
-                    .iter()
-                    .map(|mm| {
-                        mm.events()
-                            .iter()
-                            .map(|e| (e.trace().as_u32(), e.index().get()))
-                            .collect()
-                    })
-                    .collect();
-                (name.to_owned(), matches)
-            })
-            .collect();
+        let subset_of = |m: &ocep_core::Monitor| -> MatchCoords {
+            m.subset()
+                .iter()
+                .map(|mm| {
+                    mm.events()
+                        .iter()
+                        .map(|e| (e.trace().as_u32(), e.index().get()))
+                        .collect()
+                })
+                .collect()
+        };
+        let (subsets, ingest) = match &self.backend {
+            Backend::Single(set) => (
+                set.iter()
+                    .map(|(name, m)| (name.to_owned(), subset_of(m)))
+                    .collect(),
+                set.ingest_stats(),
+            ),
+            Backend::Sharded(g) => (
+                g.live_monitors()
+                    .into_iter()
+                    .map(|(name, m)| (name.to_owned(), subset_of(m)))
+                    .collect(),
+                g.ingest_stats(),
+            ),
+        };
         ServeReport {
             verdicts: std::mem::take(&mut self.verdicts),
             stats,
-            ingest: self.set.ingest_stats(),
+            ingest,
             metrics,
             checkpoints,
             wal_last_lsn: self.last_lsn,
@@ -1183,7 +1685,22 @@ impl EngineCore {
     }
 
     fn metrics(&self) -> MetricsSnapshot {
-        let mut s = self.set.metrics();
+        let mut s = match &self.backend {
+            Backend::Single(set) => set.metrics(),
+            Backend::Sharded(g) => g.metrics(),
+        };
+        if let Backend::Sharded(g) = &self.backend {
+            s.gauge(
+                "ocep_net_shards",
+                "Engine shards serving this monitor set.",
+                g.n_shards() as u64,
+            );
+            s.counter(
+                "ocep_net_shard_restarts_total",
+                "Shards killed and rebuilt over the server lifetime.",
+                self.shard_restarts,
+            );
+        }
         s.counter(
             "ocep_net_connections_total",
             "Connections accepted over the server lifetime.",

@@ -21,6 +21,11 @@
 //!   admission guard via [`MonitorSet::observe_raw`] — so a remote
 //!   producer gets byte-identical verdicts to in-process delivery, and
 //!   a hostile one is quarantined by exactly the same machinery.
+//! * [`shard`] — the N-shard engine core: monitors partitioned by
+//!   `fnv1a64(name) % N` across per-shard engine threads fed over SPSC
+//!   rings, each shard owning its own admission-guard replica, durable
+//!   log (`wal-shard-{i}`), and checkpoints, with verdicts re-merged
+//!   into the single-engine order (`docs/SHARDING.md`).
 //! * [`client`] — producer and tail handles used by the `ocep serve`,
 //!   `ocep send`, and `ocep tail` subcommands.
 //!
@@ -40,11 +45,13 @@
 pub mod client;
 pub mod engine;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
-pub use client::{Client, Tail};
+pub use client::{register_patterns, Client, Tail};
 pub use engine::{EngineCore, EngineOp, NetClock, OutQueue, SlowAction, SystemClock};
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use shard::{route_of, DeliverOut, ShardGroup, ShardRecovery};
 pub use wire::{
     Decoded, FaultCode, Frame, FrameDecoder, Mode, StatsReport, VerdictFrame, WireError,
 };

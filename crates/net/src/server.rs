@@ -126,6 +126,9 @@ impl Server {
         );
         core.recover_wal()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        // Sharded serving: recovery ran inline (above); from here each
+        // shard runs on its own engine thread fed over SPSC rings.
+        core.start_shard_threads();
 
         let acceptor = {
             let tx = tx.clone();

@@ -1,0 +1,1704 @@
+//! The N-shard engine core: partitioned monitors behind replicated
+//! admission guards.
+//!
+//! A [`ShardGroup`] splits a [`MonitorSet`] into `N` disjoint
+//! partitions routed by `fnv1a64(monitor_name) % N`. Every data frame
+//! is **broadcast** to all shards: each shard runs its own replica of
+//! the set-level [`AdmissionGuard`](ocep_core::AdmissionGuard) over the
+//! full raw stream, so every shard makes identical admission decisions
+//! and assigns identical delivery sequence numbers — the alignment that
+//! makes shard count unobservable. Verdicts come back tagged
+//! `(delivery_seq, name)` and are merged by a stable sort on
+//! `(delivery_seq, global_registration_index)`, which reproduces the
+//! single-engine delivery-major / registration-minor report order
+//! bit-for-bit.
+//!
+//! Durability is per shard: shard `i` owns the `wal-shard-{i}`
+//! directory under the configured log root, appends the same broadcast
+//! record sequence (so LSNs agree across shards), and anchors its own
+//! `REC_CHECKPOINT` records holding the shard-local `OCKS` blob plus
+//! the shard's verdict subset. Recovery replays each shard's own log
+//! and re-merges the replayed verdicts.
+//!
+//! Two execution modes share one code path: **inline** (the
+//! deterministic simulator's choice — every operation runs on the
+//! caller's thread) and **threaded** ([`ShardGroup::start_threads`] —
+//! one engine thread per shard fed through bounded SPSC rings, the mode
+//! `ocep serve --shards N` runs). All operations are lockstep: a job is
+//! pushed to every shard, then one reply is collected from each, so the
+//! two modes are observationally identical.
+
+use crate::engine::{decode_deliver, decode_watermark};
+use crate::wire::{decode_body, encode_body, put_event_body, put_str, Frame};
+use ocep_core::ingest::{GuardConfig, IngestFault, IngestStats};
+use ocep_core::{
+    load_set_at, save_set_at, Match, MetricsSnapshot, Monitor, MonitorConfig, MonitorSet,
+};
+use ocep_pattern::Pattern;
+use ocep_poet::Event;
+use ocep_wal::{
+    Durability, Record, Wal, WalOptions, REC_CHECKPOINT, REC_DELIVER, REC_FLUSH, REC_REGISTER,
+    REC_UNREGISTER, REC_WATERMARK,
+};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Capacity of each per-shard job/reply ring.
+const RING_CAPACITY: usize = 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The stable routing rule: `fnv1a64(name) % n_shards`. Documented in
+/// `docs/SHARDING.md`; changing it would re-partition every deployment.
+#[must_use]
+pub fn route_of(name: &str, n_shards: usize) -> usize {
+    let mut h = FNV_OFFSET;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % n_shards.max(1) as u64) as usize
+}
+
+struct RingState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking SPSC ring (mutex + condvar — this crate forbids
+/// unsafe code) connecting the engine thread to one shard thread.
+pub struct SpscRing<T> {
+    inner: Arc<(Mutex<RingState<T>>, Condvar, Condvar)>,
+    cap: usize,
+}
+
+impl<T> Clone for SpscRing<T> {
+    fn clone(&self) -> Self {
+        SpscRing {
+            inner: Arc::clone(&self.inner),
+            cap: self.cap,
+        }
+    }
+}
+
+impl<T> SpscRing<T> {
+    /// A ring holding at most `cap` items.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        SpscRing {
+            inner: Arc::new((
+                Mutex::new(RingState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                Condvar::new(), // not_empty
+                Condvar::new(), // not_full
+            )),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues `item`. Returns false
+    /// (dropping the item) once the ring is closed.
+    pub fn push(&self, item: T) -> bool {
+        let (lock, not_empty, not_full) = &*self.inner;
+        let mut st = lock.lock().unwrap();
+        while st.queue.len() >= self.cap && !st.closed {
+            st = not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return false;
+        }
+        st.queue.push_back(item);
+        not_empty.notify_one();
+        true
+    }
+
+    /// Blocks for the next item; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let (lock, not_empty, not_full) = &*self.inner;
+        let mut st = lock.lock().unwrap();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the ring, waking both ends.
+    pub fn close(&self) {
+        let (lock, not_empty, not_full) = &*self.inner;
+        lock.lock().unwrap().closed = true;
+        not_empty.notify_all();
+        not_full.notify_all();
+    }
+}
+
+/// Closes a reply ring when its shard thread unwinds, so the engine
+/// sees a closed ring (and panics with a diagnosis) instead of blocking
+/// forever on a reply that will never come.
+struct CloseOnDrop<T>(SpscRing<T>, bool);
+
+impl<T> Drop for CloseOnDrop<T> {
+    fn drop(&mut self) {
+        if !self.1 {
+            self.0.close();
+        }
+    }
+}
+
+/// One job broadcast to a shard. Every job except `Stop` produces
+/// exactly one [`Reply`].
+enum Job {
+    Deliver {
+        session: Arc<str>,
+        event: Arc<Event>,
+    },
+    DeliverBatch {
+        session: Arc<str>,
+        events: Arc<Vec<Event>>,
+    },
+    Flush,
+    FlushOs,
+    Gc {
+        keep: usize,
+    },
+    Checkpoint {
+        dir: Option<PathBuf>,
+    },
+    Register {
+        name: String,
+        source: String,
+        config: MonitorConfig,
+    },
+    Unregister {
+        name: String,
+    },
+    Query,
+    Metrics,
+    Stop,
+}
+
+/// Verdicts and bookkeeping from one shard for one data operation.
+struct DeliverReply {
+    /// `(delivery_seq, name, match)` in shard-local order.
+    tagged: Vec<(u64, String, Match)>,
+    /// Guard faults drained after the operation.
+    faults: Vec<IngestFault>,
+    /// LSN of this shard's newest log record (0 without a log).
+    last_lsn: u64,
+    /// Deliver records durably appended by this operation.
+    appended: u64,
+}
+
+struct QueryReply {
+    stats: IngestStats,
+    degraded: bool,
+    delivery_seq: u64,
+}
+
+enum Reply {
+    Deliver(DeliverReply),
+    Unit,
+    Gc { released: usize },
+    Checkpoint(Result<Vec<PathBuf>, String>),
+    Register(Result<(), String>),
+    Query(Box<QueryReply>),
+    Metrics(Box<MetricsSnapshot>),
+}
+
+/// What [`ShardGroup::deliver`] (and batch/flush) hands back to the
+/// engine: merged verdicts plus shard-0 bookkeeping.
+pub struct DeliverOut {
+    /// Verdicts merged across shards by
+    /// `(delivery_seq, registration index)` — the single-engine order.
+    pub verdicts: Vec<(String, Match)>,
+    /// Guard faults (every shard's guard reports identically; these are
+    /// the lowest live shard's, and the others' are drained).
+    pub faults: Vec<IngestFault>,
+    /// LSN of the newest log record (0 without a log).
+    pub last_lsn: u64,
+}
+
+/// What [`ShardGroup::recover`] rebuilt from the per-shard logs.
+pub struct ShardRecovery {
+    /// Replayed verdicts merged across shards, each with its firing LSN.
+    pub verdicts: Vec<(String, Match, u64)>,
+    /// Events replayed through shard 0 (every shard replays the same
+    /// broadcast stream, so this is the engine-visible count).
+    pub recovered_events: u64,
+    /// LSN of the newest record in shard 0's log.
+    pub last_lsn: u64,
+}
+
+/// A dynamic-registry operation recovered from a shard's log.
+enum RegOp {
+    Add { name: String, source: String },
+    Remove { name: String },
+}
+
+/// One registry row: a monitor name, where it routes, and what is
+/// needed to rebuild it after a shard restart.
+#[derive(Debug, Clone)]
+struct RegEntry {
+    name: String,
+    /// Pattern source, when known — required to rebuild the monitor on
+    /// a shard restart and to write its checkpoint file.
+    source: Option<String>,
+    config: MonitorConfig,
+    shard: usize,
+    /// False once unregistered. Dead entries keep their index so the
+    /// merge order of historic verdicts stays stable.
+    live: bool,
+    /// True for monitors registered over the wire mid-stream (they must
+    /// not be rebuilt into a blank shard ahead of their registration
+    /// record during log replay).
+    dynamic: bool,
+}
+
+/// One shard's owned state: its partition of the monitors behind its
+/// own guard replica, its own durable log, and its retained verdicts.
+struct ShardCore {
+    index: usize,
+    n_shards: usize,
+    set: MonitorSet,
+    /// Pattern source per owned monitor (checkpoint prerequisite).
+    sources: HashMap<String, String>,
+    wal: Option<Wal>,
+    last_lsn: u64,
+    wal_append_errors: u64,
+    /// Shard-retained verdict history `(lsn, delivery_seq, name, match)`
+    /// — the payload of this shard's checkpoint records.
+    verdicts: Vec<(u64, u64, String, Match)>,
+    /// Durable deliver count per producer session, from this shard's
+    /// own log.
+    durable: HashMap<String, u64>,
+    recovered_events: u64,
+}
+
+impl ShardCore {
+    fn new(index: usize, n_shards: usize, n_traces: usize, guard: Option<GuardConfig>) -> Self {
+        let mut set = MonitorSet::new(n_traces);
+        if let Some(cfg) = guard {
+            set.enable_guard(cfg);
+        }
+        ShardCore {
+            index,
+            n_shards,
+            set,
+            sources: HashMap::new(),
+            wal: None,
+            last_lsn: 0,
+            wal_append_errors: 0,
+            verdicts: Vec::new(),
+            durable: HashMap::new(),
+            recovered_events: 0,
+        }
+    }
+
+    fn owns(&self, name: &str) -> bool {
+        route_of(name, self.n_shards) == self.index
+    }
+
+    /// Appends one record, degrading to logless on failure (mirrors the
+    /// single engine's policy: a sick disk slows durability, not
+    /// ingest).
+    fn append(&mut self, rtype: u8, payload: &[u8]) -> Option<u64> {
+        let wal = self.wal.as_mut()?;
+        match wal.append(rtype, payload) {
+            Ok(lsn) => {
+                self.last_lsn = lsn;
+                Some(lsn)
+            }
+            Err(_) => {
+                self.wal_append_errors += 1;
+                self.wal = None;
+                None
+            }
+        }
+    }
+
+    fn append_deliver(&mut self, session: &str, e: &Event) -> bool {
+        if self.wal.is_none() {
+            return false;
+        }
+        let mut payload = Vec::with_capacity(32 + 4 * e.clock().len());
+        put_str(&mut payload, session);
+        put_event_body(&mut payload, e);
+        if self.append(REC_DELIVER, &payload).is_some() {
+            *self.durable.entry(session.to_owned()).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn retain(&mut self, tagged: &[(u64, String, Match)]) {
+        for (seq, name, m) in tagged {
+            self.verdicts
+                .push((self.last_lsn, *seq, name.clone(), m.clone()));
+        }
+    }
+
+    fn deliver(&mut self, session: &str, e: &Event) -> DeliverReply {
+        let appended = u64::from(self.append_deliver(session, e));
+        let tagged = self.set.observe_raw_tagged(e);
+        self.retain(&tagged);
+        DeliverReply {
+            tagged,
+            faults: self.set.take_ingest_faults(),
+            last_lsn: self.last_lsn,
+            appended,
+        }
+    }
+
+    fn deliver_batch(&mut self, session: &str, events: &[Event]) -> DeliverReply {
+        let mut appended = 0;
+        for e in events {
+            appended += u64::from(self.append_deliver(session, e));
+        }
+        let tagged = self.set.observe_raw_batch_tagged(events);
+        self.retain(&tagged);
+        DeliverReply {
+            tagged,
+            faults: self.set.take_ingest_faults(),
+            last_lsn: self.last_lsn,
+            appended,
+        }
+    }
+
+    fn flush(&mut self) -> DeliverReply {
+        self.append(REC_FLUSH, &[]);
+        let tagged = self.set.flush_guard_tagged();
+        self.retain(&tagged);
+        DeliverReply {
+            tagged,
+            faults: self.set.take_ingest_faults(),
+            last_lsn: self.last_lsn,
+            appended: 0,
+        }
+    }
+
+    fn flush_os(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.flush_os().is_err() {
+                self.wal_append_errors += 1;
+                self.wal = None;
+            }
+        }
+    }
+
+    fn gc(&mut self, keep: usize) -> usize {
+        let Some(watermark) = self.set.admitted_watermark() else {
+            return 0;
+        };
+        let released = self.set.gc_histories(&watermark, keep);
+        if self.wal.is_some() {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(keep as u32).to_le_bytes());
+            payload.extend_from_slice(&(watermark.len() as u32).to_le_bytes());
+            for v in &watermark {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            self.append(REC_WATERMARK, &payload);
+        }
+        released
+    }
+
+    /// The shard's log-anchored checkpoint payload: delivery counter,
+    /// shard-local `OCKS` blob, and the shard's retained verdicts.
+    fn checkpoint_payload(&self) -> Vec<u8> {
+        let ocks = save_set_at(&self.set, &self.sources, self.last_lsn);
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.set.delivery_seq().to_le_bytes());
+        payload.extend_from_slice(&(ocks.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&ocks);
+        payload.extend_from_slice(&(self.verdicts.len() as u32).to_le_bytes());
+        for (lsn, seq, name, m) in &self.verdicts {
+            payload.extend_from_slice(&lsn.to_le_bytes());
+            payload.extend_from_slice(&seq.to_le_bytes());
+            put_str(&mut payload, name);
+            let body = encode_body(&Frame::EventBatch(m.events().to_vec()));
+            payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&body);
+        }
+        payload
+    }
+
+    /// Anchors a checkpoint record in the shard's log and writes one
+    /// `.ockp` file per owned monitor with a known source into `dir`.
+    fn checkpoint(&mut self, dir: Option<&Path>) -> Result<Vec<PathBuf>, String> {
+        if self.wal.is_some() {
+            let payload = self.checkpoint_payload();
+            if self.append(REC_CHECKPOINT, &payload).is_some() {
+                if let Some(wal) = &mut self.wal {
+                    let _ = wal.sync();
+                }
+            }
+        }
+        let Some(dir) = dir else {
+            return Ok(Vec::new());
+        };
+        let mut written = Vec::new();
+        for (name, m) in self.set.iter() {
+            let Some(src) = self.sources.get(name) else {
+                continue;
+            };
+            let path = dir.join(format!("{name}.ockp"));
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
+            let bytes = ocep_core::save_at(m, src, self.last_lsn);
+            std::fs::write(&path, bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Logs a registration on every shard; the owning shard also
+    /// installs the monitor. The group validated the source already, so
+    /// a parse failure here is a real divergence worth surfacing.
+    fn register(&mut self, name: &str, source: &str, config: MonitorConfig) -> Result<(), String> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, name);
+        put_str(&mut payload, source);
+        self.append(REC_REGISTER, &payload);
+        if self.owns(name) {
+            let pattern = Pattern::parse(source).map_err(|e| e.to_string())?;
+            self.set.add_with_config(name, pattern, config);
+            self.sources.insert(name.to_owned(), source.to_owned());
+        }
+        Ok(())
+    }
+
+    fn unregister(&mut self, name: &str) {
+        let mut payload = Vec::new();
+        put_str(&mut payload, name);
+        self.append(REC_UNREGISTER, &payload);
+        if self.owns(name) {
+            self.set.remove(name);
+            self.sources.remove(name);
+        }
+    }
+
+    /// Restores the shard from a `REC_CHECKPOINT` payload.
+    fn load_checkpoint(&mut self, payload: &[u8]) -> Result<(), String> {
+        let mut r = ocep_poet::dump::Reader::new(payload);
+        let seq = r.u64("shard delivery seq").map_err(|e| e.to_string())?;
+        let ocks_len = r.u32("ocks length").map_err(|e| e.to_string())? as usize;
+        let ocks = r.bytes(ocks_len, "ocks blob").map_err(|e| e.to_string())?;
+        let (mut set, sources, _lsn) = load_set_at(ocks).map_err(|e| e.to_string())?;
+        set.set_delivery_seq(seq);
+        self.set = set;
+        self.sources = sources.into_iter().collect();
+        self.verdicts.clear();
+        let n = r.u32("verdict count").map_err(|e| e.to_string())? as usize;
+        for i in 0..n {
+            let lsn = r.u64("verdict lsn").map_err(|e| e.to_string())?;
+            let vseq = r.u64("verdict seq").map_err(|e| e.to_string())?;
+            let name = r
+                .str(&format!("verdict {i} monitor"))
+                .map_err(|e| e.to_string())?
+                .to_owned();
+            let body_len = r
+                .u32(&format!("verdict {i} body length"))
+                .map_err(|e| e.to_string())? as usize;
+            let body = r
+                .bytes(body_len, "verdict events")
+                .map_err(|e| e.to_string())?;
+            let Frame::EventBatch(events) = decode_body(body).map_err(|e| e.to_string())? else {
+                return Err(format!("verdict {i} payload is not an event batch"));
+            };
+            // A verdict may outlive its monitor (unregistered since):
+            // without the pattern it cannot be reassembled, so it drops
+            // from the recovered history.
+            let Some(monitor) = self.set.monitor(&name) else {
+                continue;
+            };
+            let m = Match::from_bound_events(monitor.pattern_arc(), events)?;
+            self.verdicts.push((lsn, vseq, name, m));
+        }
+        r.finish().map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Rebuilds shard state from its scanned log: durable session
+    /// counts over the whole log, the newest checkpoint, then replay of
+    /// everything after it. Returns the full dynamic-registry history
+    /// (all shards log every registration, so any shard's list rebuilds
+    /// the global registry).
+    fn recover_records(&mut self, records: &[Record]) -> Result<Vec<RegOp>, String> {
+        let mut reg_ops = Vec::new();
+        for rec in records {
+            match rec.rtype {
+                REC_DELIVER => {
+                    let (session, _) = decode_deliver(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    *self.durable.entry(session).or_insert(0) += 1;
+                }
+                REC_REGISTER => {
+                    let (name, source) = decode_register(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    reg_ops.push(RegOp::Add { name, source });
+                }
+                REC_UNREGISTER => {
+                    let name = decode_unregister(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    reg_ops.push(RegOp::Remove { name });
+                }
+                _ => {}
+            }
+        }
+        let start = match records.iter().rposition(|r| r.rtype == REC_CHECKPOINT) {
+            Some(i) => {
+                self.load_checkpoint(&records[i].payload).map_err(|e| {
+                    format!(
+                        "shard {} checkpoint at lsn {}: {e}",
+                        self.index, records[i].lsn
+                    )
+                })?;
+                i + 1
+            }
+            None => 0,
+        };
+        for rec in &records[start..] {
+            match rec.rtype {
+                REC_DELIVER => {
+                    let (_, e) = decode_deliver(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    self.last_lsn = rec.lsn;
+                    let tagged = self.set.observe_raw_tagged(&e);
+                    self.retain(&tagged);
+                    self.recovered_events += 1;
+                }
+                REC_FLUSH => {
+                    self.last_lsn = rec.lsn;
+                    let tagged = self.set.flush_guard_tagged();
+                    self.retain(&tagged);
+                }
+                REC_WATERMARK => {
+                    let (keep, watermark) = decode_watermark(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    self.set.gc_histories(&watermark, keep);
+                }
+                REC_REGISTER => {
+                    let (name, source) = decode_register(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    self.last_lsn = rec.lsn;
+                    if self.owns(&name) && self.set.monitor(&name).is_none() {
+                        let pattern = Pattern::parse(&source).map_err(|e| {
+                            format!("shard {} log at lsn {}: {e}", self.index, rec.lsn)
+                        })?;
+                        self.set
+                            .add_with_config(&*name, pattern, MonitorConfig::default());
+                        self.sources.insert(name, source);
+                    }
+                }
+                REC_UNREGISTER => {
+                    let name = decode_unregister(&rec.payload)
+                        .map_err(|e| format!("shard {} log at lsn {}: {e}", self.index, rec.lsn))?;
+                    self.last_lsn = rec.lsn;
+                    if self.owns(&name) {
+                        self.set.remove(&name);
+                        self.sources.remove(&name);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Replay runs with no producer connected; quarantines stay in
+        // the guard's counters.
+        let _ = self.set.take_ingest_faults();
+        Ok(reg_ops)
+    }
+}
+
+/// Executes one job against a shard core — shared verbatim by the
+/// inline path and the shard-thread loop, which is what keeps the two
+/// modes observationally identical.
+fn exec(core: &mut ShardCore, job: Job) -> Reply {
+    match job {
+        Job::Deliver { session, event } => Reply::Deliver(core.deliver(&session, &event)),
+        Job::DeliverBatch { session, events } => {
+            Reply::Deliver(core.deliver_batch(&session, &events))
+        }
+        Job::Flush => Reply::Deliver(core.flush()),
+        Job::FlushOs => {
+            core.flush_os();
+            Reply::Unit
+        }
+        Job::Gc { keep } => Reply::Gc {
+            released: core.gc(keep),
+        },
+        Job::Checkpoint { dir } => Reply::Checkpoint(core.checkpoint(dir.as_deref())),
+        Job::Register {
+            name,
+            source,
+            config,
+        } => Reply::Register(core.register(&name, &source, config)),
+        Job::Unregister { name } => {
+            core.unregister(&name);
+            Reply::Unit
+        }
+        Job::Query => Reply::Query(Box::new(QueryReply {
+            stats: core.set.ingest_stats(),
+            degraded: core.set.ingest_degraded(),
+            delivery_seq: core.set.delivery_seq(),
+        })),
+        Job::Metrics => Reply::Metrics(Box::new(if core.index == 0 {
+            core.set.metrics()
+        } else {
+            core.set.monitor_metrics()
+        })),
+        Job::Stop => Reply::Unit,
+    }
+}
+
+enum Slot {
+    Inline {
+        core: Box<ShardCore>,
+        pending: Option<Reply>,
+    },
+    Thread {
+        jobs: SpscRing<Job>,
+        replies: SpscRing<Reply>,
+        handle: Option<JoinHandle<Box<ShardCore>>>,
+    },
+}
+
+/// The N-shard engine core (see the [module docs](self)).
+pub struct ShardGroup {
+    slots: Vec<Slot>,
+    n_traces: usize,
+    guard: Option<GuardConfig>,
+    registry: Vec<RegEntry>,
+    /// Monitor name → its latest registry index (never removed, so
+    /// historic verdicts keep a stable merge key).
+    index_of: HashMap<String, usize>,
+    /// Durable deliver count per producer session — the minimum across
+    /// shards at recovery (an event is only durable once every shard
+    /// logged it), maintained live from shard 0's appends.
+    durable: HashMap<String, u64>,
+    misroute_next: bool,
+}
+
+impl std::fmt::Debug for ShardGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardGroup")
+            .field("shards", &self.slots.len())
+            .field("registry", &self.registry.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardGroup {
+    /// Partitions `set` across `n_shards` shards by
+    /// [`route_of`], replicating its set-level guard configuration on
+    /// every shard. `sources` supplies pattern text per monitor name
+    /// (needed to checkpoint and to rebuild a shard after a restart).
+    #[must_use]
+    pub fn new(set: MonitorSet, n_shards: usize, sources: &HashMap<String, String>) -> ShardGroup {
+        let n_shards = n_shards.max(1);
+        let (n_traces, entries, guard) = set.into_parts();
+        let mut cores: Vec<ShardCore> = (0..n_shards)
+            .map(|i| ShardCore::new(i, n_shards, n_traces, guard))
+            .collect();
+        let mut registry = Vec::new();
+        let mut index_of = HashMap::new();
+        for (name, monitor) in entries {
+            let shard = route_of(&name, n_shards);
+            let config = *monitor.config();
+            let source = sources.get(&name).cloned();
+            if let Some(src) = &source {
+                cores[shard].sources.insert(name.clone(), src.clone());
+            }
+            index_of.insert(name.clone(), registry.len());
+            registry.push(RegEntry {
+                name: name.clone(),
+                source,
+                config,
+                shard,
+                live: true,
+                dynamic: false,
+            });
+            cores[shard].set.insert_monitor(name, monitor);
+        }
+        ShardGroup {
+            slots: cores
+                .into_iter()
+                .map(|c| Slot::Inline {
+                    core: Box::new(c),
+                    pending: None,
+                })
+                .collect(),
+            n_traces,
+            guard,
+            registry,
+            index_of,
+            durable: HashMap::new(),
+            misroute_next: false,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of traces in the monitored computation.
+    #[must_use]
+    pub fn n_traces(&self) -> usize {
+        self.n_traces
+    }
+
+    /// True when `name` is currently registered.
+    #[must_use]
+    pub fn is_live(&self, name: &str) -> bool {
+        self.index_of
+            .get(name)
+            .is_some_and(|&i| self.registry[i].live)
+    }
+
+    /// Live monitor names, in global registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.registry
+            .iter()
+            .filter(|e| e.live)
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Durable deliver count for `session` (what `Resume` reports).
+    #[must_use]
+    pub fn durable(&self, session: &str) -> u64 {
+        self.durable.get(session).copied().unwrap_or(0)
+    }
+
+    /// Arms the sabotage hook: the next data frame is not delivered to
+    /// the shard owning the first registered monitor. Exists so the
+    /// shard-transparency suite can prove it would catch a routing bug.
+    pub fn sabotage_misroute_next(&mut self) {
+        self.misroute_next = true;
+    }
+
+    fn take_misroute(&mut self) -> Option<usize> {
+        if !self.misroute_next {
+            return None;
+        }
+        self.misroute_next = false;
+        self.registry.iter().find(|e| e.live).map(|e| e.shard)
+    }
+
+    fn dispatch(&mut self, i: usize, job: Job) {
+        match &mut self.slots[i] {
+            Slot::Inline { core, pending } => *pending = Some(exec(core, job)),
+            Slot::Thread { jobs, .. } => {
+                assert!(jobs.push(job), "shard {i} thread is gone");
+            }
+        }
+    }
+
+    fn collect(&mut self, i: usize) -> Reply {
+        match &mut self.slots[i] {
+            Slot::Inline { pending, .. } => pending.take().expect("no job dispatched"),
+            Slot::Thread { replies, .. } => replies.pop().unwrap_or_else(|| {
+                panic!("shard {i} thread died before replying");
+            }),
+        }
+    }
+
+    /// Spawns one engine thread per shard, fed through SPSC rings. The
+    /// group stays observationally identical to inline mode; only
+    /// wall-clock parallelism changes. Idempotent.
+    pub fn start_threads(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if matches!(slot, Slot::Thread { .. }) {
+                continue;
+            }
+            let jobs: SpscRing<Job> = SpscRing::new(RING_CAPACITY);
+            let replies: SpscRing<Reply> = SpscRing::new(RING_CAPACITY);
+            let placeholder = Slot::Thread {
+                jobs: jobs.clone(),
+                replies: replies.clone(),
+                handle: None,
+            };
+            let Slot::Inline { core, .. } = std::mem::replace(slot, placeholder) else {
+                unreachable!()
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("ocep-shard-{i}"))
+                .spawn(move || shard_loop(core, &jobs, &replies))
+                .expect("spawn shard thread");
+            let Slot::Thread {
+                handle: handle_slot,
+                ..
+            } = slot
+            else {
+                unreachable!()
+            };
+            *handle_slot = Some(handle);
+        }
+    }
+
+    /// Stops every shard thread and takes the cores back inline, so the
+    /// caller can borrow monitors directly (shutdown/report path).
+    /// Idempotent; a no-op for inline slots.
+    pub fn seal(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Slot::Thread {
+                jobs,
+                handle: handle_slot,
+                ..
+            } = slot
+            else {
+                continue;
+            };
+            jobs.push(Job::Stop);
+            jobs.close();
+            let handle = handle_slot.take().expect("thread handle present");
+            let core = handle
+                .join()
+                .unwrap_or_else(|_| panic!("shard {i} thread panicked"));
+            *slot = Slot::Inline {
+                core,
+                pending: None,
+            };
+        }
+    }
+
+    fn core(&self, i: usize) -> &ShardCore {
+        match &self.slots[i] {
+            Slot::Inline { core, .. } => core,
+            Slot::Thread { .. } => panic!("shard {i} is threaded; seal() first"),
+        }
+    }
+
+    fn core_mut(&mut self, i: usize) -> &mut ShardCore {
+        match &mut self.slots[i] {
+            Slot::Inline { core, .. } => core,
+            Slot::Thread { .. } => panic!("shard {i} is threaded; seal() first"),
+        }
+    }
+
+    /// Live `(name, monitor)` pairs in registration order. Inline mode
+    /// only (call [`ShardGroup::seal`] first when threaded).
+    pub fn live_monitors(&self) -> Vec<(&str, &Monitor)> {
+        self.registry
+            .iter()
+            .filter(|e| e.live)
+            .filter_map(|e| {
+                self.core(e.shard)
+                    .set
+                    .monitor(&e.name)
+                    .map(|m| (e.name.as_str(), m))
+            })
+            .collect()
+    }
+
+    /// The monitor registered under `name`. Inline mode only.
+    #[must_use]
+    pub fn monitor(&self, name: &str) -> Option<&Monitor> {
+        let &i = self.index_of.get(name)?;
+        if !self.registry[i].live {
+            return None;
+        }
+        self.core(self.registry[i].shard).set.monitor(name)
+    }
+
+    fn credit_durable(&mut self, session: &str, appended: u64) {
+        if appended > 0 {
+            *self.durable.entry(session.to_owned()).or_insert(0) += appended;
+        }
+    }
+
+    /// Broadcasts one raw event to every shard and merges the verdicts.
+    pub fn deliver(&mut self, session: &str, event: &Event) -> DeliverOut {
+        let skip = self.take_misroute();
+        let session_arc: Arc<str> = Arc::from(session);
+        let event = Arc::new(event.clone());
+        for i in 0..self.slots.len() {
+            if skip == Some(i) {
+                continue;
+            }
+            self.dispatch(
+                i,
+                Job::Deliver {
+                    session: Arc::clone(&session_arc),
+                    event: Arc::clone(&event),
+                },
+            );
+        }
+        let (out, appended) = self.merge_with_appended(skip);
+        self.credit_durable(session, appended);
+        out
+    }
+
+    /// Broadcasts a whole event batch to every shard and merges.
+    pub fn deliver_batch(&mut self, session: &str, events: Vec<Event>) -> DeliverOut {
+        let skip = self.take_misroute();
+        let session_arc: Arc<str> = Arc::from(session);
+        let events = Arc::new(events);
+        for i in 0..self.slots.len() {
+            if skip == Some(i) {
+                continue;
+            }
+            self.dispatch(
+                i,
+                Job::DeliverBatch {
+                    session: Arc::clone(&session_arc),
+                    events: Arc::clone(&events),
+                },
+            );
+        }
+        let (out, appended) = self.merge_with_appended(skip);
+        self.credit_durable(session, appended);
+        out
+    }
+
+    fn merge_with_appended(&mut self, skip: Option<usize>) -> (DeliverOut, u64) {
+        // `merge` collects the lockstep replies; the appended count of
+        // the lowest collected shard credits the session.
+        let mut appended_probe = 0;
+        let out = {
+            let mut tagged: Vec<(u64, usize, String, Match)> = Vec::new();
+            let mut faults = Vec::new();
+            let mut last_lsn = 0;
+            let mut first = true;
+            for i in 0..self.slots.len() {
+                if skip == Some(i) {
+                    continue;
+                }
+                let Reply::Deliver(d) = self.collect(i) else {
+                    panic!("shard {i} replied out of protocol");
+                };
+                if first {
+                    first = false;
+                    faults = d.faults;
+                    last_lsn = d.last_lsn;
+                    appended_probe = d.appended;
+                }
+                for (seq, name, m) in d.tagged {
+                    let gidx = self.index_of.get(&name).copied().unwrap_or(usize::MAX);
+                    tagged.push((seq, gidx, name, m));
+                }
+            }
+            tagged.sort_by_key(|a| (a.0, a.1));
+            DeliverOut {
+                verdicts: tagged.into_iter().map(|(_, _, n, m)| (n, m)).collect(),
+                faults,
+                last_lsn,
+            }
+        };
+        (out, appended_probe)
+    }
+
+    /// Broadcasts a guard flush (end-of-stream or `Flush` frame).
+    pub fn flush(&mut self) -> DeliverOut {
+        for i in 0..self.slots.len() {
+            self.dispatch(i, Job::Flush);
+        }
+        let (out, _) = self.merge_with_appended(None);
+        out
+    }
+
+    /// Hands every shard's buffered log appends to the kernel (the ack
+    /// invariant barrier).
+    pub fn flush_os(&mut self) {
+        for i in 0..self.slots.len() {
+            self.dispatch(i, Job::FlushOs);
+        }
+        for i in 0..self.slots.len() {
+            let _ = self.collect(i);
+        }
+    }
+
+    /// Runs the history-GC watermark rule on every shard (each computes
+    /// its own — identical — watermark and logs it); returns the total
+    /// events released.
+    pub fn gc(&mut self, keep: usize) -> usize {
+        for i in 0..self.slots.len() {
+            self.dispatch(i, Job::Gc { keep });
+        }
+        let mut total = 0;
+        for i in 0..self.slots.len() {
+            let Reply::Gc { released } = self.collect(i) else {
+                panic!("shard {i} replied out of protocol");
+            };
+            total += released;
+        }
+        total
+    }
+
+    /// Anchors a checkpoint on every shard (log record + `.ockp` files
+    /// in `dir`); returns every file written, in registry order.
+    pub fn checkpoint(&mut self, dir: Option<&Path>) -> Result<Vec<PathBuf>, String> {
+        let dir_buf = dir.map(Path::to_path_buf);
+        if let Some(d) = &dir_buf {
+            std::fs::create_dir_all(d).map_err(|e| format!("{}: {e}", d.display()))?;
+        }
+        for i in 0..self.slots.len() {
+            self.dispatch(
+                i,
+                Job::Checkpoint {
+                    dir: dir_buf.clone(),
+                },
+            );
+        }
+        let mut written = Vec::new();
+        for i in 0..self.slots.len() {
+            match self.collect(i) {
+                Reply::Checkpoint(Ok(paths)) => written.extend(paths),
+                Reply::Checkpoint(Err(e)) => return Err(format!("shard {i}: {e}")),
+                _ => panic!("shard {i} replied out of protocol"),
+            }
+        }
+        // Stable report order: registry order, like the single engine's
+        // set-iteration order.
+        let rank: HashMap<&str, usize> = self
+            .registry
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.as_str(), i))
+            .collect();
+        written.sort_by_key(|p| {
+            let stem = p
+                .strip_prefix(dir.unwrap_or_else(|| Path::new("")))
+                .unwrap_or(p)
+                .with_extension("");
+            rank.get(stem.to_string_lossy().as_ref())
+                .copied()
+                .unwrap_or(usize::MAX)
+        });
+        Ok(written)
+    }
+
+    /// Registers `name` on its owning shard (logging the registration
+    /// on every shard) and appends it to the global registry.
+    ///
+    /// # Errors
+    ///
+    /// An unparsable pattern source; the registry is unchanged.
+    pub fn register(
+        &mut self,
+        name: &str,
+        source: &str,
+        config: MonitorConfig,
+    ) -> Result<(), String> {
+        Pattern::parse(source).map_err(|e| e.to_string())?;
+        for i in 0..self.slots.len() {
+            self.dispatch(
+                i,
+                Job::Register {
+                    name: name.to_owned(),
+                    source: source.to_owned(),
+                    config,
+                },
+            );
+        }
+        for i in 0..self.slots.len() {
+            match self.collect(i) {
+                Reply::Register(Ok(())) => {}
+                Reply::Register(Err(e)) => return Err(format!("shard {i}: {e}")),
+                _ => panic!("shard {i} replied out of protocol"),
+            }
+        }
+        self.index_of.insert(name.to_owned(), self.registry.len());
+        self.registry.push(RegEntry {
+            name: name.to_owned(),
+            source: Some(source.to_owned()),
+            config,
+            shard: route_of(name, self.slots.len()),
+            live: true,
+            dynamic: true,
+        });
+        Ok(())
+    }
+
+    /// Unregisters `name` everywhere; false when it was not live.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let Some(&idx) = self.index_of.get(name) else {
+            return false;
+        };
+        if !self.registry[idx].live {
+            return false;
+        }
+        for i in 0..self.slots.len() {
+            self.dispatch(
+                i,
+                Job::Unregister {
+                    name: name.to_owned(),
+                },
+            );
+        }
+        for i in 0..self.slots.len() {
+            let _ = self.collect(i);
+        }
+        self.registry[idx].live = false;
+        true
+    }
+
+    fn query(&self, i: usize) -> QueryReply {
+        match &self.slots[i] {
+            Slot::Inline { core, .. } => QueryReply {
+                stats: core.set.ingest_stats(),
+                degraded: core.set.ingest_degraded(),
+                delivery_seq: core.set.delivery_seq(),
+            },
+            Slot::Thread { jobs, replies, .. } => {
+                assert!(jobs.push(Job::Query), "shard {i} thread is gone");
+                match replies.pop() {
+                    Some(Reply::Query(q)) => *q,
+                    _ => panic!("shard {i} replied out of protocol"),
+                }
+            }
+        }
+    }
+
+    /// The replicated guard's ingestion counters (shard 0's replica;
+    /// all replicas agree).
+    #[must_use]
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.query(0).stats
+    }
+
+    /// True when the replicated guard lost or reordered information.
+    #[must_use]
+    pub fn ingest_degraded(&self) -> bool {
+        self.query(0).degraded
+    }
+
+    /// Merged metrics: monitor families from every shard, guard
+    /// (`ocep_ingest_*`) families from shard 0's replica only.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for i in 0..self.slots.len() {
+            let snap = match &self.slots[i] {
+                Slot::Inline { core, .. } => {
+                    if i == 0 {
+                        core.set.metrics()
+                    } else {
+                        core.set.monitor_metrics()
+                    }
+                }
+                Slot::Thread { jobs, replies, .. } => {
+                    assert!(jobs.push(Job::Metrics), "shard {i} thread is gone");
+                    match replies.pop() {
+                        Some(Reply::Metrics(m)) => *m,
+                        _ => panic!("shard {i} replied out of protocol"),
+                    }
+                }
+            };
+            total.absorb(&snap);
+        }
+        total
+    }
+
+    /// Opens `wal-shard-{i}` under `wal_root` for every shard and
+    /// rebuilds each from its own log. Must run before
+    /// [`ShardGroup::start_threads`] and before any frame.
+    ///
+    /// # Errors
+    ///
+    /// A corrupt or undecodable shard log, diagnosed with its shard.
+    pub fn recover(
+        &mut self,
+        wal_root: &Path,
+        durability: Durability,
+    ) -> Result<ShardRecovery, String> {
+        let opts = WalOptions {
+            durability,
+            ..WalOptions::default()
+        };
+        let mut reg_history: Option<Vec<RegOp>> = None;
+        for i in 0..self.slots.len() {
+            let dir = wal_root.join(format!("wal-shard-{i}"));
+            let (wal, recovery) = Wal::open(&dir, opts).map_err(|e| e.to_string())?;
+            let core = self.core_mut(i);
+            let ops = core.recover_records(&recovery.records)?;
+            core.last_lsn = recovery.records.last().map_or(0, |r| r.lsn);
+            core.wal = Some(wal);
+            if i == 0 {
+                reg_history = Some(ops);
+            }
+        }
+        // Rebuild the dynamic registry from shard 0's log (every shard
+        // logs every registration, so any one of them is authoritative).
+        for op in reg_history.unwrap_or_default() {
+            match op {
+                RegOp::Add { name, source } => {
+                    if self.is_live(&name) {
+                        continue;
+                    }
+                    self.index_of.insert(name.clone(), self.registry.len());
+                    let shard = route_of(&name, self.slots.len());
+                    self.registry.push(RegEntry {
+                        name,
+                        source: Some(source),
+                        config: MonitorConfig::default(),
+                        shard,
+                        live: true,
+                        dynamic: true,
+                    });
+                }
+                RegOp::Remove { name } => {
+                    if let Some(&idx) = self.index_of.get(&name) {
+                        self.registry[idx].live = false;
+                    }
+                }
+            }
+        }
+        // Durable offsets: an event is durable only once *every* shard
+        // logged it, so sessions resume from the minimum.
+        let mut durable: HashMap<String, u64> = HashMap::new();
+        for i in 0..self.slots.len() {
+            let core = self.core(i);
+            if i == 0 {
+                durable = core.durable.clone();
+            } else {
+                for (session, n) in &mut durable {
+                    *n = (*n).min(core.durable.get(session).copied().unwrap_or(0));
+                }
+            }
+        }
+        self.durable = durable;
+        // Merge every shard's replayed verdicts into report order.
+        let mut tagged: Vec<(u64, u64, usize, String, Match)> = Vec::new();
+        for i in 0..self.slots.len() {
+            for (lsn, seq, name, m) in &self.core(i).verdicts {
+                let gidx = self.index_of.get(name).copied().unwrap_or(usize::MAX);
+                tagged.push((*lsn, *seq, gidx, name.clone(), m.clone()));
+            }
+        }
+        tagged.sort_by_key(|a| (a.0, a.1, a.2));
+        let shard0 = self.core(0);
+        Ok(ShardRecovery {
+            verdicts: tagged
+                .into_iter()
+                .map(|(lsn, _, _, name, m)| (name, m, lsn))
+                .collect(),
+            recovered_events: shard0.recovered_events,
+            last_lsn: shard0.last_lsn,
+        })
+    }
+
+    /// Kills shard `i` (its in-memory state is discarded, as a crash
+    /// would) and rebuilds it: statically registered monitors from the
+    /// registry, then — when `wal_root` is set — a full replay of the
+    /// shard's own `wal-shard-{i}` log (checkpoint restore included),
+    /// which also re-applies dynamic registrations at their original
+    /// stream positions. Without a log the shard restarts empty-handed:
+    /// every live monitor is rebuilt fresh and the delivery counter is
+    /// resynced from shard `(i+1) % n`, so the group keeps merging
+    /// deterministically (history before the restart is lost — the
+    /// logless trade-off).
+    ///
+    /// # Errors
+    ///
+    /// A monitor without a stored pattern source, an unreadable shard
+    /// log, or a single-shard group (nothing to resync from).
+    pub fn restart_shard(
+        &mut self,
+        i: usize,
+        wal_root: Option<&Path>,
+        durability: Durability,
+    ) -> Result<(), String> {
+        assert!(i < self.slots.len(), "shard index out of range");
+        let was_threaded = matches!(self.slots[i], Slot::Thread { .. });
+        if let Slot::Thread {
+            jobs,
+            handle: handle_slot,
+            ..
+        } = &mut self.slots[i]
+        {
+            jobs.push(Job::Stop);
+            jobs.close();
+            if let Some(handle) = handle_slot.take() {
+                let _ = handle.join(); // crashed: state discarded
+            }
+        }
+        let mut core = ShardCore::new(i, self.slots.len(), self.n_traces, self.guard);
+        let rebuild_dynamic = wal_root.is_none();
+        for entry in &self.registry {
+            if entry.shard != i || !entry.live || (entry.dynamic && !rebuild_dynamic) {
+                continue;
+            }
+            let Some(source) = &entry.source else {
+                return Err(format!(
+                    "cannot rebuild monitor {}: no pattern source recorded",
+                    entry.name
+                ));
+            };
+            let pattern = Pattern::parse(source).map_err(|e| e.to_string())?;
+            core.set
+                .add_with_config(entry.name.clone(), pattern, entry.config);
+            core.sources.insert(entry.name.clone(), source.clone());
+        }
+        if let Some(root) = wal_root {
+            let opts = WalOptions {
+                durability,
+                ..WalOptions::default()
+            };
+            let dir = root.join(format!("wal-shard-{i}"));
+            let (wal, recovery) = Wal::open(&dir, opts).map_err(|e| e.to_string())?;
+            core.recover_records(&recovery.records)?;
+            core.last_lsn = recovery.records.last().map_or(0, |r| r.lsn);
+            core.wal = Some(wal);
+        } else {
+            if self.slots.len() == 1 {
+                return Err("single-shard group without a log cannot resync".into());
+            }
+            let donor = (i + 1) % self.slots.len();
+            core.set.set_delivery_seq(self.query(donor).delivery_seq);
+        }
+        self.slots[i] = Slot::Inline {
+            core: Box::new(core),
+            pending: None,
+        };
+        if was_threaded {
+            self.start_threads_for(i);
+        }
+        Ok(())
+    }
+
+    fn start_threads_for(&mut self, i: usize) {
+        let jobs: SpscRing<Job> = SpscRing::new(RING_CAPACITY);
+        let replies: SpscRing<Reply> = SpscRing::new(RING_CAPACITY);
+        let placeholder = Slot::Thread {
+            jobs: jobs.clone(),
+            replies: replies.clone(),
+            handle: None,
+        };
+        let Slot::Inline { core, .. } = std::mem::replace(&mut self.slots[i], placeholder) else {
+            unreachable!()
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("ocep-shard-{i}"))
+            .spawn(move || shard_loop(core, &jobs, &replies))
+            .expect("spawn shard thread");
+        let Slot::Thread {
+            handle: handle_slot,
+            ..
+        } = &mut self.slots[i]
+        else {
+            unreachable!()
+        };
+        *handle_slot = Some(handle);
+    }
+
+    /// Serializes shard `i` to a blob (delivery counter + shard-local
+    /// `OCKS`) — the simulator's virtual-disk checkpoint path. Inline
+    /// mode only.
+    #[must_use]
+    pub fn shard_checkpoint(&self, i: usize) -> Vec<u8> {
+        let core = self.core(i);
+        let ocks = save_set_at(&core.set, &core.sources, core.last_lsn);
+        let mut blob = Vec::with_capacity(8 + ocks.len());
+        blob.extend_from_slice(&core.set.delivery_seq().to_le_bytes());
+        blob.extend_from_slice(&ocks);
+        blob
+    }
+
+    /// Restores shard `i` from a [`ShardGroup::shard_checkpoint`] blob
+    /// (the simulator's crash/restore path). Inline mode only. The
+    /// caller is responsible for replaying the raw stream observed
+    /// since the blob was taken (see [`ShardGroup::shard_replay`]).
+    ///
+    /// # Errors
+    ///
+    /// A structurally invalid blob, diagnosed without panicking.
+    pub fn restore_shard(&mut self, i: usize, blob: &[u8]) -> Result<(), String> {
+        if blob.len() < 8 {
+            return Err("shard blob too short for delivery counter".into());
+        }
+        let seq = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes"));
+        let (mut set, sources, _lsn) = load_set_at(&blob[8..]).map_err(|e| e.to_string())?;
+        set.set_delivery_seq(seq);
+        let n_traces = self.n_traces;
+        let guard = self.guard;
+        let core = self.core_mut(i);
+        if set.guard().is_none() {
+            if let Some(cfg) = guard {
+                set.enable_guard(cfg);
+            }
+        }
+        let _ = n_traces;
+        core.set = set;
+        core.sources = sources.into_iter().collect();
+        core.verdicts.clear();
+        Ok(())
+    }
+
+    /// Redelivers one raw event to shard `i` only — the catch-up path
+    /// after [`ShardGroup::restore_shard`]. Verdicts are discarded (the
+    /// engine already published them). Inline mode only.
+    pub fn shard_replay(&mut self, i: usize, event: &Event) {
+        let core = self.core_mut(i);
+        let _ = core.set.observe_raw_tagged(event);
+        let _ = core.set.take_ingest_faults();
+    }
+
+    /// Replays a guard flush into shard `i` only (see
+    /// [`ShardGroup::shard_replay`]). Inline mode only.
+    pub fn shard_replay_flush(&mut self, i: usize) {
+        let core = self.core_mut(i);
+        let _ = core.set.flush_guard_tagged();
+        let _ = core.set.take_ingest_faults();
+    }
+}
+
+fn shard_loop(
+    mut core: Box<ShardCore>,
+    jobs: &SpscRing<Job>,
+    replies: &SpscRing<Reply>,
+) -> Box<ShardCore> {
+    let mut guard = CloseOnDrop(replies.clone(), false);
+    while let Some(job) = jobs.pop() {
+        if matches!(job, Job::Stop) {
+            break;
+        }
+        let reply = exec(&mut core, job);
+        if !replies.push(reply) {
+            break;
+        }
+    }
+    guard.1 = true; // orderly exit: leave the ring to the engine
+    replies.close();
+    core
+}
+
+pub(crate) fn decode_register(payload: &[u8]) -> Result<(String, String), String> {
+    let mut r = ocep_poet::dump::Reader::new(payload);
+    let name = r
+        .str("register name")
+        .map_err(|e| e.to_string())?
+        .to_owned();
+    let source = r
+        .str("register source")
+        .map_err(|e| e.to_string())?
+        .to_owned();
+    r.finish().map_err(|e| e.to_string())?;
+    Ok((name, source))
+}
+
+pub(crate) fn decode_unregister(payload: &[u8]) -> Result<String, String> {
+    let mut r = ocep_poet::dump::Reader::new(payload);
+    let name = r
+        .str("unregister name")
+        .map_err(|e| e.to_string())?
+        .to_owned();
+    r.finish().map_err(|e| e.to_string())?;
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocep_poet::{EventKind, PoetServer};
+    use ocep_vclock::TraceId;
+
+    const HB: &str = "A := [*, a, *]; B := [*, b, *]; pattern := A -> B;";
+    const CONC: &str = "X := [*, a, *]; Y := [*, c, *]; pattern := X || Y;";
+    const LONE: &str = "C := [*, c, *]; pattern := C;";
+
+    fn t(i: u32) -> TraceId {
+        TraceId::new(i)
+    }
+
+    fn build_set(names: &[(&str, &str)]) -> (MonitorSet, HashMap<String, String>) {
+        let mut set = MonitorSet::new(2);
+        let mut sources = HashMap::new();
+        for (name, src) in names {
+            set.add(*name, Pattern::parse(src).unwrap());
+            sources.insert((*name).to_owned(), (*src).to_owned());
+        }
+        set.enable_guard(GuardConfig::default());
+        (set, sources)
+    }
+
+    fn scrambled_stream() -> Vec<Event> {
+        let mut poet = PoetServer::new(2);
+        let s = poet.record(t(0), EventKind::Send, "a", "");
+        poet.record_receive(t(1), s.id(), "b", "");
+        poet.record(t(1), EventKind::Unary, "c", "");
+        let events: Vec<Event> = poet.linearization().collect();
+        vec![
+            events[1].clone(),
+            events[0].clone(),
+            events[0].clone(), // duplicate
+            events[2].clone(),
+        ]
+    }
+
+    fn single_reference(stream: &[Event]) -> (Vec<String>, IngestStats) {
+        let (mut set, _) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut names = Vec::new();
+        for e in stream {
+            names.extend(set.observe_raw(e).into_iter().map(|(n, _)| n));
+        }
+        names.extend(set.flush_guard().into_iter().map(|(n, _)| n));
+        (names, set.ingest_stats())
+    }
+
+    fn group_names(group: &mut ShardGroup, stream: &[Event]) -> Vec<String> {
+        let mut names = Vec::new();
+        for e in stream {
+            let out = group.deliver("s", e);
+            names.extend(out.verdicts.into_iter().map(|(n, _)| n));
+        }
+        names.extend(group.flush().verdicts.into_iter().map(|(n, _)| n));
+        names
+    }
+
+    #[test]
+    fn sharded_group_matches_single_set_inline_and_threaded() {
+        let stream = scrambled_stream();
+        let (reference, ref_stats) = single_reference(&stream);
+        assert!(!reference.is_empty());
+        for shards in [1, 2, 4, 8] {
+            for threaded in [false, true] {
+                let (set, sources) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+                let mut group = ShardGroup::new(set, shards, &sources);
+                if threaded {
+                    group.start_threads();
+                }
+                let names = group_names(&mut group, &stream);
+                group.seal();
+                assert_eq!(names, reference, "shards={shards} threaded={threaded}");
+                assert_eq!(group.ingest_stats(), ref_stats, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_delivery_matches_per_event() {
+        let stream = scrambled_stream();
+        let (reference, _) = single_reference(&stream);
+        let (set, sources) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut group = ShardGroup::new(set, 3, &sources);
+        let mut names: Vec<String> = group
+            .deliver_batch("s", stream.clone())
+            .verdicts
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        names.extend(group.flush().verdicts.into_iter().map(|(n, _)| n));
+        assert_eq!(names, reference);
+    }
+
+    #[test]
+    fn misroute_sabotage_is_observable() {
+        let stream = scrambled_stream();
+        let (reference, _) = single_reference(&stream);
+        let (set, sources) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut group = ShardGroup::new(set, 2, &sources);
+        group.sabotage_misroute_next();
+        let names = group_names(&mut group, &stream);
+        assert_ne!(
+            names, reference,
+            "a mis-routed frame must change the merged verdict stream"
+        );
+    }
+
+    #[test]
+    fn registration_and_removal_route_to_owning_shards() {
+        let (set, sources) = build_set(&[("hb", HB)]);
+        let mut group = ShardGroup::new(set, 4, &sources);
+        group
+            .register("t0/lone", LONE, MonitorConfig::default())
+            .unwrap();
+        assert!(group.is_live("t0/lone"));
+        assert!(group
+            .register("t0/bad", "pattern :=", MonitorConfig::default())
+            .is_err());
+        assert!(!group.is_live("t0/bad"));
+        let stream = scrambled_stream();
+        let names = group_names(&mut group, &stream);
+        assert!(names.iter().any(|n| n == "t0/lone"), "{names:?}");
+        assert!(group.unregister("t0/lone"));
+        assert!(!group.unregister("t0/lone"));
+        assert_eq!(group.names(), vec!["hb".to_owned()]);
+    }
+
+    #[test]
+    fn per_shard_logs_recover_the_group() {
+        let tmp = std::env::temp_dir().join(format!("ocep-shard-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let stream = scrambled_stream();
+        let (reference, _) = single_reference(&stream);
+
+        let (set, sources) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut group = ShardGroup::new(set, 2, &sources);
+        let rec = group.recover(&tmp, Durability::Strict).unwrap();
+        assert!(rec.verdicts.is_empty());
+        let live_names = group_names(&mut group, &stream);
+        assert_eq!(live_names, reference);
+        assert_eq!(group.durable("s"), 4);
+
+        // A fresh group (simulated process restart) replays both logs
+        // and reprints the same merged verdict history.
+        let (set2, sources2) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut group2 = ShardGroup::new(set2, 2, &sources2);
+        let rec2 = group2.recover(&tmp, Durability::Strict).unwrap();
+        let replayed: Vec<String> = rec2.verdicts.iter().map(|(n, _, _)| n.clone()).collect();
+        assert_eq!(replayed, reference);
+        assert_eq!(group2.durable("s"), 4);
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn shard_restart_replays_its_own_log() {
+        let tmp = std::env::temp_dir().join(format!("ocep-shard-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let stream = scrambled_stream();
+        let (reference, _) = single_reference(&stream);
+
+        let (set, sources) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut group = ShardGroup::new(set, 2, &sources);
+        group.recover(&tmp, Durability::Strict).unwrap();
+        let mut names = Vec::new();
+        for (i, e) in stream.iter().enumerate() {
+            if i == 2 {
+                // Crash and restart shard 1 mid-stream: its log rebuilds
+                // it to the exact pre-crash state.
+                group
+                    .restart_shard(1, Some(&tmp), Durability::Strict)
+                    .unwrap();
+            }
+            names.extend(group.deliver("s", e).verdicts.into_iter().map(|(n, _)| n));
+        }
+        names.extend(group.flush().verdicts.into_iter().map(|(n, _)| n));
+        assert_eq!(names, reference);
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn blob_checkpoint_round_trips_a_shard() {
+        let stream = scrambled_stream();
+        let (reference, _) = single_reference(&stream);
+        let (set, sources) = build_set(&[("hb", HB), ("conc", CONC), ("lone", LONE)]);
+        let mut group = ShardGroup::new(set, 2, &sources);
+        let mut names = Vec::new();
+        for (i, e) in stream.iter().enumerate() {
+            if i == 2 {
+                let blob = group.shard_checkpoint(0);
+                group.restore_shard(0, &blob).unwrap();
+            }
+            names.extend(group.deliver("s", e).verdicts.into_iter().map(|(n, _)| n));
+        }
+        names.extend(group.flush().verdicts.into_iter().map(|(n, _)| n));
+        assert_eq!(names, reference);
+        assert!(group.restore_shard(0, &[1, 2, 3]).is_err());
+    }
+}

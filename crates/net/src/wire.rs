@@ -39,8 +39,27 @@
 //! Resume      := durable:u64
 //! TailFrom    := from:u64
 //! VerdictAt   := lsn:u64 monitor:str n:u32 (trace:u32 index:u32)*
+//! Register    := tenant:str n_strings:u32 (str)* count:u32 (name:u32 src:u32)*
+//! Unregister  := tenant:str n_strings:u32 (str)* count:u32 (name:u32)*
+//! TailTenant  := tenant:str
+//! Registered  := tenant:str patterns:u32
 //! str         := len:u32 utf8[len]
 //! ```
+//!
+//! `Register`, `Unregister`, `TailTenant`, and `Registered` are the
+//! multi-tenant registration frames (protocol revision 9, no
+//! negotiation). A client registers named patterns for a tenant at
+//! runtime; the server monitors them as `{tenant}/{name}` and answers
+//! with `Registered { tenant, patterns }` (the tenant's live pattern
+//! count after the change). A tail sends `TailTenant` after its `Hello`
+//! to scope its verdict stream to one tenant. Pattern names and sources
+//! travel through a per-frame interned string table exactly like event
+//! batches; a record naming an id beyond the table is an
+//! "unknown pattern ref" decode error. Tenant ids are *structurally*
+//! validated at the wire layer (1–[`MAX_TENANT`] bytes of
+//! `[A-Za-z0-9_-]`): the id namespaces monitor names as
+//! `{tenant}/{name}`, so a `/` — or anything exotic — is rejected
+//! before it can alias another tenant's namespace.
 //!
 //! `Resume`, `TailFrom`, and `VerdictAt` exist for durable-log serving
 //! (protocol revision 8, no negotiation — servers without a WAL simply
@@ -274,6 +293,41 @@ pub enum Frame {
         /// The match itself, as in [`Frame::Verdict`].
         verdict: VerdictFrame,
     },
+    /// Register named patterns for a tenant (client → server, after
+    /// `Hello`). The server monitors each as `{tenant}/{name}` and
+    /// answers with [`Frame::Registered`].
+    Register {
+        /// Tenant owning the patterns (validated shape, see
+        /// [`validate_tenant`]).
+        tenant: String,
+        /// `(name, pattern_source)` pairs to register.
+        patterns: Vec<(String, String)>,
+    },
+    /// Remove previously registered patterns for a tenant (client →
+    /// server). Unknown names are reported as ingest faults; the server
+    /// answers with [`Frame::Registered`].
+    Unregister {
+        /// Tenant owning the patterns.
+        tenant: String,
+        /// Pattern names to remove (as given to [`Frame::Register`]).
+        patterns: Vec<String>,
+    },
+    /// Scope this tail subscription to one tenant's verdicts (client →
+    /// server, after a tail `Hello`). Acknowledged with
+    /// [`Frame::Registered`] carrying the tenant's live pattern count.
+    TailTenant {
+        /// Tenant whose verdicts to stream.
+        tenant: String,
+    },
+    /// Registration acknowledgement (server → client): the tenant's
+    /// live pattern count after a `Register`/`Unregister`, or at
+    /// `TailTenant` subscription time.
+    Registered {
+        /// Tenant the acknowledgement is about.
+        tenant: String,
+        /// Patterns currently registered for the tenant.
+        patterns: u32,
+    },
 }
 
 impl Frame {
@@ -295,6 +349,10 @@ impl Frame {
             Frame::Resume { .. } => "resume",
             Frame::TailFrom { .. } => "tail_from",
             Frame::VerdictAt { .. } => "verdict_at",
+            Frame::Register { .. } => "register",
+            Frame::Unregister { .. } => "unregister",
+            Frame::TailTenant { .. } => "tail_tenant",
+            Frame::Registered { .. } => "registered",
         }
     }
 
@@ -371,6 +429,42 @@ const T_EVENT_BATCH_D: u8 = 10;
 const T_RESUME: u8 = 11;
 const T_TAIL_FROM: u8 = 12;
 const T_VERDICT_AT: u8 = 13;
+const T_REGISTER: u8 = 14;
+const T_UNREGISTER: u8 = 15;
+const T_TAIL_TENANT: u8 = 16;
+const T_REGISTERED: u8 = 17;
+
+/// Longest accepted tenant id, in bytes.
+pub const MAX_TENANT: usize = 64;
+/// Longest accepted pattern name, in bytes.
+pub const MAX_PATTERN_NAME: usize = 256;
+
+/// Checks a tenant id against the wire-layer shape rule: 1–[`MAX_TENANT`]
+/// bytes, each from `[A-Za-z0-9_-]`.
+///
+/// # Errors
+///
+/// A human-readable description of the violation.
+pub fn validate_tenant(s: &str) -> Result<(), String> {
+    if s.is_empty() {
+        return Err("tenant id is empty".into());
+    }
+    if s.len() > MAX_TENANT {
+        return Err(format!(
+            "tenant id of {} bytes exceeds maximum {MAX_TENANT}",
+            s.len()
+        ));
+    }
+    if let Some(b) = s
+        .bytes()
+        .find(|b| !(b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_'))
+    {
+        return Err(format!(
+            "tenant id contains byte 0x{b:02x} outside [A-Za-z0-9_-]"
+        ));
+    }
+    Ok(())
+}
 
 pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -582,8 +676,62 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             buf.extend_from_slice(&lsn.to_le_bytes());
             put_verdict(&mut buf, verdict);
         }
+        Frame::Register { tenant, patterns } => {
+            buf.push(T_REGISTER);
+            put_str(&mut buf, tenant);
+            let ids = put_strtab(
+                &mut buf,
+                patterns
+                    .iter()
+                    .flat_map(|(name, src)| [name.as_str(), src.as_str()]),
+            );
+            buf.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
+            for (name, src) in patterns {
+                buf.extend_from_slice(&ids[name.as_str()].to_le_bytes());
+                buf.extend_from_slice(&ids[src.as_str()].to_le_bytes());
+            }
+        }
+        Frame::Unregister { tenant, patterns } => {
+            buf.push(T_UNREGISTER);
+            put_str(&mut buf, tenant);
+            let ids = put_strtab(&mut buf, patterns.iter().map(String::as_str));
+            buf.extend_from_slice(&(patterns.len() as u32).to_le_bytes());
+            for name in patterns {
+                buf.extend_from_slice(&ids[name.as_str()].to_le_bytes());
+            }
+        }
+        Frame::TailTenant { tenant } => {
+            buf.push(T_TAIL_TENANT);
+            put_str(&mut buf, tenant);
+        }
+        Frame::Registered { tenant, patterns } => {
+            buf.push(T_REGISTERED);
+            put_str(&mut buf, tenant);
+            buf.extend_from_slice(&patterns.to_le_bytes());
+        }
     }
     buf
+}
+
+/// Writes an interned string table (`n_strings:u32 (str)*`) built from
+/// `items` in first-appearance order; returns the interning map.
+fn put_strtab<'a>(
+    buf: &mut Vec<u8>,
+    items: impl Iterator<Item = &'a str>,
+) -> HashMap<&'a str, u32> {
+    let mut strings: Vec<&str> = Vec::new();
+    let mut ids: HashMap<&str, u32> = HashMap::new();
+    for s in items {
+        if !ids.contains_key(s) {
+            ids.insert(s, strings.len() as u32);
+            strings.push(s);
+        }
+    }
+    buf.extend_from_slice(&(strings.len() as u32).to_le_bytes());
+    for s in &strings {
+        put_str(buf, s);
+    }
+    ids
 }
 
 fn put_verdict(buf: &mut Vec<u8>, v: &VerdictFrame) {
@@ -766,6 +914,69 @@ fn get_events_impl(r: &mut Reader<'_>, delta: bool) -> Result<Vec<Event>, WireEr
     Ok(events)
 }
 
+/// Decodes and shape-validates a tenant id field.
+fn get_tenant(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let at = r.offset();
+    let tenant = r.str("tenant id")?;
+    match validate_tenant(tenant) {
+        Ok(()) => Ok(tenant.to_owned()),
+        Err(why) => Err(WireError::Format(PoetError::Corrupt(format!(
+            "bad tenant id at byte {at}: {why}"
+        )))),
+    }
+}
+
+/// Decodes an interned string table (`n_strings:u32 (str)*`).
+fn get_strtab(r: &mut Reader<'_>) -> Result<Vec<String>, WireError> {
+    let n_at = r.offset();
+    let n_strings = r.u32("n_strings")? as usize;
+    // Each table entry costs at least its 4-byte length prefix; bound
+    // the capacity hint so a hostile count cannot over-allocate.
+    if n_strings > r.remaining() / 4 + 1 {
+        return Err(WireError::Format(PoetError::Corrupt(format!(
+            "table claims {n_strings} strings at byte {n_at}, only {} byte(s) left",
+            r.remaining()
+        ))));
+    }
+    let mut strings = Vec::with_capacity(n_strings);
+    for i in 0..n_strings {
+        strings.push(r.str(&format!("string {i}"))?.to_owned());
+    }
+    Ok(strings)
+}
+
+/// Resolves a pattern name/source reference into `strings`, with the
+/// "unknown pattern ref" diagnostic shared by `Register`/`Unregister`.
+fn lookup_pattern_ref(
+    strings: &[String],
+    id: u32,
+    i: usize,
+    at: usize,
+) -> Result<String, WireError> {
+    strings.get(id as usize).cloned().ok_or_else(|| {
+        WireError::Format(PoetError::Corrupt(format!(
+            "entry {i} names unknown pattern ref {id} at byte {at}"
+        )))
+    })
+}
+
+/// Shape-checks a registered pattern name: non-empty, bounded, and free
+/// of `/` (the tenant/name separator in monitor names).
+fn check_pattern_name(name: &str, i: usize, at: usize) -> Result<(), WireError> {
+    let why = if name.is_empty() {
+        "is empty".to_owned()
+    } else if name.len() > MAX_PATTERN_NAME {
+        format!("is {} bytes (maximum {MAX_PATTERN_NAME})", name.len())
+    } else if name.contains('/') {
+        "contains '/'".to_owned()
+    } else {
+        return Ok(());
+    };
+    Err(WireError::Format(PoetError::Corrupt(format!(
+        "entry {i} pattern name {why} at byte {at}"
+    ))))
+}
+
 fn get_verdict(r: &mut Reader<'_>) -> Result<VerdictFrame, WireError> {
     let monitor = r.str("verdict monitor")?.to_owned();
     let n_at = r.offset();
@@ -877,6 +1088,55 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
         T_VERDICT_AT => Frame::VerdictAt {
             lsn: r.u64("verdict lsn")?,
             verdict: get_verdict(&mut r)?,
+        },
+        T_REGISTER => {
+            let tenant = get_tenant(&mut r)?;
+            let strings = get_strtab(&mut r)?;
+            let n_at = r.offset();
+            let count = r.u32("pattern count")? as usize;
+            if count > r.remaining() / 8 + 1 {
+                return Err(WireError::Format(PoetError::Corrupt(format!(
+                    "register claims {count} patterns at byte {n_at}, only {} byte(s) left",
+                    r.remaining()
+                ))));
+            }
+            let mut patterns = Vec::with_capacity(count);
+            for i in 0..count {
+                let name_at = r.offset();
+                let name = lookup_pattern_ref(&strings, r.u32("pattern name id")?, i, name_at)?;
+                check_pattern_name(&name, i, name_at)?;
+                let src_at = r.offset();
+                let src = lookup_pattern_ref(&strings, r.u32("pattern source id")?, i, src_at)?;
+                patterns.push((name, src));
+            }
+            Frame::Register { tenant, patterns }
+        }
+        T_UNREGISTER => {
+            let tenant = get_tenant(&mut r)?;
+            let strings = get_strtab(&mut r)?;
+            let n_at = r.offset();
+            let count = r.u32("pattern count")? as usize;
+            if count > r.remaining() / 4 + 1 {
+                return Err(WireError::Format(PoetError::Corrupt(format!(
+                    "unregister claims {count} patterns at byte {n_at}, only {} byte(s) left",
+                    r.remaining()
+                ))));
+            }
+            let mut patterns = Vec::with_capacity(count);
+            for i in 0..count {
+                let name_at = r.offset();
+                let name = lookup_pattern_ref(&strings, r.u32("pattern name id")?, i, name_at)?;
+                check_pattern_name(&name, i, name_at)?;
+                patterns.push(name);
+            }
+            Frame::Unregister { tenant, patterns }
+        }
+        T_TAIL_TENANT => Frame::TailTenant {
+            tenant: get_tenant(&mut r)?,
+        },
+        T_REGISTERED => Frame::Registered {
+            tenant: get_tenant(&mut r)?,
+            patterns: r.u32("registered pattern count")?,
         },
         b => {
             return Err(WireError::Format(PoetError::Corrupt(format!(
@@ -1178,6 +1438,31 @@ mod tests {
                     monitor: "safety".into(),
                     bindings: vec![(1, 4)],
                 },
+            },
+            Frame::Register {
+                tenant: "acme-corp".into(),
+                patterns: vec![
+                    ("safety".into(), "A := [*, a, *]; pattern := A -> A;".into()),
+                    (
+                        "liveness".into(),
+                        "A := [*, a, *]; pattern := A -> A;".into(),
+                    ),
+                ],
+            },
+            Frame::Register {
+                tenant: "t0".into(),
+                patterns: Vec::new(),
+            },
+            Frame::Unregister {
+                tenant: "acme-corp".into(),
+                patterns: vec!["safety".into(), "liveness".into()],
+            },
+            Frame::TailTenant {
+                tenant: "acme-corp".into(),
+            },
+            Frame::Registered {
+                tenant: "acme-corp".into(),
+                patterns: 17,
             },
         ]
     }
@@ -1604,6 +1889,69 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    fn register_body(tenant: &str) -> Vec<u8> {
+        encode_body(&Frame::Register {
+            tenant: tenant.into(),
+            patterns: vec![("p".into(), "A := [*, a, *]; pattern := A -> A;".into())],
+        })
+    }
+
+    #[test]
+    fn bad_tenant_ids_are_rejected_with_offsets() {
+        // Encode with a syntactically fine tenant, then splice the bad
+        // one in (the encoder itself never validates).
+        for bad in ["", "a/b", "tenant with spaces", &"x".repeat(65)] {
+            let mut body = vec![T_TAIL_TENANT];
+            put_str(&mut body, bad);
+            let err = decode_body(&body).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("bad tenant id"), "{bad:?}: {msg}");
+            assert!(msg.contains("byte"), "no offset for {bad:?}: {msg}");
+        }
+        assert!(validate_tenant("ok-Tenant_9").is_ok());
+    }
+
+    #[test]
+    fn unknown_pattern_ref_is_diagnosed() {
+        // Valid register body, then bump the first name id past the table.
+        let body = register_body("acme");
+        // name id is 8 bytes from the end (name:u32 src:u32).
+        let mut bad = body.clone();
+        let at = bad.len() - 8;
+        bad[at..at + 4].copy_from_slice(&9u32.to_le_bytes());
+        let err = decode_body(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown pattern ref 9"), "{err}");
+    }
+
+    #[test]
+    fn hostile_register_counts_do_not_allocate() {
+        // String-table count and pattern count both claim u32::MAX.
+        let body = register_body("acme");
+        let tenant_end = 1 + 4 + 4; // type + len + "acme"
+        let mut bad_tab = body.clone();
+        bad_tab[tenant_end..tenant_end + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_body(&bad_tab).unwrap_err();
+        assert!(err.to_string().contains("strings"), "{err}");
+
+        let mut bad_count = body;
+        let at = bad_count.len() - 12; // count:u32 name:u32 src:u32
+        bad_count[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_body(&bad_count).unwrap_err();
+        assert!(err.to_string().contains("patterns"), "{err}");
+    }
+
+    #[test]
+    fn registered_pattern_names_are_shape_checked() {
+        for bad in ["", "a/b", &"n".repeat(257)] {
+            let body = encode_body(&Frame::Unregister {
+                tenant: "acme".into(),
+                patterns: vec![bad.to_string()],
+            });
+            let err = decode_body(&body).unwrap_err();
+            assert!(err.to_string().contains("pattern name"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub use ingest::{
 };
 pub use matching::Match;
 pub use monitor::{Monitor, MonitorConfig, SubsetPolicy, OBS_TIMING_SAMPLE};
-pub use multi::MonitorSet;
+pub use multi::{MonitorSet, TaggedVerdict};
 pub use obs::{
     ArrivalRecord, Histogram, MetricFamily, MetricKind, MetricSample, MetricValue, Metrics,
     MetricsSnapshot, ObsLevel, SearchObs, Stage,

@@ -105,6 +105,15 @@ pub struct SimConfig {
     /// the oracle has — the comparison must flag it. Implies `wal` and
     /// at least one crash.
     pub wal_sabotage: bool,
+    /// Engine shard count (0 = the classic single-engine core). When
+    /// sharded, each `crashes` cycle kills **one shard** instead of the
+    /// whole daemon: the victim's live checkpoint blob is captured and
+    /// the shard is rebuilt from those bytes mid-stream, while the rest
+    /// of the group — and every connection — keeps running. The oracle
+    /// stays a single in-process set either way, so both the shard
+    /// fan-in order and the restore round-trip are held to the
+    /// single-engine verdict stream bit-for-bit.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -119,6 +128,7 @@ impl Default for SimConfig {
             sabotage: false,
             wal: false,
             wal_sabotage: false,
+            shards: 0,
         }
     }
 }
@@ -177,6 +187,10 @@ enum SimOp {
     /// the cumulative journal implies, so its verdicts and guard state
     /// carry straight through — any loss shows up in the final diff.
     WalRestart,
+    /// One shard was killed and rebuilt from its own checkpoint blob.
+    /// The oracle does nothing: the restore must reproduce the victim's
+    /// live state exactly, so any loss surfaces in the final diff.
+    ShardRestart,
 }
 
 impl From<EngineOp> for SimOp {
@@ -663,6 +677,21 @@ impl World {
         for op in self.core.take_journal() {
             self.ops.push(op.into());
         }
+        if self.cfg.shards > 0 {
+            // A shard dies, not the daemon: capture the victim's live
+            // checkpoint blob and rebuild the shard from those bytes.
+            // Connections and the rest of the group keep running; the
+            // oracle carries straight through, so anything the blob
+            // fails to capture diverges the final diff.
+            let victim = (self.crashes_done - 1) % self.cfg.shards;
+            let blob = self.core.shard_checkpoint(victim);
+            if let Err(e) = self.core.restore_shard(victim, &blob) {
+                self.failure = Some(format!("shard {victim} failed to restore: {e}"));
+                return;
+            }
+            self.ops.push(SimOp::ShardRestart);
+            return;
+        }
         // The daemon dies: every connection queue closes with it.
         for p in &self.producers {
             p.out.close();
@@ -793,10 +822,11 @@ fn replay_oracle(
                 set = s;
                 verdicts.clear();
             }
-            // Log recovery reconstructs the pre-crash state exactly
-            // (verdict history included), so the oracle's cumulative
-            // state already *is* the recovered engine's state.
-            SimOp::WalRestart => {}
+            // Log recovery (and a shard's checkpoint-blob restore)
+            // reconstructs the pre-crash state exactly, verdict history
+            // included, so the oracle's cumulative state already *is*
+            // the recovered engine's state.
+            SimOp::WalRestart | SimOp::ShardRestart => {}
         }
     }
     Ok((set, verdicts))
@@ -947,6 +977,7 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
         checkpoint_dir: None,
         pattern_sources: sources.clone(),
         wal_dir: wal_dir.clone(),
+        shards: cfg.shards,
         ..ServeConfig::default()
     };
     let clock = Arc::new(VirtualClock::new());
@@ -1162,6 +1193,7 @@ mod tests {
             sabotage: false,
             wal: false,
             wal_sabotage: false,
+            shards: 0,
         }
     }
 
@@ -1245,6 +1277,47 @@ mod tests {
             out.mismatch.is_some(),
             "a dropped log record went unnoticed through crash recovery"
         );
+    }
+
+    #[test]
+    fn sharded_chaos_run_agrees_with_oracle() {
+        let mut cfg = chaos(23);
+        cfg.shards = 4;
+        cfg.crashes = 2;
+        let out = run_sim(&cfg);
+        assert_eq!(out.mismatch, None, "{:?}", out.mismatch);
+        assert!(out.crashes >= 1, "no shard crash threshold fired");
+    }
+
+    #[test]
+    fn sharded_run_is_bit_reproducible() {
+        let mut cfg = chaos(29);
+        cfg.shards = 2;
+        let a = run_sim(&cfg);
+        let b = run_sim(&cfg);
+        assert_eq!(a.mismatch, None, "{:?}", a.mismatch);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn sharded_digest_equals_single_engine_digest() {
+        // Shard transparency at the whole-system level: the same chaos
+        // workload served by a 4-shard group and by the classic core
+        // must produce the same digest — verdicts, subset, ingest
+        // stats, stats broadcast, and fault counts all bit-identical.
+        // (Crashes are off because crash semantics legitimately differ:
+        // whole-daemon checkpoint restore vs one-shard restore.)
+        let mut single = chaos(31);
+        single.crashes = 0;
+        let mut sharded = single.clone();
+        sharded.shards = 4;
+        let a = run_sim(&single);
+        let b = run_sim(&sharded);
+        assert_eq!(a.mismatch, None, "{:?}", a.mismatch);
+        assert_eq!(b.mismatch, None, "{:?}", b.mismatch);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.digest, b.digest);
     }
 
     #[test]

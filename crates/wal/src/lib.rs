@@ -62,6 +62,11 @@ pub const REC_FLUSH: u8 = 2;
 pub const REC_CHECKPOINT: u8 = 3;
 /// Record type: a history-GC watermark (payload: admitted clock snapshot).
 pub const REC_WATERMARK: u8 = 4;
+/// Record type: a dynamic pattern registration (payload: monitor name +
+/// pattern source, each length-prefixed).
+pub const REC_REGISTER: u8 = 5;
+/// Record type: a dynamic pattern removal (payload: monitor name).
+pub const REC_UNREGISTER: u8 = 6;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -387,7 +392,7 @@ pub fn scan_dir(dir: &Path, mode: ScanMode) -> Result<Recovery, WalError> {
                 break;
             }
             let rtype = data[off + 4];
-            if rtype == 0 || rtype > REC_WATERMARK {
+            if rtype == 0 || rtype > REC_UNREGISTER {
                 tear = Some((at, format!("invalid record type {rtype}")));
                 break;
             }
@@ -623,7 +628,7 @@ impl Wal {
     /// Appends one record, returning its LSN. May rotate segments first.
     pub fn append(&mut self, rtype: u8, payload: &[u8]) -> Result<u64, WalError> {
         assert!(
-            (REC_DELIVER..=REC_WATERMARK).contains(&rtype),
+            (REC_DELIVER..=REC_UNREGISTER).contains(&rtype),
             "invalid record type {rtype}"
         );
         assert!(

@@ -49,15 +49,16 @@ USAGE:
     ocep fuzz --replay <dir>
     ocep sim [--seed N] [--seeds N] [--clients N] [--tails N] [--events N]
              [--faults] [--crashes N] [--sabotage] [--dump-dir DIR]
-             [--wal] [--wal-sabotage]
+             [--wal] [--wal-sabotage] [--shards N]
     ocep sim --replay <dir>
     ocep serve <pattern-file> --traces N [--addr HOST:PORT] [--port-file FILE]
                [--window N] [--slow-policy reject|drop-oldest|flush-degraded]
                [--checkpoint DIR] [--checkpoint-every N] [--metrics FILE]
                [--wal DIR] [--durability none|batch|strict] [--history-gc]
-               [monitor flags]
+               [--shards N] [monitor flags]
     ocep send <addr> <dump-file> [--batch N] [--name S] [--shutdown]
-    ocep tail <addr> [--once] [--name S] [--from LSN]
+    ocep tail <addr> [--once] [--name S] [--from LSN] [--tenant T]
+    ocep register <addr> <tenant> <pattern-file>... --traces N [--unregister]
     ocep replay <pattern-file> <wal-dir> [--traces N]
     ocep stats --addr HOST:PORT
 
@@ -142,6 +143,15 @@ leaf-history memory by truncating watermark-dominated prefixes,
 recording each watermark in the log. `tail --from LSN` replays the
 retained verdict backlog from a log offset; `replay` matches a pattern
 file — even one the server never ran — over a log after the fact.
+
+`serve --shards N` partitions the monitors across N engine shards
+(docs/SHARDING.md): each shard runs on its own thread with its own
+admission-guard replica, durable log (`wal-shard-{i}` under `--wal`),
+and checkpoints, and verdicts are re-merged into the single-engine
+order — every observable output is bit-identical to `--shards 0`.
+`register` adds or removes (`--unregister`) patterns for a tenant on a
+live daemon; the server monitors each as `{tenant}/{name}`, and
+`tail --tenant T` scopes a subscription to that namespace.
 ";
 
 fn main() {
@@ -169,6 +179,7 @@ fn run() -> Result<i32, String> {
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("sim") => sim_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("register") => register_cmd(&args[1..]),
         Some("send") => send_cmd(&args[1..]),
         Some("tail") => tail_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
@@ -351,6 +362,8 @@ fn positionals(args: &[String]) -> Vec<&String> {
         "--wal",
         "--durability",
         "--from",
+        "--shards",
+        "--tenant",
     ];
     let mut out = Vec::new();
     let mut skip = false;
@@ -931,6 +944,7 @@ fn sim_cmd(args: &[String]) -> Result<i32, String> {
         sabotage: args.iter().any(|a| a == "--sabotage"),
         wal: args.iter().any(|a| a == "--wal"),
         wal_sabotage: args.iter().any(|a| a == "--wal-sabotage"),
+        shards: parse("--shards", 0)?,
     };
     let dump_dir = flag_val("--dump-dir").map(std::path::PathBuf::from);
 
@@ -1088,6 +1102,9 @@ fn serve_cmd(args: &[String]) -> Result<i32, String> {
             .map_err(|_| format!("bad --checkpoint-every '{every}'"))?;
     }
     sconfig.history_gc = args.iter().any(|a| a == "--history-gc");
+    if let Some(n) = flag_val("--shards") {
+        sconfig.shards = n.parse().map_err(|_| format!("bad --shards '{n}'"))?;
+    }
 
     let addr = flag_val("--addr")
         .cloned()
@@ -1136,6 +1153,61 @@ fn serve_cmd(args: &[String]) -> Result<i32, String> {
         return Ok(2);
     }
     Ok(if report.verdicts.is_empty() { 0 } else { 1 })
+}
+
+/// `ocep register` — add or remove (`--unregister`) tenant patterns on
+/// a running daemon. Pattern names are the files' stems; the server
+/// monitors each as `{tenant}/{name}`.
+fn register_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::net::Client;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let pos = positionals(args);
+    let addr = *pos.first().ok_or("missing server address")?;
+    let tenant = *pos.get(1).ok_or("missing tenant")?;
+    let files = &pos[2..];
+    if files.is_empty() {
+        return Err("missing pattern file(s)".into());
+    }
+    let n_traces: usize = flag_val("--traces")
+        .ok_or("register needs --traces N (the trace count the server monitors)")?
+        .parse()
+        .map_err(|_| "bad --traces value".to_owned())?;
+    let stem = |f: &str| -> String {
+        std::path::Path::new(f)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(f)
+            .to_owned()
+    };
+    let mut client = Client::connect(addr, n_traces, &format!("{tenant}-register"))
+        .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let live = if args.iter().any(|a| a == "--unregister") {
+        let names: Vec<String> = files.iter().map(|f| stem(f)).collect();
+        client
+            .unregister(tenant, &names)
+            .map_err(|e| format!("unregister failed: {e}"))?
+    } else {
+        let mut patterns = Vec::new();
+        for f in files {
+            let src = std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read pattern file '{f}': {e}"))?;
+            patterns.push((stem(f), src));
+        }
+        client
+            .register(tenant, &patterns)
+            .map_err(|e| format!("register failed: {e}"))?
+    };
+    let faults = client.take_faults();
+    for (code, detail) in &faults {
+        eprintln!("rejected [{code}]: {detail}");
+    }
+    println!("tenant {tenant}: {live} live pattern(s)");
+    Ok(if faults.is_empty() { 0 } else { 3 })
 }
 
 /// `ocep send` — stream a recorded dump to a running daemon as an OCWP
@@ -1236,8 +1308,11 @@ fn tail_cmd(args: &[String]) -> Result<i32, String> {
         None => None,
     };
 
-    let mut tail = Tail::connect_from(addr, name, from)
-        .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let mut tail = match flag_val("--tenant") {
+        Some(tenant) => Tail::connect_tenant(addr, name, tenant, from),
+        None => Tail::connect_from(addr, name, from),
+    }
+    .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
     // Readiness marker: scripts (and our own tests) wait for this line
     // before streaming events, so no verdict can race the subscription.
     eprintln!("subscribed to {addr}");

@@ -593,16 +593,15 @@ fn fuzz_exports_aggregate_metrics() {
 /// Polls a `--port-file` until the daemon writes its bound address.
 fn wait_port(path: &std::path::Path) -> String {
     common::wait_for(
+        &format!("daemon address in {}", path.display()),
         std::time::Duration::from_secs(10),
         std::time::Duration::from_millis(10),
-        || {
-            std::fs::read_to_string(path)
-                .ok()
-                .map(|s| s.trim().to_owned())
-                .filter(|s| !s.is_empty())
+        || match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => Ok(s.trim().to_owned()),
+            Ok(_) => Err("port file exists but is still empty".to_owned()),
+            Err(e) => Err(format!("port file unreadable: {e}")),
         },
     )
-    .unwrap_or_else(|| panic!("server never wrote {}", path.display()))
 }
 
 /// Records the deadlock demo dump + pattern under distinct names.
@@ -708,16 +707,17 @@ fn tail_once_sees_a_verdict() {
         use std::io::BufRead;
         let stderr = tail.stderr.take().unwrap();
         let mut lines = std::io::BufReader::new(stderr).lines();
-        let subscribed = common::wait_for(
+        common::wait_for(
+            "the tail's 'subscribed to' readiness line",
             std::time::Duration::from_secs(10),
             std::time::Duration::from_millis(1),
             || match lines.next() {
-                Some(Ok(line)) if line.contains("subscribed to") => Some(true),
-                Some(_) => None,
-                None => Some(false),
+                Some(Ok(line)) if line.contains("subscribed to") => Ok(()),
+                Some(Ok(line)) => Err(format!("tail stderr said {line:?} instead")),
+                Some(Err(e)) => Err(format!("tail stderr read failed: {e}")),
+                None => panic!("tail stderr closed before reporting a subscription"),
             },
         );
-        assert_eq!(subscribed, Some(true), "tail never reported subscribing");
     }
 
     let send = ocep()

@@ -3,24 +3,32 @@
 
 use std::time::{Duration, Instant};
 
-/// Polls `f` every `poll` until it yields `Some`, for at most
-/// `deadline` wall-clock time. Returns `None` only on deadline
-/// exhaustion — the bounded replacement for bare `sleep` in tests that
-/// wait on another process or thread: it resolves as soon as the
+/// Polls `f` every `poll` until it yields `Ok`, for at most `deadline`
+/// wall-clock time — the bounded replacement for bare `sleep` in tests
+/// that wait on another process or thread: it resolves as soon as the
 /// condition holds instead of a worst-case fixed pause, and it fails
 /// with a real deadline instead of flaking when the machine is slow.
+///
+/// Each unsatisfied poll returns `Err(state)` describing what was
+/// actually observed. On deadline exhaustion the helper panics, naming
+/// the awaited condition (`what`) and the **last observed state** — so
+/// a CI failure log says what the poll saw (an empty port file, the
+/// stderr line that arrived instead, a transport error) rather than a
+/// bare "deadline exceeded".
 pub fn wait_for<T>(
+    what: &str,
     deadline: Duration,
     poll: Duration,
-    mut f: impl FnMut() -> Option<T>,
-) -> Option<T> {
+    mut f: impl FnMut() -> Result<T, String>,
+) -> T {
     let start = Instant::now();
     loop {
-        if let Some(v) = f() {
-            return Some(v);
-        }
+        let state = match f() {
+            Ok(v) => return v,
+            Err(state) => state,
+        };
         if start.elapsed() >= deadline {
-            return None;
+            panic!("timed out after {deadline:?} waiting for {what}; last observed: {state}");
         }
         std::thread::sleep(poll);
     }

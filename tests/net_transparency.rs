@@ -16,15 +16,16 @@ mod common;
 /// transiently fail on loaded CI machines, and that says nothing about
 /// the invariant under test. A genuine divergence returns immediately.
 fn check_with_retry(case: &conf::Case, batch: usize) -> Result<usize, conf::Mismatch> {
-    common::wait_for(Duration::from_secs(5), Duration::from_millis(50), || {
-        match conf::check_net_transparency(case, batch) {
-            Err(m) if m.detail.contains("loopback") => None,
-            outcome => Some(outcome),
-        }
-    })
-    // Deadline exhausted on transport errors: let the final attempt's
-    // error surface in the panic message.
-    .unwrap_or_else(|| conf::check_net_transparency(case, batch))
+    // Deadline exhaustion panics with the last transport error observed.
+    common::wait_for(
+        "the loopback transport to accept a transparency run",
+        Duration::from_secs(5),
+        Duration::from_millis(50),
+        || match conf::check_net_transparency(case, batch) {
+            Err(m) if m.detail.contains("loopback") => Err(m.to_string()),
+            outcome => Ok(outcome),
+        },
+    )
 }
 
 /// Pinned master seed; the cases it generates are the corpus.

@@ -1,0 +1,109 @@
+//! Shard-transparency corpus (tier-1).
+//!
+//! Replays pinned conformance seeds through the N-shard engine core
+//! (`ocep-net`'s `ShardGroup`, the machinery behind `ocep serve
+//! --shards N`) at shard counts 1, 2, 4, and 8, and demands verdict
+//! sequences, representative subsets, `IngestStats`, and per-monitor
+//! checkpoint bytes bit-identical to in-process `observe_raw`
+//! delivery. The shard count is an implementation detail: splitting
+//! the monitor partition across admission-guard replicas and
+//! re-merging the verdict fan-in must not change a single conclusion,
+//! counter, or byte.
+//!
+//! The suite also proves its own sharpness: with the misroute
+//! sabotage hook armed (one data frame silently skipped on the shard
+//! owning the monitor), every verdict-bearing case must FAIL the
+//! differential — a routing bug cannot hide from this corpus.
+
+use ocep_repro::conformance as conf;
+
+/// Pinned master seed; the cases it generates are the corpus.
+const MASTER: u64 = 0x0CE9_2026_0009;
+/// Corpus size (each case runs at every shard count).
+const CASES: usize = 100;
+/// Every shard count the corpus pins.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// The framing rotation shared with the net-transparency corpus:
+/// single-event, small-batch, and large-batch deliveries all stay
+/// pinned.
+fn batch_of(i: usize) -> usize {
+    match i % 3 {
+        0 => 1,
+        1 => 8,
+        _ => 64,
+    }
+}
+
+#[test]
+fn sharded_delivery_is_bit_identical_on_pinned_seeds() {
+    let mut verdicts = 0usize;
+    for i in 0..CASES {
+        let (case, _) = conf::nth_case(MASTER, i);
+        let batch = batch_of(i);
+        for shards in SHARDS {
+            match conf::check_shard_transparency(&case, shards, batch) {
+                Ok(n) => verdicts += n,
+                Err(m) => panic!(
+                    "shard transparency regressed (master {MASTER:#x}, index {i}, \
+                     shards {shards}, batch {batch}): {m}"
+                ),
+            }
+        }
+    }
+    assert!(
+        verdicts > 0,
+        "pinned corpus never produced a verdict; the comparison is vacuous"
+    );
+}
+
+#[test]
+fn misrouted_frames_fail_every_verdict_bearing_case() {
+    // Sharpness proof: deliver each case's whole workload as one frame
+    // with the misroute hook armed, so the owning shard misses the
+    // entire stream. Any case with at least one verdict must then fail
+    // the differential — if it passes, the suite could not catch a
+    // routing bug either.
+    let mut exercised = 0usize;
+    for i in 0..CASES {
+        let (case, _) = conf::nth_case(MASTER, i);
+        let clean = conf::check_shard_transparency(&case, 2, usize::MAX)
+            .unwrap_or_else(|m| panic!("clean run failed (index {i}): {m}"));
+        if clean == 0 {
+            continue;
+        }
+        exercised += 1;
+        assert!(
+            conf::check_shard_transparency_sabotaged(&case, 2, usize::MAX).is_err(),
+            "index {i}: a misrouted frame went undetected by the differential"
+        );
+    }
+    assert!(
+        exercised >= 10,
+        "only {exercised} verdict-bearing cases; the sabotage proof is too weak"
+    );
+}
+
+#[test]
+fn regression_seed_corpus_is_shard_transparent() {
+    // Any seed important enough to pin for the engine differential is
+    // important enough to pin for the sharded core.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/seeds.txt");
+    let text = std::fs::read_to_string(&path).expect("tests/corpus/seeds.txt exists");
+    let mut checked = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (seed, index) = line.split_once(',').expect("seed,case lines");
+        let seed: u64 = seed.trim().parse().expect("numeric master seed");
+        let index: usize = index.trim().parse().expect("numeric case index");
+        let (case, _) = conf::nth_case(seed, index);
+        if let Err(m) = conf::check_shard_transparency(&case, 4, 8) {
+            panic!("corpus case (seed {seed}, index {index}) is not shard-transparent: {m}");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "corpus shrank to {checked} cases");
+}

@@ -25,6 +25,7 @@ fn corpus_config(seed: u64) -> SimConfig {
         sabotage: false,
         wal: false,
         wal_sabotage: false,
+        shards: 0,
     }
 }
 
@@ -35,6 +36,20 @@ fn wal_corpus_config(seed: u64) -> SimConfig {
     SimConfig {
         crashes: 2,
         wal: true,
+        ..corpus_config(seed)
+    }
+}
+
+/// A `shard <seed>` corpus line: the same chaos run on a sharded
+/// engine core (2/4/8 shards, derived from the seed), with each crash
+/// cycle killing one shard and rebuilding it from its checkpoint blob
+/// mid-stream. The oracle stays the single in-process set, so the
+/// fan-in merge order and the restore round-trip are pinned
+/// bit-for-bit.
+fn shard_corpus_config(seed: u64) -> SimConfig {
+    SimConfig {
+        crashes: 2,
+        shards: 2 << (seed % 3),
         ..corpus_config(seed)
     }
 }
@@ -67,9 +82,12 @@ fn pinned_sim_seeds_stay_oracle_exact() {
         if line.is_empty() {
             continue;
         }
-        let config = match line.strip_prefix("wal ") {
-            Some(rest) => wal_corpus_config(rest.trim().parse().expect("numeric wal seed")),
-            None => corpus_config(line.parse().expect("numeric seed per line")),
+        let config = if let Some(rest) = line.strip_prefix("wal ") {
+            wal_corpus_config(rest.trim().parse().expect("numeric wal seed"))
+        } else if let Some(rest) = line.strip_prefix("shard ") {
+            shard_corpus_config(rest.trim().parse().expect("numeric shard seed"))
+        } else {
+            corpus_config(line.parse().expect("numeric seed per line"))
         };
         let seed = config.seed;
         let out = run_sim(&config);

@@ -176,7 +176,65 @@ fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
     cut.extend_from_slice(&3u32.to_le_bytes());
     entries.push(("delta_truncated.bin", framed(&delta_batch_body(2, &cut))));
 
+    // --- Multi-tenant registration frames (T_REGISTER / T_UNREGISTER /
+    // T_TAIL_TENANT): every way the tenant header and the pattern table
+    // can lie. ---
+
+    // Tenant id carrying the namespace separator: rejected before it
+    // could alias another tenant's `{tenant}/{pattern}` monitors.
+    let mut bad_tenant = vec![14u8]; // T_REGISTER
+    pstr(&mut bad_tenant, "bad/tenant");
+    bad_tenant.extend_from_slice(&0u32.to_le_bytes()); // empty table
+    bad_tenant.extend_from_slice(&0u32.to_le_bytes()); // no patterns
+    entries.push(("register_bad_tenant.bin", framed(&bad_tenant)));
+
+    // Tenant id one byte over the 64-byte shape bound.
+    let mut long_tenant = vec![16u8]; // T_TAIL_TENANT
+    pstr(&mut long_tenant, &"a".repeat(65));
+    entries.push(("tail_tenant_overlong.bin", framed(&long_tenant)));
+
+    // Register record whose source id points past the string table.
+    let mut unknown_ref = vec![14u8]; // T_REGISTER
+    pstr(&mut unknown_ref, "t0");
+    unknown_ref.extend_from_slice(&1u32.to_le_bytes()); // one string
+    pstr(&mut unknown_ref, "p");
+    unknown_ref.extend_from_slice(&1u32.to_le_bytes()); // one pattern
+    unknown_ref.extend_from_slice(&0u32.to_le_bytes()); // name id 0
+    unknown_ref.extend_from_slice(&7u32.to_le_bytes()); // src id 7: no such string
+    entries.push(("register_unknown_pattern_ref.bin", framed(&unknown_ref)));
+
+    // Unregister entry naming an id beyond the table.
+    let mut unknown_unreg = vec![15u8]; // T_UNREGISTER
+    pstr(&mut unknown_unreg, "t0");
+    unknown_unreg.extend_from_slice(&1u32.to_le_bytes()); // one string
+    pstr(&mut unknown_unreg, "p");
+    unknown_unreg.extend_from_slice(&1u32.to_le_bytes()); // one name
+    unknown_unreg.extend_from_slice(&5u32.to_le_bytes()); // id 5: no such string
+    entries.push(("unregister_unknown_pattern_ref.bin", framed(&unknown_unreg)));
+
+    // String table truncated mid-entry: claims two strings, the first
+    // promises 9 bytes and the body ends after 3.
+    let mut cut_table = vec![14u8]; // T_REGISTER
+    pstr(&mut cut_table, "t0");
+    cut_table.extend_from_slice(&2u32.to_le_bytes()); // two strings
+    cut_table.extend_from_slice(&9u32.to_le_bytes()); // 9 bytes promised...
+    cut_table.extend_from_slice(b"abc"); // ...3 delivered
+    entries.push(("register_truncated_table.bin", framed(&cut_table)));
+
+    // Register claiming 4 billion patterns with no bytes behind it.
+    let mut hostile_reg = vec![14u8]; // T_REGISTER
+    pstr(&mut hostile_reg, "t0");
+    hostile_reg.extend_from_slice(&0u32.to_le_bytes()); // empty table
+    hostile_reg.extend_from_slice(&u32::MAX.to_le_bytes());
+    entries.push(("register_hostile_count.bin", framed(&hostile_reg)));
+
     entries
+}
+
+/// Appends a length-prefixed string (the wire codec's `str` shape).
+fn pstr(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 /// Hand-rolled delta-batch body (`T_EVENT_BATCH_D` = 10). With
@@ -311,6 +369,17 @@ fn seeded_mutations_never_panic_the_decoder() {
             monitor: "m".into(),
             bindings: vec![(0, 1), (2, 3)],
         })),
+        wire::encode_body(&Frame::Register {
+            tenant: "acme".into(),
+            patterns: vec![("p0".into(), "A := [*, a, *]; p0 := A;".into())],
+        }),
+        wire::encode_body(&Frame::Unregister {
+            tenant: "acme".into(),
+            patterns: vec!["p0".into()],
+        }),
+        wire::encode_body(&Frame::TailTenant {
+            tenant: "acme".into(),
+        }),
     ];
     for round in 0..2_000 {
         let base = &seeds[round % seeds.len()];
