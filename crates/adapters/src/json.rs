@@ -1,0 +1,343 @@
+//! A minimal std-only JSON reader for JSON-lines adapter inputs.
+//!
+//! The workspace already owns a JSON *serializer* (`ocep-bench`'s
+//! `json.rs`); this is its untrusted-input counterpart: one `parse`
+//! call per input line, byte-offset-diagnosed errors, a hard recursion
+//! bound (hostile nesting must not overflow the stack), and no
+//! allocation proportional to anything but the actual input. Numbers
+//! are kept as `f64` (adapters range-check before narrowing); objects
+//! preserve field order in a flat `Vec` — record objects are tiny, so
+//! linear field lookup beats a map.
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in input order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks a field up on an object; `None` on missing field or
+    /// non-object receiver.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth accepted — hostile inputs like ten thousand
+/// `[` must fail cleanly, not overflow the parser's stack.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one complete JSON value from `input`, rejecting trailing
+/// garbage. Errors are `(byte_offset, detail)` pairs relative to
+/// `input`; the adapter folds them into its line-diagnosed
+/// [`crate::AdapterError`].
+pub fn parse(input: &str) -> Result<JsonValue, (usize, String)> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err((p.at, "trailing bytes after JSON value".to_owned()));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, detail: impl Into<String>) -> Result<T, (usize, String)> {
+        Err((self.at, detail.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), (usize, String)> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, (usize, String)> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, (usize, String)> {
+        if depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            None => self.err("truncated input: expected a value"),
+            Some(b'n') => self.eat_lit("null", JsonValue::Null),
+            Some(b't') => self.eat_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_lit("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => self.err(format!("unexpected byte 0x{b:02x}")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, (usize, String)> {
+        self.eat(b'[', "`[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]` in array"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, (usize, String)> {
+        self.eat(b'{', "`{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "`:` after object key")?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return self.err("expected `,` or `}` in object"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, (usize, String)> {
+        self.eat(b'"', "`\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("truncated input: unterminated string"),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs are rejected rather than
+                            // combined: adapter inputs are machine
+                            // exports of ASCII-ish identifiers.
+                            match char::from_u32(cp) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape (surrogate)"),
+                            }
+                            continue;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.at += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("raw control byte in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so
+                    // char boundaries are valid).
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| (self.at, "invalid UTF-8 in string".to_owned()))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, (usize, String)> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return self.err("invalid \\u escape: expected 4 hex digits"),
+            };
+            cp = cp * 16 + d;
+            self.at += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, (usize, String)> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+            _ => Err((start, format!("invalid number `{text}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_record_object() {
+        let v = parse(
+            r#"{"service":"checkout","span":"a1","start":12,"links":["bA"],"ok":true,"x":null}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("service").unwrap().as_str(), Some("checkout"));
+        assert_eq!(v.get("start").unwrap().as_num(), Some(12.0));
+        assert_eq!(
+            v.get("links").unwrap().as_arr().unwrap()[0].as_str(),
+            Some("bA")
+        );
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("x"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn truncated_inputs_are_offset_diagnosed() {
+        for bad in [
+            r#"{"a": "#,
+            r#"{"a": "unterminated"#,
+            r#"["#,
+            r#"{"a" 1}"#,
+            r#"{"a": 1} trailing"#,
+            "",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.0 <= bad.len(), "offset within input for {bad:?}");
+            assert!(!err.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_bounded() {
+        let deep = "[".repeat(10_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.1.contains("nesting"), "{err:?}");
+    }
+
+    #[test]
+    fn numbers_parse_and_infinities_rejected() {
+        assert_eq!(parse("-3.5e2").unwrap().as_num(), Some(-350.0));
+        assert!(parse("1e999").is_err());
+        assert!(parse("-").is_err());
+    }
+
+    #[test]
+    fn utf8_and_escapes_in_strings() {
+        let v = parse(r#""héllo\n\"q\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("héllo\n\"q\""));
+        assert!(parse("\"ctrl\u{1}\"").is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! MPI trace reader feeding the `crates/poet` MPI vocabulary.
+//!
+//! # Format
+//!
+//! Line-oriented text; whitespace-separated tokens, blank lines and
+//! `#` comments skipped. The first record must be the header:
+//!
+//! ```text
+//! mpi <nranks>
+//! <rank> send  <dst> [tag]     # buffered point-to-point send
+//! <rank> bsend <dst> [tag]     # blocking send (mpi_block_send)
+//! <rank> recv  <src> [tag]     # receive: matches the earliest
+//!                              # unmatched send src→rank with `tag`
+//! <rank> local <type> [text]   # purely local application event
+//! ```
+//!
+//! Ranks are `0..nranks`; each rank is one trace. `tag` defaults to
+//! the empty tag. Send/receive matching is FIFO per `(src, dst, tag)`
+//! channel — exactly MPI's non-overtaking guarantee for same-tag
+//! point-to-point traffic.
+//!
+//! # Causality synthesis
+//!
+//! The reader drives a real [`PoetServer`]: per-rank program order is
+//! file order, and every matched `recv` joins the clock of its send —
+//! the same edges `crates/poet`'s `MpiPlugin` records for live
+//! instrumented runs. Event types are the plugin vocabulary
+//! (`mpi_send`, `mpi_block_send`, `mpi_recv`), and a send's *text*
+//! carries the destination trace (`"T3"`), so the curated deadlock
+//! patterns chain blocked sends through attribute variables unchanged.
+//!
+//! A `recv` whose channel has no pending send is *unmatched* — in a
+//! replayable recording the send must already have been logged — and
+//! is rejected with its line. Sends left unmatched at end of input
+//! are legal (that is what a blocked-send deadlock looks like).
+//!
+//! The header's rank count is bounded by [`MAX_TRACES`] *before* any
+//! clock storage is allocated: a hostile `mpi 4000000000` is a
+//! clock-width overflow diagnostic, not a 16 GB allocation.
+
+use crate::{Adapter, AdapterError, AdapterErrorKind, AdapterOutput, AdapterStats};
+use crate::{MAX_RECORDS, MAX_TRACES};
+use ocep_poet::{EventKind, PoetServer};
+use ocep_vclock::{EventId, TraceId};
+use std::collections::{HashMap, VecDeque};
+
+/// The MPI trace adapter (format name `mpi`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpiAdapter;
+
+fn syn(line: usize, detail: impl Into<String>) -> AdapterError {
+    AdapterError::new(AdapterErrorKind::Syntax, line, detail)
+}
+
+fn parse_rank(tok: &str, n: usize, line: usize, what: &str) -> Result<u32, AdapterError> {
+    let rank: u64 = tok
+        .parse()
+        .map_err(|_| syn(line, format!("{what} `{tok}` is not a rank number")))?;
+    if (rank as usize) < n {
+        Ok(rank as u32)
+    } else {
+        Err(syn(
+            line,
+            format!("{what} {rank} out of range for {n} rank(s)"),
+        ))
+    }
+}
+
+impl Adapter for MpiAdapter {
+    fn format(&self) -> &'static str {
+        "mpi"
+    }
+
+    fn parse_str(&self, input: &str) -> Result<AdapterOutput, AdapterError> {
+        let mut stats = AdapterStats::default();
+        let mut poet: Option<PoetServer> = None;
+        let mut n = 0usize;
+        // FIFO of unmatched sends per (src, dst, tag) channel.
+        let mut channels: HashMap<(u32, u32, String), VecDeque<EventId>> = HashMap::new();
+
+        for (i, raw) in input.lines().enumerate() {
+            let line = i + 1;
+            stats.lines += 1;
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = text.split_whitespace().collect();
+
+            let Some(poet_ref) = poet.as_mut() else {
+                // First record must be the header.
+                if toks[0] != "mpi" {
+                    return Err(syn(line, "first record must be the header `mpi <nranks>`"));
+                }
+                if toks.len() != 2 {
+                    return Err(syn(line, "header is `mpi <nranks>`"));
+                }
+                let claimed: u64 = toks[1]
+                    .parse()
+                    .map_err(|_| syn(line, format!("rank count `{}` is not a number", toks[1])))?;
+                if claimed == 0 {
+                    return Err(syn(line, "rank count must be at least 1"));
+                }
+                if claimed as usize > MAX_TRACES {
+                    return Err(AdapterError::new(
+                        AdapterErrorKind::Limit,
+                        line,
+                        format!(
+                            "header claims {claimed} ranks — the clock width is capped at \
+                             {MAX_TRACES} traces"
+                        ),
+                    ));
+                }
+                n = claimed as usize;
+                poet = Some(PoetServer::new(n));
+                stats.records += 1;
+                continue;
+            };
+
+            if toks[0] == "mpi" {
+                return Err(syn(line, "duplicate `mpi` header"));
+            }
+            if stats.records as usize >= MAX_RECORDS {
+                return Err(AdapterError::new(
+                    AdapterErrorKind::Limit,
+                    line,
+                    format!("recording exceeds {MAX_RECORDS} records"),
+                ));
+            }
+            if toks.len() < 3 {
+                return Err(syn(
+                    line,
+                    "record is `<rank> send|bsend|recv|local <arg> [tag|text]`",
+                ));
+            }
+            let rank = parse_rank(toks[0], n, line, "rank")?;
+            let tag = toks.get(3).copied().unwrap_or("");
+            match toks[1] {
+                op @ ("send" | "bsend") => {
+                    let dst = parse_rank(toks[2], n, line, "destination")?;
+                    let ty = if op == "bsend" {
+                        "mpi_block_send"
+                    } else {
+                        "mpi_send"
+                    };
+                    let e = poet_ref.record(
+                        TraceId::new(rank),
+                        EventKind::Send,
+                        ty,
+                        TraceId::new(dst).to_string(),
+                    );
+                    channels
+                        .entry((rank, dst, tag.to_owned()))
+                        .or_default()
+                        .push_back(e.id());
+                }
+                "recv" => {
+                    let src = parse_rank(toks[2], n, line, "source")?;
+                    let send = channels
+                        .get_mut(&(src, rank, tag.to_owned()))
+                        .and_then(VecDeque::pop_front);
+                    let Some(send) = send else {
+                        return Err(AdapterError::new(
+                            AdapterErrorKind::Unmatched,
+                            line,
+                            format!(
+                                "recv on rank {rank} from rank {src} tag `{tag}` has no \
+                                 pending send — a replayable recording logs the send first"
+                            ),
+                        ));
+                    };
+                    poet_ref.record_receive(TraceId::new(rank), send, "mpi_recv", tag);
+                    stats.edges += 1;
+                }
+                "local" => {
+                    let ty = toks[2];
+                    poet_ref.record(TraceId::new(rank), EventKind::Unary, ty, tag);
+                }
+                op => {
+                    return Err(syn(
+                        line,
+                        format!("unknown operation `{op}` (send|bsend|recv|local)"),
+                    ));
+                }
+            }
+            stats.records += 1;
+        }
+
+        let Some(poet) = poet else {
+            return Err(syn(
+                stats.lines.max(1) as usize,
+                "empty recording: missing `mpi <nranks>` header",
+            ));
+        };
+        let events: Vec<_> = poet.store().iter_arrival().cloned().collect();
+        stats.events = events.len() as u64;
+        Ok(AdapterOutput {
+            n_traces: n,
+            trace_names: (0..n).map(|r| format!("rank-{r}")).collect(),
+            events,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adapter;
+
+    fn parse(input: &str) -> Result<AdapterOutput, AdapterError> {
+        MpiAdapter.parse_str(input)
+    }
+
+    #[test]
+    fn send_recv_pairs_become_message_edges() {
+        let out = parse(
+            "# two ranks, one message\n\
+             mpi 2\n\
+             0 local compute\n\
+             0 send 1 t9\n\
+             1 recv 0 t9\n\
+             1 local apply\n",
+        )
+        .unwrap();
+        assert_eq!(out.n_traces, 2);
+        assert_eq!(out.trace_names, vec!["rank-0", "rank-1"]);
+        assert_eq!(out.events.len(), 4);
+        assert_eq!(out.stats.edges, 1);
+        let send = out.events.iter().find(|e| e.ty() == "mpi_send").unwrap();
+        assert_eq!(send.text(), "T1");
+        let recv = out.events.iter().find(|e| e.ty() == "mpi_recv").unwrap();
+        assert_eq!(recv.partner(), Some(send.id()));
+        let apply = out.events.iter().find(|e| e.ty() == "apply").unwrap();
+        assert!(send.stamp().happens_before(apply.stamp()));
+        let compute = out.events.iter().find(|e| e.ty() == "compute").unwrap();
+        assert!(compute.stamp().happens_before(apply.stamp()));
+    }
+
+    #[test]
+    fn matching_is_fifo_per_tag_channel() {
+        let out = parse(
+            "mpi 2\n\
+             0 send 1 a\n\
+             0 send 1 b\n\
+             0 send 1 a\n\
+             1 recv 0 b\n\
+             1 recv 0 a\n\
+             1 recv 0 a\n",
+        )
+        .unwrap();
+        let sends: Vec<_> = out.events.iter().filter(|e| e.ty() == "mpi_send").collect();
+        let recvs: Vec<_> = out.events.iter().filter(|e| e.ty() == "mpi_recv").collect();
+        // recv(b) pairs the middle send; recv(a) pairs the first, then third.
+        assert_eq!(recvs[0].partner(), Some(sends[1].id()));
+        assert_eq!(recvs[1].partner(), Some(sends[0].id()));
+        assert_eq!(recvs[2].partner(), Some(sends[2].id()));
+    }
+
+    #[test]
+    fn blocked_sends_stay_unmatched() {
+        let out = parse(
+            "mpi 3\n\
+             0 bsend 1\n\
+             1 bsend 2\n\
+             2 bsend 0\n",
+        )
+        .unwrap();
+        assert_eq!(out.stats.edges, 0);
+        assert!(out.events.iter().all(|e| e.ty() == "mpi_block_send"));
+        // All pairwise concurrent: that is the deadlock signature.
+        for a in &out.events {
+            for b in &out.events {
+                if a.id() != b.id() {
+                    assert!(a.stamp().concurrent_with(b.stamp()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_recv_is_line_diagnosed() {
+        let err = parse("mpi 2\n1 recv 0\n").unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::Unmatched);
+        assert_eq!(err.line, 2);
+
+        // Tag mismatch is also unmatched: tags scope channels.
+        let err = parse("mpi 2\n0 send 1 x\n1 recv 0 y\n").unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::Unmatched);
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn hostile_rank_count_is_a_limit_error_not_an_allocation() {
+        let err = parse("mpi 4000000000\n").unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::Limit);
+        assert!(err.to_string().contains("clock width"), "{err}");
+    }
+
+    #[test]
+    fn malformed_records_never_panic() {
+        for bad in [
+            "0 send 1\n",        // missing header
+            "mpi\n",             // truncated header
+            "mpi zero\n",        // non-numeric
+            "mpi 0\n",           // zero ranks
+            "mpi 2\nmpi 2\n",    // duplicate header
+            "mpi 2\n7 send 1\n", // rank out of range
+            "mpi 2\n0 send 9\n", // destination out of range
+            "mpi 2\n0 warp 1\n", // unknown op
+            "mpi 2\n0 send\n",   // truncated record
+            "",                  // empty input
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.line >= 1, "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! OTLP-style distributed-trace span reader.
+//!
+//! # Format
+//!
+//! JSON-lines: one span record per line (blank lines and lines
+//! starting with `#` are skipped). Fields:
+//!
+//! ```json
+//! {"service": "checkout", "span": "c1", "name": "charge",
+//!  "parent": "f0", "links": ["inv3"], "start": 1200, "attr": "order=9"}
+//! ```
+//!
+//! * `service` (string, required) — the resource that emitted the
+//!   span; each distinct service becomes one trace.
+//! * `span` (string, required) — span id, unique within the recording.
+//! * `name` (string, required) — operation name; becomes the event
+//!   *type* so patterns match on it directly (`[*, charge, *]`).
+//! * `start` (integer, required) — start timestamp; orders spans
+//!   *within* one service. Cross-service order comes only from edges.
+//! * `parent` (string, optional) — parent span id.
+//! * `links` (array of strings, optional) — additional causal
+//!   predecessors (OTLP span links).
+//! * `attr` (string, optional) — free-form attribute; becomes the
+//!   event *text* (the third class position patterns bind `$vars` on).
+//!
+//! Unknown fields (`end`, `duration`, OTLP noise) are ignored.
+//!
+//! # Causality synthesis
+//!
+//! A span recording only fixes a *partial* order: span begin edges
+//! (`parent.start → child.start`, `link → span`) plus the per-service
+//! timestamp order. The sweep materializes exactly that knowledge:
+//!
+//! 1. Spans of one service are totally ordered by `(start, input
+//!    line)` — program order on the trace.
+//! 2. Every parent/link edge becomes a happens-before edge. Edges
+//!    between spans of the *same* service must agree with timestamp
+//!    order (a parent that starts after its child is a recorded
+//!    contradiction and is diagnosed as a cycle).
+//! 3. A topological sweep (deterministic: ready spans are processed
+//!    in `(trace, position)` order) assigns Fidge clocks: a span with
+//!    cross-service predecessors becomes a *receive* joining its first
+//!    predecessor's clock, and each additional cross-service
+//!    predecessor materializes one synthetic `span_link` receive event
+//!    immediately before it on the same trace — every message edge is
+//!    carried by exactly one receive with exactly one partner, which
+//!    is what the admission guard's deliverability rule expects.
+//! 4. A span some other service's span points at is stamped as a
+//!    *send* endpoint.
+//!
+//! Cycles (including same-service timestamp contradictions) and
+//! references to unknown spans (orphan parents, dangling links) are
+//! rejected with the offending line and span id — never a panic.
+
+use crate::json::{self, JsonValue};
+use crate::{Adapter, AdapterError, AdapterErrorKind, AdapterOutput, AdapterStats};
+use crate::{MAX_LINKS_PER_SPAN, MAX_RECORDS, MAX_TRACES};
+use ocep_poet::{Event, EventKind};
+use ocep_vclock::{ClockAssigner, StampedEvent, TraceId};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Event type of the synthetic receives materialized for secondary
+/// span links; their text carries the receiving span's id.
+pub const SPAN_LINK_TYPE: &str = "span_link";
+
+/// The OTLP-style span adapter (format name `otlp`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OtlpAdapter;
+
+struct Span {
+    line: usize,
+    trace: usize,
+    id: String,
+    name: String,
+    parent: Option<String>,
+    links: Vec<String>,
+    start: u64,
+    attr: String,
+    /// Position in its trace's `(start, line)` order; filled after
+    /// parsing.
+    pos: usize,
+}
+
+fn syn(line: usize, detail: impl Into<String>) -> AdapterError {
+    AdapterError::new(AdapterErrorKind::Syntax, line, detail)
+}
+
+fn req_str(v: &JsonValue, field: &str, line: usize) -> Result<String, AdapterError> {
+    match v.get(field) {
+        Some(JsonValue::Str(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(JsonValue::Str(_)) => Err(syn(line, format!("field `{field}` must be non-empty"))),
+        Some(_) => Err(syn(line, format!("field `{field}` must be a string"))),
+        None => Err(syn(line, format!("missing required field `{field}`"))),
+    }
+}
+
+fn opt_str(v: &JsonValue, field: &str, line: usize) -> Result<Option<String>, AdapterError> {
+    match v.get(field) {
+        Some(JsonValue::Str(s)) => Ok(Some(s.clone())),
+        Some(JsonValue::Null) | None => Ok(None),
+        Some(_) => Err(syn(line, format!("field `{field}` must be a string"))),
+    }
+}
+
+fn req_u64(v: &JsonValue, field: &str, line: usize) -> Result<u64, AdapterError> {
+    match v.get(field) {
+        Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => Ok(*n as u64),
+        Some(JsonValue::Num(_)) => Err(syn(
+            line,
+            format!("field `{field}` must be a non-negative integer"),
+        )),
+        Some(_) => Err(syn(line, format!("field `{field}` must be a number"))),
+        None => Err(syn(line, format!("missing required field `{field}`"))),
+    }
+}
+
+impl Adapter for OtlpAdapter {
+    fn format(&self) -> &'static str {
+        "otlp"
+    }
+
+    fn parse_str(&self, input: &str) -> Result<AdapterOutput, AdapterError> {
+        let mut stats = AdapterStats::default();
+        let mut spans: Vec<Span> = Vec::new();
+        let mut trace_names: Vec<String> = Vec::new();
+        let mut trace_of: HashMap<String, usize> = HashMap::new();
+        let mut span_ix: HashMap<String, usize> = HashMap::new();
+
+        // ── Pass 1: parse records ───────────────────────────────────
+        for (i, raw) in input.lines().enumerate() {
+            let line = i + 1;
+            stats.lines += 1;
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let v = json::parse(text)
+                .map_err(|(at, detail)| syn(line, format!("byte {at}: {detail}")))?;
+            if spans.len() >= MAX_RECORDS {
+                return Err(AdapterError::new(
+                    AdapterErrorKind::Limit,
+                    line,
+                    format!("recording exceeds {MAX_RECORDS} records"),
+                ));
+            }
+            let service = req_str(&v, "service", line)?;
+            let id = req_str(&v, "span", line)?;
+            let name = req_str(&v, "name", line)?;
+            let start = req_u64(&v, "start", line)?;
+            let parent = opt_str(&v, "parent", line)?;
+            let attr = opt_str(&v, "attr", line)?.unwrap_or_default();
+            let links = match v.get("links") {
+                Some(JsonValue::Arr(items)) => {
+                    if items.len() > MAX_LINKS_PER_SPAN {
+                        return Err(AdapterError::new(
+                            AdapterErrorKind::Limit,
+                            line,
+                            format!(
+                                "span `{id}` carries {} links, more than {MAX_LINKS_PER_SPAN}",
+                                items.len()
+                            ),
+                        ));
+                    }
+                    let mut out = Vec::with_capacity(items.len());
+                    for it in items {
+                        match it.as_str() {
+                            Some(s) if !s.is_empty() => out.push(s.to_owned()),
+                            _ => {
+                                return Err(syn(line, "`links` entries must be non-empty strings"))
+                            }
+                        }
+                    }
+                    out
+                }
+                Some(JsonValue::Null) | None => Vec::new(),
+                Some(_) => return Err(syn(line, "field `links` must be an array of span ids")),
+            };
+
+            let trace = match trace_of.entry(service.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    if trace_names.len() >= MAX_TRACES {
+                        return Err(AdapterError::new(
+                            AdapterErrorKind::Limit,
+                            line,
+                            format!(
+                                "service `{service}` would be trace {} — the clock width \
+                                 is capped at {MAX_TRACES} traces",
+                                trace_names.len() + 1
+                            ),
+                        ));
+                    }
+                    trace_names.push(service.clone());
+                    *e.insert(trace_names.len() - 1)
+                }
+            };
+            match span_ix.entry(id.clone()) {
+                Entry::Occupied(prev) => {
+                    return Err(syn(
+                        line,
+                        format!(
+                            "duplicate span id `{id}` (first defined on line {})",
+                            spans[*prev.get()].line
+                        ),
+                    ));
+                }
+                Entry::Vacant(e) => {
+                    e.insert(spans.len());
+                }
+            }
+            stats.records += 1;
+            spans.push(Span {
+                line,
+                trace,
+                id,
+                name,
+                parent,
+                links,
+                start,
+                attr,
+                pos: 0,
+            });
+        }
+
+        // ── Pass 2: per-trace order + dependency graph ──────────────
+        let n_traces = trace_names.len();
+        let mut by_trace: Vec<Vec<usize>> = vec![Vec::new(); n_traces];
+        for (i, s) in spans.iter().enumerate() {
+            by_trace[s.trace].push(i);
+        }
+        for list in &mut by_trace {
+            list.sort_by_key(|&i| (spans[i].start, spans[i].line));
+            for (pos, &i) in list.iter().enumerate() {
+                spans[i].pos = pos;
+            }
+        }
+
+        // deps[i] = causal predecessors of span i (span indices);
+        // program-order predecessor first, then parent, then links.
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut indegree: Vec<usize> = vec![0; spans.len()];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut sends: Vec<bool> = vec![false; spans.len()];
+        let add_edge = |from: usize,
+                        to: usize,
+                        deps: &mut Vec<Vec<usize>>,
+                        indegree: &mut Vec<usize>,
+                        succs: &mut Vec<Vec<usize>>| {
+            deps[to].push(from);
+            indegree[to] += 1;
+            succs[from].push(to);
+        };
+        for list in &by_trace {
+            for w in list.windows(2) {
+                add_edge(w[0], w[1], &mut deps, &mut indegree, &mut succs);
+            }
+        }
+        let resolve = |from_id: &str, to: usize, what: &str| -> Result<usize, AdapterError> {
+            let span = &spans[to];
+            match span_ix.get(from_id) {
+                None => Err(AdapterError::new(
+                    AdapterErrorKind::OrphanRef,
+                    span.line,
+                    format!(
+                        "span `{}` names {what} `{from_id}`, which no record defines",
+                        span.id
+                    ),
+                )),
+                Some(&p) if p == to => Err(AdapterError::new(
+                    AdapterErrorKind::Cycle,
+                    span.line,
+                    format!("span `{}` names itself as {what}", span.id),
+                )),
+                Some(&p) => Ok(p),
+            }
+        };
+        // Cross-trace causal deps per span (beyond program order).
+        let mut cross: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        for i in 0..spans.len() {
+            let parent = spans[i].parent.clone();
+            if let Some(pid) = parent {
+                let p = resolve(&pid, i, "parent")?;
+                add_edge(p, i, &mut deps, &mut indegree, &mut succs);
+                if spans[p].trace != spans[i].trace {
+                    cross[i].push(p);
+                    sends[p] = true;
+                    stats.edges += 1;
+                }
+            }
+            let links = spans[i].links.clone();
+            for lid in links {
+                let l = resolve(&lid, i, "link")?;
+                add_edge(l, i, &mut deps, &mut indegree, &mut succs);
+                if spans[l].trace != spans[i].trace {
+                    cross[i].push(l);
+                    sends[l] = true;
+                    stats.edges += 1;
+                }
+            }
+        }
+
+        // ── Pass 3: deterministic topological sweep ─────────────────
+        let mut ready: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
+        for (i, s) in spans.iter().enumerate() {
+            if indegree[i] == 0 {
+                ready.push(Reverse((s.trace, s.pos, i)));
+            }
+        }
+        let mut asn = ClockAssigner::new(n_traces);
+        let mut stamp_of: Vec<Option<StampedEvent>> = vec![None; spans.len()];
+        let mut events: Vec<Event> = Vec::with_capacity(spans.len());
+        let mut done = 0usize;
+        while let Some(Reverse((_, _, i))) = ready.pop() {
+            done += 1;
+            let s = &spans[i];
+            let t = TraceId::new(u32::try_from(s.trace).expect("bounded by MAX_TRACES"));
+            // Secondary cross-trace predecessors each get a synthetic
+            // receive carrying exactly one message edge.
+            for &d in cross[i].iter().skip(1) {
+                let dep = stamp_of[d].clone().expect("topo order: dep already swept");
+                let stamp = asn.receive(t, &dep);
+                events.push(Event::new(
+                    stamp,
+                    EventKind::Receive,
+                    SPAN_LINK_TYPE,
+                    s.id.as_str(),
+                    Some(dep.id()),
+                ));
+                stats.synthesized += 1;
+            }
+            let (stamp, kind, partner) = match cross[i].first() {
+                Some(&d) => {
+                    let dep = stamp_of[d].clone().expect("topo order: dep already swept");
+                    (asn.receive(t, &dep), EventKind::Receive, Some(dep.id()))
+                }
+                None if sends[i] => (asn.local(t), EventKind::Send, None),
+                None => (asn.local(t), EventKind::Unary, None),
+            };
+            stamp_of[i] = Some(stamp.clone());
+            events.push(Event::new(
+                stamp,
+                kind,
+                s.name.as_str(),
+                s.attr.as_str(),
+                partner,
+            ));
+            for &n in &succs[i] {
+                indegree[n] -= 1;
+                if indegree[n] == 0 {
+                    ready.push(Reverse((spans[n].trace, spans[n].pos, n)));
+                }
+            }
+        }
+        if done < spans.len() {
+            // Name a witness: the earliest-line span still blocked.
+            let stuck = (0..spans.len())
+                .filter(|&i| indegree[i] > 0)
+                .min_by_key(|&i| spans[i].line)
+                .expect("done < len implies a blocked span");
+            return Err(AdapterError::new(
+                AdapterErrorKind::Cycle,
+                spans[stuck].line,
+                format!(
+                    "span `{}` participates in a causal cycle ({} span(s) unresolvable; \
+                     parent/link edges contradict each other or same-service start order)",
+                    spans[stuck].id,
+                    spans.len() - done
+                ),
+            ));
+        }
+        stats.events = events.len() as u64;
+        Ok(AdapterOutput {
+            n_traces,
+            trace_names,
+            events,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adapter;
+
+    fn parse(input: &str) -> Result<AdapterOutput, AdapterError> {
+        OtlpAdapter.parse_str(input)
+    }
+
+    #[test]
+    fn parent_edges_synthesize_happens_before() {
+        let out = parse(
+            r#"
+            # a frontend span fans out to a backend child
+            {"service": "front", "span": "f1", "name": "request", "start": 10}
+            {"service": "back",  "span": "b1", "name": "handle",  "start": 20, "parent": "f1"}
+            {"service": "front", "span": "f2", "name": "respond", "start": 30, "links": ["b1"]}
+            "#,
+        )
+        .unwrap();
+        assert_eq!(out.n_traces, 2);
+        assert_eq!(out.trace_names, vec!["front", "back"]);
+        assert_eq!(out.events.len(), 3);
+        let find = |name: &str| {
+            out.events
+                .iter()
+                .find(|e| e.ty() == name)
+                .unwrap_or_else(|| panic!("event {name}"))
+        };
+        let (req, handle, resp) = (find("request"), find("handle"), find("respond"));
+        assert!(req.stamp().happens_before(handle.stamp()));
+        assert!(handle.stamp().happens_before(resp.stamp()));
+        assert_eq!(req.kind(), EventKind::Send);
+        assert_eq!(handle.kind(), EventKind::Receive);
+        assert_eq!(handle.partner(), Some(req.id()));
+        assert_eq!(out.stats.edges, 2);
+        assert_eq!(out.stats.synthesized, 0);
+    }
+
+    #[test]
+    fn same_service_order_is_timestamps_not_edges() {
+        let out = parse(
+            r#"
+            {"service": "s", "span": "late",  "name": "second", "start": 99}
+            {"service": "s", "span": "early", "name": "first",  "start": 1}
+            "#,
+        )
+        .unwrap();
+        assert_eq!(out.events[0].ty(), "first");
+        assert_eq!(out.events[1].ty(), "second");
+        assert!(out.events[0].stamp().happens_before(out.events[1].stamp()));
+    }
+
+    #[test]
+    fn secondary_links_materialize_span_link_receives() {
+        let out = parse(
+            r#"
+            {"service": "a", "span": "a1", "name": "left",  "start": 1}
+            {"service": "b", "span": "b1", "name": "right", "start": 1}
+            {"service": "c", "span": "c1", "name": "join",  "start": 2, "parent": "a1", "links": ["b1"]}
+            "#,
+        )
+        .unwrap();
+        // join receives a1 directly; b1 via one synthetic span_link.
+        assert_eq!(out.events.len(), 4);
+        assert_eq!(out.stats.synthesized, 1);
+        let link = out
+            .events
+            .iter()
+            .find(|e| e.ty() == SPAN_LINK_TYPE)
+            .expect("synthetic link receive");
+        assert_eq!(link.text(), "c1");
+        let join = out.events.iter().find(|e| e.ty() == "join").unwrap();
+        for src in ["left", "right"] {
+            let s = out.events.iter().find(|e| e.ty() == src).unwrap();
+            assert!(
+                s.stamp().happens_before(join.stamp()),
+                "{src} must precede join"
+            );
+        }
+    }
+
+    #[test]
+    fn orphan_parent_is_line_diagnosed() {
+        let err = parse(
+            r#"
+            {"service": "a", "span": "a1", "name": "x", "start": 1, "parent": "ghost"}
+            "#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::OrphanRef);
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn parent_cycles_are_diagnosed() {
+        let err = parse(
+            r#"
+            {"service": "a", "span": "a1", "name": "x", "start": 1, "parent": "b1"}
+            {"service": "b", "span": "b1", "name": "y", "start": 1, "parent": "a1"}
+            "#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::Cycle);
+        assert_eq!(err.line, 2);
+
+        let self_ref =
+            parse(r#"{"service":"a","span":"a1","name":"x","start":1,"parent":"a1"}"#).unwrap_err();
+        assert_eq!(self_ref.kind, AdapterErrorKind::Cycle);
+    }
+
+    #[test]
+    fn same_service_parent_after_child_contradicts_timestamps() {
+        // The parent *starts after* its child on the same service:
+        // program order says child first, the edge says parent first.
+        let err = parse(
+            r#"
+            {"service": "s", "span": "child",  "name": "c", "start": 1, "parent": "par"}
+            {"service": "s", "span": "par",    "name": "p", "start": 50}
+            "#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::Cycle);
+    }
+
+    #[test]
+    fn corrupt_lines_never_panic() {
+        for bad in [
+            r#"{"service": "a", "span": "a1", "name": "x""#, // truncated
+            r#"{"service": "a", "span": "a1"}"#,             // missing fields
+            r#"{"service": "a", "span": "a1", "name": "x", "start": -4}"#,
+            r#"{"service": "a", "span": "a1", "name": "x", "start": 1.5}"#,
+            r#"{"service": "", "span": "a1", "name": "x", "start": 1}"#,
+            r#"{"service": "a", "span": "a1", "name": "x", "start": 1, "links": [3]}"#,
+            "not json at all",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.kind, AdapterErrorKind::Syntax, "{bad}");
+            assert_eq!(err.line, 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_span_ids_rejected() {
+        let err = parse(
+            "{\"service\":\"a\",\"span\":\"d\",\"name\":\"x\",\"start\":1}\n\
+             {\"service\":\"b\",\"span\":\"d\",\"name\":\"y\",\"start\":2}",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, AdapterErrorKind::Syntax);
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn output_is_a_valid_linearization_with_fidge_clocks() {
+        let out = parse(
+            r#"
+            {"service": "a", "span": "a1", "name": "w", "start": 1}
+            {"service": "b", "span": "b1", "name": "x", "start": 1, "parent": "a1"}
+            {"service": "a", "span": "a2", "name": "y", "start": 2, "links": ["b1"]}
+            {"service": "c", "span": "c1", "name": "z", "start": 9, "parent": "a2"}
+            "#,
+        )
+        .unwrap();
+        // Fidge convention: own entry equals index (StampedEvent::new
+        // inside the assigner already asserts this; double-check and
+        // verify prefix-closedness of the linearization).
+        let mut seen: Vec<u32> = vec![0; out.n_traces];
+        for e in &out.events {
+            assert_eq!(e.clock().entry(e.trace()), e.index());
+            assert_eq!(seen[e.trace().as_usize()] + 1, e.index().get());
+            for t in 0..out.n_traces {
+                let t = TraceId::new(t as u32);
+                assert!(
+                    e.clock().entry(t).get() <= seen[t.as_usize()] + u32::from(t == e.trace()),
+                    "event {e:?} depends on an unseen prefix"
+                );
+            }
+            seen[e.trace().as_usize()] += 1;
+        }
+    }
+}

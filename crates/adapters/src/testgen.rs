@@ -1,0 +1,445 @@
+//! Seeded recording generators.
+//!
+//! Every committed adapter fixture in this repo is the output of one
+//! of these functions at a pinned seed — the fixture tests regenerate
+//! and byte-compare them (the same cross-check discipline as the wire
+//! corpus), the transparency differential replays them offline vs
+//! through a loopback daemon, and the soak bench scales them up to
+//! millions of events. Generators return the recording *text* in the
+//! adapter's input format, never events directly: everything measured
+//! or asserted downstream has actually been through the parser.
+
+use crate::AdapterOutput;
+use ocep_rng::Rng;
+use std::fmt::Write as _;
+
+/// A generated recording plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Recording text in the target adapter's input format.
+    pub text: String,
+    /// Number of injected violations (the curated pattern for the
+    /// scenario must report exactly/at least this many matches; see
+    /// each generator's contract).
+    pub truth: usize,
+    /// Number of traces the adapter will synthesize.
+    pub n_traces: usize,
+}
+
+impl Recording {
+    /// Parses the recording back through its adapter — a convenience
+    /// for tests and benches that want events, not text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator produced text its own adapter rejects
+    /// (a generator bug by definition).
+    #[must_use]
+    pub fn parse(&self, format: &str) -> AdapterOutput {
+        let adapter = crate::by_name(format).expect("known format");
+        adapter
+            .parse_str(&self.text)
+            .expect("generated recording must parse")
+    }
+}
+
+/// ZooKeeper-962-style leader/follower ordering bug as an OTLP span
+/// recording (format `otlp`; see `examples/zookeeper_ordering_bug.rs`).
+///
+/// One `leader` service serves `n_followers` follower services; each
+/// follower performs `synchs` synchronization rounds (followers take
+/// turns in seeded shuffled order). Per round the leader records
+/// `synch_leader` → `make_update` → `take_snapshot` →
+/// `forward_snapshot` spans stamped with the round token; with
+/// probability `bug_prob` an extra `make_update` lands *between*
+/// snapshot and forward — the stale-snapshot bug. The §III-D ordering
+/// pattern (`replicated_service::ordering_pattern`) reports exactly
+/// `truth` matches on the synthesized stream.
+#[must_use]
+pub fn zookeeper_otlp(seed: u64, n_followers: usize, synchs: usize, bug_prob: f64) -> Recording {
+    assert!(n_followers >= 1);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut text =
+        String::from("# ZooKeeper-962-style stale-snapshot recording (generated, pinned seed)\n");
+    let mut t = 0u64; // global start-timestamp counter
+    let next = |t: &mut u64| {
+        *t += 1;
+        *t
+    };
+    let mut truth = 0usize;
+    let mut update_seq = 0u64;
+    for epoch in 0..synchs {
+        let mut order: Vec<usize> = (1..=n_followers).collect();
+        rng.shuffle(&mut order);
+        for f in order {
+            let token = format!("follower-{f}#r{}", epoch + 1);
+            let rid = format!("f{f}r{epoch}");
+            let _ = writeln!(
+                text,
+                r#"{{"service":"follower-{f}","span":"{rid}-syn","name":"synch_request","start":{},"attr":"{token}"}}"#,
+                next(&mut t)
+            );
+            let _ = writeln!(
+                text,
+                r#"{{"service":"leader","span":"{rid}-lead","name":"synch_leader","start":{},"parent":"{rid}-syn","attr":"{token}"}}"#,
+                next(&mut t)
+            );
+            update_seq += 1;
+            let _ = writeln!(
+                text,
+                r#"{{"service":"leader","span":"{rid}-upd","name":"make_update","start":{},"attr":"seq={update_seq}"}}"#,
+                next(&mut t)
+            );
+            let _ = writeln!(
+                text,
+                r#"{{"service":"leader","span":"{rid}-snap","name":"take_snapshot","start":{},"attr":"{token}"}}"#,
+                next(&mut t)
+            );
+            if rng.gen_bool(bug_prob) {
+                // The bug: the leader is not blocked from updating
+                // between snapshot and forward.
+                update_seq += 1;
+                let _ = writeln!(
+                    text,
+                    r#"{{"service":"leader","span":"{rid}-upd2","name":"make_update","start":{},"attr":"seq={update_seq}"}}"#,
+                    next(&mut t)
+                );
+                truth += 1;
+            }
+            let _ = writeln!(
+                text,
+                r#"{{"service":"leader","span":"{rid}-fwd","name":"forward_snapshot","start":{},"attr":"{token}"}}"#,
+                next(&mut t)
+            );
+            let _ = writeln!(
+                text,
+                r#"{{"service":"follower-{f}","span":"{rid}-recv","name":"recv_snapshot","start":{},"parent":"{rid}-fwd","attr":"{token}"}}"#,
+                next(&mut t)
+            );
+            let _ = writeln!(
+                text,
+                r#"{{"service":"follower-{f}","span":"{rid}-apply","name":"apply_snapshot","start":{}}}"#,
+                next(&mut t)
+            );
+        }
+    }
+    Recording {
+        text,
+        truth,
+        n_traces: n_followers + 1,
+    }
+}
+
+/// Parallel random-walk application with injected blocking-send
+/// deadlock cycles as an MPI recording (format `mpi`; the trace-file
+/// twin of `simulator::workloads::random_walk`).
+///
+/// Per round: `walk_steps` local events per rank, a buffered boundary
+/// exchange around the ring, and with probability `deadlock_prob` a
+/// cycle of `cycle_len` blocking sends that stall until a timeout
+/// receive in the next round. The length-`cycle_len` concurrent-cycle
+/// pattern (`random_walk::cycle_pattern`) reports at least `truth`
+/// matches.
+///
+/// # Panics
+///
+/// Panics if `cycle_len` is below 2 or exceeds `n_ranks`.
+#[must_use]
+pub fn mpi_deadlock(
+    seed: u64,
+    n_ranks: usize,
+    rounds: usize,
+    cycle_len: usize,
+    deadlock_prob: f64,
+    walk_steps: usize,
+) -> Recording {
+    assert!(cycle_len >= 2 && cycle_len <= n_ranks);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut text = format!(
+        "# random-walk ring exchange with injected blocked-send cycles (pinned seed)\n\
+         mpi {n_ranks}\n"
+    );
+    let mut truth = 0usize;
+    // Blocked sends from the previous episode: (blocked_src, waiter).
+    let mut pending: Vec<(usize, usize)> = Vec::new();
+    for _round in 0..rounds {
+        // Resolve the previous episode's blocked messages (timeout).
+        for (src, dst) in pending.drain(..) {
+            let _ = writeln!(text, "{dst} recv {src} blk");
+        }
+        for p in 0..n_ranks {
+            for _ in 0..walk_steps {
+                let _ = writeln!(text, "{p} local walk_step");
+            }
+        }
+        if rng.gen_bool(deadlock_prob) {
+            let mut procs: Vec<usize> = (0..n_ranks).collect();
+            rng.shuffle(&mut procs);
+            procs.truncate(cycle_len);
+            for (i, &p) in procs.iter().enumerate() {
+                let nxt = procs[(i + 1) % procs.len()];
+                let _ = writeln!(text, "{p} bsend {nxt} blk");
+                pending.push((p, nxt));
+            }
+            truth += 1;
+        }
+        for p in 0..n_ranks {
+            let _ = writeln!(text, "{p} send {} w", (p + 1) % n_ranks);
+        }
+        for p in 0..n_ranks {
+            let _ = writeln!(text, "{} recv {p} w", (p + 1) % n_ranks);
+        }
+    }
+    Recording {
+        text,
+        truth,
+        n_traces: n_ranks,
+    }
+}
+
+/// Agent-session hand-off recording with injected read-your-writes
+/// breaches (format `session`).
+///
+/// A `main` session serves `tasks` requests; each spawns a `task-{i}`
+/// worker session that reads the request's key. Correct rounds write
+/// the key *before* the spawn, so the hand-off (`from` edge) carries
+/// the write to the worker. With probability `breach_prob` the write
+/// lands *after* the spawn — the worker's read is concurrent with the
+/// write it should have seen. The curated read-your-writes pattern
+/// (`Spawn -> Read && Write || Read`, keys correlated through `$k`)
+/// reports exactly `truth` matches.
+#[must_use]
+pub fn session_ryw(seed: u64, tasks: usize, breach_prob: f64) -> Recording {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut text =
+        String::from("# agent-session hand-off recording with stale-read breaches (pinned seed)\n");
+    let mut truth = 0usize;
+    for i in 0..tasks {
+        let key = format!("cart-{i}");
+        let breach = rng.gen_bool(breach_prob);
+        let _ = writeln!(
+            text,
+            r#"{{"session":"main","kind":"message","id":"m{i}","attr":"req-{i}"}}"#
+        );
+        let put =
+            format!(r#"{{"session":"main","kind":"tool_call","op":"kv_put","attr":"{key}"}}"#);
+        if !breach {
+            let _ = writeln!(text, "{put}");
+        }
+        let _ = writeln!(
+            text,
+            r#"{{"session":"main","kind":"spawn","target":"task-{i}","id":"sp{i}"}}"#
+        );
+        if breach {
+            // The breach: the session keeps writing after handing off.
+            let _ = writeln!(text, "{put}");
+            truth += 1;
+        }
+        let _ = writeln!(
+            text,
+            r#"{{"session":"task-{i}","kind":"message","from":"sp{i}"}}"#
+        );
+        let _ = writeln!(
+            text,
+            r#"{{"session":"task-{i}","kind":"tool_call","op":"kv_get","attr":"{key}"}}"#
+        );
+        let _ = writeln!(
+            text,
+            r#"{{"session":"task-{i}","kind":"tool_result","op":"render_done"}}"#
+        );
+    }
+    Recording {
+        text,
+        truth,
+        n_traces: tasks + 1,
+    }
+}
+
+/// Saga with occasionally missing compensation as an OTLP recording
+/// (format `otlp`).
+///
+/// Each order runs the saga `order_begin` → `debit` → `ship` →
+/// `order_confirmed` across three services. With probability
+/// `fail_prob` the debit fails (`debit_failed`); the correct reaction
+/// is `order_cancelled`, but with probability `skip_prob` the
+/// confirmation path runs anyway — a `debit_failed` span causally
+/// precedes `order_confirmed` for the same order. The curated
+/// saga-compensation pattern (`Fail -> Confirm`, orders correlated
+/// through `$o`) reports exactly `truth` matches.
+#[must_use]
+pub fn saga_otlp(seed: u64, orders: usize, fail_prob: f64, skip_prob: f64) -> Recording {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut text = String::from("# order-saga recording with missed compensations (pinned seed)\n");
+    let mut t = 0u64;
+    let next = |t: &mut u64| {
+        *t += 1;
+        *t
+    };
+    let mut truth = 0usize;
+    for i in 0..orders {
+        let o = format!("order-{i}");
+        let _ = writeln!(
+            text,
+            r#"{{"service":"orders","span":"o{i}","name":"order_begin","start":{},"attr":"{o}"}}"#,
+            next(&mut t)
+        );
+        let failed = rng.gen_bool(fail_prob);
+        let debit_name = if failed { "debit_failed" } else { "debit_ok" };
+        let _ = writeln!(
+            text,
+            r#"{{"service":"payments","span":"p{i}","name":"{debit_name}","start":{},"parent":"o{i}","attr":"{o}"}}"#,
+            next(&mut t)
+        );
+        if failed && !rng.gen_bool(skip_prob) {
+            // Correct compensation path.
+            let _ = writeln!(
+                text,
+                r#"{{"service":"orders","span":"c{i}","name":"order_cancelled","start":{},"parent":"p{i}","attr":"{o}"}}"#,
+                next(&mut t)
+            );
+            continue;
+        }
+        let _ = writeln!(
+            text,
+            r#"{{"service":"shipping","span":"s{i}","name":"ship","start":{},"parent":"p{i}","attr":"{o}"}}"#,
+            next(&mut t)
+        );
+        let _ = writeln!(
+            text,
+            r#"{{"service":"orders","span":"d{i}","name":"order_confirmed","start":{},"parent":"s{i}","attr":"{o}"}}"#,
+            next(&mut t)
+        );
+        if failed {
+            truth += 1;
+        }
+    }
+    Recording {
+        text,
+        truth,
+        n_traces: 3,
+    }
+}
+
+/// Sized MPI workload for the soak bench: rounds of
+/// [`mpi_deadlock`]-style traffic until at least `target_events`
+/// events have been generated. `truth` counts injected deadlock
+/// episodes (so the soak's monitor has real verdicts to report).
+#[must_use]
+pub fn mpi_soak(seed: u64, n_ranks: usize, target_events: usize) -> Recording {
+    // Events per round: walk(2/rank) + ring send+recv (2/rank) +
+    // occasional episode traffic. Compute the round count directly so
+    // the generator is O(target) with no trial parses.
+    let per_round = n_ranks * 4;
+    let rounds = target_events.div_ceil(per_round.max(1)).max(1);
+    mpi_deadlock(seed, n_ranks, rounds, 3.min(n_ranks), 0.002, 2)
+}
+
+/// The pinned-parameter recordings committed under `examples/fixtures/`.
+///
+/// One function per committed fixture file, so the regeneration test,
+/// the byte-compare cross-checks, the examples, and the transparency
+/// differential all agree on the exact seeds. Regenerate the files
+/// with `cargo test --test adapters_corpus -- --ignored regenerate`.
+pub mod fixtures {
+    use super::Recording;
+
+    /// Cycle length used by the committed MPI deadlock fixture (and
+    /// its `deadlock_cycle.pat`, from `random_walk::cycle_pattern`).
+    pub const CYCLE_LEN: usize = 3;
+
+    /// `examples/fixtures/mpi_deadlock.trace`.
+    #[must_use]
+    pub fn mpi_deadlock() -> Recording {
+        super::mpi_deadlock(7, 8, 40, CYCLE_LEN, 0.15, 2)
+    }
+
+    /// `examples/fixtures/zookeeper_spans.jsonl`.
+    #[must_use]
+    pub fn zookeeper() -> Recording {
+        super::zookeeper_otlp(2013, 4, 12, 0.15)
+    }
+
+    /// `examples/fixtures/saga_spans.jsonl`.
+    #[must_use]
+    pub fn saga() -> Recording {
+        super::saga_otlp(5, 40, 0.3, 0.5)
+    }
+
+    /// `examples/fixtures/session_handoff.jsonl`.
+    #[must_use]
+    pub fn session_handoff() -> Recording {
+        super::session_ryw(3, 10, 0.3)
+    }
+
+    /// `examples/fixtures/saga_compensation.pat` — fires when a failed
+    /// debit nevertheless causally precedes the order's confirmation
+    /// (the compensation that should have separated them never ran).
+    /// `$o` correlates the two spans to the same order.
+    pub const SAGA_PATTERN: &str = "\
+Fail    := [*, debit_failed, $o];\n\
+Confirm := [*, order_confirmed, $o];\n\
+pattern := Fail -> Confirm;\n";
+
+    /// `examples/fixtures/read_your_writes.pat` — fires when a spawned
+    /// session reads a key whose write is *concurrent* with the read:
+    /// the hand-off reached the child (`Spawn -> Read`) but the write
+    /// it should have carried did not (`Write || Read`). `$b` chains
+    /// the spawn's target trace to the reader's process position, like
+    /// the MPI cycle patterns chain send destinations; `$k` correlates
+    /// the key. The `Read $r;` event variable makes both constraints
+    /// talk about the *same* read occurrence (a bare class name used
+    /// twice would denote two independent occurrences).
+    pub const RYW_PATTERN: &str = "\
+Spawn := [$a, spawn, $b];\n\
+Write := [$a, kv_put, $k];\n\
+Read  := [$b, kv_get, $k];\n\
+Read $r;\n\
+pattern := (Spawn -> $r) && (Write || $r);\n";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_parse_clean() {
+        let a = zookeeper_otlp(7, 4, 6, 0.2);
+        let b = zookeeper_otlp(7, 4, 6, 0.2);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.truth, b.truth);
+        let out = a.parse("otlp");
+        assert_eq!(out.n_traces, a.n_traces);
+
+        let m = mpi_deadlock(11, 8, 30, 3, 0.2, 2);
+        assert_eq!(m.text, mpi_deadlock(11, 8, 30, 3, 0.2, 2).text);
+        let out = m.parse("mpi");
+        assert_eq!(out.n_traces, 8);
+        assert!(m.truth > 0, "seed must inject at least one episode");
+        let blocks = out
+            .events
+            .iter()
+            .filter(|e| e.ty() == "mpi_block_send")
+            .count();
+        assert_eq!(blocks, m.truth * 3);
+
+        let s = session_ryw(3, 12, 0.3);
+        assert_eq!(s.text, session_ryw(3, 12, 0.3).text);
+        let out = s.parse("session");
+        assert_eq!(out.n_traces, 13);
+        assert!(s.truth > 0);
+
+        let g = saga_otlp(5, 20, 0.4, 0.5);
+        assert_eq!(g.text, saga_otlp(5, 20, 0.4, 0.5).text);
+        let out = g.parse("otlp");
+        assert_eq!(out.n_traces, 3);
+        assert!(g.truth > 0);
+    }
+
+    #[test]
+    fn soak_recording_hits_its_event_target() {
+        let r = mpi_soak(1, 8, 5_000);
+        let out = r.parse("mpi");
+        assert!(out.events.len() >= 5_000, "{} events", out.events.len());
+        assert!(out.events.len() < 20_000, "not wildly oversized");
+    }
+}

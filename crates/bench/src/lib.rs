@@ -21,6 +21,7 @@ pub mod metrics_json;
 pub mod netbench;
 pub mod shardbench;
 pub mod simbench;
+pub mod soakbench;
 pub mod stats;
 pub mod walbench;
 

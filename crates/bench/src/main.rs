@@ -39,6 +39,11 @@ EXPERIMENTS:
     shards                N-shard engine scaling: threaded ShardGroup ingest
                           throughput at shards 1/2/4 over a multi-tenant
                           pattern registry, ratio vs the 1-shard run
+    soak                  sustained-ingestion soak: an adapter-parsed MPI
+                          recording (>= 1M events; --events raises it)
+                          streamed through a live loopback server under
+                          credit backpressure, with adapter parse and
+                          served ingest rates per frame size
 
 OPTIONS:
     --events N   approximate events per workload (default 40000)
@@ -229,6 +234,23 @@ fn run_one(name: &str, opts: &RunOptions) -> Json {
                 ("verdicts", Json::from(r.verdicts)),
                 ("sim_events_per_sec", Json::from(r.events_per_sec)),
                 ("runs_per_sec", Json::from(r.runs_per_sec)),
+            ])
+        })),
+        "soak" => Json::arr([256usize, 1024].into_iter().map(|batch| {
+            let r = ocep_bench::soakbench::soak(opts, batch);
+            Json::obj([
+                ("batch", Json::from(r.batch)),
+                ("ranks", Json::from(r.ranks)),
+                ("records", Json::from(r.records)),
+                ("events", Json::from(r.events)),
+                ("truth_episodes", Json::from(r.truth)),
+                ("parse_events_per_sec", Json::from(r.parse_events_per_sec)),
+                ("serve_events_per_sec", Json::from(r.serve_events_per_sec)),
+                ("p50_accept_admit_ns_lo", Json::from(r.p50_ns.0)),
+                ("p50_accept_admit_ns_hi", Json::from(r.p50_ns.1)),
+                ("p99_accept_admit_ns_lo", Json::from(r.p99_ns.0)),
+                ("p99_accept_admit_ns_hi", Json::from(r.p99_ns.1)),
+                ("verdicts", Json::from(r.verdicts)),
             ])
         })),
         "shards" => Json::arr(ocep_bench::shardbench::shards(opts).into_iter().map(|r| {

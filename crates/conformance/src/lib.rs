@@ -51,7 +51,9 @@ pub use faults::{
 };
 pub use fuzz::{case_seed, nth_case, run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generate::{gen_case, gen_pattern, GeneratedPattern};
-pub use netdiff::{check_net_transparency, Fingerprint};
+pub use netdiff::{
+    check_net_transparency, in_process_fingerprint, loopback_fingerprint, Fingerprint,
+};
 pub use replay::{load_dump, replay_dump, write_dump, ReplayOutcome};
 pub use sharddiff::{check_shard_transparency, check_shard_transparency_sabotaged};
 pub use shrink::shrink_case;

@@ -97,19 +97,36 @@ impl Fingerprint {
     }
 }
 
-pub(crate) fn build_set(case: &Case) -> Result<MonitorSet, Mismatch> {
-    let pattern = Pattern::parse(&case.pattern_src).map_err(|e| Mismatch {
+fn build_set_src(pattern_src: &str, n_traces: usize) -> Result<MonitorSet, Mismatch> {
+    let pattern = Pattern::parse(pattern_src).map_err(|e| Mismatch {
         invariant: Invariant::PatternParse,
         detail: format!("{e:?}"),
     })?;
-    let mut set = MonitorSet::new(case.n_traces);
+    let mut set = MonitorSet::new(n_traces);
     set.add(MONITOR, pattern);
     set.enable_guard(GuardConfig::default());
     Ok(set)
 }
 
-fn in_process(case: &Case, events: &[Event]) -> Result<Fingerprint, Mismatch> {
-    let mut set = build_set(case)?;
+pub(crate) fn build_set(case: &Case) -> Result<MonitorSet, Mismatch> {
+    build_set_src(&case.pattern_src, case.n_traces)
+}
+
+/// Fingerprints in-process delivery: `events` fed one by one through
+/// [`MonitorSet::observe_raw`] behind a default guard, then flushed.
+/// This is the reference side of every transparency differential —
+/// conformance cases, adapter recordings, anything with a pattern and
+/// an event stream.
+///
+/// # Errors
+///
+/// Returns [`Invariant::PatternParse`] if `pattern_src` is invalid.
+pub fn in_process_fingerprint(
+    pattern_src: &str,
+    n_traces: usize,
+    events: &[Event],
+) -> Result<Fingerprint, Mismatch> {
+    let mut set = build_set_src(pattern_src, n_traces)?;
     let mut verdicts = Vec::new();
     for e in events {
         verdicts.extend(set.observe_raw(e));
@@ -131,15 +148,30 @@ fn in_process(case: &Case, events: &[Event]) -> Result<Fingerprint, Mismatch> {
     })
 }
 
-fn loopback(case: &Case, events: &[Event], batch: usize) -> Result<Fingerprint, Mismatch> {
-    let set = build_set(case)?;
+/// Fingerprints delivery through a real OCWP loopback server
+/// (`127.0.0.1`, ephemeral port): `events` are streamed by an
+/// `ocep-net` client in frames of `batch` events (`0`/`1` = one event
+/// per frame), the server is drained via the shutdown handshake, and
+/// its report is reduced to a [`Fingerprint`].
+///
+/// # Errors
+///
+/// Returns [`Invariant::PatternParse`] for an invalid pattern, or
+/// [`Invariant::NetTransparency`] if the transport itself fails.
+pub fn loopback_fingerprint(
+    pattern_src: &str,
+    n_traces: usize,
+    events: &[Event],
+    batch: usize,
+) -> Result<Fingerprint, Mismatch> {
+    let set = build_set_src(pattern_src, n_traces)?;
     let server = Server::bind("127.0.0.1:0", set, ServeConfig::default())
         .map_err(|e| err(format!("loopback bind failed: {e}")))?;
     let handle = server.handle();
     let addr = handle.addr().to_string();
 
     let stream = || -> Result<(), ocep_net::WireError> {
-        let mut client = Client::connect(&addr, case.n_traces, "conformance")?;
+        let mut client = Client::connect(&addr, n_traces, "conformance")?;
         if batch <= 1 {
             for e in events {
                 client.send_event(e)?;
@@ -191,26 +223,10 @@ fn loopback(case: &Case, events: &[Event], batch: usize) -> Result<Fingerprint, 
 pub fn check_net_transparency(case: &Case, batch: usize) -> Result<usize, Mismatch> {
     let poet = case.build();
     let events: Vec<Event> = poet.store().iter_arrival().cloned().collect();
-    let local = in_process(case, &events)?;
-    let remote = loopback(case, &events, batch)?;
-
-    if local.verdicts != remote.verdicts {
-        return Err(err(format!(
-            "verdicts diverged: in-process {:?} vs loopback {:?}",
-            local.verdicts, remote.verdicts
-        )));
-    }
-    if local.subset != remote.subset {
-        return Err(err(format!(
-            "representative subset diverged: in-process {:?} vs loopback {:?}",
-            local.subset, remote.subset
-        )));
-    }
-    if local.ingest != remote.ingest {
-        return Err(err(format!(
-            "ingest stats diverged: in-process {:?} vs loopback {:?}",
-            local.ingest, remote.ingest
-        )));
+    let local = in_process_fingerprint(&case.pattern_src, case.n_traces, &events)?;
+    let remote = loopback_fingerprint(&case.pattern_src, case.n_traces, &events, batch)?;
+    if let Some(divergence) = local.diff(&remote) {
+        return Err(err(format!("in-process vs loopback: {divergence}")));
     }
     Ok(local.verdicts.len())
 }

@@ -1,0 +1,7 @@
+S0 := [$p0, mpi_block_send, $p1];
+S1 := [$p1, mpi_block_send, $p2];
+S2 := [$p2, mpi_block_send, $p0];
+S0 $s0;
+S1 $s1;
+S2 $s2;
+pattern := $s0 || $s1 && $s0 || $s2 && $s1 || $s2;

@@ -1,0 +1,7 @@
+Synch    := [$l, synch_leader, $f];
+Snapshot := [$l, take_snapshot, $f];
+Update   := [$l, make_update, *];
+Receive  := [*, recv_snapshot, $f];
+Snapshot $diff;
+Update $write;
+pattern := (Synch -> $diff) && ($diff -> $write) && ($write -> Receive);

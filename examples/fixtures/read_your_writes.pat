@@ -1,0 +1,5 @@
+Spawn := [$a, spawn, $b];
+Write := [$a, kv_put, $k];
+Read  := [$b, kv_get, $k];
+Read $r;
+pattern := (Spawn -> $r) && (Write || $r);

@@ -1,0 +1,3 @@
+Fail    := [*, debit_failed, $o];
+Confirm := [*, order_confirmed, $o];
+pattern := Fail -> Confirm;

@@ -3,50 +3,61 @@
 //! approach with a classic wait-for dependency-graph detector running on
 //! the same event stream.
 //!
+//! The event stream is no simulation artifact: it is the committed
+//! recording `examples/fixtures/mpi_deadlock.trace`, read back through
+//! the `mpi` ingestion adapter exactly as `ocep ingest mpi` would read
+//! a real trace file. The recording is pinned-seed generated, so the
+//! example cross-checks it against its generator to recover the ground
+//! truth (how many deadlock episodes were injected).
+//!
 //! Run with:
 //! ```text
-//! cargo run --release --example mpi_deadlock_detector -- [cycle_len]
+//! cargo run --release --example mpi_deadlock_detector
 //! ```
 
+use ocep_repro::adapters::testgen::fixtures;
+use ocep_repro::adapters::{self, Adapter as _};
 use ocep_repro::baselines::DepGraphDetector;
 use ocep_repro::ocep::Monitor;
-use ocep_repro::simulator::workloads::random_walk::{self, Params};
+use ocep_repro::pattern::Pattern;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/examples/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
 
 fn main() {
-    let cycle_len: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
-    let params = Params {
-        n_processes: 12,
-        rounds: 400,
-        walk_steps: 2,
-        cycle_len,
-        deadlock_prob: 0.02,
-        seed: 7,
-    };
-    println!(
-        "simulating a parallel random walk on {} processes with injected \
-         length-{} blocking-send cycles",
-        params.n_processes, params.cycle_len
+    let text = fixture("mpi_deadlock.trace");
+    let expected = fixtures::mpi_deadlock();
+    assert_eq!(
+        text, expected.text,
+        "committed fixture matches its generator"
     );
-    let generated = random_walk::generate(&params);
+
+    let out = adapters::mpi::MpiAdapter
+        .parse_str(&text)
+        .expect("committed fixture parses");
     println!(
-        "recorded {} events; {} deadlock episodes injected\n",
-        generated.poet.store().len(),
-        generated.truth.len()
+        "ingested mpi_deadlock.trace: {} records -> {} events on {} ranks; \
+         {} deadlock episodes injected\n",
+        out.stats.records,
+        out.events.len(),
+        out.n_traces,
+        expected.truth
     );
-    println!("cycle pattern:\n{}\n", generated.pattern_src);
+    let pattern_src = fixture("deadlock_cycle.pat");
+    println!("cycle pattern:\n{pattern_src}\n");
+    let pattern = Pattern::parse(&pattern_src).expect("committed pattern parses");
 
     // OCEP: the causal pattern of pairwise-concurrent blocked sends whose
     // destinations chain into a cycle.
-    let mut monitor = Monitor::new(generated.pattern(), generated.n_traces);
+    let mut monitor = Monitor::new(pattern, out.n_traces);
     // Baseline: incremental wait-for-graph cycle search.
-    let mut depgraph = DepGraphDetector::new(generated.n_traces);
+    let mut depgraph = DepGraphDetector::new(out.n_traces);
 
     let mut ocep_detections = 0;
     let mut graph_detections = 0;
-    for event in generated.poet.store().iter_arrival() {
+    for event in &out.events {
         for m in monitor.observe(event) {
             ocep_detections += 1;
             let members: Vec<String> = m.events().iter().map(|e| e.trace().to_string()).collect();
@@ -59,7 +70,7 @@ fn main() {
         }
     }
 
-    println!("\nepisodes injected:      {}", generated.truth.len());
+    println!("\nepisodes injected:      {}", expected.truth);
     println!("OCEP subset reports:    {ocep_detections}");
     println!("OCEP matches found:     {}", monitor.stats().matches_found);
     println!("depgraph cycles found:  {graph_detections}");
@@ -67,6 +78,6 @@ fn main() {
         "note: OCEP reports a bounded representative subset (one report per \
          new (event, trace) cell); matches_found counts every detection."
     );
-    assert!(monitor.stats().matches_found >= generated.truth.len() as u64);
-    assert_eq!(graph_detections, generated.truth.len() as u64 as usize);
+    assert!(monitor.stats().matches_found >= expected.truth as u64);
+    assert!(graph_detections >= expected.truth);
 }

@@ -1,0 +1,85 @@
+//! Read-your-writes breach across an agent-session hand-off: a parent
+//! session writes a key, spawns a worker, and the worker reads the key
+//! — but a buggy parent occasionally writes *after* the hand-off, so
+//! the worker's read is concurrent with the write it was supposed to
+//! observe.
+//!
+//! The curated pattern chains the spawn's target trace to the reader's
+//! process position through `$b` (the same variable trick the MPI
+//! deadlock patterns use for send destinations) and correlates the key
+//! through `$k`; it fires exactly when the hand-off reached the child
+//! (`Spawn -> Read`) but the write did not (`Write || Read`). The input
+//! is the committed session recording
+//! `examples/fixtures/session_handoff.jsonl`, read through the
+//! `session` ingestion adapter and cross-checked against its
+//! pinned-seed generator for ground truth.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example read_your_writes
+//! ```
+
+use ocep_repro::adapters::testgen::fixtures;
+use ocep_repro::adapters::{self, Adapter as _};
+use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_repro::pattern::Pattern;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/examples/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn main() {
+    let text = fixture("session_handoff.jsonl");
+    let expected = fixtures::session_handoff();
+    assert_eq!(
+        text, expected.text,
+        "committed fixture matches its generator"
+    );
+
+    let out = adapters::session::SessionAdapter
+        .parse_str(&text)
+        .expect("committed fixture parses");
+    println!(
+        "ingested session_handoff.jsonl: {} records -> {} events on {} sessions; \
+         {} hand-offs breached read-your-writes\n",
+        out.stats.records,
+        out.events.len(),
+        out.n_traces,
+        expected.truth
+    );
+    let pattern_src = fixture("read_your_writes.pat");
+    println!("pattern under watch:\n{pattern_src}\n");
+    let pattern = Pattern::parse(&pattern_src).expect("committed pattern parses");
+
+    let mut monitor = Monitor::with_config(
+        pattern,
+        out.n_traces,
+        MonitorConfig {
+            policy: SubsetPolicy::PerArrival,
+            ..MonitorConfig::default()
+        },
+    );
+
+    let mut detected = 0;
+    for event in &out.events {
+        for m in monitor.observe(event) {
+            detected += 1;
+            let reader = m.binding_for("$r").expect("bound").trace();
+            let key = m.binding_for("$r").expect("bound").text().to_owned();
+            let worker = out.trace_names[reader.as_usize()].clone();
+            println!(
+                "STALE READ: {worker} read '{key}' concurrently with the parent's \
+                 write — the hand-off did not carry it"
+            );
+        }
+    }
+
+    println!("\nbreaches injected: {}", expected.truth);
+    println!("detections:        {detected}");
+    println!("monitor stats: {}", monitor.stats());
+    assert_eq!(
+        detected, expected.truth,
+        "exactly the injected breaches must be detected"
+    );
+}

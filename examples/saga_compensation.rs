@@ -1,0 +1,81 @@
+//! Saga-compensation-missing: a distributed order saga where a failed
+//! debit must be compensated (`order_cancelled`) before anything else
+//! happens to the order — but a buggy coordinator occasionally lets the
+//! confirmation path run anyway.
+//!
+//! The curated pattern is *positive*: it fires when a `debit_failed`
+//! span causally precedes `order_confirmed` for the same order (`$o`).
+//! A failure that was properly compensated never confirms, so it never
+//! matches. The input is the committed OTLP span export
+//! `examples/fixtures/saga_spans.jsonl`, read through the `otlp`
+//! ingestion adapter and cross-checked against its pinned-seed
+//! generator for ground truth.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example saga_compensation
+//! ```
+
+use ocep_repro::adapters::testgen::fixtures;
+use ocep_repro::adapters::{self, Adapter as _};
+use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_repro::pattern::Pattern;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/examples/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn main() {
+    let text = fixture("saga_spans.jsonl");
+    let expected = fixtures::saga();
+    assert_eq!(
+        text, expected.text,
+        "committed fixture matches its generator"
+    );
+
+    let out = adapters::otlp::OtlpAdapter
+        .parse_str(&text)
+        .expect("committed fixture parses");
+    println!(
+        "ingested saga_spans.jsonl: {} spans -> {} events on {} services ({}); \
+         {} failed debits were never compensated\n",
+        out.stats.records,
+        out.events.len(),
+        out.n_traces,
+        out.trace_names.join(", "),
+        expected.truth
+    );
+    let pattern_src = fixture("saga_compensation.pat");
+    println!("pattern under watch:\n{pattern_src}\n");
+    let pattern = Pattern::parse(&pattern_src).expect("committed pattern parses");
+
+    let mut monitor = Monitor::with_config(
+        pattern,
+        out.n_traces,
+        MonitorConfig {
+            policy: SubsetPolicy::PerArrival,
+            ..MonitorConfig::default()
+        },
+    );
+
+    let mut detected = 0;
+    for event in &out.events {
+        for m in monitor.observe(event) {
+            detected += 1;
+            let order = m.binding_for("Confirm").expect("bound").text().to_owned();
+            println!(
+                "MISSING COMPENSATION: {order} confirmed despite a failed debit \
+                 — order_cancelled never ran"
+            );
+        }
+    }
+
+    println!("\nuncompensated failures injected: {}", expected.truth);
+    println!("detections:                      {detected}");
+    println!("monitor stats: {}", monitor.stats());
+    assert_eq!(
+        detected, expected.truth,
+        "exactly the uncompensated failures must be detected"
+    );
+}

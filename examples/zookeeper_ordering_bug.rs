@@ -3,41 +3,55 @@
 //! restarting follower — so the follower occasionally received stale
 //! service data.
 //!
-//! This example simulates a leader with many followers (1 % of synch
-//! rounds hit the bug), monitors the §III-D pattern online, and prints
-//! every stale-snapshot delivery with the victim follower isolated by
-//! the pattern's variable binding.
+//! Here the bug is hunted in an OTLP-style span export: the committed
+//! recording `examples/fixtures/zookeeper_spans.jsonl` is read back
+//! through the `otlp` ingestion adapter (service -> trace, parent edges
+//! -> happens-before), exactly as `ocep ingest otlp` would read a real
+//! trace export. The recording is pinned-seed generated, so the example
+//! cross-checks it against its generator to recover the ground truth.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example zookeeper_ordering_bug
 //! ```
 
+use ocep_repro::adapters::testgen::fixtures;
+use ocep_repro::adapters::{self, Adapter as _};
 use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
-use ocep_repro::simulator::workloads::replicated_service::{self, Params};
+use ocep_repro::pattern::Pattern;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/examples/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
 
 fn main() {
-    let params = Params {
-        n_followers: 20,
-        synchs_per_follower: 40,
-        bug_prob: 0.01,
-        seed: 2013,
-    };
-    println!(
-        "simulating a replicated service: 1 leader, {} followers, {} synch rounds each",
-        params.n_followers, params.synchs_per_follower
+    let text = fixture("zookeeper_spans.jsonl");
+    let expected = fixtures::zookeeper();
+    assert_eq!(
+        text, expected.text,
+        "committed fixture matches its generator"
     );
-    let generated = replicated_service::generate(&params);
+
+    let out = adapters::otlp::OtlpAdapter
+        .parse_str(&text)
+        .expect("committed fixture parses");
     println!(
-        "recorded {} events; {} rounds hit the injected bug\n",
-        generated.poet.store().len(),
-        generated.truth.len()
+        "ingested zookeeper_spans.jsonl: {} spans -> {} events on {} services \
+         ({}); {} synch rounds hit the injected bug\n",
+        out.stats.records,
+        out.events.len(),
+        out.n_traces,
+        out.trace_names.join(", "),
+        expected.truth
     );
-    println!("pattern under watch:\n{}\n", generated.pattern_src);
+    let pattern_src = fixture("ordering_violation.pat");
+    println!("pattern under watch:\n{pattern_src}\n");
+    let pattern = Pattern::parse(&pattern_src).expect("committed pattern parses");
 
     let mut monitor = Monitor::with_config(
-        generated.pattern(),
-        generated.n_traces,
+        pattern,
+        out.n_traces,
         MonitorConfig {
             // Alert on every buggy round, not just the first per victim.
             policy: SubsetPolicy::PerArrival,
@@ -46,7 +60,7 @@ fn main() {
     );
 
     let mut detected = 0;
-    for event in generated.poet.store().iter_arrival() {
+    for event in &out.events {
         for m in monitor.observe(event) {
             detected += 1;
             let victim = m.binding_for("Receive").expect("bound").trace();
@@ -59,11 +73,11 @@ fn main() {
         }
     }
 
-    println!("\ninjected bugs: {}", generated.truth.len());
+    println!("\ninjected bugs: {}", expected.truth);
     println!("detections:    {detected}");
     println!("monitor stats: {}", monitor.stats());
-    assert!(
-        detected >= generated.truth.len(),
-        "every injected bug must be detected"
+    assert_eq!(
+        detected, expected.truth,
+        "exactly the injected bugs must be detected"
     );
 }

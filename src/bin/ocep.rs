@@ -14,6 +14,7 @@
 //! ocep sim --replay <dir>                      # re-run a dumped sim failure
 //! ocep serve <pattern-file> --traces N         # OCWP daemon over TCP
 //! ocep send <addr> <dump-file>                 # stream a dump to a daemon
+//! ocep ingest <format> <recording>             # external recording -> events
 //! ocep tail <addr> [--once]                    # follow verdicts from a daemon
 //! ocep replay <pattern-file> <wal-dir>         # match a pattern over a durable log
 //! ```
@@ -57,6 +58,9 @@ USAGE:
                [--wal DIR] [--durability none|batch|strict] [--history-gc]
                [--shards N] [monitor flags]
     ocep send <addr> <dump-file> [--batch N] [--name S] [--shutdown]
+    ocep ingest <format> <recording> [--pattern FILE]... [--batch N] [monitor flags]
+    ocep ingest <format> <recording> --addr HOST:PORT [--batch N] [--name S]
+               [--shutdown]
     ocep tail <addr> [--once] [--name S] [--from LSN] [--tenant T]
     ocep register <addr> <tenant> <pattern-file>... --traces N [--unregister]
     ocep replay <pattern-file> <wal-dir> [--traces N]
@@ -144,6 +148,18 @@ recording each watermark in the log. `tail --from LSN` replays the
 retained verdict backlog from a log offset; `replay` matches a pattern
 file — even one the server never ran — over a log after the fact.
 
+`ingest` turns an external recording into an admissible event stream
+via the `crates/adapters` readers (docs/ADAPTERS.md): `otlp` reads
+JSON-lines span exports, `mpi` reads point-to-point MPI traces, and
+`session` reads replayable agent-session recordings. Causality is
+synthesized from the recording's own structure (parent/link edges,
+send/recv matching, spawn/`from` references) and every event enters
+through the same admission guard as live traffic. Offline, each
+`--pattern FILE` becomes a monitor named by the file's stem; with
+`--addr` the events stream to a running daemon exactly like `send`
+(same resume, batch, and exit-code behaviour). A malformed recording
+is a line-diagnosed usage error (exit 3), never a panic.
+
 `serve --shards N` partitions the monitors across N engine shards
 (docs/SHARDING.md): each shard runs on its own thread with its own
 admission-guard replica, durable log (`wal-shard-{i}` under `--wal`),
@@ -181,6 +197,7 @@ fn run() -> Result<i32, String> {
         Some("serve") => serve_cmd(&args[1..]),
         Some("register") => register_cmd(&args[1..]),
         Some("send") => send_cmd(&args[1..]),
+        Some("ingest") => ingest_cmd(&args[1..]),
         Some("tail") => tail_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         Some("--help" | "-h") => {
@@ -364,6 +381,7 @@ fn positionals(args: &[String]) -> Vec<&String> {
         "--from",
         "--shards",
         "--tenant",
+        "--pattern",
     ];
     let mut out = Vec::new();
     let mut skip = false;
@@ -1287,6 +1305,149 @@ fn send_cmd(args: &[String]) -> Result<i32, String> {
         return Ok(2);
     }
     Ok(if stats.matches > 0 { 1 } else { 0 })
+}
+
+/// `ocep ingest` — turn an external recording into an admissible event
+/// stream via `crates/adapters`, then either match `--pattern` files
+/// over it offline (one monitor per file, named by its stem) or stream
+/// it to a running daemon with `--addr`, mirroring `send`.
+fn ingest_cmd(args: &[String]) -> Result<i32, String> {
+    use ocep_repro::adapters;
+    use ocep_repro::ocep::MonitorSet;
+
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let pos = positionals(args);
+    let format = *pos.first().ok_or("missing recording format")?;
+    let file = *pos.get(1).ok_or("missing recording file")?;
+    let adapter = adapters::by_name(format).ok_or_else(|| {
+        format!(
+            "unknown recording format '{format}' (expected {})",
+            adapters::FORMATS.join("|")
+        )
+    })?;
+    let input = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read recording '{file}': {e}"))?;
+    let out = adapter
+        .parse_str(&input)
+        .map_err(|e| format!("{file}: {e}"))?;
+    let a = out.stats;
+    eprintln!(
+        "ingested {file} ({format}): {} records -> {} events across {} traces \
+         ({} message edges, {} synthesized)",
+        a.records, a.events, out.n_traces, a.edges, a.synthesized,
+    );
+    let batch: usize = match flag_val("--batch") {
+        Some(b) => b.parse().map_err(|_| format!("bad --batch '{b}'"))?,
+        None => 256,
+    };
+
+    if let Some(addr) = flag_val("--addr") {
+        use ocep_repro::net::Client;
+        let name = flag_val("--name").map_or("ocep-ingest", String::as_str);
+        let mut client = Client::connect(addr, out.n_traces, name)
+            .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+        let skip = usize::try_from(client.resume_from())
+            .unwrap_or(usize::MAX)
+            .min(out.events.len());
+        if skip > 0 {
+            eprintln!(
+                "session '{name}' resumed: {skip} events already durable at {addr}, skipping"
+            );
+        }
+        let events = &out.events[skip..];
+        let stream = |client: &mut Client| -> Result<(), ocep_repro::net::WireError> {
+            for chunk in events.chunks(batch.max(1)) {
+                client.send_batch(chunk)?;
+            }
+            client.flush()
+        };
+        stream(&mut client).map_err(|e| format!("stream to '{addr}' failed: {e}"))?;
+        let shutdown = args.iter().any(|a| a == "--shutdown");
+        let stats = if shutdown {
+            client
+                .shutdown()
+                .map_err(|e| format!("shutdown handshake failed: {e}"))?
+        } else {
+            let s = client
+                .stats()
+                .map_err(|e| format!("stats request failed: {e}"))?;
+            for (code, detail) in client.take_faults() {
+                eprintln!("fault[{code}]: {detail}");
+            }
+            s
+        };
+        println!(
+            "sent {} events to {addr}; server: {} admitted, {} quarantined, {} duplicates, \
+             {} matches{}",
+            events.len(),
+            stats.admitted,
+            stats.quarantined,
+            stats.duplicates,
+            stats.matches,
+            if shutdown { " (server shut down)" } else { "" },
+        );
+        if stats.degraded {
+            eprintln!("warning: server ingestion degraded — verdicts may be incomplete");
+            return Ok(2);
+        }
+        return Ok(if stats.matches > 0 { 1 } else { 0 });
+    }
+
+    // Offline: one monitor per --pattern file. With none, `ingest` is a
+    // pure validation pass — parse, synthesize clocks, admit, report.
+    let patterns: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, val)| *val == "--pattern")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .collect();
+    let mut mconfig = monitor_config(args)?;
+    let guard = mconfig.guard.take().unwrap_or_default();
+    let mut set = MonitorSet::new(out.n_traces);
+    for p in &patterns {
+        let pattern = load_pattern(p)?;
+        let name = std::path::Path::new(p.as_str())
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("pattern")
+            .to_owned();
+        set.add_with_config(&name, pattern, mconfig);
+    }
+    set.enable_guard(guard);
+
+    let mut reported = 0usize;
+    for chunk in out.events.chunks(batch.max(1)) {
+        for (monitor, m) in set.observe_raw_batch(chunk) {
+            println!("match[{monitor}]: {m}");
+            reported += 1;
+        }
+    }
+    for (monitor, m) in set.flush_guard() {
+        println!("match[{monitor}]: {m}");
+        reported += 1;
+    }
+    let istats = set.ingest_stats();
+    println!(
+        "\n{} events admitted, {reported} matches, {} monitor(s)",
+        istats.admitted,
+        patterns.len(),
+    );
+    if istats.is_degraded() {
+        eprintln!(
+            "warning: ingestion degraded ({} quarantined, {} overflow-rejected, \
+             {} overflow-dropped, {} degraded flushes) — verdicts may be incomplete",
+            istats.quarantined(),
+            istats.overflow_rejected,
+            istats.overflow_dropped,
+            istats.degraded_flushes,
+        );
+        return Ok(2);
+    }
+    Ok(if reported > 0 { 1 } else { 0 })
 }
 
 /// `ocep tail` — subscribe to a daemon's verdict stream. `--once` exits

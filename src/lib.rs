@@ -10,6 +10,10 @@
 //! * [`simulator`] — deterministic workload simulator (§V-B/C).
 //! * [`pattern`] — the causal pattern language and pattern tree (§III/IV-A).
 //! * [`ocep`] — the online matching engine itself (§IV).
+//! * [`adapters`] — real-stream ingestion adapters (`ocep ingest`):
+//!   OTLP-style span recordings, MPI traces, and agent-session
+//!   recordings mapped onto traces/events with synthesized Fidge
+//!   clocks.
 //! * [`baselines`] — sliding-window / naive / dependency-graph baselines.
 //! * [`analysis`] — post-mortem companion: trace slicing, offline stats.
 //! * [`conformance`] — differential fuzzing harness (`ocep fuzz`):
@@ -59,6 +63,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ocep_adapters as adapters;
 pub use ocep_analysis as analysis;
 pub use ocep_baselines as baselines;
 pub use ocep_bench as bench;

@@ -1,0 +1,185 @@
+//! Adapter corpus and fixture discipline.
+//!
+//! Two committed artifact sets back the ingestion adapters:
+//!
+//! * `tests/corpus/adapters/` — hand-written malformed recordings, one
+//!   per diagnostic family (truncation, cyclic references, clock-width
+//!   overflow, hostile counts). `MANIFEST.txt` pins each file's format
+//!   and expected error kind; every entry must be *rejected* with
+//!   exactly that kind, line-diagnosed, and never panic.
+//! * `examples/fixtures/` — pinned-seed recordings and their curated
+//!   pattern files. Each recording must be byte-identical to its
+//!   `testgen` generator at the pinned parameters (the same
+//!   cross-check discipline as the wire corpus), and each pattern file
+//!   to its canonical source.
+//!
+//! Regenerate the fixture files after changing a generator with:
+//!
+//! ```text
+//! cargo test --test adapters_corpus -- --ignored regenerate
+//! ```
+
+use ocep_repro::adapters::testgen::{fixtures, Recording};
+use ocep_repro::adapters::{self, AdapterErrorKind};
+use ocep_repro::simulator::workloads::{random_walk, replicated_service};
+use std::path::{Path, PathBuf};
+
+fn repo(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn read(rel: &str) -> String {
+    std::fs::read_to_string(repo(rel))
+        .unwrap_or_else(|e| panic!("cannot read {rel}: {e} (run the regenerate test?)"))
+}
+
+/// Every committed fixture, its generator, and its on-disk path.
+fn fixture_recordings() -> Vec<(&'static str, &'static str, Recording)> {
+    vec![
+        (
+            "mpi",
+            "examples/fixtures/mpi_deadlock.trace",
+            fixtures::mpi_deadlock(),
+        ),
+        (
+            "otlp",
+            "examples/fixtures/zookeeper_spans.jsonl",
+            fixtures::zookeeper(),
+        ),
+        (
+            "otlp",
+            "examples/fixtures/saga_spans.jsonl",
+            fixtures::saga(),
+        ),
+        (
+            "session",
+            "examples/fixtures/session_handoff.jsonl",
+            fixtures::session_handoff(),
+        ),
+    ]
+}
+
+/// Every committed pattern file and its canonical source text.
+fn fixture_patterns() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "examples/fixtures/deadlock_cycle.pat",
+            random_walk::cycle_pattern(fixtures::CYCLE_LEN),
+        ),
+        (
+            "examples/fixtures/ordering_violation.pat",
+            replicated_service::ordering_pattern(),
+        ),
+        (
+            "examples/fixtures/saga_compensation.pat",
+            fixtures::SAGA_PATTERN.to_owned(),
+        ),
+        (
+            "examples/fixtures/read_your_writes.pat",
+            fixtures::RYW_PATTERN.to_owned(),
+        ),
+    ]
+}
+
+#[test]
+fn committed_fixtures_match_their_generators() {
+    for (format, path, rec) in fixture_recordings() {
+        assert_eq!(
+            read(path),
+            rec.text,
+            "{path} diverged from its generator — regenerate and re-commit"
+        );
+        assert!(rec.truth > 0, "{path}: pinned seed must inject violations");
+        let out = rec.parse(format);
+        assert_eq!(out.n_traces, rec.n_traces, "{path}");
+        assert!(out.events.len() as u64 == out.stats.events, "{path}");
+    }
+    for (path, canonical) in fixture_patterns() {
+        assert_eq!(read(path), canonical, "{path} diverged from its source");
+        ocep_repro::pattern::Pattern::parse(&canonical)
+            .unwrap_or_else(|e| panic!("{path} does not parse: {e}"));
+    }
+}
+
+#[test]
+fn corpus_recordings_are_rejected_with_the_pinned_kind() {
+    let manifest = read("tests/corpus/adapters/MANIFEST.txt");
+    let mut checked = 0usize;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let (format, rel, kind) = (
+            toks.next().expect("manifest: format"),
+            toks.next().expect("manifest: path"),
+            toks.next().expect("manifest: expected kind"),
+        );
+        let adapter = adapters::by_name(format)
+            .unwrap_or_else(|| panic!("manifest names unknown format {format}"));
+        let input = read(&format!("tests/corpus/adapters/{rel}"));
+        let err = adapter
+            .parse_str(&input)
+            .err()
+            .unwrap_or_else(|| panic!("{rel} must be rejected"));
+        assert_eq!(err.kind.name(), kind, "{rel}: {err}");
+        assert!(err.line >= 1, "{rel}: diagnostics carry a 1-based line");
+        let shown = err.to_string();
+        assert!(shown.contains("line "), "{rel}: {shown}");
+        assert!(shown.contains(kind), "{rel}: {shown}");
+        checked += 1;
+    }
+    assert!(checked >= 12, "corpus shrank to {checked} entries");
+    // Every file in the corpus tree must be listed — an unlisted file
+    // is a fixture nobody checks.
+    for format in adapters::FORMATS {
+        let dir = repo(&format!("tests/corpus/adapters/{format}"));
+        for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{dir:?}: {e}")) {
+            let name = entry.unwrap().file_name();
+            let rel = format!("{format}/{}", name.to_string_lossy());
+            assert!(
+                manifest.contains(&rel),
+                "tests/corpus/adapters/{rel} is not in MANIFEST.txt"
+            );
+        }
+    }
+}
+
+#[test]
+fn hostile_count_families_are_cheap_to_reject() {
+    // The clock-width and record-count rejections must come from the
+    // *claim*, before any proportional allocation: parsing the hostile
+    // header corpus entry must be effectively instant even though it
+    // claims four billion ranks.
+    let input = read("tests/corpus/adapters/mpi/clock_width.trace");
+    let err = adapters::by_name("mpi")
+        .unwrap()
+        .parse_str(&input)
+        .unwrap_err();
+    assert_eq!(err.kind, AdapterErrorKind::Limit);
+    assert!(err.to_string().contains("clock width"), "{err}");
+}
+
+/// Rewrites every generated fixture file from its generator. Run after
+/// a deliberate generator change, then re-commit the results:
+///
+/// ```text
+/// cargo test --test adapters_corpus -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes committed fixture files; run explicitly"]
+fn regenerate() {
+    for (_, path, rec) in fixture_recordings() {
+        std::fs::write(repo(path), &rec.text).unwrap();
+        eprintln!(
+            "wrote {path} ({} bytes, truth {})",
+            rec.text.len(),
+            rec.truth
+        );
+    }
+    for (path, canonical) in fixture_patterns() {
+        std::fs::write(repo(path), &canonical).unwrap();
+        eprintln!("wrote {path}");
+    }
+}

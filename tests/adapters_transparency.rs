@@ -1,0 +1,73 @@
+//! Adapter transparency: ingesting a recording offline and streaming
+//! the same recording into a live loopback `serve` daemon must reach
+//! **bit-identical** conclusions — verdict sequence, representative
+//! subset, and ingest statistics.
+//!
+//! This is the `check_net_transparency` differential pointed at the
+//! ingestion adapters instead of generated conformance cases: every
+//! pinned-seed fixture recording is parsed once, then fingerprinted
+//! through in-process `observe_raw` delivery and through a real OCWP
+//! loopback server at several frame sizes (per-event, small batches,
+//! and the `ocep ingest` CLI default of 256).
+
+use ocep_repro::adapters::testgen::{fixtures, Recording};
+use ocep_repro::conformance::{in_process_fingerprint, loopback_fingerprint};
+use ocep_repro::simulator::workloads::{random_walk, replicated_service};
+
+fn check(label: &str, format: &str, rec: &Recording, pattern_src: &str) {
+    let out = rec.parse(format);
+    let local = in_process_fingerprint(pattern_src, out.n_traces, &out.events)
+        .unwrap_or_else(|m| panic!("{label}: {m:?}"));
+    for batch in [1usize, 16, 256] {
+        let remote = loopback_fingerprint(pattern_src, out.n_traces, &out.events, batch)
+            .unwrap_or_else(|m| panic!("{label} (batch {batch}): {m:?}"));
+        if let Some(divergence) = local.diff(&remote) {
+            panic!("{label} (batch {batch}): offline vs served diverged: {divergence}");
+        }
+    }
+    assert!(
+        !local.verdicts.is_empty(),
+        "{label}: transparency check is vacuous without verdicts"
+    );
+    assert_eq!(
+        local.ingest.admitted,
+        out.events.len() as u64,
+        "{label}: a valid linearization admits every event"
+    );
+}
+
+#[test]
+fn mpi_fixture_is_transparent_across_transports() {
+    check(
+        "mpi_deadlock.trace",
+        "mpi",
+        &fixtures::mpi_deadlock(),
+        &random_walk::cycle_pattern(fixtures::CYCLE_LEN),
+    );
+}
+
+#[test]
+fn otlp_fixtures_are_transparent_across_transports() {
+    check(
+        "zookeeper_spans.jsonl",
+        "otlp",
+        &fixtures::zookeeper(),
+        &replicated_service::ordering_pattern(),
+    );
+    check(
+        "saga_spans.jsonl",
+        "otlp",
+        &fixtures::saga(),
+        fixtures::SAGA_PATTERN,
+    );
+}
+
+#[test]
+fn session_fixture_is_transparent_across_transports() {
+    check(
+        "session_handoff.jsonl",
+        "session",
+        &fixtures::session_handoff(),
+        fixtures::RYW_PATTERN,
+    );
+}

@@ -1,0 +1,123 @@
+//! The curated pattern library, pinned.
+//!
+//! Each committed fixture recording under `examples/fixtures/` is
+//! matched against its curated pattern file and the verdict counts are
+//! asserted exactly — the same computation the `examples/` binaries
+//! narrate, kept honest by CI. The recordings are pinned-seed
+//! generated (see `tests/adapters_corpus.rs` for the byte-level
+//! cross-check), so exact counts are deterministic.
+
+use ocep_repro::adapters::testgen::fixtures;
+use ocep_repro::adapters::{self, AdapterOutput};
+use ocep_repro::ocep::{Monitor, MonitorConfig, SubsetPolicy};
+use ocep_repro::pattern::Pattern;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/examples/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn ingest(format: &str, rel: &str) -> AdapterOutput {
+    adapters::by_name(format)
+        .expect("known format")
+        .parse_str(&fixture(rel))
+        .unwrap_or_else(|e| panic!("{rel}: {e}"))
+}
+
+/// Runs a per-arrival monitor over a fixture and returns how many
+/// matches it reported.
+fn detections(out: &AdapterOutput, pattern_rel: &str) -> usize {
+    let pattern =
+        Pattern::parse(&fixture(pattern_rel)).unwrap_or_else(|e| panic!("{pattern_rel}: {e}"));
+    let mut monitor = Monitor::with_config(
+        pattern,
+        out.n_traces,
+        MonitorConfig {
+            policy: SubsetPolicy::PerArrival,
+            ..MonitorConfig::default()
+        },
+    );
+    out.events.iter().map(|e| monitor.observe(e).len()).sum()
+}
+
+#[test]
+fn mpi_deadlock_fixture_detects_every_injected_cycle() {
+    let out = ingest("mpi", "mpi_deadlock.trace");
+    let truth = fixtures::mpi_deadlock().truth;
+    let pattern = Pattern::parse(&fixture("deadlock_cycle.pat")).unwrap();
+    let mut monitor = Monitor::new(pattern, out.n_traces);
+    for e in &out.events {
+        monitor.observe(e);
+    }
+    assert_eq!(truth, 8, "pinned fixture truth");
+    assert!(
+        monitor.stats().matches_found >= truth as u64,
+        "every injected cycle must be found (found {})",
+        monitor.stats().matches_found
+    );
+    // Exact pin: a change here means matching semantics moved.
+    assert_eq!(monitor.stats().matches_found, 24);
+}
+
+#[test]
+fn zookeeper_fixture_detects_exactly_the_injected_bugs() {
+    let out = ingest("otlp", "zookeeper_spans.jsonl");
+    let truth = fixtures::zookeeper().truth;
+    assert_eq!(truth, 6, "pinned fixture truth");
+    assert_eq!(detections(&out, "ordering_violation.pat"), truth);
+}
+
+#[test]
+fn saga_fixture_detects_exactly_the_missing_compensations() {
+    let out = ingest("otlp", "saga_spans.jsonl");
+    let truth = fixtures::saga().truth;
+    assert_eq!(truth, 8, "pinned fixture truth");
+    assert_eq!(detections(&out, "saga_compensation.pat"), truth);
+}
+
+#[test]
+fn session_fixture_detects_exactly_the_ryw_breaches() {
+    let out = ingest("session", "session_handoff.jsonl");
+    let truth = fixtures::session_handoff().truth;
+    assert_eq!(truth, 4, "pinned fixture truth");
+    assert_eq!(detections(&out, "read_your_writes.pat"), truth);
+}
+
+#[test]
+fn correct_runs_stay_silent() {
+    // A recording with no injected violations must produce zero
+    // matches for its curated pattern: the patterns alert on the bug,
+    // not on the workload.
+    use ocep_repro::adapters::testgen;
+
+    for (format, rec, pat) in [
+        (
+            "otlp",
+            testgen::zookeeper_otlp(2013, 4, 12, 0.0),
+            "ordering_violation.pat",
+        ),
+        (
+            "otlp",
+            testgen::saga_otlp(5, 40, 0.3, 0.0),
+            "saga_compensation.pat",
+        ),
+        (
+            "session",
+            testgen::session_ryw(3, 10, 0.0),
+            "read_your_writes.pat",
+        ),
+    ] {
+        assert_eq!(rec.truth, 0, "{pat}: clean generator run");
+        let out = rec.parse(format);
+        assert_eq!(detections(&out, pat), 0, "{pat} must stay silent");
+    }
+    let rec = testgen::mpi_deadlock(7, 8, 40, 3, 0.0, 2);
+    assert_eq!(rec.truth, 0);
+    let out = rec.parse("mpi");
+    let pattern = Pattern::parse(&fixture("deadlock_cycle.pat")).unwrap();
+    let mut monitor = Monitor::new(pattern, out.n_traces);
+    for e in &out.events {
+        monitor.observe(e);
+    }
+    assert_eq!(monitor.stats().matches_found, 0, "no cycles injected");
+}
